@@ -1,0 +1,64 @@
+//! Benchmarks of the data-representation machinery whose costs the paper
+//! folds into its kernel measurements: unfolding (the traffic blow-up of
+//! Sec. 3.1), the Eq. 21 strided relayout, the Sec. 4.2 HWC/KKFC layout
+//! permutations, and CSR / CT-CSR construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use spg_convnet::{unfold, ConvSpec};
+use spg_tensor::sparse::{Csr, CtCsr};
+use spg_tensor::transform::StridedLayout;
+use spg_tensor::{layout, Matrix, Shape3, Tensor};
+use spg_workloads::synth::conv_operands;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_unfold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unfold");
+    group.sample_size(10);
+    let spec = ConvSpec::square(64, 64, 16, 11, 1); // Table 1 ID 5
+    let ops = conv_operands(&spec, 0.0, 0x55);
+    group.throughput(Throughput::Elements(spec.unfolded_elems()));
+    group.bench_function("im2col_id5", |bch| {
+        bch.iter(|| unfold::unfold(&spec, ops.input.as_slice()));
+    });
+    group.bench_function("im2col_transposed_id5", |bch| {
+        bch.iter(|| unfold::unfold_transposed(&spec, ops.input.as_slice()));
+    });
+    group.finish();
+}
+
+fn bench_layout_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_transforms");
+    group.sample_size(10);
+    let shape = Shape3::new(64, 64, 64);
+    let t: Tensor = (0..shape.len()).map(|i| i as f32).collect();
+    group.throughput(Throughput::Elements(shape.len() as u64));
+    group.bench_function("chw_to_hwc", |bch| {
+        bch.iter(|| layout::chw_to_hwc(&t, shape).expect("length matches"));
+    });
+    let strided = StridedLayout::new(shape, 4).expect("positive stride");
+    group.bench_function("strided_relayout_s4", |bch| {
+        bch.iter(|| strided.apply(&t).expect("length matches"));
+    });
+    group.finish();
+}
+
+fn bench_sparse_formats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_formats");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(0x66);
+    let dense = Matrix::random_sparse(512, 512, 0.9, 1.0, &mut rng);
+    group.throughput(Throughput::Elements(dense.len() as u64));
+    group.bench_function("build_csr", |bch| {
+        bch.iter(|| Csr::from_dense(&dense));
+    });
+    group.bench_function("build_ctcsr_tile64", |bch| {
+        bch.iter(|| CtCsr::from_dense(&dense, 64).expect("positive width"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_unfold, bench_layout_transforms, bench_sparse_formats);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Kernel-level GEMM benchmarks backing Figs. 3a / 4a / 4b: the blocked
+//! single-threaded kernel versus the naive loop, and the two parallel
+//! schedules (Parallel-GEMM partitioning vs GEMM-in-Parallel batching) on
+//! this host.
+//!
+//! On a single-core container the schedule comparison measures scheduling
+//! overhead rather than scaling — the multicore shapes come from the
+//! `spg-simcpu` model — but the blocked-vs-naive and batching numbers are
+//! real.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use spg_gemm::{gemm, gemm_flops, gemm_in_parallel, gemm_naive, parallel_gemm, BatchJob};
+use spg_workloads::synth::gemm_operands;
+
+fn bench_blocked_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_single_core");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let (a, b) = gemm_operands(n, n, n, 0x11);
+        group.throughput(Throughput::Elements(gemm_flops(n, n, n)));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| gemm(&a, &b).expect("dims agree"));
+        });
+        if n <= 128 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+                bch.iter(|| gemm_naive(&a, &b).expect("dims agree"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_schedules");
+    group.sample_size(10);
+    let n = 128;
+    let (a, b) = gemm_operands(n, n, n, 0x22);
+    group.throughput(Throughput::Elements(4 * gemm_flops(n, n, n)));
+    group.bench_function("parallel_gemm_4_workers_x4", |bch| {
+        bch.iter(|| {
+            for _ in 0..4 {
+                parallel_gemm(&a, &b, 4).expect("dims agree");
+            }
+        });
+    });
+    group.bench_function("gemm_in_parallel_4_jobs", |bch| {
+        let jobs = [
+            BatchJob::new(&a, &b),
+            BatchJob::new(&a, &b),
+            BatchJob::new(&a, &b),
+            BatchJob::new(&a, &b),
+        ];
+        bch.iter(|| gemm_in_parallel(&jobs, 4).expect("dims agree"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocked_vs_naive, bench_schedules);
+criterion_main!(benches);

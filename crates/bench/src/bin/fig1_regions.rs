@@ -1,0 +1,6 @@
+//! Regenerates Fig. 1: the (AIT, sparsity) design-space region map and
+//! the placement of the real-world benchmark layers within it.
+
+fn main() {
+    print!("{}", spg_bench::figures::fig1_report());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 3b: error-gradient sparsity across training epochs —
+//! the paper's modeled curves plus a measured curve from real training
+//! of a small CNN on a synthetic dataset.
+
+fn main() {
+    let measured = spg_workloads::sparsity::measured_curve(10, 0x3b);
+    print!("{}", spg_bench::figures::fig3b_report(Some(&measured)));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4a and Fig. 4b: GEMM-in-Parallel scalability and its
+//! speedup over Parallel-GEMM.
+
+use spg_simcpu::Machine;
+
+fn main() {
+    let machine = Machine::xeon_e5_2650();
+    print!("{}", spg_bench::figures::fig4a_report(&machine));
+    println!();
+    print!("{}", spg_bench::figures::fig4b_report(&machine));
+}

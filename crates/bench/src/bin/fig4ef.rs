@@ -1,0 +1,26 @@
+//! Regenerates Fig. 4e and Fig. 4f: Sparse-Kernel (BP) goodput and its
+//! speedup over GEMM-in-Parallel across sparsity levels, with measured
+//! single-core sparse-vs-dense BP anchors from this host's real kernels.
+
+use spg_bench::{fmt, fmt_speedup, render_table};
+use spg_simcpu::Machine;
+
+fn main() {
+    let machine = Machine::xeon_e5_2650();
+    print!("{}", spg_bench::figures::fig4e_report(&machine));
+    println!();
+    print!("{}", spg_bench::figures::fig4f_report(&machine));
+
+    println!("\nmeasured single-core sparse/dense BP on this host (shrunken ID 0 geometry):");
+    let spec = spg_convnet::ConvSpec::square(32, 32, 32, 4, 1);
+    let mut rows = Vec::new();
+    for s in [0.5, 0.75, 0.9, 0.97] {
+        let m = spg_bench::measured::sparse_bp_measurement(&spec, s, 3);
+        rows.push(vec![
+            fmt(m.sparsity, 2),
+            fmt(m.goodput_gflops, 2),
+            fmt_speedup(m.speedup()),
+        ]);
+    }
+    print!("{}", render_table(&["sparsity", "goodput GFlops", "speedup vs dense"], &rows));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8: framework speedup over Parallel-GEMM for every
+//! convolution layer of the four real-world benchmarks, split into FP
+//! and BP with the technique the scheduler deploys.
+
+use spg_simcpu::Machine;
+
+fn main() {
+    print!("{}", spg_bench::figures::fig8_report(&Machine::xeon_e5_2650()));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 9: end-to-end CIFAR-10 training throughput versus
+//! core count for the five system configurations.
+
+use spg_simcpu::Machine;
+
+fn main() {
+    print!("{}", spg_bench::figures::fig9_report(&Machine::xeon_e5_2650()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1: benchmark convolutions with intrinsic and
+//! Unfold+GEMM arithmetic intensities and their Fig. 1 regions.
+
+fn main() {
+    print!("{}", spg_bench::figures::table1_report());
+}

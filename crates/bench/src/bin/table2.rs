@@ -1,0 +1,6 @@
+//! Regenerates Table 2: the convolution layer specifications of the four
+//! real-world benchmarks with their computed arithmetic intensities.
+
+fn main() {
+    print!("{}", spg_bench::figures::table2_report());
+}

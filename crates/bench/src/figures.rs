@@ -1,0 +1,371 @@
+//! Generators for every table and figure in the paper's evaluation.
+//!
+//! Each function returns the rendered experiment as a string; the
+//! `src/bin/` harness binaries print them, and the workspace integration
+//! tests assert their qualitative shape (who wins, where the crossovers
+//! fall). Scaling curves come from the `spg-simcpu` machine model; the
+//! single-core anchors printed next to them are measured on this host by
+//! [`crate::measured`].
+
+
+use spg_convnet::ConvSpec;
+use spg_core::region::classify_by_features;
+use spg_core::schedule::recommended_plan;
+use spg_simcpu::{
+    cifar10_throughput, gemm_in_parallel_gflops_per_core, parallel_gemm_gflops_per_core,
+    sparse_bp_prediction, stencil_gflops_per_core, EndToEndConfig, Machine,
+};
+use spg_workloads::sparsity::{modeled_curve, SparsityBenchmark};
+use spg_workloads::{table1, table2};
+
+use crate::{banner, fmt, fmt_speedup, render_table};
+
+/// Core counts plotted by the scalability figures.
+pub const CORE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Sparsity levels plotted by Fig. 4e.
+pub const SPARSITY_LEVELS_4E: [f64; 5] = [0.5, 0.7, 0.9, 0.95, 0.99];
+
+/// Sparsity levels plotted by Fig. 4f.
+pub const SPARSITY_LEVELS_4F: [f64; 7] = [0.0, 0.5, 0.75, 0.88, 0.94, 0.97, 0.99];
+
+/// Table 1: the six benchmark convolutions with their intrinsic and
+/// Unfold+GEMM AITs and Fig. 1 regions, paper values alongside ours.
+pub fn table1_report() -> String {
+    let mut rows = Vec::new();
+    for row in table1::rows() {
+        let s = row.spec;
+        rows.push(vec![
+            row.id.to_string(),
+            format!("{},{},{},{}", s.in_w(), s.features(), s.in_c(), s.kx()),
+            fmt(row.computed_intrinsic_ait(), 0),
+            fmt(row.paper_intrinsic_ait, 0),
+            fmt(row.computed_unfold_ait(), 0),
+            fmt(row.paper_unfold_ait, 0),
+            format!("{},{}", row.computed_regions().0.index(), row.computed_regions().1.index()),
+            format!("{},{}", row.paper_regions.0.index(), row.paper_regions.1.index()),
+        ]);
+    }
+    let mut out = banner("Table 1", "benchmark convolutions: AIT and design-space regions");
+    out.push_str(&render_table(
+        &["ID", "Nx,Nf,Nc,Fx", "AIT", "AIT(paper)", "U+G", "U+G(paper)", "Reg", "Reg(paper)"],
+        &rows,
+    ));
+    out
+}
+
+/// Table 2: convolution specifications of the four real-world benchmarks.
+pub fn table2_report() -> String {
+    let mut rows = Vec::new();
+    for (bench, layer, spec) in table2::all_layers() {
+        rows.push(vec![
+            bench.label().to_owned(),
+            format!("L{layer}"),
+            format!(
+                "{},{},{},{},{}",
+                spec.in_w(),
+                spec.features(),
+                spec.in_c(),
+                spec.kx(),
+                spec.sx()
+            ),
+            fmt(spec.intrinsic_ait(), 0),
+            fmt(spec.unfold_ait(), 0),
+        ]);
+    }
+    let mut out = banner("Table 2", "real-world benchmark layer specifications");
+    out.push_str(&render_table(&["benchmark", "layer", "Nx,Nf,Nc,Fx,sx", "AIT", "Unfold AIT"], &rows));
+    out
+}
+
+/// Fig. 1: the design-space region map over feature count and sparsity,
+/// with the Table 2 benchmark layers placed in it.
+pub fn fig1_report() -> String {
+    let mut out = banner("Fig 1", "design space: regions over features (AIT proxy) and sparsity");
+    let features = [16usize, 64, 128, 256, 512, 1024, 4096];
+    let sparsities = [0.0, 0.5, 0.8, 0.95];
+    let mut rows = Vec::new();
+    for &f in &features {
+        let mut row = vec![f.to_string()];
+        for &s in &sparsities {
+            row.push(classify_by_features(f, s).index().to_string());
+        }
+        rows.push(row);
+    }
+    out.push_str(&render_table(
+        &["features", "s=0.00", "s=0.50", "s=0.80", "s=0.95"],
+        &rows,
+    ));
+    out.push_str("\nbenchmark placement (dense region -> sparse region):\n");
+    let mut rows = Vec::new();
+    for (bench, layer, spec) in table2::all_layers() {
+        let (d, s) = spg_core::region::region_pair(&spec);
+        rows.push(vec![
+            format!("{} L{layer}", bench.label()),
+            spec.features().to_string(),
+            format!("{d} -> {s}"),
+        ]);
+    }
+    out.push_str(&render_table(&["layer", "features", "regions"], &rows));
+    out
+}
+
+/// Fig. 3a: Parallel-GEMM GFlops per core versus core count for the
+/// Table 1 convolutions (machine model).
+pub fn fig3a_report(machine: &Machine) -> String {
+    let mut out = banner("Fig 3a", "Parallel-GEMM scalability (model GFlops/core)");
+    out.push_str(&scaling_table(machine, parallel_gemm_gflops_per_core));
+    out.push_str("\npaper shape: all but ID 1 lose over half their per-core performance by 16 cores\n");
+    out
+}
+
+/// Fig. 3b: error-gradient sparsity across training epochs.
+pub fn fig3b_report(measured: Option<&[f64]>) -> String {
+    let mut out = banner("Fig 3b", "error-gradient sparsity across epochs");
+    let epochs = 10;
+    let mut rows = Vec::new();
+    for e in 0..epochs {
+        let mut row = vec![(e + 1).to_string()];
+        for b in SparsityBenchmark::all() {
+            row.push(fmt(modeled_curve(b, epochs)[e], 3));
+        }
+        if let Some(m) = measured {
+            row.push(m.get(e).map(|v| fmt(*v, 3)).unwrap_or_else(|| "-".into()));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = if measured.is_some() {
+        vec!["epoch", "MNIST", "CIFAR", "ImageNet100", "measured(synthetic)"]
+    } else {
+        vec!["epoch", "MNIST", "CIFAR", "ImageNet100"]
+    };
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str("\npaper shape: all curves exceed 0.85 from epoch 2 and keep rising\n");
+    out
+}
+
+/// Fig. 4a: GEMM-in-Parallel GFlops per core versus core count.
+pub fn fig4a_report(machine: &Machine) -> String {
+    let mut out = banner("Fig 4a", "GEMM-in-Parallel scalability (model GFlops/core)");
+    out.push_str(&scaling_table(machine, gemm_in_parallel_gflops_per_core));
+    out.push_str("\npaper shape: per-core performance roughly steady, < 15 % average drop\n");
+    out
+}
+
+/// Fig. 4b: speedup of GEMM-in-Parallel over Parallel-GEMM.
+pub fn fig4b_report(machine: &Machine) -> String {
+    let mut out = banner("Fig 4b", "GEMM-in-Parallel speedup over Parallel-GEMM");
+    out.push_str(&ratio_table(
+        machine,
+        gemm_in_parallel_gflops_per_core,
+        parallel_gemm_gflops_per_core,
+    ));
+    out.push_str("\npaper shape: speedup grows with cores; fewer-feature convolutions gain more\n");
+    out
+}
+
+/// Fig. 4c: Stencil-Kernel (FP) GFlops per core versus core count.
+pub fn fig4c_report(machine: &Machine) -> String {
+    let mut out = banner("Fig 4c", "Stencil-Kernel (FP) scalability (model GFlops/core)");
+    out.push_str(&scaling_table(machine, stencil_gflops_per_core));
+    out.push_str("\npaper shape: nearly flat per-core performance out to 16 cores\n");
+    out
+}
+
+/// Fig. 4d: speedup of the stencil kernel over GEMM-in-Parallel.
+pub fn fig4d_report(machine: &Machine) -> String {
+    let mut out = banner("Fig 4d", "Stencil-Kernel (FP) speedup over GEMM-in-Parallel");
+    out.push_str(&ratio_table(machine, stencil_gflops_per_core, gemm_in_parallel_gflops_per_core));
+    out.push_str(
+        "\npaper shape: > 1x for < 128 output features (IDs 0, 5); <= 1x for larger convolutions\n",
+    );
+    out
+}
+
+/// Fig. 4e: Sparse-Kernel (BP) goodput versus sparsity at 16 cores.
+pub fn fig4e_report(machine: &Machine) -> String {
+    let mut out = banner("Fig 4e", "Sparse-Kernel (BP) goodput vs sparsity, 16 cores (model GFlops)");
+    let mut rows = Vec::new();
+    for row in table1::rows() {
+        let mut cells = vec![format!("ID {}", row.id)];
+        for &s in &SPARSITY_LEVELS_4E {
+            cells.push(fmt(sparse_bp_prediction(machine, &row.spec, s, 16).goodput_gflops, 0));
+        }
+        rows.push(cells);
+    }
+    out.push_str(&render_table(&["conv", "s=0.5", "s=0.7", "s=0.9", "s=0.95", "s=0.99"], &rows));
+    out.push_str("\npaper shape: consistently high goodput below 0.9; beyond it the bottleneck\nshifts to the data-layout transforms and goodput declines\n");
+    out
+}
+
+/// Fig. 4f: speedup of the sparse kernel over GEMM-in-Parallel versus
+/// sparsity at 16 cores.
+pub fn fig4f_report(machine: &Machine) -> String {
+    let mut out =
+        banner("Fig 4f", "Sparse-Kernel (BP) speedup over GEMM-in-Parallel vs sparsity, 16 cores");
+    let mut rows = Vec::new();
+    for row in table1::rows() {
+        let mut cells = vec![format!("ID {}", row.id)];
+        for &s in &SPARSITY_LEVELS_4F {
+            cells.push(fmt_speedup(sparse_bp_prediction(machine, &row.spec, s, 16).speedup_over_gip));
+        }
+        rows.push(cells);
+    }
+    let headers = ["conv", "s=0", "s=0.5", "s=0.75", "s=0.88", "s=0.94", "s=0.97", "s=0.99"];
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str("\npaper shape: consistent wins from 0.75; 3x-32x in the >= 0.90 range\n");
+    out
+}
+
+/// Fig. 8: per-layer FP and BP speedups of the framework over
+/// Parallel-GEMM for the Table 2 benchmarks (85 % BP sparsity, 16 cores).
+pub fn fig8_report(machine: &Machine) -> String {
+    let cores = 16;
+    let sparsity = 0.85;
+    let mut out = banner(
+        "Fig 8",
+        "framework speedup over Parallel-GEMM per conv layer (16 cores, 85 % BP sparsity)",
+    );
+    let mut rows = Vec::new();
+    for (bench, layer, spec) in table2::all_layers() {
+        let plan = recommended_plan(&spec, sparsity, cores);
+        let pg = parallel_gemm_gflops_per_core(machine, &spec, cores);
+        let fp_rate = match plan.forward {
+            spg_core::schedule::Technique::StencilFp => stencil_gflops_per_core(machine, &spec, cores),
+            spg_core::schedule::Technique::GemmInParallel => {
+                gemm_in_parallel_gflops_per_core(machine, &spec, cores)
+            }
+            _ => pg,
+        };
+        let fp_speedup = fp_rate / pg;
+        // BP speedup: dense Parallel-GEMM BP time vs planned BP time.
+        let bp_flops = 2.0 * spec.arithmetic_ops() as f64;
+        let pg_bp_time = bp_flops / (pg * 1e9);
+        let bp_time = match plan.backward {
+            spg_core::schedule::Technique::SparseBp => {
+                sparse_bp_prediction(machine, &spec, sparsity, cores).time_s
+            }
+            spg_core::schedule::Technique::GemmInParallel => {
+                bp_flops / (gemm_in_parallel_gflops_per_core(machine, &spec, cores) * 1e9)
+            }
+            _ => pg_bp_time,
+        };
+        rows.push(vec![
+            format!("{} L{layer}", bench.label()),
+            plan.forward.to_string(),
+            fmt_speedup(fp_speedup),
+            plan.backward.to_string(),
+            fmt_speedup(pg_bp_time / bp_time),
+        ]);
+    }
+    out.push_str(&render_table(&["layer", "FP technique", "FP speedup", "BP technique", "BP speedup"], &rows));
+    out.push_str("\npaper shape: 2x-16x FP speedups; 2x-14x BP speedups at 85 % sparsity\n");
+    out
+}
+
+/// Fig. 9: end-to-end CIFAR-10 training throughput versus core count for
+/// the five system configurations.
+pub fn fig9_report(machine: &Machine) -> String {
+    let mut out = banner("Fig 9", "end-to-end CIFAR-10 throughput (model images/second)");
+    let threads = [1usize, 2, 4, 8, 16, 32];
+    let mut rows = Vec::new();
+    for config in EndToEndConfig::all() {
+        let mut cells = vec![config.label().to_owned()];
+        for &t in &threads {
+            cells.push(fmt(cifar10_throughput(machine, config, t, 0.85), 0));
+        }
+        rows.push(cells);
+    }
+    out.push_str(&render_table(
+        &["configuration", "1", "2", "4", "8", "16", "32"],
+        &rows,
+    ));
+    out.push_str("\npaper shape: Caffe fastest at 1-2 cores; Parallel-GEMM platforms plateau after\n2 cores; GiP keeps scaling; sparse BP then stencil FP stack further gains\n");
+    out
+}
+
+fn scaling_table(
+    machine: &Machine,
+    f: fn(&Machine, &ConvSpec, usize) -> f64,
+) -> String {
+    let mut rows = Vec::new();
+    for row in table1::rows() {
+        let mut cells = vec![format!(
+            "ID {} (Reg {},{})",
+            row.id,
+            row.paper_regions.0.index(),
+            row.paper_regions.1.index()
+        )];
+        for &c in &CORE_COUNTS {
+            cells.push(fmt(f(machine, &row.spec, c), 1));
+        }
+        rows.push(cells);
+    }
+    render_table(&["conv", "1 core", "2", "4", "8", "16"], &rows)
+}
+
+fn ratio_table(
+    machine: &Machine,
+    num: fn(&Machine, &ConvSpec, usize) -> f64,
+    den: fn(&Machine, &ConvSpec, usize) -> f64,
+) -> String {
+    let mut rows = Vec::new();
+    for row in table1::rows() {
+        let mut cells = vec![format!("ID {}", row.id)];
+        for &c in &CORE_COUNTS {
+            cells.push(fmt_speedup(num(machine, &row.spec, c) / den(machine, &row.spec, c)));
+        }
+        rows.push(cells);
+    }
+    render_table(&["conv", "1 core", "2", "4", "8", "16"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_report_renders() {
+        let m = Machine::xeon_e5_2650();
+        for report in [
+            table1_report(),
+            table2_report(),
+            fig1_report(),
+            fig3a_report(&m),
+            fig3b_report(None),
+            fig4a_report(&m),
+            fig4b_report(&m),
+            fig4c_report(&m),
+            fig4d_report(&m),
+            fig4e_report(&m),
+            fig4f_report(&m),
+            fig8_report(&m),
+            fig9_report(&m),
+        ] {
+            assert!(report.lines().count() >= 4, "report too short:\n{report}");
+        }
+    }
+
+    #[test]
+    fn table1_report_contains_paper_values() {
+        let r = table1_report();
+        assert!(r.contains("2015")); // ID 1 intrinsic AIT
+        assert!(r.contains("362")); // ID 0 intrinsic AIT
+    }
+
+    #[test]
+    fn fig9_lists_all_five_configs() {
+        let r = fig9_report(&Machine::xeon_e5_2650());
+        for config in EndToEndConfig::all() {
+            assert!(r.contains(config.label()), "missing {}", config.label());
+        }
+    }
+
+    #[test]
+    fn fig8_reports_expected_techniques() {
+        let r = fig8_report(&Machine::xeon_e5_2650());
+        assert!(r.contains("Stencil-Kernel (FP)")); // MNIST / CIFAR layers
+        assert!(r.contains("GEMM-in-Parallel")); // ImageNet layers
+        assert!(r.contains("Sparse-Kernel (BP)")); // 85 % sparsity
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared helpers for the spg-CNN benchmark harness.
+//!
+//! Each table and figure of the paper has a dedicated binary in
+//! `src/bin/` (see `DESIGN.md` for the full index); this library holds
+//! the table-formatting and series-printing helpers they share, so every
+//! harness prints rows the same way `EXPERIMENTS.md` records them.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod measured;
+
+use std::fmt::Write as _;
+
+/// Renders a fixed-width text table: a header row, a separator, and one
+/// line per data row. Columns are sized to the widest cell.
+///
+/// # Example
+///
+/// ```
+/// let t = spg_bench::render_table(
+///     &["id", "value"],
+///     &[vec!["0".into(), "362".into()], vec!["1".into(), "2015".into()]],
+/// );
+/// assert!(t.contains("id"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header width");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>w$}", w = w);
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Formats a float with the given number of decimal places.
+pub fn fmt(v: f64, places: usize) -> String {
+    format!("{v:.places$}")
+}
+
+/// Formats a speedup as `N.NNx`.
+pub fn fmt_speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Prints a figure/table banner with the experiment identifier.
+pub fn banner(id: &str, description: &str) -> String {
+    format!("=== {id}: {description} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["a", "longer"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Every line has the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[1].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt_speedup(16.0), "16.00x");
+        assert!(banner("Fig 3a", "scalability").contains("Fig 3a"));
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for convolution-spec and network construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConvError {
+    /// A spec dimension was zero.
+    ZeroDimension {
+        /// Name of the offending dimension.
+        dim: &'static str,
+    },
+    /// The kernel does not fit inside the input even once.
+    KernelTooLarge {
+        /// Input extent along the offending axis.
+        input: usize,
+        /// Kernel extent along the offending axis.
+        kernel: usize,
+    },
+    /// A buffer passed to an execution routine has the wrong length.
+    BufferLength {
+        /// Which buffer was wrong.
+        what: &'static str,
+        /// Required element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// Adjacent layers disagree about activation geometry.
+    LayerMismatch {
+        /// Index of the layer whose input did not match.
+        layer: usize,
+        /// Activation length produced by the previous layer.
+        produced: usize,
+        /// Activation length the layer expects.
+        expected: usize,
+    },
+    /// The network has no layers or no loss configured.
+    EmptyNetwork,
+}
+
+impl fmt::Display for ConvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvError::ZeroDimension { dim } => write!(f, "dimension `{dim}` must be positive"),
+            ConvError::KernelTooLarge { input, kernel } => {
+                write!(f, "kernel extent {kernel} exceeds input extent {input}")
+            }
+            ConvError::BufferLength { what, expected, actual } => {
+                write!(f, "{what} buffer has {actual} elements, expected {expected}")
+            }
+            ConvError::LayerMismatch { layer, produced, expected } => write!(
+                f,
+                "layer {layer} expects {expected} input activations but receives {produced}"
+            ),
+            ConvError::EmptyNetwork => write!(f, "network must contain at least one layer"),
+        }
+    }
+}
+
+impl Error for ConvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ConvError::ZeroDimension { dim: "f" }.to_string().contains("`f`"));
+        assert!(ConvError::KernelTooLarge { input: 3, kernel: 5 }.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConvError>();
+    }
+}

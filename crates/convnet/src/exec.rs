@@ -1,0 +1,180 @@
+//! The execution seam between the CNN substrate and the spg-CNN
+//! optimization framework.
+//!
+//! A [`ConvExecutor`] computes the three convolution phases — forward
+//! propagation, backward error propagation, and weight gradients — for a
+//! given [`ConvSpec`]. The substrate ships the two conventional executors
+//! ([`ReferenceExecutor`] and [`UnfoldGemmExecutor`]); the `spg-core` crate
+//! plugs its stencil forward kernel and sparse backward kernel in through
+//! this trait, and the paper's scheduler swaps executors per layer and per
+//! phase (Sec. 4.4).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{gemm_exec, reference, ConvSpec};
+
+/// Strategy object computing the three phases of a convolution layer.
+///
+/// Implementations must be `Send + Sync`: the trainer runs samples on
+/// worker threads sharing one executor (the GEMM-in-Parallel schedule).
+pub trait ConvExecutor: Send + Sync + fmt::Debug {
+    /// Short human-readable name used in logs and benchmark output.
+    fn name(&self) -> &str;
+
+    /// Forward propagation (Eq. 2). `output` is overwritten.
+    fn forward(&self, spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]);
+
+    /// Backward error propagation (Eq. 3). `grad_in` is overwritten.
+    fn backward_data(&self, spec: &ConvSpec, weights: &[f32], grad_out: &[f32], grad_in: &mut [f32]);
+
+    /// Weight gradients (Eq. 4). `grad_weights` is overwritten.
+    fn backward_weights(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        grad_out: &[f32],
+        grad_weights: &mut [f32],
+    );
+}
+
+/// Shared handle to an executor, cheap to clone into worker threads.
+pub type SharedExecutor = Arc<dyn ConvExecutor>;
+
+/// The naive direct-convolution executor (the correctness oracle).
+///
+/// # Example
+///
+/// ```
+/// use spg_convnet::exec::{ConvExecutor, ReferenceExecutor};
+///
+/// assert_eq!(ReferenceExecutor.name(), "reference");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceExecutor;
+
+impl ConvExecutor for ReferenceExecutor {
+    fn name(&self) -> &str {
+        "reference"
+    }
+
+    fn forward(&self, spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+        reference::forward(spec, input, weights, output);
+    }
+
+    fn backward_data(&self, spec: &ConvSpec, weights: &[f32], grad_out: &[f32], grad_in: &mut [f32]) {
+        reference::backward_data(spec, weights, grad_out, grad_in);
+    }
+
+    fn backward_weights(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        grad_out: &[f32],
+        grad_weights: &mut [f32],
+    ) {
+        reference::backward_weights(spec, input, grad_out, grad_weights);
+    }
+}
+
+/// The conventional `Unfold + GEMM` executor (Sec. 2.3).
+///
+/// With `threads == 1` this is the building block of the GEMM-in-Parallel
+/// schedule; with `threads > 1` each GEMM is row-partitioned across cores
+/// (Parallel-GEMM), reproducing the baseline whose per-core arithmetic
+/// intensity shrinks as cores are added.
+#[derive(Debug, Clone, Copy)]
+pub struct UnfoldGemmExecutor {
+    threads: usize,
+}
+
+impl UnfoldGemmExecutor {
+    /// Creates an executor that gives each GEMM `threads` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        UnfoldGemmExecutor { threads }
+    }
+
+    /// Number of cores each GEMM is partitioned across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for UnfoldGemmExecutor {
+    fn default() -> Self {
+        UnfoldGemmExecutor::new(1)
+    }
+}
+
+impl ConvExecutor for UnfoldGemmExecutor {
+    fn name(&self) -> &str {
+        if self.threads > 1 {
+            "unfold+parallel-gemm"
+        } else {
+            "unfold+gemm"
+        }
+    }
+
+    fn forward(&self, spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+        gemm_exec::forward(spec, input, weights, output, self.threads);
+    }
+
+    fn backward_data(&self, spec: &ConvSpec, weights: &[f32], grad_out: &[f32], grad_in: &mut [f32]) {
+        gemm_exec::backward_data(spec, weights, grad_out, grad_in, self.threads);
+    }
+
+    fn backward_weights(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        grad_out: &[f32],
+        grad_weights: &mut [f32],
+    ) {
+        gemm_exec::backward_weights(spec, input, grad_out, grad_weights, self.threads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executors_agree() {
+        let spec = ConvSpec::new(2, 6, 6, 3, 3, 3, 1, 1).unwrap();
+        let input: Vec<f32> = (0..spec.input_shape().len()).map(|i| (i as f32 * 0.3).sin()).collect();
+        let weights: Vec<f32> =
+            (0..spec.weight_shape().len()).map(|i| (i as f32 * 0.7).cos()).collect();
+        let olen = spec.output_shape().len();
+
+        let mut a = vec![0.0; olen];
+        let mut b = vec![0.0; olen];
+        ReferenceExecutor.forward(&spec, &input, &weights, &mut a);
+        UnfoldGemmExecutor::new(2).forward(&spec, &input, &weights, &mut b);
+        let diff = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+        assert!(diff < 1e-4);
+    }
+
+    #[test]
+    fn names_distinguish_schedules() {
+        assert_eq!(UnfoldGemmExecutor::new(1).name(), "unfold+gemm");
+        assert_eq!(UnfoldGemmExecutor::new(8).name(), "unfold+parallel-gemm");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threads_panics() {
+        UnfoldGemmExecutor::new(0);
+    }
+
+    #[test]
+    fn executor_is_object_safe() {
+        let execs: Vec<SharedExecutor> =
+            vec![Arc::new(ReferenceExecutor), Arc::new(UnfoldGemmExecutor::default())];
+        assert_eq!(execs.len(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! `Unfold + GEMM` execution of convolution FP and BP — the conventional
+//! strategy (Sec. 2.3) that every CNN framework of the paper's era used,
+//! and the baseline every spg-CNN technique is measured against.
+
+use spg_tensor::Matrix;
+
+use crate::unfold::{fold, unfold, unfold_transposed};
+use crate::ConvSpec;
+
+/// Forward propagation via `O = W_mat * U^T` (Fig. 2c).
+///
+/// `threads == 1` runs the single-threaded blocked GEMM (the
+/// GEMM-in-Parallel building block); `threads > 1` uses the row-partitioned
+/// Parallel-GEMM schedule.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec.
+pub fn forward(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32], threads: usize) {
+    let oshape = spec.output_shape();
+    assert_eq!(output.len(), oshape.len(), "output length");
+    assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
+    let ut = unfold_transposed(spec, input);
+    let w_mat = Matrix::from_vec(spec.features(), spec.weight_shape().per_feature(), weights.to_vec())
+        .expect("weights length checked above");
+    let o = run_gemm(&w_mat, &ut, threads);
+    output.copy_from_slice(o.as_slice());
+}
+
+/// Backward error propagation via `E_U = E_O^T * W_mat`, then `col2im`.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec.
+pub fn backward_data(
+    spec: &ConvSpec,
+    weights: &[f32],
+    grad_out: &[f32],
+    grad_in: &mut [f32],
+    threads: usize,
+) {
+    let oshape = spec.output_shape();
+    assert_eq!(grad_out.len(), oshape.len(), "grad_out length");
+    assert_eq!(grad_in.len(), spec.input_shape().len(), "grad_in length");
+    let patches = spec.out_h() * spec.out_w();
+    let w_mat = Matrix::from_vec(spec.features(), spec.weight_shape().per_feature(), weights.to_vec())
+        .expect("weights length matches spec");
+    // grad_out is CHW = features x patches row-major; E_U = E_O^T * W is
+    // computed with the transpose folded into panel packing.
+    let eo = Matrix::from_vec(spec.features(), patches, grad_out.to_vec())
+        .expect("grad_out length checked above");
+    let eu = if threads > 1 {
+        spg_gemm::parallel_gemm(&eo.transposed(), &w_mat, threads)
+            .expect("dimensions agree by construction")
+    } else {
+        spg_gemm::gemm_at_b(&eo, &w_mat).expect("dimensions agree by construction")
+    };
+    fold(spec, &eu, grad_in);
+}
+
+/// Weight-gradient computation via `dW = E_O * U`.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec.
+pub fn backward_weights(
+    spec: &ConvSpec,
+    input: &[f32],
+    grad_out: &[f32],
+    grad_weights: &mut [f32],
+    threads: usize,
+) {
+    let oshape = spec.output_shape();
+    assert_eq!(grad_out.len(), oshape.len(), "grad_out length");
+    assert_eq!(grad_weights.len(), spec.weight_shape().len(), "grad_weights length");
+    let patches = spec.out_h() * spec.out_w();
+    let u = unfold(spec, input);
+    let eo = Matrix::from_vec(spec.features(), patches, grad_out.to_vec())
+        .expect("grad_out length checked above");
+    let dw = run_gemm(&eo, &u, threads);
+    grad_weights.copy_from_slice(dw.as_slice());
+}
+
+fn run_gemm(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    if threads > 1 {
+        spg_gemm::parallel_gemm(a, b, threads).expect("dimensions agree by construction")
+    } else {
+        spg_gemm::gemm(a, b).expect("dimensions agree by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn spec_cases() -> Vec<ConvSpec> {
+        vec![
+            ConvSpec::new(1, 4, 4, 1, 2, 2, 1, 1).unwrap(),
+            ConvSpec::new(2, 6, 5, 3, 3, 2, 1, 1).unwrap(),
+            ConvSpec::new(3, 8, 8, 4, 3, 3, 2, 2).unwrap(),
+            ConvSpec::new(2, 9, 7, 5, 2, 3, 2, 1).unwrap(),
+        ]
+    }
+
+    fn pseudo(n: usize, salt: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 31 + salt * 17) % 23) as f32 - 11.0) / 7.0).collect()
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        for spec in spec_cases() {
+            let input = pseudo(spec.input_shape().len(), 1);
+            let weights = pseudo(spec.weight_shape().len(), 2);
+            let mut via_gemm = vec![0.0; spec.output_shape().len()];
+            let mut oracle = vec![0.0; spec.output_shape().len()];
+            for threads in [1, 3] {
+                forward(&spec, &input, &weights, &mut via_gemm, threads);
+                reference::forward(&spec, &input, &weights, &mut oracle);
+                let diff = via_gemm
+                    .iter()
+                    .zip(&oracle)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(diff < 1e-4, "{spec}: diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_data_matches_reference() {
+        for spec in spec_cases() {
+            let weights = pseudo(spec.weight_shape().len(), 3);
+            let grad_out = pseudo(spec.output_shape().len(), 4);
+            let mut via_gemm = vec![0.0; spec.input_shape().len()];
+            let mut oracle = vec![0.0; spec.input_shape().len()];
+            backward_data(&spec, &weights, &grad_out, &mut via_gemm, 1);
+            reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
+            let diff =
+                via_gemm.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+            assert!(diff < 1e-4, "{spec}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn backward_weights_matches_reference() {
+        for spec in spec_cases() {
+            let input = pseudo(spec.input_shape().len(), 5);
+            let grad_out = pseudo(spec.output_shape().len(), 6);
+            let mut via_gemm = vec![0.0; spec.weight_shape().len()];
+            let mut oracle = vec![0.0; spec.weight_shape().len()];
+            backward_weights(&spec, &input, &grad_out, &mut via_gemm, 2);
+            reference::backward_weights(&spec, &input, &grad_out, &mut oracle);
+            let diff =
+                via_gemm.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+            assert!(diff < 1e-4, "{spec}: diff {diff}");
+        }
+    }
+}

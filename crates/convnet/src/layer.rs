@@ -1,0 +1,599 @@
+//! The layer zoo: convolution, ReLU, max-pooling, and fully-connected
+//! layers behind one object-safe [`Layer`] trait.
+//!
+//! Layers are *stateless across samples*: `forward` and `backward` take the
+//! sample's activations explicitly, so the trainer can push many samples
+//! through shared layers on worker threads (the GEMM-in-Parallel schedule)
+//! and apply accumulated parameter gradients afterwards.
+
+use std::fmt;
+
+use rand::Rng;
+use spg_tensor::{Shape3, Tensor};
+
+use crate::exec::{SharedExecutor, UnfoldGemmExecutor};
+use crate::{ConvError, ConvSpec};
+
+/// A differentiable network layer.
+///
+/// `forward` writes `output` from `input`; `backward` writes `grad_in` from
+/// the saved activations and `grad_out`, returning flattened parameter
+/// gradients for layers that have parameters.
+pub trait Layer: Send + Sync + fmt::Debug {
+    /// Short human-readable layer name.
+    fn name(&self) -> &str;
+
+    /// Number of input activations the layer expects.
+    fn input_len(&self) -> usize;
+
+    /// Number of output activations the layer produces.
+    fn output_len(&self) -> usize;
+
+    /// Forward propagation for one sample. `output` is overwritten.
+    fn forward(&self, input: &[f32], output: &mut [f32]);
+
+    /// Backward propagation for one sample. `grad_in` is overwritten;
+    /// returns flattened parameter gradients if the layer has parameters.
+    fn backward(
+        &self,
+        input: &[f32],
+        output: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Option<Tensor>;
+
+    /// Number of trainable parameters (0 for activation/pooling layers).
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Applies `params -= lr * grads` for layers with parameters.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `grads.len() != param_count()`.
+    fn apply_update(&mut self, _grads: &Tensor, _lr: f32) {}
+
+    /// The convolution spec, for convolution layers only. The scheduler
+    /// uses this to characterize and re-plan layers generically.
+    fn conv_spec(&self) -> Option<&ConvSpec> {
+        None
+    }
+
+    /// Mutable access as a [`ConvLayer`], for convolution layers only.
+    /// The spg-CNN framework uses this to swap executors on a built
+    /// network when re-tuning between epochs (Sec. 4.4).
+    fn as_conv_mut(&mut self) -> Option<&mut ConvLayer> {
+        None
+    }
+
+    /// Borrows the flattened trainable parameters, for layers that have
+    /// them. Used by [`io`](crate::io) to persist trained models.
+    fn params(&self) -> Option<&[f32]> {
+        None
+    }
+
+    /// Replaces the flattened trainable parameters.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `params.len() != param_count()`.
+    fn set_params(&mut self, _params: &[f32]) {}
+}
+
+/// A convolution layer executing through pluggable
+/// [`ConvExecutor`](crate::exec::ConvExecutor)s.
+///
+/// Forward and backward executors are independent because the paper's
+/// framework picks them independently: e.g. Stencil-Kernel for FP and
+/// Sparse-Kernel for BP on the same layer (Sec. 4.4).
+pub struct ConvLayer {
+    spec: ConvSpec,
+    weights: Tensor,
+    fwd: SharedExecutor,
+    bwd: SharedExecutor,
+}
+
+impl ConvLayer {
+    /// Creates a convolution layer with small random weights and the
+    /// default single-threaded `Unfold+GEMM` executor for both phases.
+    pub fn new<R: Rng>(spec: ConvSpec, rng: &mut R) -> Self {
+        let fan_in = spec.weight_shape().per_feature() as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let weights = Tensor::random_uniform(spec.weight_shape().len(), scale, rng);
+        let exec: SharedExecutor = std::sync::Arc::new(UnfoldGemmExecutor::default());
+        ConvLayer { spec, weights, fwd: exec.clone(), bwd: exec }
+    }
+
+    /// Creates a layer with explicit weights (used by tests and oracles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::BufferLength`] if the weight length mismatches.
+    pub fn with_weights(spec: ConvSpec, weights: Tensor) -> Result<Self, ConvError> {
+        if weights.len() != spec.weight_shape().len() {
+            return Err(ConvError::BufferLength {
+                what: "weights",
+                expected: spec.weight_shape().len(),
+                actual: weights.len(),
+            });
+        }
+        let exec: SharedExecutor = std::sync::Arc::new(UnfoldGemmExecutor::default());
+        Ok(ConvLayer { spec, weights, fwd: exec.clone(), bwd: exec })
+    }
+
+    /// The convolution specification.
+    pub fn spec(&self) -> &ConvSpec {
+        &self.spec
+    }
+
+    /// Borrows the weights.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Replaces the forward-phase executor.
+    pub fn set_forward_executor(&mut self, exec: SharedExecutor) {
+        self.fwd = exec;
+    }
+
+    /// Replaces the backward-phase executor (used for both error and
+    /// weight-gradient computation).
+    pub fn set_backward_executor(&mut self, exec: SharedExecutor) {
+        self.bwd = exec;
+    }
+
+    /// Names of the current forward and backward executors.
+    pub fn executor_names(&self) -> (String, String) {
+        (self.fwd.name().to_owned(), self.bwd.name().to_owned())
+    }
+}
+
+impl fmt::Debug for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConvLayer({}, fwd={}, bwd={})", self.spec, self.fwd.name(), self.bwd.name())
+    }
+}
+
+impl Layer for ConvLayer {
+    fn name(&self) -> &str {
+        "conv"
+    }
+
+    fn input_len(&self) -> usize {
+        self.spec.input_shape().len()
+    }
+
+    fn output_len(&self) -> usize {
+        self.spec.output_shape().len()
+    }
+
+    fn forward(&self, input: &[f32], output: &mut [f32]) {
+        self.fwd.forward(&self.spec, input, self.weights.as_slice(), output);
+    }
+
+    fn backward(
+        &self,
+        input: &[f32],
+        _output: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Option<Tensor> {
+        self.bwd.backward_data(&self.spec, self.weights.as_slice(), grad_out, grad_in);
+        let mut dw = Tensor::zeros(self.weights.len());
+        self.bwd.backward_weights(&self.spec, input, grad_out, dw.as_mut_slice());
+        Some(dw)
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn apply_update(&mut self, grads: &Tensor, lr: f32) {
+        assert_eq!(grads.len(), self.weights.len(), "gradient length");
+        for (w, g) in self.weights.iter_mut().zip(grads.iter()) {
+            *w -= lr * g;
+        }
+    }
+
+    fn conv_spec(&self) -> Option<&ConvSpec> {
+        Some(&self.spec)
+    }
+
+    fn as_conv_mut(&mut self) -> Option<&mut ConvLayer> {
+        Some(self)
+    }
+
+    fn params(&self) -> Option<&[f32]> {
+        Some(self.weights.as_slice())
+    }
+
+    fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.weights.len(), "parameter length");
+        self.weights.as_mut_slice().copy_from_slice(params);
+    }
+}
+
+/// Rectified linear unit: `y = max(0, x)`.
+///
+/// ReLU is the source of the error-gradient sparsity the paper exploits:
+/// wherever the forward activation clamped to zero, the backward gradient
+/// is zeroed too, and trained networks clamp most activations (Fig. 3b).
+#[derive(Debug, Clone, Copy)]
+pub struct ReluLayer {
+    len: usize,
+}
+
+impl ReluLayer {
+    /// Creates a ReLU over `len` activations.
+    pub fn new(len: usize) -> Self {
+        ReluLayer { len }
+    }
+}
+
+impl Layer for ReluLayer {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn input_len(&self) -> usize {
+        self.len
+    }
+
+    fn output_len(&self) -> usize {
+        self.len
+    }
+
+    fn forward(&self, input: &[f32], output: &mut [f32]) {
+        for (o, &i) in output.iter_mut().zip(input) {
+            *o = i.max(0.0);
+        }
+    }
+
+    fn backward(
+        &self,
+        _input: &[f32],
+        output: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Option<Tensor> {
+        for ((gi, &go), &o) in grad_in.iter_mut().zip(grad_out).zip(output) {
+            *gi = if o > 0.0 { go } else { 0.0 };
+        }
+        None
+    }
+}
+
+/// Non-overlapping max pooling over square windows.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPoolLayer {
+    in_shape: Shape3,
+    window: usize,
+}
+
+impl MaxPoolLayer {
+    /// Creates a max-pool of `window x window` cells over `in_shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::ZeroDimension`] if `window == 0` and
+    /// [`ConvError::KernelTooLarge`] if the window exceeds either spatial
+    /// extent.
+    pub fn new(in_shape: Shape3, window: usize) -> Result<Self, ConvError> {
+        if window == 0 {
+            return Err(ConvError::ZeroDimension { dim: "window" });
+        }
+        if window > in_shape.h {
+            return Err(ConvError::KernelTooLarge { input: in_shape.h, kernel: window });
+        }
+        if window > in_shape.w {
+            return Err(ConvError::KernelTooLarge { input: in_shape.w, kernel: window });
+        }
+        Ok(MaxPoolLayer { in_shape, window })
+    }
+
+    /// Output shape after pooling (floor division of spatial extents).
+    pub fn out_shape(&self) -> Shape3 {
+        Shape3::new(self.in_shape.c, self.in_shape.h / self.window, self.in_shape.w / self.window)
+    }
+}
+
+impl Layer for MaxPoolLayer {
+    fn name(&self) -> &str {
+        "maxpool"
+    }
+
+    fn input_len(&self) -> usize {
+        self.in_shape.len()
+    }
+
+    fn output_len(&self) -> usize {
+        self.out_shape().len()
+    }
+
+    fn forward(&self, input: &[f32], output: &mut [f32]) {
+        let out = self.out_shape();
+        let k = self.window;
+        for c in 0..out.c {
+            for y in 0..out.h {
+                for x in 0..out.w {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            best = best.max(input[self.in_shape.index(c, y * k + dy, x * k + dx)]);
+                        }
+                    }
+                    output[out.index(c, y, x)] = best;
+                }
+            }
+        }
+    }
+
+    fn backward(
+        &self,
+        input: &[f32],
+        _output: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Option<Tensor> {
+        grad_in.fill(0.0);
+        let out = self.out_shape();
+        let k = self.window;
+        for c in 0..out.c {
+            for y in 0..out.h {
+                for x in 0..out.w {
+                    // Route the gradient to the argmax cell of the window.
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let idx = self.in_shape.index(c, y * k + dy, x * k + dx);
+                            if input[idx] > best {
+                                best = input[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    grad_in[best_idx] += grad_out[out.index(c, y, x)];
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A fully-connected (dense) layer with bias: `y = W x + b`.
+#[derive(Debug)]
+pub struct FcLayer {
+    in_len: usize,
+    out_len: usize,
+    /// Row-major `out_len x in_len` weights followed by `out_len` biases.
+    params: Tensor,
+}
+
+impl FcLayer {
+    /// Creates a fully-connected layer with small random weights and zero
+    /// biases.
+    pub fn new<R: Rng>(in_len: usize, out_len: usize, rng: &mut R) -> Self {
+        let scale = (2.0 / in_len as f32).sqrt();
+        let mut params = Tensor::random_uniform(in_len * out_len, scale, rng);
+        params.extend(std::iter::repeat_n(0.0, out_len));
+        FcLayer { in_len, out_len, params }
+    }
+
+    fn weights(&self) -> &[f32] {
+        &self.params.as_slice()[..self.in_len * self.out_len]
+    }
+
+    fn biases(&self) -> &[f32] {
+        &self.params.as_slice()[self.in_len * self.out_len..]
+    }
+}
+
+impl Layer for FcLayer {
+    fn name(&self) -> &str {
+        "fc"
+    }
+
+    fn input_len(&self) -> usize {
+        self.in_len
+    }
+
+    fn output_len(&self) -> usize {
+        self.out_len
+    }
+
+    fn forward(&self, input: &[f32], output: &mut [f32]) {
+        let w = self.weights();
+        let b = self.biases();
+        for (o, (wrow, &bias)) in output.iter_mut().zip(w.chunks(self.in_len).zip(b)) {
+            *o = bias + wrow.iter().zip(input).map(|(wi, xi)| wi * xi).sum::<f32>();
+        }
+    }
+
+    fn backward(
+        &self,
+        input: &[f32],
+        _output: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Option<Tensor> {
+        let w = self.weights();
+        grad_in.fill(0.0);
+        let mut grads = Tensor::zeros(self.params.len());
+        {
+            let gv = grads.as_mut_slice();
+            for (r, &g) in grad_out.iter().enumerate() {
+                let wrow = &w[r * self.in_len..(r + 1) * self.in_len];
+                let dwrow = &mut gv[r * self.in_len..(r + 1) * self.in_len];
+                for ((gi, dw), (&wi, &xi)) in
+                    grad_in.iter_mut().zip(dwrow.iter_mut()).zip(wrow.iter().zip(input))
+                {
+                    *gi += g * wi;
+                    *dw = g * xi;
+                }
+            }
+            let bias_grads = &mut gv[self.in_len * self.out_len..];
+            bias_grads.copy_from_slice(grad_out);
+        }
+        Some(grads)
+    }
+
+    fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    fn apply_update(&mut self, grads: &Tensor, lr: f32) {
+        assert_eq!(grads.len(), self.params.len(), "gradient length");
+        for (p, g) in self.params.iter_mut().zip(grads.iter()) {
+            *p -= lr * g;
+        }
+    }
+
+    fn params(&self) -> Option<&[f32]> {
+        Some(self.params.as_slice())
+    }
+
+    fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.params.len(), "parameter length");
+        self.params.as_mut_slice().copy_from_slice(params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let relu = ReluLayer::new(4);
+        let mut out = [0.0; 4];
+        relu.forward(&[-1.0, 2.0, -3.0, 4.0], &mut out);
+        assert_eq!(out, [0.0, 2.0, 0.0, 4.0]);
+        let mut gin = [9.0; 4];
+        relu.backward(&[], &out, &[1.0, 1.0, 1.0, 1.0], &mut gin);
+        assert_eq!(gin, [0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_creates_gradient_sparsity() {
+        // Half-negative input -> ~half-sparse gradient: the paper's Fig. 3b
+        // mechanism in miniature.
+        let relu = ReluLayer::new(100);
+        let input: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+        let mut out = vec![0.0; 100];
+        relu.forward(&input, &mut out);
+        let mut gin = vec![0.0; 100];
+        relu.backward(&input, &out, &vec![1.0; 100], &mut gin);
+        let g = Tensor::from_vec(gin);
+        assert_eq!(g.sparsity(), 0.5);
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let shape = Shape3::new(1, 4, 4);
+        let pool = MaxPoolLayer::new(shape, 2).unwrap();
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let mut out = vec![0.0; 4];
+        pool.forward(&input, &mut out);
+        assert_eq!(out, [5.0, 7.0, 13.0, 15.0]);
+        let mut gin = vec![0.0; 16];
+        pool.backward(&input, &out, &[1.0, 2.0, 3.0, 4.0], &mut gin);
+        assert_eq!(gin[5], 1.0);
+        assert_eq!(gin[7], 2.0);
+        assert_eq!(gin[13], 3.0);
+        assert_eq!(gin[15], 4.0);
+        assert_eq!(gin.iter().sum::<f32>(), 10.0);
+    }
+
+    #[test]
+    fn maxpool_validates_window() {
+        assert!(MaxPoolLayer::new(Shape3::new(1, 4, 4), 0).is_err());
+        assert!(MaxPoolLayer::new(Shape3::new(1, 4, 4), 5).is_err());
+    }
+
+    #[test]
+    fn fc_forward_known_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut fc = FcLayer::new(2, 2, &mut rng);
+        // Overwrite params with known values: W = [[1,2],[3,4]], b = [10, 20].
+        fc.params = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0]);
+        let mut out = [0.0; 2];
+        fc.forward(&[1.0, 1.0], &mut out);
+        assert_eq!(out, [13.0, 27.0]);
+    }
+
+    #[test]
+    fn fc_backward_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let fc = FcLayer::new(3, 2, &mut rng);
+        let input = [0.5, -0.3, 0.8];
+        let gout = [1.0, -2.0];
+        let mut out = [0.0; 2];
+        fc.forward(&input, &mut out);
+        let mut gin = [0.0; 3];
+        let grads = fc.backward(&input, &out, &gout, &mut gin).unwrap();
+
+        // Check dW[0][1] and db[0] by finite differences on <y, gout>.
+        let eps = 1e-3;
+        let loss = |fc: &FcLayer| {
+            let mut o = [0.0; 2];
+            fc.forward(&input, &mut o);
+            o.iter().zip(&gout).map(|(a, b)| a * b).sum::<f32>()
+        };
+        for pi in [1usize, 6] {
+            let mut plus = FcLayer {
+                in_len: 3,
+                out_len: 2,
+                params: fc.params.clone(),
+            };
+            plus.params[pi] += eps;
+            let mut minus = FcLayer {
+                in_len: 3,
+                out_len: 2,
+                params: fc.params.clone(),
+            };
+            minus.params[pi] -= eps;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!((fd - grads[pi]).abs() < 1e-2, "param {pi}: {fd} vs {}", grads[pi]);
+        }
+    }
+
+    #[test]
+    fn conv_layer_roundtrip_through_trait() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spec = ConvSpec::new(1, 4, 4, 2, 3, 3, 1, 1).unwrap();
+        let layer = ConvLayer::new(spec, &mut rng);
+        assert_eq!(layer.input_len(), 16);
+        assert_eq!(layer.output_len(), 2 * 4);
+        let input = vec![1.0; 16];
+        let mut out = vec![0.0; 8];
+        layer.forward(&input, &mut out);
+        let mut gin = vec![0.0; 16];
+        let grads = layer.backward(&input, &out, &[1.0; 8], &mut gin).unwrap();
+        assert_eq!(grads.len(), layer.param_count());
+        assert!(layer.conv_spec().is_some());
+    }
+
+    #[test]
+    fn conv_layer_update_moves_weights() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let spec = ConvSpec::new(1, 3, 3, 1, 2, 2, 1, 1).unwrap();
+        let mut layer = ConvLayer::new(spec, &mut rng);
+        let before = layer.weights().clone();
+        let grads = Tensor::filled(4, 1.0);
+        layer.apply_update(&grads, 0.1);
+        for (b, a) in before.iter().zip(layer.weights().iter()) {
+            assert!((b - 0.1 - a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn conv_layer_with_weights_validates() {
+        let spec = ConvSpec::new(1, 3, 3, 1, 2, 2, 1, 1).unwrap();
+        assert!(ConvLayer::with_weights(spec, Tensor::zeros(3)).is_err());
+        assert!(ConvLayer::with_weights(spec, Tensor::zeros(4)).is_ok());
+    }
+}

@@ -1,0 +1,364 @@
+//! Sequential network container with per-sample forward/backward passes
+//! and the gradient-sparsity instrumentation behind the paper's Fig. 3b.
+
+use spg_tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::ConvError;
+
+/// All activations recorded during one sample's forward pass.
+///
+/// `activations[0]` is the input; `activations[i + 1]` is the output of
+/// layer `i`. The trace is what `backward` consumes, which keeps the
+/// layers themselves stateless and shareable across worker threads.
+#[derive(Debug, Clone)]
+pub struct SampleTrace {
+    /// Input followed by each layer's output, in order.
+    pub activations: Vec<Tensor>,
+}
+
+impl SampleTrace {
+    /// The network output (logits) for this sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty (cannot happen for traces produced by
+    /// [`Network::forward`]).
+    pub fn logits(&self) -> &Tensor {
+        self.activations.last().expect("trace contains at least the input")
+    }
+}
+
+/// Per-layer results of one sample's backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerGradients {
+    /// Flattened parameter gradients per layer (`None` for parameter-free
+    /// layers), in layer order.
+    pub params: Vec<Option<Tensor>>,
+    /// Sparsity (zero fraction) of the *output-side* error gradient each
+    /// layer received — the quantity plotted in Fig. 3b for conv layers.
+    pub grad_sparsity: Vec<f64>,
+}
+
+/// A sequential stack of layers with a softmax + cross-entropy loss head.
+///
+/// # Example
+///
+/// ```
+/// use rand::{SeedableRng, rngs::SmallRng};
+/// use spg_convnet::layer::{FcLayer, ReluLayer};
+/// use spg_convnet::Network;
+/// use spg_tensor::Tensor;
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let net = Network::new(vec![
+///     Box::new(FcLayer::new(4, 8, &mut rng)),
+///     Box::new(ReluLayer::new(8)),
+///     Box::new(FcLayer::new(8, 3, &mut rng)),
+/// ])?;
+/// let trace = net.forward(&Tensor::filled(4, 0.5));
+/// let (loss, _grad) = Network::loss_and_gradient(trace.logits(), 1);
+/// assert!(loss > 0.0);
+/// # Ok::<(), spg_convnet::ConvError>(())
+/// ```
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Network(")?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{}", l.name())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Network {
+    /// Creates a network, validating that adjacent layer geometries chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::EmptyNetwork`] for an empty stack, or
+    /// [`ConvError::LayerMismatch`] when a layer's input length differs
+    /// from its predecessor's output length.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Result<Self, ConvError> {
+        if layers.is_empty() {
+            return Err(ConvError::EmptyNetwork);
+        }
+        for i in 1..layers.len() {
+            let produced = layers[i - 1].output_len();
+            let expected = layers[i].input_len();
+            if produced != expected {
+                return Err(ConvError::LayerMismatch { layer: i, produced, expected });
+            }
+        }
+        Ok(Network { layers })
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (for executor re-planning).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Number of input activations the network expects.
+    pub fn input_len(&self) -> usize {
+        self.layers[0].input_len()
+    }
+
+    /// Number of output logits the network produces.
+    pub fn output_len(&self) -> usize {
+        self.layers.last().expect("validated non-empty").output_len()
+    }
+
+    /// Runs one sample forward, recording every activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_len()`.
+    pub fn forward(&self, input: &Tensor) -> SampleTrace {
+        assert_eq!(input.len(), self.input_len(), "input length");
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.clone());
+        for layer in &self.layers {
+            let mut out = Tensor::zeros(layer.output_len());
+            layer.forward(
+                activations.last().expect("non-empty").as_slice(),
+                out.as_mut_slice(),
+            );
+            activations.push(out);
+        }
+        SampleTrace { activations }
+    }
+
+    /// Softmax + cross-entropy loss and its gradient w.r.t. the logits.
+    ///
+    /// Returns `(loss, grad)` where `grad[i] = softmax(logits)[i] - [i == label]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= logits.len()`.
+    pub fn loss_and_gradient(logits: &Tensor, label: usize) -> (f32, Tensor) {
+        assert!(label < logits.len(), "label out of range");
+        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let mut grad = Tensor::from_vec(exps.iter().map(|e| e / sum).collect());
+        let loss = -(grad[label].max(1e-12)).ln();
+        grad[label] -= 1.0;
+        (loss, grad)
+    }
+
+    /// Runs one sample backward from a loss gradient at the logits,
+    /// returning per-layer parameter gradients and gradient-sparsity
+    /// measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace does not match this network or the gradient
+    /// length does not match the output length.
+    pub fn backward(&self, trace: &SampleTrace, loss_grad: &Tensor) -> LayerGradients {
+        assert_eq!(trace.activations.len(), self.layers.len() + 1, "trace length");
+        assert_eq!(loss_grad.len(), self.output_len(), "loss gradient length");
+        let mut params = vec![None; self.layers.len()];
+        let mut grad_sparsity = vec![0.0; self.layers.len()];
+        let mut grad_out = loss_grad.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            grad_sparsity[i] = grad_out.sparsity();
+            let input = &trace.activations[i];
+            let output = &trace.activations[i + 1];
+            let mut grad_in = Tensor::zeros(layer.input_len());
+            params[i] =
+                layer.backward(input.as_slice(), output.as_slice(), grad_out.as_slice(), grad_in.as_mut_slice());
+            grad_out = grad_in;
+        }
+        LayerGradients { params, grad_sparsity }
+    }
+
+    /// Predicted class (argmax of logits) for one sample.
+    pub fn predict(&self, input: &Tensor) -> usize {
+        let trace = self.forward(input);
+        let logits = trace.logits();
+        let mut best = 0;
+        for i in 1..logits.len() {
+            if logits[i] > logits[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Classifies a batch of samples, distributing whole samples across
+    /// `threads` workers — inference under the GEMM-in-Parallel schedule
+    /// (forward propagation is the inference subset of training, Sec. 6).
+    ///
+    /// Returns the predicted class per sample, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or any input has the wrong length.
+    pub fn infer_batch(&self, inputs: &[Tensor], threads: usize) -> Vec<usize> {
+        assert!(threads > 0, "thread count must be positive");
+        let workers = threads.min(inputs.len().max(1));
+        if workers <= 1 {
+            return inputs.iter().map(|input| self.predict(input)).collect();
+        }
+        let chunk = inputs.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .map(|batch| scope.spawn(move |_| batch.iter().map(|i| self.predict(i)).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("inference worker panicked"))
+                .collect()
+        })
+        .expect("inference scope panicked")
+    }
+
+    /// Applies averaged parameter gradients: `params -= lr * grads / scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not have one entry per layer.
+    pub fn apply_gradients(&mut self, grads: &[Option<Tensor>], lr: f32, scale: f32) {
+        assert_eq!(grads.len(), self.layers.len(), "one gradient slot per layer");
+        for (layer, grad) in self.layers.iter_mut().zip(grads) {
+            if let Some(g) = grad {
+                let scaled: Tensor = g.iter().map(|v| v / scale).collect();
+                layer.apply_update(&scaled, lr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvLayer, FcLayer, MaxPoolLayer, ReluLayer};
+    use crate::ConvSpec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use spg_tensor::Shape3;
+
+    fn tiny_net(rng: &mut SmallRng) -> Network {
+        let spec = ConvSpec::new(1, 8, 8, 4, 3, 3, 1, 1).unwrap();
+        let conv = ConvLayer::new(spec, rng);
+        let out = spec.output_shape();
+        Network::new(vec![
+            Box::new(conv),
+            Box::new(ReluLayer::new(out.len())),
+            Box::new(MaxPoolLayer::new(Shape3::new(out.c, out.h, out.w), 2).unwrap()),
+            Box::new(FcLayer::new(4 * 3 * 3, 3, rng)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let bad = Network::new(vec![
+            Box::new(FcLayer::new(4, 8, &mut rng)) as Box<dyn Layer>,
+            Box::new(FcLayer::new(9, 3, &mut rng)),
+        ]);
+        assert!(matches!(bad, Err(ConvError::LayerMismatch { layer: 1, .. })));
+        assert!(matches!(Network::new(vec![]), Err(ConvError::EmptyNetwork)));
+    }
+
+    #[test]
+    fn forward_records_all_activations() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = tiny_net(&mut rng);
+        let trace = net.forward(&Tensor::filled(64, 0.1));
+        assert_eq!(trace.activations.len(), 5);
+        assert_eq!(trace.logits().len(), 3);
+    }
+
+    #[test]
+    fn softmax_loss_gradient_sums_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let (loss, grad) = Network::loss_and_gradient(&logits, 2);
+        assert!(loss > 0.0);
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+        assert!(grad[2] < 0.0); // true class pushed up
+    }
+
+    #[test]
+    fn loss_decreases_under_sgd_step() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut net = tiny_net(&mut rng);
+        let input = Tensor::random_uniform(64, 1.0, &mut rng);
+        let label = 1;
+        let mut losses = Vec::new();
+        for _ in 0..12 {
+            let trace = net.forward(&input);
+            let (loss, grad) = Network::loss_and_gradient(trace.logits(), label);
+            losses.push(loss);
+            let grads = net.backward(&trace, &grad);
+            net.apply_gradients(&grads.params, 0.05, 1.0);
+        }
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "loss did not decrease: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn backward_measures_sparsity_per_layer() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let net = tiny_net(&mut rng);
+        let trace = net.forward(&Tensor::random_uniform(64, 1.0, &mut rng));
+        let (_, grad) = Network::loss_and_gradient(trace.logits(), 0);
+        let grads = net.backward(&trace, &grad);
+        assert_eq!(grads.grad_sparsity.len(), 4);
+        // The conv layer's incoming gradient passed through ReLU+pool and
+        // must show some sparsity; the logits gradient is dense.
+        assert!(grads.grad_sparsity[0] > 0.0);
+        assert_eq!(grads.grad_sparsity[3], 0.0);
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = tiny_net(&mut rng);
+        let p = net.predict(&Tensor::filled(64, 0.2));
+        assert!(p < 3);
+    }
+
+    #[test]
+    fn infer_batch_matches_sequential_prediction() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let net = tiny_net(&mut rng);
+        let inputs: Vec<Tensor> =
+            (0..9).map(|_| Tensor::random_uniform(64, 1.0, &mut rng)).collect();
+        let sequential: Vec<usize> = inputs.iter().map(|i| net.predict(i)).collect();
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(net.infer_batch(&inputs, threads), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn infer_batch_empty_input() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let net = tiny_net(&mut rng);
+        assert!(net.infer_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn debug_shows_layer_chain() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let net = tiny_net(&mut rng);
+        let s = format!("{net:?}");
+        assert!(s.contains("conv -> relu -> maxpool -> fc"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-layer wall-clock profiling: the measurement tooling behind a
+//! Fig. 8-style per-layer comparison on real kernels.
+//!
+//! [`profile_network`] pushes samples through the network and times every
+//! layer's forward and backward pass separately, so executor choices can
+//! be compared layer by layer rather than end to end.
+
+use std::time::Instant;
+
+use spg_tensor::Tensor;
+
+use crate::net::Network;
+
+/// Wall-clock totals for one layer across a profiling run.
+#[derive(Debug, Clone)]
+pub struct LayerProfile {
+    /// Layer index within the network.
+    pub layer: usize,
+    /// The layer's name (`conv`, `relu`, ...).
+    pub name: String,
+    /// Total forward time across all samples, in seconds.
+    pub forward_secs: f64,
+    /// Total backward time across all samples, in seconds.
+    pub backward_secs: f64,
+}
+
+impl LayerProfile {
+    /// Combined forward + backward time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.forward_secs + self.backward_secs
+    }
+}
+
+/// Runs `samples` training iterations (forward, loss, backward — no
+/// parameter updates) and returns per-layer timing totals.
+///
+/// Inputs are synthetic constants; profiling measures kernels, not data
+/// loading. Labels cycle through the network's classes so the loss
+/// gradient is non-degenerate.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rand::{SeedableRng, rngs::SmallRng};
+/// use spg_convnet::layer::FcLayer;
+/// use spg_convnet::profile::profile_network;
+/// use spg_convnet::Network;
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let net = Network::new(vec![Box::new(FcLayer::new(8, 3, &mut rng))])?;
+/// let profiles = profile_network(&net, 4);
+/// assert_eq!(profiles.len(), 1);
+/// assert!(profiles[0].total_secs() > 0.0);
+/// # Ok::<(), spg_convnet::ConvError>(())
+/// ```
+pub fn profile_network(net: &Network, samples: usize) -> Vec<LayerProfile> {
+    assert!(samples > 0, "sample count must be positive");
+    let mut profiles: Vec<LayerProfile> = net
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(layer, l)| LayerProfile {
+            layer,
+            name: l.name().to_owned(),
+            forward_secs: 0.0,
+            backward_secs: 0.0,
+        })
+        .collect();
+
+    let input: Tensor = (0..net.input_len()).map(|i| ((i % 17) as f32 - 8.0) / 9.0).collect();
+    for sample in 0..samples {
+        // Forward, timing each layer.
+        let mut activations: Vec<Tensor> = Vec::with_capacity(net.layers().len() + 1);
+        activations.push(input.clone());
+        for (i, layer) in net.layers().iter().enumerate() {
+            let mut out = Tensor::zeros(layer.output_len());
+            let start = Instant::now();
+            layer.forward(activations[i].as_slice(), out.as_mut_slice());
+            profiles[i].forward_secs += start.elapsed().as_secs_f64();
+            activations.push(out);
+        }
+
+        // Backward, timing each layer.
+        let label = sample % net.output_len();
+        let (_, mut grad_out) =
+            Network::loss_and_gradient(activations.last().expect("non-empty"), label);
+        for (i, layer) in net.layers().iter().enumerate().rev() {
+            let mut grad_in = Tensor::zeros(layer.input_len());
+            let start = Instant::now();
+            layer.backward(
+                activations[i].as_slice(),
+                activations[i + 1].as_slice(),
+                grad_out.as_slice(),
+                grad_in.as_mut_slice(),
+            );
+            profiles[i].backward_secs += start.elapsed().as_secs_f64();
+            grad_out = grad_in;
+        }
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvLayer, FcLayer, ReluLayer};
+    use crate::ConvSpec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = ConvSpec::new(1, 10, 10, 4, 3, 3, 1, 1).unwrap();
+        Network::new(vec![
+            Box::new(ConvLayer::new(spec, &mut rng)),
+            Box::new(ReluLayer::new(spec.output_shape().len())),
+            Box::new(FcLayer::new(spec.output_shape().len(), 3, &mut rng)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn profiles_every_layer_with_positive_times() {
+        let profiles = profile_network(&net(), 3);
+        assert_eq!(profiles.len(), 3);
+        assert_eq!(profiles[0].name, "conv");
+        for p in &profiles {
+            assert!(p.forward_secs > 0.0, "{}", p.name);
+            assert!(p.backward_secs > 0.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn conv_dominates_relu() {
+        // The conv layer does ~100x the arithmetic of the ReLU; profiling
+        // must reflect that by a wide margin.
+        let profiles = profile_network(&net(), 10);
+        assert!(profiles[0].total_secs() > profiles[1].total_secs());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count")]
+    fn zero_samples_rejected() {
+        profile_network(&net(), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Regularization layers: dropout and local response normalization.
+//!
+//! Both appear in the paper's benchmark networks (AlexNet interleaves LRN
+//! after its early convolutions; dropout regularizes the classifier
+//! heads, CIFAR-10's topology comes from the dropout paper). Dropout is
+//! also a second source of the gradient sparsity the sparse backward
+//! kernel exploits: a dropped activation zeroes its gradient exactly like
+//! a clamped ReLU.
+
+use spg_tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::ConvError;
+
+/// Inverted dropout: each activation is zeroed with probability `rate`,
+/// survivors are scaled by `1 / (1 - rate)` so expected activations are
+/// unchanged.
+///
+/// Layers are stateless across samples (the trainer shares them between
+/// worker threads), so the mask cannot live in `self`: it is derived
+/// deterministically by hashing the layer seed, the position, and the
+/// activation bits. The same input always drops the same units — a
+/// per-input dropout pattern rather than a per-presentation one — which
+/// preserves dropout's ensemble effect across *different* inputs while
+/// keeping forward and backward trivially consistent.
+#[derive(Debug, Clone, Copy)]
+pub struct DropoutLayer {
+    len: usize,
+    rate: f32,
+    seed: u64,
+}
+
+impl DropoutLayer {
+    /// Creates a dropout layer over `len` activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::ZeroDimension`] if `rate` is outside `[0, 1)`.
+    pub fn new(len: usize, rate: f32, seed: u64) -> Result<Self, ConvError> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(ConvError::ZeroDimension { dim: "dropout rate" });
+        }
+        Ok(DropoutLayer { len, rate, seed })
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    #[inline]
+    fn keeps(&self, i: usize, value: f32) -> bool {
+        // splitmix64 over (seed, index, value bits).
+        let mut h = self.seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ u64::from(value.to_bits());
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+        h ^= h >> 31;
+        (h >> 40) as f32 / (1u64 << 24) as f32 >= self.rate
+    }
+}
+
+impl Layer for DropoutLayer {
+    fn name(&self) -> &str {
+        "dropout"
+    }
+
+    fn input_len(&self) -> usize {
+        self.len
+    }
+
+    fn output_len(&self) -> usize {
+        self.len
+    }
+
+    fn forward(&self, input: &[f32], output: &mut [f32]) {
+        let scale = 1.0 / (1.0 - self.rate);
+        for (i, (o, &x)) in output.iter_mut().zip(input).enumerate() {
+            *o = if self.keeps(i, x) { x * scale } else { 0.0 };
+        }
+    }
+
+    fn backward(
+        &self,
+        input: &[f32],
+        _output: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Option<Tensor> {
+        let scale = 1.0 / (1.0 - self.rate);
+        for (i, ((gi, &go), &x)) in grad_in.iter_mut().zip(grad_out).zip(input).enumerate() {
+            *gi = if self.keeps(i, x) { go * scale } else { 0.0 };
+        }
+        None
+    }
+}
+
+/// Local response normalization across channels (AlexNet Sec. 3.3):
+/// `b[c] = a[c] / (k + alpha/n * sum_{c'} a[c']^2)^beta` with the sum over
+/// a window of `n` adjacent channels centred on `c`.
+#[derive(Debug, Clone, Copy)]
+pub struct LrnLayer {
+    channels: usize,
+    plane: usize,
+    size: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+}
+
+impl LrnLayer {
+    /// AlexNet's published constants.
+    pub const ALEXNET_ALPHA: f32 = 1e-4;
+    /// AlexNet's published constants.
+    pub const ALEXNET_BETA: f32 = 0.75;
+    /// AlexNet's published constants.
+    pub const ALEXNET_K: f32 = 2.0;
+
+    /// Creates an LRN over activations of `channels` feature maps of
+    /// `plane` spatial elements each, with window `size` and AlexNet's
+    /// constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::ZeroDimension`] if any argument is zero.
+    pub fn new(channels: usize, plane: usize, size: usize) -> Result<Self, ConvError> {
+        for (dim, v) in [("channels", channels), ("plane", plane), ("size", size)] {
+            if v == 0 {
+                return Err(ConvError::ZeroDimension { dim });
+            }
+        }
+        Ok(LrnLayer {
+            channels,
+            plane,
+            size,
+            alpha: Self::ALEXNET_ALPHA,
+            beta: Self::ALEXNET_BETA,
+            k: Self::ALEXNET_K,
+        })
+    }
+
+    /// Window of channels contributing to output channel `c`.
+    #[inline]
+    fn window(&self, c: usize) -> std::ops::Range<usize> {
+        let half = self.size / 2;
+        c.saturating_sub(half)..(c + half + 1).min(self.channels)
+    }
+
+    /// `k + alpha/n * sum a^2` for channel `c` at spatial position `p`.
+    #[inline]
+    fn denom(&self, input: &[f32], c: usize, p: usize) -> f32 {
+        let mut sum = 0.0;
+        for cc in self.window(c) {
+            let v = input[cc * self.plane + p];
+            sum += v * v;
+        }
+        self.k + self.alpha / self.size as f32 * sum
+    }
+}
+
+impl Layer for LrnLayer {
+    fn name(&self) -> &str {
+        "lrn"
+    }
+
+    fn input_len(&self) -> usize {
+        self.channels * self.plane
+    }
+
+    fn output_len(&self) -> usize {
+        self.channels * self.plane
+    }
+
+    fn forward(&self, input: &[f32], output: &mut [f32]) {
+        for c in 0..self.channels {
+            for p in 0..self.plane {
+                let idx = c * self.plane + p;
+                output[idx] = input[idx] * self.denom(input, c, p).powf(-self.beta);
+            }
+        }
+    }
+
+    fn backward(
+        &self,
+        input: &[f32],
+        _output: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) -> Option<Tensor> {
+        // d b[c'] / d a[c] = delta(c,c') * D(c')^-beta
+        //   - 2 alpha beta / n * a[c] a[c'] * D(c')^(-beta-1)
+        // for c in the window of c'.
+        grad_in.fill(0.0);
+        let coeff = 2.0 * self.alpha * self.beta / self.size as f32;
+        for cprime in 0..self.channels {
+            for p in 0..self.plane {
+                let idx = cprime * self.plane + p;
+                let go = grad_out[idx];
+                if go == 0.0 {
+                    continue;
+                }
+                let d = self.denom(input, cprime, p);
+                let d_beta = d.powf(-self.beta);
+                grad_in[idx] += go * d_beta;
+                let shared = go * coeff * input[idx] * d_beta / d;
+                for c in self.window(cprime) {
+                    grad_in[c * self.plane + p] -= shared * input[c * self.plane + p];
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropout_zeroes_roughly_rate_fraction() {
+        let layer = DropoutLayer::new(10_000, 0.4, 7).unwrap();
+        let input: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.37).sin() + 1.5).collect();
+        let mut out = vec![0.0; 10_000];
+        layer.forward(&input, &mut out);
+        let dropped = out.iter().filter(|v| **v == 0.0).count() as f64 / 10_000.0;
+        assert!((dropped - 0.4).abs() < 0.03, "dropped {dropped}");
+        // Survivors are scaled by 1/(1-p).
+        let kept = out.iter().zip(&input).find(|(o, _)| **o != 0.0).expect("some survive");
+        assert!((kept.0 / kept.1 - 1.0 / 0.6).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dropout_forward_backward_masks_agree() {
+        let layer = DropoutLayer::new(256, 0.5, 3).unwrap();
+        let input: Vec<f32> = (0..256).map(|i| (i as f32 * 0.71).cos()).collect();
+        let mut out = vec![0.0; 256];
+        layer.forward(&input, &mut out);
+        let mut gin = vec![0.0; 256];
+        layer.backward(&input, &out, &vec![1.0; 256], &mut gin);
+        for (o, g) in out.iter().zip(&gin) {
+            assert_eq!(*o == 0.0, *g == 0.0, "mask mismatch");
+        }
+    }
+
+    #[test]
+    fn dropout_increases_gradient_sparsity() {
+        let layer = DropoutLayer::new(1000, 0.6, 9).unwrap();
+        let input: Vec<f32> = (0..1000).map(|i| (i as f32).sin() + 2.0).collect();
+        let mut gin = vec![0.0; 1000];
+        layer.backward(&input, &[], &vec![1.0; 1000], &mut gin);
+        let sparsity = gin.iter().filter(|v| **v == 0.0).count() as f64 / 1000.0;
+        assert!(sparsity > 0.5, "sparsity {sparsity}");
+    }
+
+    #[test]
+    fn dropout_rejects_invalid_rate() {
+        assert!(DropoutLayer::new(8, 1.0, 0).is_err());
+        assert!(DropoutLayer::new(8, -0.1, 0).is_err());
+        assert!(DropoutLayer::new(8, 0.0, 0).is_ok());
+    }
+
+    #[test]
+    fn lrn_normalizes_toward_unit_scale() {
+        let lrn = LrnLayer::new(4, 2, 3).unwrap();
+        let input = vec![1.0; 8];
+        let mut out = vec![0.0; 8];
+        lrn.forward(&input, &mut out);
+        // Every output is input / (2 + small)^0.75 — positive and < input.
+        assert!(out.iter().all(|v| *v > 0.0 && *v < 1.0));
+        // Interior channels see a bigger window sum than edge channels.
+        assert!(out[0] > out[2], "edge {} vs interior {}", out[0], out[2]);
+    }
+
+    #[test]
+    fn lrn_gradient_matches_finite_difference() {
+        let lrn = LrnLayer::new(3, 2, 3).unwrap();
+        let input: Vec<f32> = vec![0.4, -0.7, 1.1, 0.2, -0.3, 0.9];
+        let gout: Vec<f32> = vec![1.0, -2.0, 0.5, 0.7, 1.5, -0.4];
+        let mut gin = vec![0.0; 6];
+        lrn.backward(&input, &[], &gout, &mut gin);
+
+        let loss = |inp: &[f32]| {
+            let mut out = vec![0.0; 6];
+            lrn.forward(inp, &mut out);
+            out.iter().zip(&gout).map(|(a, b)| a * b).sum::<f32>()
+        };
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut plus = input.clone();
+            plus[i] += eps;
+            let mut minus = input.clone();
+            minus[i] -= eps;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!((fd - gin[i]).abs() < 1e-3, "input {i}: fd {fd} vs analytic {}", gin[i]);
+        }
+    }
+
+    #[test]
+    fn lrn_rejects_zero_dimensions() {
+        assert!(LrnLayer::new(0, 2, 3).is_err());
+        assert!(LrnLayer::new(2, 0, 3).is_err());
+        assert!(LrnLayer::new(2, 2, 0).is_err());
+    }
+}

@@ -1,0 +1,424 @@
+//! Mini-batch SGD training loop with cross-sample parallelism and the
+//! instrumentation the paper's experiments need.
+//!
+//! The trainer's `sample_threads` knob *is* the GEMM-in-Parallel schedule
+//! at the training-loop level: each worker thread pushes whole samples
+//! through the shared network with single-threaded kernels, instead of
+//! every sample's GEMM being partitioned across all cores (Sec. 4.1).
+
+use std::time::Instant;
+
+use spg_tensor::Tensor;
+
+use crate::data::Dataset;
+use crate::net::Network;
+
+/// Configuration for [`Trainer`].
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient in `[0, 1)`; `0.0` is plain SGD. The update
+    /// is `v = momentum * v + grad; params -= lr * v`.
+    pub momentum: f32,
+    /// Number of passes over the dataset.
+    pub epochs: usize,
+    /// Samples per parameter update.
+    pub batch_size: usize,
+    /// Worker threads processing samples concurrently (GEMM-in-Parallel);
+    /// `1` processes samples sequentially.
+    pub sample_threads: usize,
+    /// Seed for per-epoch dataset shuffling.
+    pub shuffle_seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            learning_rate: 0.05,
+            momentum: 0.0,
+            epochs: 5,
+            batch_size: 8,
+            sample_threads: 1,
+            shuffle_seed: 0x5b9c,
+        }
+    }
+}
+
+/// Metrics recorded for one training epoch.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Epoch index, starting at 1 (matching the paper's Fig. 3b axis).
+    pub epoch: usize,
+    /// Mean cross-entropy loss over the epoch.
+    pub mean_loss: f64,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+    /// Mean sparsity of the error gradient entering each *conv* layer's
+    /// backward pass, in network order — the Fig. 3b series.
+    pub conv_grad_sparsity: Vec<f64>,
+    /// Training throughput in images per second.
+    pub images_per_sec: f64,
+}
+
+/// Mini-batch SGD driver.
+///
+/// # Example
+///
+/// ```
+/// use rand::{SeedableRng, rngs::SmallRng};
+/// use spg_convnet::data::Dataset;
+/// use spg_convnet::layer::{FcLayer, ReluLayer};
+/// use spg_convnet::{Network, Trainer, TrainerConfig};
+/// use spg_tensor::Shape3;
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let mut net = Network::new(vec![
+///     Box::new(FcLayer::new(16, 8, &mut rng)),
+///     Box::new(ReluLayer::new(8)),
+///     Box::new(FcLayer::new(8, 2, &mut rng)),
+/// ])?;
+/// let mut data = Dataset::synthetic(Shape3::new(1, 4, 4), 2, 12, 0.1, 1);
+/// let stats = Trainer::new(TrainerConfig { epochs: 2, ..Default::default() })
+///     .train(&mut net, &mut data);
+/// assert_eq!(stats.len(), 2);
+/// # Ok::<(), spg_convnet::ConvError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size`, `epochs`, or `sample_threads` is zero.
+    pub fn new(config: TrainerConfig) -> Self {
+        assert!(config.batch_size > 0, "batch size must be positive");
+        assert!(config.epochs > 0, "epoch count must be positive");
+        assert!(config.sample_threads > 0, "sample thread count must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.momentum),
+            "momentum must be in [0, 1)"
+        );
+        Trainer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Trains the network, returning one [`EpochStats`] per epoch.
+    pub fn train(&self, net: &mut Network, data: &mut Dataset) -> Vec<EpochStats> {
+        self.train_with(net, data, |_, _| {})
+    }
+
+    /// Trains with a per-epoch callback (used by the autotuner to re-plan
+    /// backward executors as gradient sparsity drifts, Sec. 4.4).
+    pub fn train_with<F>(&self, net: &mut Network, data: &mut Dataset, mut after_epoch: F) -> Vec<EpochStats>
+    where
+        F: FnMut(&mut Network, &EpochStats),
+    {
+        let conv_layers: Vec<usize> = net
+            .layers()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.conv_spec().map(|_| i))
+            .collect();
+        let mut all_stats = Vec::with_capacity(self.config.epochs);
+        // Momentum velocity per layer, lazily sized on first gradient.
+        let mut velocity: Vec<Option<Tensor>> = vec![None; net.layers().len()];
+        for epoch in 1..=self.config.epochs {
+            data.shuffle(self.config.shuffle_seed.wrapping_add(epoch as u64));
+            let start = Instant::now();
+            let mut loss_sum = 0.0f64;
+            let mut correct = 0usize;
+            let mut sparsity_sums = vec![0.0f64; conv_layers.len()];
+            let mut sparsity_count = 0usize;
+
+            let indices: Vec<usize> = (0..data.len()).collect();
+            for batch in indices.chunks(self.config.batch_size) {
+                let outcome = self.run_batch(net, data, batch);
+                loss_sum += outcome.loss_sum;
+                correct += outcome.correct;
+                for (dst, src) in sparsity_sums.iter_mut().zip(&outcome.sparsity_sums) {
+                    *dst += src;
+                }
+                sparsity_count += batch.len();
+                if self.config.momentum > 0.0 {
+                    let scale = batch.len() as f32;
+                    for (v_slot, g_slot) in velocity.iter_mut().zip(&outcome.grads) {
+                        let Some(g) = g_slot else { continue };
+                        match v_slot {
+                            Some(v) => {
+                                for (v, g) in v.iter_mut().zip(g.iter()) {
+                                    *v = self.config.momentum * *v + g / scale;
+                                }
+                            }
+                            None => {
+                                *v_slot = Some(g.iter().map(|g| g / scale).collect());
+                            }
+                        }
+                    }
+                    net.apply_gradients(&velocity, self.config.learning_rate, 1.0);
+                } else {
+                    net.apply_gradients(
+                        &outcome.grads,
+                        self.config.learning_rate,
+                        batch.len() as f32,
+                    );
+                }
+            }
+
+            let elapsed = start.elapsed().as_secs_f64();
+            let stats = EpochStats {
+                epoch,
+                mean_loss: loss_sum / data.len() as f64,
+                accuracy: correct as f64 / data.len() as f64,
+                conv_grad_sparsity: sparsity_sums
+                    .iter()
+                    .map(|s| s / sparsity_count.max(1) as f64)
+                    .collect(),
+                images_per_sec: data.len() as f64 / elapsed.max(1e-9),
+            };
+            after_epoch(net, &stats);
+            all_stats.push(stats);
+        }
+        all_stats
+    }
+
+    fn run_batch(&self, net: &Network, data: &Dataset, batch: &[usize]) -> BatchOutcome {
+        let conv_layers: Vec<usize> = net
+            .layers()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.conv_spec().map(|_| i))
+            .collect();
+        let workers = self.config.sample_threads.min(batch.len()).max(1);
+        if workers == 1 {
+            let mut acc = BatchOutcome::empty(net, conv_layers.len());
+            for &i in batch {
+                acc.absorb_sample(net, data, i, &conv_layers);
+            }
+            return acc;
+        }
+
+        let chunks: Vec<&[usize]> = batch.chunks(batch.len().div_ceil(workers)).collect();
+        let partials = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let conv_layers = &conv_layers;
+                    scope.spawn(move |_| {
+                        let mut acc = BatchOutcome::empty(net, conv_layers.len());
+                        for &i in *chunk {
+                            acc.absorb_sample(net, data, i, conv_layers);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sample worker panicked")).collect::<Vec<_>>()
+        })
+        .expect("batch scope panicked");
+
+        let mut acc = BatchOutcome::empty(net, conv_layers.len());
+        for p in partials {
+            acc.merge(p);
+        }
+        acc
+    }
+}
+
+struct BatchOutcome {
+    grads: Vec<Option<Tensor>>,
+    loss_sum: f64,
+    correct: usize,
+    sparsity_sums: Vec<f64>,
+}
+
+impl BatchOutcome {
+    fn empty(net: &Network, conv_count: usize) -> Self {
+        BatchOutcome {
+            grads: vec![None; net.layers().len()],
+            loss_sum: 0.0,
+            correct: 0,
+            sparsity_sums: vec![0.0; conv_count],
+        }
+    }
+
+    fn absorb_sample(&mut self, net: &Network, data: &Dataset, i: usize, conv_layers: &[usize]) {
+        let trace = net.forward(data.image(i));
+        let label = data.label(i);
+        let (loss, loss_grad) = Network::loss_and_gradient(trace.logits(), label);
+        self.loss_sum += loss as f64;
+        let logits = trace.logits();
+        let pred = (0..logits.len()).max_by(|&a, &b| logits[a].total_cmp(&logits[b])).unwrap_or(0);
+        if pred == label {
+            self.correct += 1;
+        }
+        let lg = net.backward(&trace, &loss_grad);
+        for (slot, g) in self.grads.iter_mut().zip(lg.params) {
+            match (slot.as_mut(), g) {
+                (Some(acc), Some(g)) => {
+                    for (a, v) in acc.iter_mut().zip(g.iter()) {
+                        *a += v;
+                    }
+                }
+                (None, Some(g)) => *slot = Some(g),
+                _ => {}
+            }
+        }
+        for (dst, &li) in self.sparsity_sums.iter_mut().zip(conv_layers) {
+            *dst += lg.grad_sparsity[li];
+        }
+    }
+
+    fn merge(&mut self, other: BatchOutcome) {
+        self.loss_sum += other.loss_sum;
+        self.correct += other.correct;
+        for (a, b) in self.sparsity_sums.iter_mut().zip(&other.sparsity_sums) {
+            *a += b;
+        }
+        for (slot, g) in self.grads.iter_mut().zip(other.grads) {
+            match (slot.as_mut(), g) {
+                (Some(acc), Some(g)) => {
+                    for (a, v) in acc.iter_mut().zip(g.iter()) {
+                        *a += v;
+                    }
+                }
+                (None, Some(g)) => *slot = Some(g),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvLayer, FcLayer, MaxPoolLayer, ReluLayer};
+    use crate::ConvSpec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use spg_tensor::Shape3;
+
+    fn make_net(seed: u64) -> Network {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = ConvSpec::new(1, 8, 8, 4, 3, 3, 1, 1).unwrap();
+        let out = spec.output_shape();
+        Network::new(vec![
+            Box::new(ConvLayer::new(spec, &mut rng)),
+            Box::new(ReluLayer::new(out.len())),
+            Box::new(MaxPoolLayer::new(Shape3::new(out.c, out.h, out.w), 2).unwrap()),
+            Box::new(FcLayer::new(4 * 3 * 3, 3, &mut rng)),
+        ])
+        .unwrap()
+    }
+
+    fn make_data() -> Dataset {
+        Dataset::synthetic(Shape3::new(1, 8, 8), 3, 24, 0.15, 77)
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let mut net = make_net(10);
+        let mut data = make_data();
+        let cfg = TrainerConfig { epochs: 8, learning_rate: 0.1, ..Default::default() };
+        let stats = Trainer::new(cfg).train(&mut net, &mut data);
+        assert!(stats.last().unwrap().mean_loss < stats.first().unwrap().mean_loss);
+        assert!(stats.last().unwrap().accuracy > 0.6, "accuracy {}", stats.last().unwrap().accuracy);
+    }
+
+    #[test]
+    fn parallel_samples_match_sequential() {
+        // Same seed + same batches -> identical parameter trajectory
+        // regardless of sample thread count (addition order differs only
+        // within f32 tolerance; use loose comparison on final loss).
+        let mut data1 = make_data();
+        let mut data2 = make_data();
+        let mut net1 = make_net(11);
+        let mut net2 = make_net(11);
+        let base = TrainerConfig { epochs: 3, ..Default::default() };
+        let s1 = Trainer::new(TrainerConfig { sample_threads: 1, ..base.clone() })
+            .train(&mut net1, &mut data1);
+        let s2 = Trainer::new(TrainerConfig { sample_threads: 4, ..base })
+            .train(&mut net2, &mut data2);
+        let (l1, l2) = (s1.last().unwrap().mean_loss, s2.last().unwrap().mean_loss);
+        assert!((l1 - l2).abs() < 1e-3, "{l1} vs {l2}");
+    }
+
+    #[test]
+    fn gradient_sparsity_grows_over_epochs() {
+        // The Fig. 3b dynamic: as the model fits, conv-layer error
+        // gradients become sparser.
+        let mut net = make_net(12);
+        let mut data = make_data();
+        let cfg = TrainerConfig { epochs: 10, learning_rate: 0.1, ..Default::default() };
+        let stats = Trainer::new(cfg).train(&mut net, &mut data);
+        let first = stats.first().unwrap().conv_grad_sparsity[0];
+        let last = stats.last().unwrap().conv_grad_sparsity[0];
+        assert!(last >= first, "sparsity did not grow: {first} -> {last}");
+        assert!(last > 0.3, "final sparsity too low: {last}");
+    }
+
+    #[test]
+    fn epoch_callback_fires_each_epoch() {
+        let mut net = make_net(13);
+        let mut data = make_data();
+        let mut calls = 0;
+        Trainer::new(TrainerConfig { epochs: 3, ..Default::default() }).train_with(
+            &mut net,
+            &mut data,
+            |_, stats| {
+                calls += 1;
+                assert_eq!(stats.epoch, calls);
+            },
+        );
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_rejected() {
+        Trainer::new(TrainerConfig { batch_size: 0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn invalid_momentum_rejected() {
+        Trainer::new(TrainerConfig { momentum: 1.0, ..Default::default() });
+    }
+
+    #[test]
+    fn momentum_training_learns() {
+        let mut net = make_net(20);
+        let mut data = make_data();
+        let cfg = TrainerConfig {
+            epochs: 8,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            ..Default::default()
+        };
+        let stats = Trainer::new(cfg).train(&mut net, &mut data);
+        assert!(stats.last().unwrap().mean_loss < stats.first().unwrap().mean_loss);
+        assert!(stats.last().unwrap().accuracy > 0.6);
+    }
+
+    #[test]
+    fn momentum_changes_the_trajectory() {
+        let mut plain_net = make_net(21);
+        let mut mom_net = make_net(21);
+        let mut d1 = make_data();
+        let mut d2 = make_data();
+        let base = TrainerConfig { epochs: 3, ..Default::default() };
+        let plain = Trainer::new(base.clone()).train(&mut plain_net, &mut d1);
+        let momentum = Trainer::new(TrainerConfig { momentum: 0.9, ..base })
+            .train(&mut mom_net, &mut d2);
+        let (a, b) = (plain.last().unwrap().mean_loss, momentum.last().unwrap().mean_loss);
+        assert!((a - b).abs() > 1e-6, "momentum had no effect: {a} vs {b}");
+    }
+}

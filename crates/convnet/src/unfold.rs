@@ -1,0 +1,181 @@
+//! Input unfolding (`im2col`) and its adjoint folding (`col2im`).
+//!
+//! The unfold step (paper Fig. 2b) flattens every kernel application's
+//! receptive field into one row of a matrix `U` of `out_h * out_w` rows by
+//! `Nc * Fy * Fx` columns, channels stacked left to right. A convolution
+//! then becomes the matrix multiply `O = W_mat * U^T` (Fig. 2c).
+//!
+//! Unfolding replicates each input element up to `Fy * Fx` times — this is
+//! precisely the memory-traffic blow-up that caps the achievable arithmetic
+//! intensity of Unfold+GEMM at the fraction
+//! [`ConvSpec::unfold_ait_fraction`] (Sec. 3.1).
+
+use spg_tensor::Matrix;
+
+use crate::ConvSpec;
+
+/// Unfolds a CHW input into the patch matrix `U`
+/// (`out_h * out_w` rows × `Nc * Fy * Fx` columns).
+///
+/// Row `y * out_w + x` holds the receptive field of output position
+/// `(y, x)`; column `c * Fy * Fx + ky * Fx + kx` matches the flattening
+/// order of a weight row, so `O = W_mat * U^T` is the convolution.
+///
+/// # Panics
+///
+/// Panics if `input.len() != spec.input_shape().len()`.
+pub fn unfold(spec: &ConvSpec, input: &[f32]) -> Matrix {
+    let ishape = spec.input_shape();
+    assert_eq!(input.len(), ishape.len(), "input length");
+    let patches = spec.out_h() * spec.out_w();
+    let patch_len = spec.in_c() * spec.ky() * spec.kx();
+    let mut u = Matrix::zeros(patches, patch_len);
+    let (sy, sx, kx_n, ky_n) = (spec.sy(), spec.sx(), spec.kx(), spec.ky());
+    let uv = u.as_mut_slice();
+    for y in 0..spec.out_h() {
+        for x in 0..spec.out_w() {
+            let row = (y * spec.out_w() + x) * patch_len;
+            for c in 0..spec.in_c() {
+                for ky in 0..ky_n {
+                    let src = ishape.index(c, y * sy + ky, x * sx);
+                    let dst = row + (c * ky_n + ky) * kx_n;
+                    uv[dst..dst + kx_n].copy_from_slice(&input[src..src + kx_n]);
+                }
+            }
+        }
+    }
+    u
+}
+
+/// Unfolds directly into the transposed patch matrix `U^T`
+/// (`Nc * Fy * Fx` rows × `out_h * out_w` columns), saving the explicit
+/// transpose the forward GEMM would otherwise need.
+///
+/// # Panics
+///
+/// Panics if `input.len() != spec.input_shape().len()`.
+pub fn unfold_transposed(spec: &ConvSpec, input: &[f32]) -> Matrix {
+    let ishape = spec.input_shape();
+    assert_eq!(input.len(), ishape.len(), "input length");
+    let patches = spec.out_h() * spec.out_w();
+    let patch_len = spec.in_c() * spec.ky() * spec.kx();
+    let mut ut = Matrix::zeros(patch_len, patches);
+    let (sy, sx, kx_n, ky_n) = (spec.sy(), spec.sx(), spec.kx(), spec.ky());
+    let uv = ut.as_mut_slice();
+    for c in 0..spec.in_c() {
+        for ky in 0..ky_n {
+            for kx in 0..kx_n {
+                let urow = ((c * ky_n + ky) * kx_n + kx) * patches;
+                for y in 0..spec.out_h() {
+                    let src = ishape.index(c, y * sy + ky, kx);
+                    for x in 0..spec.out_w() {
+                        uv[urow + y * spec.out_w() + x] = input[src + x * sx];
+                    }
+                }
+            }
+        }
+    }
+    ut
+}
+
+/// Folds a patch-space gradient back into input space (`col2im`):
+/// the adjoint of [`unfold`]. Entries of overlapping receptive fields
+/// accumulate.
+///
+/// `patch_grads` must be `out_h * out_w` rows × `Nc * Fy * Fx` columns;
+/// `grad_in` is CHW of `spec.input_shape()` and is overwritten.
+///
+/// # Panics
+///
+/// Panics if buffer geometry does not match the spec.
+pub fn fold(spec: &ConvSpec, patch_grads: &Matrix, grad_in: &mut [f32]) {
+    let ishape = spec.input_shape();
+    let patches = spec.out_h() * spec.out_w();
+    let patch_len = spec.in_c() * spec.ky() * spec.kx();
+    assert_eq!(patch_grads.rows(), patches, "patch rows");
+    assert_eq!(patch_grads.cols(), patch_len, "patch cols");
+    assert_eq!(grad_in.len(), ishape.len(), "grad_in length");
+
+    grad_in.fill(0.0);
+    let (sy, sx, kx_n, ky_n) = (spec.sy(), spec.sx(), spec.kx(), spec.ky());
+    for y in 0..spec.out_h() {
+        for x in 0..spec.out_w() {
+            let row = patch_grads.row(y * spec.out_w() + x);
+            for c in 0..spec.in_c() {
+                for ky in 0..ky_n {
+                    let dst = ishape.index(c, y * sy + ky, x * sx);
+                    let src = (c * ky_n + ky) * kx_n;
+                    for kx in 0..kx_n {
+                        grad_in[dst + kx] += row[src + kx];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfold_matches_fig2b() {
+        // Fig. 2b setup: 3x3 image, 2 channels, 2x2 kernel.
+        let spec = ConvSpec::new(2, 3, 3, 1, 2, 2, 1, 1).unwrap();
+        let input: Vec<f32> = (1..=18).map(|i| i as f32).collect();
+        let u = unfold(&spec, &input);
+        assert_eq!((u.rows(), u.cols()), (4, 8));
+        // First patch: channel 0 block [1,2,4,5], channel 1 block [10,11,13,14].
+        assert_eq!(u.row(0), &[1.0, 2.0, 4.0, 5.0, 10.0, 11.0, 13.0, 14.0]);
+        // Last patch (bottom-right).
+        assert_eq!(u.row(3), &[5.0, 6.0, 8.0, 9.0, 14.0, 15.0, 17.0, 18.0]);
+    }
+
+    #[test]
+    fn unfold_transposed_is_transpose_of_unfold() {
+        let spec = ConvSpec::new(3, 6, 5, 1, 3, 2, 2, 1).unwrap();
+        let input: Vec<f32> = (0..spec.input_shape().len()).map(|i| (i as f32).sin()).collect();
+        let u = unfold(&spec, &input);
+        let ut = unfold_transposed(&spec, &input);
+        assert_eq!(ut, u.transposed());
+    }
+
+    #[test]
+    fn fold_is_adjoint_of_unfold() {
+        // <unfold(u), g> == <u, fold(g)> for all u, g.
+        let spec = ConvSpec::new(2, 5, 4, 1, 2, 3, 1, 1).unwrap();
+        let ilen = spec.input_shape().len();
+        let input: Vec<f32> = (0..ilen).map(|i| ((i * 13 % 7) as f32) - 3.0).collect();
+        let u = unfold(&spec, &input);
+        let g = Matrix::from_vec(
+            u.rows(),
+            u.cols(),
+            (0..u.len()).map(|i| ((i * 11 % 5) as f32) - 2.0).collect(),
+        )
+        .unwrap();
+        let mut folded = vec![0.0; ilen];
+        fold(&spec, &g, &mut folded);
+        let lhs: f64 =
+            u.as_slice().iter().zip(g.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 =
+            input.iter().zip(&folded).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn fold_accumulates_overlaps() {
+        // 1x3 input, 1x2 kernel, stride 1: middle element overlaps 2 patches.
+        let spec = ConvSpec::new(1, 1, 3, 1, 1, 2, 1, 1).unwrap();
+        let g = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let mut grad_in = [0.0; 3];
+        fold(&spec, &g, &mut grad_in);
+        assert_eq!(grad_in, [1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn strided_unfold_skips_positions() {
+        let spec = ConvSpec::new(1, 1, 5, 1, 1, 1, 1, 2).unwrap();
+        let u = unfold(&spec, &[10.0, 11.0, 12.0, 13.0, 14.0]);
+        assert_eq!(u.as_slice(), &[10.0, 12.0, 14.0]);
+    }
+}

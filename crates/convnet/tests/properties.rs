@@ -1,0 +1,107 @@
+//! Property-based tests for the CNN substrate: the Unfold+GEMM execution
+//! path must agree with the naive reference on arbitrary convolution
+//! specs, and the adjoint identities of backpropagation must hold.
+
+use proptest::prelude::*;
+
+use spg_convnet::{gemm_exec, reference, unfold, ConvSpec};
+
+/// Random valid convolution specs, bounded to keep the oracle affordable.
+fn conv_spec() -> impl Strategy<Value = ConvSpec> {
+    (1usize..4, 3usize..12, 3usize..12, 1usize..5, 1usize..4, 1usize..4, 1usize..3, 1usize..3)
+        .prop_filter_map("kernel fits input", |(c, h, w, f, ky, kx, sy, sx)| {
+            ConvSpec::new(c, h, w, f, ky, kx, sy, sx).ok()
+        })
+}
+
+fn pseudo(n: usize, salt: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let v = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+            ((v >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn max_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_forward_matches_reference(spec in conv_spec(), salt in 0u64..1000) {
+        let input = pseudo(spec.input_shape().len(), salt);
+        let weights = pseudo(spec.weight_shape().len(), salt ^ 0xabcd);
+        let olen = spec.output_shape().len();
+        let mut via_gemm = vec![0.0; olen];
+        let mut oracle = vec![0.0; olen];
+        gemm_exec::forward(&spec, &input, &weights, &mut via_gemm, 1);
+        reference::forward(&spec, &input, &weights, &mut oracle);
+        prop_assert!(max_diff(&via_gemm, &oracle) < 1e-3);
+    }
+
+    #[test]
+    fn gemm_backward_data_matches_reference(spec in conv_spec(), salt in 0u64..1000) {
+        let weights = pseudo(spec.weight_shape().len(), salt);
+        let grad_out = pseudo(spec.output_shape().len(), salt ^ 0x77);
+        let ilen = spec.input_shape().len();
+        let mut via_gemm = vec![0.0; ilen];
+        let mut oracle = vec![0.0; ilen];
+        gemm_exec::backward_data(&spec, &weights, &grad_out, &mut via_gemm, 1);
+        reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
+        prop_assert!(max_diff(&via_gemm, &oracle) < 1e-3);
+    }
+
+    #[test]
+    fn gemm_backward_weights_matches_reference(spec in conv_spec(), salt in 0u64..1000) {
+        let input = pseudo(spec.input_shape().len(), salt);
+        let grad_out = pseudo(spec.output_shape().len(), salt ^ 0x3131);
+        let wlen = spec.weight_shape().len();
+        let mut via_gemm = vec![0.0; wlen];
+        let mut oracle = vec![0.0; wlen];
+        gemm_exec::backward_weights(&spec, &input, &grad_out, &mut via_gemm, 1);
+        reference::backward_weights(&spec, &input, &grad_out, &mut oracle);
+        prop_assert!(max_diff(&via_gemm, &oracle) < 1e-3);
+    }
+
+    /// The adjoint identity <conv(u), v> == <u, conv^T(v)> must hold for
+    /// arbitrary specs — this is the linchpin correctness property of BP.
+    #[test]
+    fn forward_backward_adjoint(spec in conv_spec(), salt in 0u64..1000) {
+        let input = pseudo(spec.input_shape().len(), salt);
+        let weights = pseudo(spec.weight_shape().len(), salt ^ 0x5555);
+        let grad_out = pseudo(spec.output_shape().len(), salt ^ 0x9999);
+        let mut fwd = vec![0.0; spec.output_shape().len()];
+        let mut bwd = vec![0.0; spec.input_shape().len()];
+        reference::forward(&spec, &input, &weights, &mut fwd);
+        reference::backward_data(&spec, &weights, &grad_out, &mut bwd);
+        let lhs: f64 = fwd.iter().zip(&grad_out).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = input.iter().zip(&bwd).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+    }
+
+    /// Unfold row count and width must match the spec algebra, and the
+    /// exact `|U|` accounting must equal the matrix size.
+    #[test]
+    fn unfold_size_matches_spec(spec in conv_spec()) {
+        let input = pseudo(spec.input_shape().len(), 7);
+        let u = unfold::unfold(&spec, &input);
+        prop_assert_eq!(u.rows() as u64 * u.cols() as u64, spec.unfolded_elems());
+        prop_assert_eq!(u.rows(), spec.out_h() * spec.out_w());
+    }
+
+    /// AIT invariants: for unit-stride convolutions unfolding can only lose
+    /// intensity (strided convolutions subsample, so `|U|` can shrink below
+    /// `|I|` and the inequality legitimately flips), and every AIT is
+    /// positive.
+    #[test]
+    fn ait_ordering(spec in conv_spec()) {
+        prop_assert!(spec.intrinsic_ait() > 0.0);
+        prop_assert!(spec.unfold_ait() > 0.0);
+        if spec.sy() == 1 && spec.sx() == 1 {
+            prop_assert!(spec.unfold_ait_exact() <= spec.intrinsic_ait() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Measure-and-pick scheduling (paper Sec. 4.4).
+//!
+//! "spg-CNN integrates the three techniques and automatically identifies
+//! the best set for each convolution layer ... it runs each layer with
+//! \[all applicable techniques\] and, based on the measured performance,
+//! chooses the fastest technique to deploy for each layer. For BP, it
+//! checks for a change in relative performance ... after a pre-specified
+//! number of epochs as error gradient sparsity changes during training."
+//!
+//! [`tune_layer`] is the measurement primitive; [`Framework`] applies
+//! plans to whole networks and re-tunes between epochs.
+
+use std::time::{Duration, Instant};
+
+use spg_convnet::{EpochStats, ConvSpec, Network};
+
+use crate::schedule::{recommended_plan, LayerPlan, Technique};
+
+/// Which phase of a convolution layer a measurement exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Forward propagation.
+    Forward,
+    /// Backward propagation (error + delta-weight computation).
+    Backward,
+}
+
+/// Times one technique on one phase of a convolution at a given gradient
+/// sparsity, returning the mean wall time of `reps` runs (after one
+/// warm-up run that also pays allocation and code-path warming costs).
+///
+/// The synthetic operands are deterministic, so repeated calls measure
+/// the same work.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn measure_technique(
+    spec: &ConvSpec,
+    technique: Technique,
+    phase: Phase,
+    sparsity: f64,
+    cores: usize,
+    reps: usize,
+) -> Duration {
+    assert!(reps > 0, "repetition count must be positive");
+    let exec = technique.executor(cores);
+    let input: Vec<f32> =
+        (0..spec.input_shape().len()).map(|i| ((i % 23) as f32 - 11.0) / 7.0).collect();
+    let weights: Vec<f32> =
+        (0..spec.weight_shape().len()).map(|i| ((i % 19) as f32 - 9.0) / 5.0).collect();
+    let olen = spec.output_shape().len();
+    let keep_every = (1.0 / (1.0 - sparsity.clamp(0.0, 0.999)).max(1e-3)).round() as usize;
+    let grad_out: Vec<f32> = (0..olen)
+        .map(|i| if i % keep_every.max(1) == 0 { ((i % 13) as f32 - 6.0) / 4.0 } else { 0.0 })
+        .collect();
+
+    let mut output = vec![0.0f32; olen];
+    let mut grad_in = vec![0.0f32; spec.input_shape().len()];
+    let mut grad_w = vec![0.0f32; spec.weight_shape().len()];
+
+    let mut run = || match phase {
+        Phase::Forward => exec.forward(spec, &input, &weights, &mut output),
+        Phase::Backward => {
+            exec.backward_data(spec, &weights, &grad_out, &mut grad_in);
+            exec.backward_weights(spec, &input, &grad_out, &mut grad_w);
+        }
+    };
+    run(); // warm-up
+    let start = Instant::now();
+    for _ in 0..reps {
+        run();
+    }
+    start.elapsed() / reps as u32
+}
+
+/// Measures every applicable technique for both phases and returns the
+/// fastest pair — the paper's per-layer selection step.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn tune_layer(spec: &ConvSpec, sparsity: f64, cores: usize, reps: usize) -> LayerPlan {
+    let pick = |phase: Phase, candidates: &[Technique]| {
+        candidates
+            .iter()
+            .map(|&t| (t, measure_technique(spec, t, phase, sparsity, cores, reps)))
+            .min_by_key(|&(_, d)| d)
+            .map(|(t, _)| t)
+            .expect("candidate lists are non-empty")
+    };
+    LayerPlan {
+        forward: pick(Phase::Forward, Technique::forward_candidates()),
+        backward: pick(Phase::Backward, Technique::backward_candidates()),
+    }
+}
+
+/// How the framework chooses techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuningMode {
+    /// Use the paper's Sec. 4.4 empirical thresholds (no measurement).
+    Heuristic,
+    /// Measure all candidates with this many repetitions and pick the
+    /// fastest (the paper's default behaviour).
+    Measured {
+        /// Timing repetitions per candidate.
+        reps: usize,
+    },
+}
+
+/// The spg-CNN framework facade: plans a network's layers and re-tunes
+/// backward techniques as gradient sparsity drifts across epochs.
+///
+/// # Example
+///
+/// ```
+/// use spg_core::autotune::{Framework, TuningMode};
+///
+/// let fw = Framework::new(16, TuningMode::Heuristic, 2);
+/// assert_eq!(fw.cores(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Framework {
+    cores: usize,
+    mode: TuningMode,
+    retune_every: usize,
+}
+
+impl Framework {
+    /// Creates a framework for a machine with `cores` cores, re-checking
+    /// backward plans every `retune_every` epochs (the paper's
+    /// "pre-specified number of epochs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `retune_every == 0`.
+    pub fn new(cores: usize, mode: TuningMode, retune_every: usize) -> Self {
+        assert!(cores > 0, "core count must be positive");
+        assert!(retune_every > 0, "retune interval must be positive");
+        Framework { cores, mode, retune_every }
+    }
+
+    /// The configured core count.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The tuning mode.
+    pub fn mode(&self) -> TuningMode {
+        self.mode
+    }
+
+    /// Plans one layer at the given gradient sparsity.
+    pub fn plan_layer(&self, spec: &ConvSpec, sparsity: f64) -> LayerPlan {
+        match self.mode {
+            TuningMode::Heuristic => recommended_plan(spec, sparsity, self.cores),
+            TuningMode::Measured { reps } => tune_layer(spec, sparsity, self.cores, reps),
+        }
+    }
+
+    /// Plans every convolution layer of a network assuming `sparsity`
+    /// backward-gradient sparsity, installs the executors, and returns
+    /// `(layer index, plan)` pairs for reporting.
+    pub fn plan_network(&self, net: &mut Network, sparsity: f64) -> Vec<(usize, LayerPlan)> {
+        let mut plans = Vec::new();
+        for (i, layer) in net.layers_mut().iter_mut().enumerate() {
+            let Some(conv) = layer.as_conv_mut() else { continue };
+            let plan = self.plan_layer(&conv.spec().clone(), sparsity);
+            conv.set_forward_executor(plan.forward.executor(self.cores));
+            conv.set_backward_executor(plan.backward.executor(self.cores));
+            plans.push((i, plan));
+        }
+        plans
+    }
+
+    /// Epoch callback for [`Trainer::train_with`](spg_convnet::Trainer):
+    /// every `retune_every` epochs, re-plans each conv layer's *backward*
+    /// executor using that layer's measured gradient sparsity from the
+    /// epoch statistics (forward plans do not depend on sparsity).
+    pub fn retune(&self, net: &mut Network, stats: &EpochStats) {
+        if !stats.epoch.is_multiple_of(self.retune_every) {
+            return;
+        }
+        let mut conv_idx = 0;
+        for layer in net.layers_mut().iter_mut() {
+            let Some(conv) = layer.as_conv_mut() else { continue };
+            let sparsity = stats.conv_grad_sparsity.get(conv_idx).copied().unwrap_or(0.0);
+            let plan = self.plan_layer(&conv.spec().clone(), sparsity);
+            conv.set_backward_executor(plan.backward.executor(self.cores));
+            conv_idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use spg_convnet::layer::{ConvLayer, ReluLayer};
+
+    fn small_spec() -> ConvSpec {
+        ConvSpec::new(2, 10, 10, 4, 3, 3, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn measurement_returns_nonzero_time() {
+        let d = measure_technique(
+            &small_spec(),
+            Technique::GemmInParallel,
+            Phase::Forward,
+            0.0,
+            1,
+            2,
+        );
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn tune_layer_returns_applicable_techniques() {
+        let plan = tune_layer(&small_spec(), 0.9, 1, 1);
+        assert!(Technique::forward_candidates().contains(&plan.forward));
+        assert!(Technique::backward_candidates().contains(&plan.backward));
+    }
+
+    #[test]
+    fn heuristic_framework_installs_executors() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = small_spec();
+        let conv = ConvLayer::new(spec, &mut rng);
+        let olen = spec.output_shape().len();
+        let mut net =
+            Network::new(vec![Box::new(conv), Box::new(ReluLayer::new(olen))]).unwrap();
+        let fw = Framework::new(16, TuningMode::Heuristic, 1);
+        let plans = fw.plan_network(&mut net, 0.9);
+        assert_eq!(plans.len(), 1);
+        // 4 features < 128 -> stencil FP; 0.9 > 0.75 -> sparse BP.
+        assert_eq!(plans[0].1.forward, Technique::StencilFp);
+        assert_eq!(plans[0].1.backward, Technique::SparseBp);
+        let conv = net.layers_mut()[0].as_conv_mut().unwrap();
+        let (fwd, bwd) = conv.executor_names();
+        assert_eq!(fwd, "stencil-fp");
+        assert_eq!(bwd, "sparse-bp");
+    }
+
+    #[test]
+    fn retune_respects_interval_and_sparsity() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let spec = small_spec();
+        let conv = ConvLayer::new(spec, &mut rng);
+        let olen = spec.output_shape().len();
+        let mut net =
+            Network::new(vec![Box::new(conv), Box::new(ReluLayer::new(olen))]).unwrap();
+        let fw = Framework::new(16, TuningMode::Heuristic, 2);
+        fw.plan_network(&mut net, 0.0); // dense start: GiP backward
+        let stats = |epoch, sparsity| EpochStats {
+            epoch,
+            mean_loss: 1.0,
+            accuracy: 0.5,
+            conv_grad_sparsity: vec![sparsity],
+            images_per_sec: 1.0,
+        };
+        // Epoch 1: interval not hit, stays dense.
+        fw.retune(&mut net, &stats(1, 0.95));
+        let bwd = net.layers_mut()[0].as_conv_mut().unwrap().executor_names().1;
+        assert_ne!(bwd, "sparse-bp");
+        // Epoch 2: interval hit, sparsity high -> sparse BP installed.
+        fw.retune(&mut net, &stats(2, 0.95));
+        let bwd = net.layers_mut()[0].as_conv_mut().unwrap().executor_names().1;
+        assert_eq!(bwd, "sparse-bp");
+    }
+
+    #[test]
+    fn measured_mode_runs_end_to_end() {
+        let fw = Framework::new(1, TuningMode::Measured { reps: 1 }, 1);
+        let plan = fw.plan_layer(&small_spec(), 0.85);
+        assert!(Technique::backward_candidates().contains(&plan.backward));
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn zero_cores_rejected() {
+        Framework::new(0, TuningMode::Heuristic, 1);
+    }
+}

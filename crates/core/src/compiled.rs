@@ -1,0 +1,356 @@
+//! Compiled per-layer kernels — the artifact the paper's code generator
+//! produces.
+//!
+//! spg-CNN is a *code generation* framework: for each convolution layer it
+//! emits specialized kernels whose setup work — weight layout transforms,
+//! register-tile and cache-schedule planning — happens once per layer (or
+//! once per parameter update), not once per sample. The stateless
+//! [`ConvExecutor`](spg_convnet::exec::ConvExecutor) seam pays those costs
+//! on every call; [`CompiledConv`] is the amortized form: compile once,
+//! [`set_weights`](CompiledConv::set_weights) after each SGD step, and run
+//! every sample of the batch against the cached plan.
+
+use std::fmt;
+
+use spg_tensor::{layout, Tensor};
+
+use spg_convnet::{gemm_exec, ConvSpec};
+
+use crate::schedule::{LayerPlan, Technique};
+use crate::sparse::{kernel as sparse_kernel, DEFAULT_TILE_WIDTH};
+use crate::stencil::{
+    kernel as stencil_kernel, plan_cache_schedule, plan_register_tile, render_basic_block,
+    CacheSchedule, RegisterTilePlan, VECTOR_WIDTH,
+};
+
+/// A convolution layer compiled against a [`LayerPlan`]: cached weight
+/// transforms plus the generator's tile plans, executable over any number
+/// of samples.
+///
+/// # Example
+///
+/// ```
+/// use spg_convnet::ConvSpec;
+/// use spg_core::compiled::CompiledConv;
+/// use spg_core::schedule::recommended_plan;
+///
+/// let spec = ConvSpec::square(12, 16, 4, 3, 1);
+/// let plan = recommended_plan(&spec, 0.9, 16);
+/// let weights = vec![0.01; spec.weight_shape().len()];
+/// let kernel = CompiledConv::compile(spec, plan, &weights, 1)?;
+///
+/// let input = vec![1.0; spec.input_shape().len()];
+/// let mut output = vec![0.0; spec.output_shape().len()];
+/// kernel.forward(&input, &mut output);
+/// assert!(output.iter().any(|v| *v != 0.0));
+/// # Ok::<(), spg_core::SpgError>(())
+/// ```
+pub struct CompiledConv {
+    spec: ConvSpec,
+    plan: LayerPlan,
+    cores: usize,
+    tile_width: usize,
+    /// Owned weights in canonical FCKK order.
+    weights: Tensor,
+    /// Cached `[ky, kx, f, c]` weights for the sparse backward kernel.
+    w_kkfc: Option<Tensor>,
+    /// Cached `[ky][kx] (Nc x Nf)` weights for the narrow stencil path.
+    w_kkcf: Option<Vec<f32>>,
+    register_tile: RegisterTilePlan,
+    cache_schedule: CacheSchedule,
+}
+
+impl CompiledConv {
+    /// Compiles a layer: plans the register tile and cache schedule and
+    /// pre-computes every weight transform the chosen techniques need.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpgError::InvalidNetwork`](crate::SpgError::InvalidNetwork)
+    /// if the weight buffer length does not match the spec.
+    pub fn compile(
+        spec: ConvSpec,
+        plan: LayerPlan,
+        weights: &[f32],
+        cores: usize,
+    ) -> Result<Self, crate::SpgError> {
+        if weights.len() != spec.weight_shape().len() {
+            return Err(crate::SpgError::InvalidNetwork {
+                message: format!(
+                    "weight buffer has {} elements, spec requires {}",
+                    weights.len(),
+                    spec.weight_shape().len()
+                ),
+            });
+        }
+        let mut compiled = CompiledConv {
+            spec,
+            plan,
+            cores: cores.max(1),
+            tile_width: DEFAULT_TILE_WIDTH,
+            weights: Tensor::zeros(weights.len()),
+            w_kkfc: None,
+            w_kkcf: None,
+            register_tile: plan_register_tile(&spec),
+            cache_schedule: plan_cache_schedule(&spec),
+        };
+        compiled.set_weights(weights);
+        Ok(compiled)
+    }
+
+    /// Refreshes the cached weight transforms after a parameter update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the compiled spec's weight
+    /// count (the geometry was fixed at compile time).
+    pub fn set_weights(&mut self, weights: &[f32]) {
+        assert_eq!(weights.len(), self.spec.weight_shape().len(), "weights length");
+        self.weights = Tensor::from_vec(weights.to_vec());
+        self.w_kkfc = if self.plan.backward == Technique::SparseBp {
+            Some(
+                layout::fckk_to_kkfc(&self.weights, self.spec.weight_shape())
+                    .expect("length validated above"),
+            )
+        } else {
+            None
+        };
+        self.w_kkcf = if self.plan.forward == Technique::StencilFp
+            && self.spec.out_w() < VECTOR_WIDTH
+        {
+            Some(stencil_kernel::narrow_weights(&self.spec, weights))
+        } else {
+            None
+        };
+    }
+
+    /// The compiled convolution's specification.
+    pub fn spec(&self) -> &ConvSpec {
+        &self.spec
+    }
+
+    /// The plan the layer was compiled against.
+    pub fn plan(&self) -> LayerPlan {
+        self.plan
+    }
+
+    /// The generator's register-tile choice.
+    pub fn register_tile(&self) -> RegisterTilePlan {
+        self.register_tile
+    }
+
+    /// The generator's cache-schedule choice.
+    pub fn cache_schedule(&self) -> CacheSchedule {
+        self.cache_schedule
+    }
+
+    /// Forward propagation for one sample. `output` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the spec.
+    pub fn forward(&self, input: &[f32], output: &mut [f32]) {
+        match self.plan.forward {
+            Technique::StencilFp => {
+                if let Some(w_kkcf) = &self.w_kkcf {
+                    stencil_kernel::forward_narrow_pretransformed(
+                        &self.spec, input, w_kkcf, output,
+                    );
+                } else {
+                    stencil_kernel::forward(&self.spec, input, self.weights.as_slice(), output);
+                }
+            }
+            Technique::ParallelGemm => {
+                gemm_exec::forward(&self.spec, input, self.weights.as_slice(), output, self.cores);
+            }
+            Technique::GemmInParallel | Technique::SparseBp => {
+                gemm_exec::forward(&self.spec, input, self.weights.as_slice(), output, 1);
+            }
+        }
+    }
+
+    /// Backward error propagation for one sample. `grad_in` is
+    /// overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the spec.
+    pub fn backward_data(&self, grad_out: &[f32], grad_in: &mut [f32]) {
+        match (&self.plan.backward, &self.w_kkfc) {
+            (Technique::SparseBp, Some(w_kkfc)) => sparse_kernel::backward_data_pretransformed(
+                &self.spec,
+                w_kkfc.as_slice(),
+                grad_out,
+                grad_in,
+                self.tile_width,
+            ),
+            (Technique::ParallelGemm, _) => gemm_exec::backward_data(
+                &self.spec,
+                self.weights.as_slice(),
+                grad_out,
+                grad_in,
+                self.cores,
+            ),
+            _ => gemm_exec::backward_data(&self.spec, self.weights.as_slice(), grad_out, grad_in, 1),
+        }
+    }
+
+    /// Delta-weight computation for one sample. `grad_weights` is
+    /// overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the spec.
+    pub fn backward_weights(&self, input: &[f32], grad_out: &[f32], grad_weights: &mut [f32]) {
+        match self.plan.backward {
+            Technique::SparseBp => sparse_kernel::backward_weights(
+                &self.spec,
+                input,
+                grad_out,
+                grad_weights,
+                self.tile_width,
+            ),
+            Technique::ParallelGemm => gemm_exec::backward_weights(
+                &self.spec,
+                input,
+                grad_out,
+                grad_weights,
+                self.cores,
+            ),
+            _ => gemm_exec::backward_weights(&self.spec, input, grad_out, grad_weights, 1),
+        }
+    }
+
+    /// Renders the generated kernels as readable pseudo-C: the stencil
+    /// basic block for stencil forward plans, and the pointer-shifting
+    /// sparse kernel for sparse backward plans.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "/* compiled conv: {}\n   plan: {}\n   cache schedule: {} */\n",
+            self.spec, self.plan, self.cache_schedule
+        );
+        if self.plan.forward == Technique::StencilFp && self.spec.out_w() >= VECTOR_WIDTH {
+            out.push_str(&render_basic_block(&self.spec, Some(self.register_tile)));
+        }
+        if self.plan.backward == Technique::SparseBp {
+            out.push('\n');
+            out.push_str(&crate::sparse::render_backward_kernel(&self.spec, self.tile_width));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for CompiledConv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CompiledConv({}, {}, tile {}, schedule {})",
+            self.spec, self.plan, self.register_tile, self.cache_schedule
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_convnet::reference;
+
+    fn pseudo(n: usize, salt: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 37 + salt * 11) % 23) as f32 - 11.0) / 9.0).collect()
+    }
+
+    fn sparse_grad(n: usize, keep: usize) -> Vec<f32> {
+        (0..n).map(|i| if i % keep == 0 { ((i % 13) as f32 - 6.0) / 4.0 } else { 0.0 }).collect()
+    }
+
+    fn check_all_phases(spec: ConvSpec, plan: LayerPlan) {
+        let weights = pseudo(spec.weight_shape().len(), 1);
+        let kernel = CompiledConv::compile(spec, plan, &weights, 2).expect("valid weights");
+        let input = pseudo(spec.input_shape().len(), 2);
+        let grad_out = sparse_grad(spec.output_shape().len(), 4);
+
+        let mut out = vec![0.0; spec.output_shape().len()];
+        let mut oracle = vec![0.0; spec.output_shape().len()];
+        kernel.forward(&input, &mut out);
+        reference::forward(&spec, &input, &weights, &mut oracle);
+        let d = out.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(d < 1e-3, "{spec} fwd ({plan}): {d}");
+
+        let mut gin = vec![0.0; spec.input_shape().len()];
+        let mut gin_oracle = vec![0.0; spec.input_shape().len()];
+        kernel.backward_data(&grad_out, &mut gin);
+        reference::backward_data(&spec, &weights, &grad_out, &mut gin_oracle);
+        let d = gin.iter().zip(&gin_oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(d < 1e-3, "{spec} bwd-data ({plan}): {d}");
+
+        let mut gw = vec![0.0; spec.weight_shape().len()];
+        let mut gw_oracle = vec![0.0; spec.weight_shape().len()];
+        kernel.backward_weights(&input, &grad_out, &mut gw);
+        reference::backward_weights(&spec, &input, &grad_out, &mut gw_oracle);
+        let d = gw.iter().zip(&gw_oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(d < 1e-3, "{spec} bwd-w ({plan}): {d}");
+    }
+
+    #[test]
+    fn every_plan_combination_matches_reference() {
+        let wide = ConvSpec::square(14, 5, 3, 3, 1);
+        let narrow = ConvSpec::square(7, 6, 4, 3, 1); // 5-wide output
+        for spec in [wide, narrow] {
+            for &fwd in Technique::forward_candidates() {
+                for &bwd in Technique::backward_candidates() {
+                    check_all_phases(spec, LayerPlan { forward: fwd, backward: bwd });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_weights_refreshes_caches() {
+        let spec = ConvSpec::square(10, 4, 2, 3, 1);
+        let plan = LayerPlan { forward: Technique::StencilFp, backward: Technique::SparseBp };
+        let w1 = pseudo(spec.weight_shape().len(), 3);
+        let mut kernel = CompiledConv::compile(spec, plan, &w1, 1).expect("valid weights");
+
+        let input = pseudo(spec.input_shape().len(), 4);
+        let grad_out = sparse_grad(spec.output_shape().len(), 3);
+        let mut before = vec![0.0; spec.input_shape().len()];
+        kernel.backward_data(&grad_out, &mut before);
+
+        let w2: Vec<f32> = w1.iter().map(|v| v * 2.0).collect();
+        kernel.set_weights(&w2);
+        let mut after = vec![0.0; spec.input_shape().len()];
+        kernel.backward_data(&grad_out, &mut after);
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b * 2.0 - a).abs() < 1e-4, "cache not refreshed: {b} vs {a}");
+        }
+        let _ = input;
+    }
+
+    #[test]
+    fn compile_validates_weight_length() {
+        let spec = ConvSpec::square(8, 2, 2, 3, 1);
+        let plan = LayerPlan { forward: Technique::StencilFp, backward: Technique::SparseBp };
+        assert!(CompiledConv::compile(spec, plan, &[0.0; 3], 1).is_err());
+    }
+
+    #[test]
+    fn render_includes_plan_and_block() {
+        let spec = ConvSpec::square(16, 4, 2, 3, 1);
+        let plan = LayerPlan { forward: Technique::StencilFp, backward: Technique::SparseBp };
+        let weights = vec![0.1; spec.weight_shape().len()];
+        let kernel = CompiledConv::compile(spec, plan, &weights, 1).expect("valid weights");
+        let listing = kernel.render();
+        assert!(listing.contains("Stencil-Kernel"));
+        assert!(listing.contains("_mm256_fmadd_ps"));
+        assert!(listing.contains("output tile"));
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let spec = ConvSpec::square(8, 2, 2, 3, 1);
+        let plan = LayerPlan { forward: Technique::GemmInParallel, backward: Technique::SparseBp };
+        let weights = vec![0.1; spec.weight_shape().len()];
+        let kernel = CompiledConv::compile(spec, plan, &weights, 1).expect("valid weights");
+        assert!(format!("{kernel:?}").contains("CompiledConv"));
+    }
+}

@@ -1,0 +1,51 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the spg-CNN framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpgError {
+    /// A network description failed to parse.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed network is structurally invalid.
+    InvalidNetwork {
+        /// What went wrong.
+        message: String,
+    },
+    /// A tuning run was requested with no candidate techniques.
+    NoCandidates,
+}
+
+impl fmt::Display for SpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpgError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            SpgError::InvalidNetwork { message } => write!(f, "invalid network: {message}"),
+            SpgError::NoCandidates => write!(f, "no candidate techniques to tune over"),
+        }
+    }
+}
+
+impl Error for SpgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = SpgError::Parse { line: 3, message: "unexpected token".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpgError>();
+    }
+}

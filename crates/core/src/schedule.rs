@@ -1,0 +1,182 @@
+//! The computation scheduler: techniques, per-layer plans, and the paper's
+//! empirical selection heuristics (Sec. 4.4).
+
+use std::fmt;
+use std::sync::Arc;
+
+use spg_convnet::exec::{SharedExecutor, UnfoldGemmExecutor};
+use spg_convnet::ConvSpec;
+
+use crate::region::{HIGH_FEATURE_THRESHOLD, LOW_FEATURE_THRESHOLD, SPARSE_THRESHOLD};
+use crate::sparse::SparseBpExecutor;
+use crate::stencil::StencilExecutor;
+
+/// An execution technique for one phase of one convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// `Unfold + Parallel-GEMM`: each GEMM partitioned across all cores
+    /// (the conventional baseline).
+    ParallelGemm,
+    /// `Unfold + GEMM-in-Parallel`: single-threaded GEMMs, whole training
+    /// inputs distributed across cores (Sec. 4.1).
+    GemmInParallel,
+    /// Generated direct-convolution stencil kernel, forward phase
+    /// (Sec. 4.3).
+    StencilFp,
+    /// CT-CSR + pointer-shifting sparse kernel, backward phase (Sec. 4.2).
+    SparseBp,
+}
+
+impl Technique {
+    /// All techniques applicable to the forward phase.
+    pub fn forward_candidates() -> &'static [Technique] {
+        &[Technique::ParallelGemm, Technique::GemmInParallel, Technique::StencilFp]
+    }
+
+    /// All techniques applicable to the backward phase.
+    pub fn backward_candidates() -> &'static [Technique] {
+        &[Technique::ParallelGemm, Technique::GemmInParallel, Technique::SparseBp]
+    }
+
+    /// Builds the executor implementing this technique.
+    ///
+    /// `cores` configures Parallel-GEMM's partitioning; the other
+    /// techniques are single-threaded per sample by design (their
+    /// parallelism comes from running samples concurrently).
+    pub fn executor(self, cores: usize) -> SharedExecutor {
+        match self {
+            Technique::ParallelGemm => Arc::new(UnfoldGemmExecutor::new(cores.max(1))),
+            Technique::GemmInParallel => Arc::new(UnfoldGemmExecutor::new(1)),
+            Technique::StencilFp => Arc::new(StencilExecutor::new()),
+            Technique::SparseBp => Arc::new(SparseBpExecutor::new()),
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Technique::ParallelGemm => "Parallel-GEMM",
+            Technique::GemmInParallel => "GEMM-in-Parallel",
+            Technique::StencilFp => "Stencil-Kernel (FP)",
+            Technique::SparseBp => "Sparse-Kernel (BP)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The chosen techniques for one convolution layer's two phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerPlan {
+    /// Forward-propagation technique.
+    pub forward: Technique,
+    /// Backward-propagation technique (error + delta-weight phases).
+    pub backward: Technique,
+}
+
+impl fmt::Display for LayerPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FP: {}, BP: {}", self.forward, self.backward)
+    }
+}
+
+/// The paper's empirical selection heuristics (Sec. 4.4):
+/// GEMM-in-Parallel beats Parallel-GEMM below 1024 features,
+/// Stencil-Kernel beats GEMM-in-Parallel below 128 output features, and
+/// Sparse-Kernel beats dense BP above 75 % gradient sparsity.
+///
+/// `cores` only matters for the degenerate single-core case, where
+/// Parallel-GEMM and GEMM-in-Parallel coincide and the former is reported.
+///
+/// # Example
+///
+/// ```
+/// use spg_convnet::ConvSpec;
+/// use spg_core::schedule::{recommended_plan, Technique};
+///
+/// // AlexNet layer 1 (Table 2): 256 features -> GiP forward.
+/// let spec = ConvSpec::square(55, 256, 96, 5, 1);
+/// let plan = recommended_plan(&spec, 0.85, 16);
+/// assert_eq!(plan.forward, Technique::GemmInParallel);
+/// assert_eq!(plan.backward, Technique::SparseBp);
+/// ```
+pub fn recommended_plan(spec: &ConvSpec, bp_sparsity: f64, cores: usize) -> LayerPlan {
+    let features = spec.features();
+    let forward = if cores <= 1 {
+        if features < LOW_FEATURE_THRESHOLD {
+            Technique::StencilFp
+        } else {
+            Technique::ParallelGemm
+        }
+    } else if features < LOW_FEATURE_THRESHOLD {
+        Technique::StencilFp
+    } else if features < HIGH_FEATURE_THRESHOLD {
+        Technique::GemmInParallel
+    } else {
+        Technique::ParallelGemm
+    };
+    let backward = if bp_sparsity > SPARSE_THRESHOLD {
+        Technique::SparseBp
+    } else if cores > 1 && features < HIGH_FEATURE_THRESHOLD {
+        Technique::GemmInParallel
+    } else {
+        Technique::ParallelGemm
+    };
+    LayerPlan { forward, backward }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_layer_plans_match_paper_narrative() {
+        // ImageNet-22K L2 (400 features): GiP forward (Sec. 5.2).
+        let l2 = ConvSpec::square(15, 400, 250, 3, 1);
+        assert_eq!(recommended_plan(&l2, 0.5, 16).forward, Technique::GemmInParallel);
+        // MNIST L0 (20 features): stencil forward (Sec. 5.2).
+        let mnist = ConvSpec::square(28, 20, 1, 5, 1);
+        assert_eq!(recommended_plan(&mnist, 0.5, 16).forward, Technique::StencilFp);
+        // ID 1 of Table 1 (1024 features): Parallel-GEMM remains best.
+        let big = ConvSpec::square(64, 1024, 512, 2, 1);
+        assert_eq!(recommended_plan(&big, 0.5, 16).forward, Technique::ParallelGemm);
+    }
+
+    #[test]
+    fn sparsity_gates_sparse_bp() {
+        let spec = ConvSpec::square(32, 256, 64, 3, 1);
+        assert_eq!(recommended_plan(&spec, 0.74, 16).backward, Technique::GemmInParallel);
+        assert_eq!(recommended_plan(&spec, 0.76, 16).backward, Technique::SparseBp);
+    }
+
+    #[test]
+    fn single_core_collapses_to_parallel_gemm() {
+        let spec = ConvSpec::square(32, 256, 64, 3, 1);
+        let plan = recommended_plan(&spec, 0.5, 1);
+        assert_eq!(plan.forward, Technique::ParallelGemm);
+        assert_eq!(plan.backward, Technique::ParallelGemm);
+    }
+
+    #[test]
+    fn executors_are_constructible_for_all_techniques() {
+        for &t in Technique::forward_candidates().iter().chain(Technique::backward_candidates()) {
+            let exec = t.executor(4);
+            assert!(!exec.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn candidate_lists_are_phase_correct() {
+        assert!(Technique::forward_candidates().contains(&Technique::StencilFp));
+        assert!(!Technique::forward_candidates().contains(&Technique::SparseBp));
+        assert!(Technique::backward_candidates().contains(&Technique::SparseBp));
+        assert!(!Technique::backward_candidates().contains(&Technique::StencilFp));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Technique::SparseBp.to_string(), "Sparse-Kernel (BP)");
+        let plan = LayerPlan { forward: Technique::StencilFp, backward: Technique::SparseBp };
+        assert!(plan.to_string().contains("FP: Stencil"));
+    }
+}

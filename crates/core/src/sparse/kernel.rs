@@ -1,0 +1,272 @@
+//! The pointer-shifting sparse backward kernels (paper Sec. 4.2).
+
+use spg_tensor::layout;
+use spg_tensor::sparse::CtCsr;
+use spg_tensor::{Shape3, Tensor};
+
+use spg_convnet::ConvSpec;
+
+/// Backward error propagation exploiting gradient sparsity (Eq. 11–15).
+///
+/// Semantically identical to
+/// [`reference::backward_data`](spg_convnet::reference::backward_data):
+/// computes `E_I` from `E_O` and the weights, but touches only the
+/// non-zero gradient elements. The layout transforms and CT-CSR
+/// construction are performed (and paid for) inside this call.
+///
+/// `tile_width` is the CT-CSR column-tile width in features.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec or `tile_width == 0`.
+pub fn backward_data(
+    spec: &ConvSpec,
+    weights: &[f32],
+    grad_out: &[f32],
+    grad_in: &mut [f32],
+    tile_width: usize,
+) {
+    assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
+    // Data layout transformation: weights -> [ky, kx, f, c] (c fastest).
+    // See Sec. 4.2 / Fig. 5b.
+    let w_kkfc = layout::fckk_to_kkfc(&Tensor::from_vec(weights.to_vec()), spec.weight_shape())
+        .expect("weight length checked above");
+    backward_data_pretransformed(spec, w_kkfc.as_slice(), grad_out, grad_in, tile_width);
+}
+
+/// [`backward_data`] with the weight tensor already permuted to
+/// `[ky, kx, f, c]` order (see
+/// [`spg_tensor::layout::fckk_to_kkfc`]).
+///
+/// Weights change once per parameter update but the kernel runs once per
+/// *sample*; pre-transforming them amortizes the layout cost across a
+/// batch, which is how the paper's generated code uses it. The
+/// per-sample gradient transform and CT-CSR build still happen here.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec or `tile_width == 0`.
+pub fn backward_data_pretransformed(
+    spec: &ConvSpec,
+    w_kkfc: &[f32],
+    grad_out: &[f32],
+    grad_in: &mut [f32],
+    tile_width: usize,
+) {
+    assert_eq!(w_kkfc.len(), spec.weight_shape().len(), "weights length");
+    assert_eq!(grad_out.len(), spec.output_shape().len(), "grad_out length");
+    assert_eq!(grad_in.len(), spec.input_shape().len(), "grad_in length");
+    assert!(tile_width > 0, "tile width must be positive");
+
+    let (nf, nc) = (spec.features(), spec.in_c());
+    let (out_h, out_w) = (spec.out_h(), spec.out_w());
+    let (in_h, in_w) = (spec.in_h(), spec.in_w());
+    let (sy, sx) = (spec.sy(), spec.sx());
+    let (fy, fx) = (spec.ky(), spec.kx());
+
+    // Per-sample transform: gradient -> [y', x', f] (f fastest).
+    let eo_hwc = layout::chw_to_hwc(
+        &Tensor::from_vec(grad_out.to_vec()),
+        Shape3::new(nf, out_h, out_w),
+    )
+    .expect("grad_out length checked above");
+
+    // Column-tiled CSR over (spatial positions x features).
+    let eo_sparse = CtCsr::from_slice(out_h * out_w, nf, eo_hwc.as_slice(), tile_width)
+        .expect("tile width validated above");
+
+    // Accumulate E_I in HWC; each non-zero scatters a channel vector per
+    // kernel offset via the Eq. 15 pointer shift.
+    let mut ei_hwc = vec![0.0f32; in_h * in_w * nc];
+    let wv = w_kkfc;
+    for (f0, tile) in eo_sparse.iter() {
+        for p in 0..out_h * out_w {
+            let (yp, xp) = (p / out_w, p % out_w);
+            for (f_local, v) in tile.row_entries(p) {
+                let f = f0 + f_local;
+                for ky in 0..fy {
+                    let row = (yp * sy + ky) * in_w;
+                    for kx in 0..fx {
+                        let dst = (row + xp * sx + kx) * nc;
+                        let wbase = ((ky * fx + kx) * nf + f) * nc;
+                        let wrow = &wv[wbase..wbase + nc];
+                        let orow = &mut ei_hwc[dst..dst + nc];
+                        for (o, &w) in orow.iter_mut().zip(wrow) {
+                            *o += v * w;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let back = layout::hwc_to_chw(&Tensor::from_vec(ei_hwc), Shape3::new(nc, in_h, in_w))
+        .expect("constructed with matching length");
+    grad_in.copy_from_slice(back.as_slice());
+}
+
+/// Delta-weight computation exploiting gradient sparsity (Eq. 4, executed
+/// sparsely): `dW[f, c, ky, kx] = sum_{y,x} E_O[f, y, x] * I[c, y*sy+ky, x*sx+kx]`
+/// with the sum restricted to non-zero gradients.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec or `tile_width == 0`.
+pub fn backward_weights(
+    spec: &ConvSpec,
+    input: &[f32],
+    grad_out: &[f32],
+    grad_weights: &mut [f32],
+    tile_width: usize,
+) {
+    assert_eq!(input.len(), spec.input_shape().len(), "input length");
+    assert_eq!(grad_out.len(), spec.output_shape().len(), "grad_out length");
+    assert_eq!(grad_weights.len(), spec.weight_shape().len(), "grad_weights length");
+    assert!(tile_width > 0, "tile width must be positive");
+
+    let (nf, nc) = (spec.features(), spec.in_c());
+    let (out_h, out_w) = (spec.out_h(), spec.out_w());
+    let in_w = spec.in_w();
+    let (sy, sx) = (spec.sy(), spec.sx());
+    let (fy, fx) = (spec.ky(), spec.kx());
+
+    let in_hwc = layout::chw_to_hwc(&Tensor::from_vec(input.to_vec()), spec.input_shape())
+        .expect("input length checked above");
+    let eo_hwc = layout::chw_to_hwc(
+        &Tensor::from_vec(grad_out.to_vec()),
+        Shape3::new(nf, out_h, out_w),
+    )
+    .expect("grad_out length checked above");
+    let eo_sparse = CtCsr::from_slice(out_h * out_w, nf, eo_hwc.as_slice(), tile_width)
+        .expect("tile width validated above");
+
+    // Accumulate dW in [ky, kx, f, c] (c fastest), then permute back.
+    let mut dw_kkfc = vec![0.0f32; fy * fx * nf * nc];
+    let iv = in_hwc.as_slice();
+    for (f0, tile) in eo_sparse.iter() {
+        for p in 0..out_h * out_w {
+            let (yp, xp) = (p / out_w, p % out_w);
+            for (f_local, v) in tile.row_entries(p) {
+                let f = f0 + f_local;
+                for ky in 0..fy {
+                    let row = (yp * sy + ky) * in_w;
+                    for kx in 0..fx {
+                        let src = (row + xp * sx + kx) * nc;
+                        let dwbase = ((ky * fx + kx) * nf + f) * nc;
+                        let irow = &iv[src..src + nc];
+                        let drow = &mut dw_kkfc[dwbase..dwbase + nc];
+                        for (d, &i) in drow.iter_mut().zip(irow) {
+                            *d += v * i;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let back = layout::kkfc_to_fckk(&Tensor::from_vec(dw_kkfc), spec.weight_shape())
+        .expect("constructed with matching length");
+    grad_weights.copy_from_slice(back.as_slice());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_convnet::reference;
+
+    fn sparse_grad(n: usize, sparsity_mod: usize, salt: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                if !(i * 7 + salt).is_multiple_of(sparsity_mod) {
+                    0.0
+                } else {
+                    (((i * 13 + salt) % 17) as f32 - 8.0) / 4.0
+                }
+            })
+            .collect()
+    }
+
+    fn pseudo(n: usize, salt: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 11 + salt * 3) % 19) as f32 - 9.0) / 6.0).collect()
+    }
+
+    fn spec_cases() -> Vec<ConvSpec> {
+        vec![
+            ConvSpec::new(1, 4, 4, 1, 2, 2, 1, 1).unwrap(),
+            ConvSpec::new(3, 8, 8, 5, 3, 3, 1, 1).unwrap(),
+            ConvSpec::new(2, 9, 7, 4, 2, 3, 2, 1).unwrap(),
+            ConvSpec::new(4, 10, 10, 6, 3, 3, 2, 2).unwrap(),
+            ConvSpec::new(2, 12, 12, 3, 5, 5, 1, 2).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn backward_data_matches_reference() {
+        for spec in spec_cases() {
+            let weights = pseudo(spec.weight_shape().len(), 1);
+            let grad_out = sparse_grad(spec.output_shape().len(), 5, 2);
+            let mut ours = vec![0.0; spec.input_shape().len()];
+            let mut oracle = vec![0.0; spec.input_shape().len()];
+            for tw in [1, 2, 64] {
+                backward_data(&spec, &weights, &grad_out, &mut ours, tw);
+                reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
+                let diff =
+                    ours.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+                assert!(diff < 1e-4, "{spec} tw={tw}: diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_weights_matches_reference() {
+        for spec in spec_cases() {
+            let input = pseudo(spec.input_shape().len(), 3);
+            let grad_out = sparse_grad(spec.output_shape().len(), 4, 1);
+            let mut ours = vec![0.0; spec.weight_shape().len()];
+            let mut oracle = vec![0.0; spec.weight_shape().len()];
+            for tw in [1, 3, 64] {
+                backward_weights(&spec, &input, &grad_out, &mut ours, tw);
+                reference::backward_weights(&spec, &input, &grad_out, &mut oracle);
+                let diff =
+                    ours.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+                assert!(diff < 1e-4, "{spec} tw={tw}: diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_sparse_gradient_is_free_and_zero() {
+        let spec = ConvSpec::new(2, 6, 6, 3, 3, 3, 1, 1).unwrap();
+        let weights = pseudo(spec.weight_shape().len(), 9);
+        let zeros = vec![0.0; spec.output_shape().len()];
+        let mut gin = vec![1.0; spec.input_shape().len()];
+        backward_data(&spec, &weights, &zeros, &mut gin, 64);
+        assert!(gin.iter().all(|v| *v == 0.0));
+        let input = pseudo(spec.input_shape().len(), 10);
+        let mut dw = vec![1.0; spec.weight_shape().len()];
+        backward_weights(&spec, &input, &zeros, &mut dw, 64);
+        assert!(dw.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn dense_gradient_still_correct() {
+        // Sparsity 0 is the worst case but must stay correct.
+        let spec = ConvSpec::new(2, 7, 7, 3, 3, 3, 1, 1).unwrap();
+        let weights = pseudo(spec.weight_shape().len(), 4);
+        let grad_out = pseudo(spec.output_shape().len(), 5);
+        let mut ours = vec![0.0; spec.input_shape().len()];
+        let mut oracle = vec![0.0; spec.input_shape().len()];
+        backward_data(&spec, &weights, &grad_out, &mut ours, 64);
+        reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
+        let diff = ours.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(diff < 1e-4, "diff {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tile width")]
+    fn zero_tile_width_panics() {
+        let spec = ConvSpec::new(1, 4, 4, 1, 2, 2, 1, 1).unwrap();
+        let mut gin = vec![0.0; 16];
+        backward_data(&spec, &[0.0; 4], &[0.0; 9], &mut gin, 0);
+    }
+}

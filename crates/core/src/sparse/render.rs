@@ -1,0 +1,88 @@
+//! Renders the generated sparse backward kernel as readable pseudo-code,
+//! mirroring the paper's Fig. 5b / Fig. 6 illustration of the
+//! pointer-shifting composition. Like
+//! [`render_basic_block`](crate::stencil::render_basic_block), this is
+//! for inspection — the executable kernel lives in
+//! [`kernel`](crate::sparse::kernel) — but it makes the generated code's
+//! structure reviewable and testable.
+
+use std::fmt::Write as _;
+
+use spg_convnet::ConvSpec;
+
+/// Emits the backward error-propagation kernel the generator produces for
+/// `spec` at the given CT-CSR tile width, as commented pseudo-C.
+///
+/// # Example
+///
+/// ```
+/// use spg_convnet::ConvSpec;
+/// use spg_core::sparse::render_backward_kernel;
+///
+/// let spec = ConvSpec::square(8, 64, 64, 5, 1);
+/// let listing = render_backward_kernel(&spec, 64);
+/// assert!(listing.contains("CT-CSR"));
+/// assert!(listing.contains("pointer shift"));
+/// ```
+pub fn render_backward_kernel(spec: &ConvSpec, tile_width: usize) -> String {
+    let (nf, nc) = (spec.features(), spec.in_c());
+    let (fy, fx) = (spec.ky(), spec.kx());
+    let (sy, sx) = (spec.sy(), spec.sx());
+    let tiles = nf.div_ceil(tile_width.max(1));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* sparse backward kernel: {spec}\n   E_O stored as CT-CSR: {tiles} column tile(s) of <= {tile_width} features */"
+    );
+    let _ = writeln!(out, "transform(W,  FCKK -> KKFC);   /* channels fastest: W'[ky][kx][f][0..{nc}] */");
+    let _ = writeln!(out, "transform(E_O, CHW -> HWC);    /* features fastest */");
+    let _ = writeln!(out, "build_ct_csr(E_O, tile_width = {tile_width});");
+    let _ = writeln!(out, "for (tile = 0; tile < {tiles}; ++tile)");
+    let _ = writeln!(out, "  for (p = 0; p < OUT_H*OUT_W; ++p)        /* y' = p / OUT_W, x' = p % OUT_W */");
+    let _ = writeln!(out, "    for ((f, v) in ct_csr_row(tile, p)) {{ /* non-zeros only: goodput */");
+    let _ = writeln!(out, "      for (ky = 0; ky < {fy}; ++ky)");
+    let _ = writeln!(out, "        for (kx = 0; kx < {fx}; ++kx) {{");
+    let _ = writeln!(
+        out,
+        "          /* pointer shift (Eq. 15): E_O[y',x',f] -> E_I[y'*{sy}+ky, x'*{sx}+kx, *] */"
+    );
+    let _ = writeln!(
+        out,
+        "          axpy_{nc}(E_I + ((y'*{sy}+ky)*IN_W + x'*{sx}+kx)*{nc},"
+    );
+    let _ = writeln!(out, "                   W' + ((ky*{fx}+kx)*{nf} + f)*{nc}, v);");
+    let _ = writeln!(out, "        }}");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "transform(E_I, HWC -> CHW);");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_reflects_geometry() {
+        let spec = ConvSpec::new(16, 10, 10, 48, 3, 3, 2, 2).unwrap();
+        let listing = render_backward_kernel(&spec, 32);
+        assert!(listing.contains("2 column tile(s)")); // ceil(48/32)
+        assert!(listing.contains("axpy_16")); // vectorized over 16 channels
+        assert!(listing.contains("x'*2+kx")); // stride in the pointer shift
+    }
+
+    #[test]
+    fn single_tile_when_width_covers_features() {
+        let spec = ConvSpec::square(8, 20, 4, 3, 1);
+        let listing = render_backward_kernel(&spec, 64);
+        assert!(listing.contains("1 column tile(s)"));
+    }
+
+    #[test]
+    fn transforms_bracket_the_kernel() {
+        let spec = ConvSpec::square(8, 8, 2, 3, 1);
+        let listing = render_backward_kernel(&spec, 8);
+        let first = listing.find("FCKK -> KKFC").expect("weight transform");
+        let last = listing.find("HWC -> CHW").expect("output transform");
+        assert!(first < last);
+    }
+}

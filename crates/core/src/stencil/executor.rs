@@ -1,0 +1,89 @@
+use spg_convnet::exec::ConvExecutor;
+use spg_convnet::{gemm_exec, ConvSpec};
+
+use crate::stencil::kernel;
+
+/// [`ConvExecutor`] running the stencil direct-convolution kernel for the
+/// forward phase. Backward phases fall back to single-threaded
+/// Unfold+GEMM: the paper deploys Stencil-Kernel for FP only, pairing it
+/// with Sparse-Kernel or GEMM-in-Parallel for BP (Sec. 4.4, Sec. 5.1).
+///
+/// # Example
+///
+/// ```
+/// use spg_convnet::exec::ConvExecutor;
+/// use spg_core::stencil::StencilExecutor;
+///
+/// assert_eq!(StencilExecutor::new().name(), "stencil-fp");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StencilExecutor;
+
+impl StencilExecutor {
+    /// Creates a stencil forward executor.
+    pub fn new() -> Self {
+        StencilExecutor
+    }
+}
+
+impl ConvExecutor for StencilExecutor {
+    fn name(&self) -> &str {
+        "stencil-fp"
+    }
+
+    fn forward(&self, spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+        kernel::forward(spec, input, weights, output);
+    }
+
+    fn backward_data(&self, spec: &ConvSpec, weights: &[f32], grad_out: &[f32], grad_in: &mut [f32]) {
+        gemm_exec::backward_data(spec, weights, grad_out, grad_in, 1);
+    }
+
+    fn backward_weights(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        grad_out: &[f32],
+        grad_weights: &mut [f32],
+    ) {
+        gemm_exec::backward_weights(spec, input, grad_out, grad_weights, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_convnet::exec::ReferenceExecutor;
+
+    #[test]
+    fn agrees_with_reference_on_all_phases() {
+        let spec = ConvSpec::new(2, 7, 9, 3, 3, 2, 1, 2).unwrap();
+        let input: Vec<f32> =
+            (0..spec.input_shape().len()).map(|i| (i as f32 * 0.17).sin()).collect();
+        let weights: Vec<f32> =
+            (0..spec.weight_shape().len()).map(|i| (i as f32 * 0.13).cos()).collect();
+        let grad_out: Vec<f32> =
+            (0..spec.output_shape().len()).map(|i| (i as f32 * 0.29).sin()).collect();
+
+        let stencil = StencilExecutor::new();
+        let oracle = ReferenceExecutor;
+
+        let mut a = vec![0.0; spec.output_shape().len()];
+        let mut b = a.clone();
+        stencil.forward(&spec, &input, &weights, &mut a);
+        oracle.forward(&spec, &input, &weights, &mut b);
+        assert!(a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-4));
+
+        let mut ga = vec![0.0; spec.input_shape().len()];
+        let mut gb = ga.clone();
+        stencil.backward_data(&spec, &weights, &grad_out, &mut ga);
+        oracle.backward_data(&spec, &weights, &grad_out, &mut gb);
+        assert!(ga.iter().zip(&gb).all(|(x, y)| (x - y).abs() < 1e-4));
+
+        let mut wa = vec![0.0; spec.weight_shape().len()];
+        let mut wb = wa.clone();
+        stencil.backward_weights(&spec, &input, &grad_out, &mut wa);
+        oracle.backward_weights(&spec, &input, &grad_out, &mut wb);
+        assert!(wa.iter().zip(&wb).all(|(x, y)| (x - y).abs() < 1e-4));
+    }
+}

@@ -1,0 +1,546 @@
+//! Direct-convolution forward kernel (paper Sec. 4.3).
+//!
+//! Three execution strategies, chosen by geometry and CPU features:
+//!
+//! * **Register-tiled AVX basic block** (`x86_64` with AVX2+FMA, output
+//!   rows at least one vector wide): the paper's Fig. 7 structure. An
+//!   `ry`-row output register tile is held in YMM accumulators while the
+//!   `(c, ky, kx)` reduction streams over it; every loaded input vector
+//!   feeds up to `min(ry, Fy)` output rows — the spatial reuse that
+//!   restores the arithmetic intensity unfolding destroys. Non-unit `x`
+//!   strides first apply the Eq. 21 phase transform so the strided loads
+//!   become contiguous.
+//! * **Shifted small dense MMs** (outputs narrower than one vector):
+//!   vectorizing along 4-element rows is pointless, so the kernel
+//!   vectorizes along *features* instead: inputs and outputs are viewed
+//!   in HWC layout and, for every kernel offset `(ky, kx)`, a small dense
+//!   `out_w x Nf x Nc` multiply accumulates the shifted input rows into
+//!   the output — convolution composed in place as a series of small
+//!   dense MMs by pointer shifting, with no unfolded matrix.
+//! * **Scalar shift-and-scale** fallback with identical semantics.
+
+use spg_tensor::transform::StridedLayout;
+use spg_tensor::{layout, Shape3, Tensor};
+
+use spg_convnet::ConvSpec;
+use spg_gemm::gemm_slice;
+
+/// Output rows held in the AVX register tile. Six accumulators mirror the
+/// GEMM micro-kernel's register budget and give `6*Fy / (Fy + 5)` input
+/// reuse.
+const TILE_ROWS: usize = 6;
+/// f32 lanes per vector.
+const LANES: usize = 8;
+
+/// Forward propagation by direct (stencil-style) convolution.
+///
+/// Semantically identical to
+/// [`reference::forward`](spg_convnet::reference::forward); layout
+/// transforms for strided convolutions are performed internally and their
+/// cost is part of this call (the paper includes transform time in its
+/// stencil measurements, Sec. 4.3).
+///
+/// # Panics
+///
+/// Panics if any buffer length does not match the spec.
+pub fn forward(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+    assert_eq!(input.len(), spec.input_shape().len(), "input length");
+    assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
+    assert_eq!(output.len(), spec.output_shape().len(), "output length");
+
+    if spec.out_w() < LANES {
+        forward_shifted_gemm(spec, input, weights, output);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            if spec.sx() == 1 {
+                // SAFETY: AVX2+FMA presence checked above; buffer lengths
+                // validated at function entry.
+                unsafe { avx::forward_tiled(spec, input, weights, output) };
+            } else {
+                let lay = StridedLayout::new(spec.input_shape(), spec.sx())
+                    .expect("positive stride by spec validation");
+                let phased = lay.apply(&Tensor::from_vec(input.to_vec())).expect("length checked");
+                // SAFETY: as above; the phased buffer geometry comes from
+                // the layout itself.
+                unsafe { avx::forward_tiled_phased(spec, &lay, phased.as_slice(), weights, output) };
+            }
+            return;
+        }
+    }
+    forward_scalar(spec, input, weights, output);
+}
+
+/// Narrow-output path: compose the convolution as shifted small dense
+/// MMs over channel/feature-major views (one `out_w x Nf x Nc` multiply
+/// per kernel offset and output row), vectorized by the GEMM micro-kernel
+/// along features.
+fn forward_shifted_gemm(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+    let w_kkcf = narrow_weights(spec, weights);
+    forward_narrow_pretransformed(spec, input, &w_kkcf, output);
+}
+
+/// Permutes weights into the `[ky][kx]` blocks of `(Nc x Nf)` matrices
+/// (features fastest) that the narrow-output shifted-GEMM path multiplies
+/// against. Pre-compute once per parameter update and pass to
+/// [`forward_narrow_pretransformed`] to amortize the transform across a
+/// batch of samples.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != spec.weight_shape().len()`.
+pub fn narrow_weights(spec: &ConvSpec, weights: &[f32]) -> Vec<f32> {
+    let wshape = spec.weight_shape();
+    assert_eq!(weights.len(), wshape.len(), "weights length");
+    let (nc, nf) = (spec.in_c(), spec.features());
+    let (fy, fx) = (spec.ky(), spec.kx());
+    let mut w_kkcf = vec![0.0f32; weights.len()];
+    for f in 0..nf {
+        for c in 0..nc {
+            for ky in 0..fy {
+                for kx in 0..fx {
+                    w_kkcf[((ky * fx + kx) * nc + c) * nf + f] = weights[wshape.index(f, c, ky, kx)];
+                }
+            }
+        }
+    }
+    w_kkcf
+}
+
+/// The narrow-output forward path with weights already permuted by
+/// [`narrow_weights`]. Used directly by
+/// [`CompiledConv`](crate::compiled::CompiledConv); prefer
+/// [`forward`] unless you are amortizing the weight transform yourself.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec.
+pub fn forward_narrow_pretransformed(
+    spec: &ConvSpec,
+    input: &[f32],
+    w_kkcf: &[f32],
+    output: &mut [f32],
+) {
+    assert_eq!(input.len(), spec.input_shape().len(), "input length");
+    assert_eq!(w_kkcf.len(), spec.weight_shape().len(), "weights length");
+    assert_eq!(output.len(), spec.output_shape().len(), "output length");
+    let (nc, nf) = (spec.in_c(), spec.features());
+    let (in_w, out_h, out_w) = (spec.in_w(), spec.out_h(), spec.out_w());
+    let (sy, sx) = (spec.sy(), spec.sx());
+    let (fy, fx) = (spec.ky(), spec.kx());
+
+    let in_hwc = layout::chw_to_hwc(&Tensor::from_vec(input.to_vec()), spec.input_shape())
+        .expect("input length validated above");
+
+    let mut out_hwc = vec![0.0f32; out_h * out_w * nf];
+    let iv = in_hwc.as_slice();
+    // Per kernel offset: gather the pointer-shifted input pixels into one
+    // contiguous (P x Nc) block (rows of one output row are sx*Nc apart,
+    // rows of different output rows are not uniformly spaced, so a single
+    // strided GEMM cannot cover them), then one dense multiply per offset.
+    let patches = out_h * out_w;
+    let mut gathered = vec![0.0f32; patches * nc];
+    for ky in 0..fy {
+        for kx in 0..fx {
+            let b = &w_kkcf[(ky * fx + kx) * nc * nf..(ky * fx + kx + 1) * nc * nf];
+            for y in 0..out_h {
+                for x in 0..out_w {
+                    let src = ((y * sy + ky) * in_w + x * sx + kx) * nc;
+                    let dst = (y * out_w + x) * nc;
+                    gathered[dst..dst + nc].copy_from_slice(&iv[src..src + nc]);
+                }
+            }
+            gemm_slice(patches, nf, nc, &gathered, nc, b, nf, &mut out_hwc, nf);
+        }
+    }
+
+    let back = layout::hwc_to_chw(
+        &Tensor::from_vec(out_hwc),
+        Shape3::new(nf, out_h, out_w),
+    )
+    .expect("constructed with matching length");
+    output.copy_from_slice(back.as_slice());
+}
+
+/// Portable shift-and-scale path (also the oracle for the AVX tile).
+fn forward_scalar(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+    if spec.sx() == 1 {
+        scalar_unit_stride(spec, input, weights, output);
+    } else {
+        let lay = StridedLayout::new(spec.input_shape(), spec.sx())
+            .expect("positive stride by spec validation");
+        let phased = lay.apply(&Tensor::from_vec(input.to_vec())).expect("length checked");
+        scalar_phased(spec, &lay, phased.as_slice(), weights, output);
+    }
+}
+
+fn scalar_unit_stride(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+    output.fill(0.0);
+    let ishape = spec.input_shape();
+    let wshape = spec.weight_shape();
+    let (out_h, out_w) = (spec.out_h(), spec.out_w());
+    let sy = spec.sy();
+    for f in 0..spec.features() {
+        let out_plane = &mut output[f * out_h * out_w..(f + 1) * out_h * out_w];
+        for c in 0..spec.in_c() {
+            for ky in 0..spec.ky() {
+                for kx in 0..spec.kx() {
+                    let w = weights[wshape.index(f, c, ky, kx)];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for y in 0..out_h {
+                        let in_base = ishape.index(c, y * sy + ky, kx);
+                        let in_row = &input[in_base..in_base + out_w];
+                        let out_row = &mut out_plane[y * out_w..(y + 1) * out_w];
+                        for (o, &i) in out_row.iter_mut().zip(in_row) {
+                            *o += w * i;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn scalar_phased(
+    spec: &ConvSpec,
+    lay: &StridedLayout,
+    phased: &[f32],
+    weights: &[f32],
+    output: &mut [f32],
+) {
+    output.fill(0.0);
+    let wshape = spec.weight_shape();
+    let (out_h, out_w) = (spec.out_h(), spec.out_w());
+    let (sy, sx) = (spec.sy(), spec.sx());
+    for f in 0..spec.features() {
+        let out_plane = &mut output[f * out_h * out_w..(f + 1) * out_h * out_w];
+        for c in 0..spec.in_c() {
+            for ky in 0..spec.ky() {
+                for kx in 0..spec.kx() {
+                    let w = weights[wshape.index(f, c, ky, kx)];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let (phase, col0) = (kx % sx, kx / sx);
+                    for y in 0..out_h {
+                        let base = lay.index(c, y * sy + ky, phase, col0);
+                        let in_row = &phased[base..base + out_w];
+                        let out_row = &mut out_plane[y * out_w..(y + 1) * out_w];
+                        for (o, &i) in out_row.iter_mut().zip(in_row) {
+                            *o += w * i;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::{LANES, TILE_ROWS};
+    use spg_convnet::ConvSpec;
+    use spg_tensor::transform::StridedLayout;
+    use std::arch::x86_64::*;
+
+    /// Register-tiled basic block over a `rows x LANES` output tile,
+    /// reducing over **all** channels and kernel offsets before a single
+    /// store (the Fig. 7 structure with the channel loop hoisted inside
+    /// the tile): for every channel, every input row feeding the tile and
+    /// every `kx` shift, load the input vector once and fan its
+    /// contributions out to all output rows it serves. Because the tile
+    /// performs the complete reduction, tiles may overlap in `x` —
+    /// overlapping columns are simply recomputed — which lets callers
+    /// cover ragged row tails with one final overlapping tile instead of
+    /// a scalar path.
+    ///
+    /// Output row `ty` of the tile reads input rows `ty * sy + ky`; input
+    /// row `iy` therefore serves output rows with `ky = iy - ty * sy` in
+    /// `[0, fy)` — up to `ceil(fy / sy)` of them, so cross-row reuse
+    /// survives vertical striding whenever `sy < fy` (e.g. the stride-2
+    /// 7x7 ImageNet-22K layer reuses each loaded row up to 4x).
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees AVX2+FMA; that for every `c < nc` and
+    /// `iy < (rows - 1) * sy + fy`, `in_row(c, iy) + kx_offset(kx) +
+    /// LANES` stays within the input buffer; that `weights(c)` points to
+    /// `fy * fx` readable floats; and that `out` has `rows` rows of at
+    /// least `LANES` writable elements at stride `out_stride`.
+    /// `RX` is the tile width in vectors (1 or 2). The two-vector form
+    /// mirrors the GEMM micro-kernel's 6x16 shape: one weight broadcast
+    /// feeds `RX` fused multiply-adds, halving the broadcast overhead
+    /// that otherwise caps the kernel's instruction throughput.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments, clippy::manual_range_contains, clippy::needless_range_loop)]
+    unsafe fn tile_block<const RX: usize>(
+        rows: usize,
+        fy: usize,
+        fx: usize,
+        sy: usize,
+        nc: usize,
+        in_row: impl Fn(usize, usize) -> *const f32,
+        weights: impl Fn(usize) -> *const f32,
+        kx_offset: impl Fn(usize) -> usize,
+        out: *mut f32,
+        out_stride: usize,
+    ) {
+        debug_assert!(rows >= 1 && rows <= TILE_ROWS && sy >= 1);
+        debug_assert!(RX == 1 || RX == 2);
+        let mut acc = [[_mm256_setzero_ps(); RX]; TILE_ROWS];
+        for c in 0..nc {
+            let w_fc = weights(c);
+            for iy in 0..(rows - 1) * sy + fy {
+                // Output rows served by input row iy: ty with
+                // 0 <= iy - ty*sy < fy.
+                let ty_lo = (iy + 1).saturating_sub(fy).div_ceil(sy);
+                let ty_hi = (iy / sy).min(rows - 1);
+                if ty_lo > ty_hi {
+                    continue;
+                }
+                let base = in_row(c, iy);
+                for kx in 0..fx {
+                    let off = kx_offset(kx);
+                    let mut ivec = [_mm256_setzero_ps(); RX];
+                    for (rx, v) in ivec.iter_mut().enumerate() {
+                        *v = _mm256_loadu_ps(base.add(off + rx * LANES));
+                    }
+                    for ty in ty_lo..=ty_hi {
+                        let ky = iy - ty * sy;
+                        let w = _mm256_broadcast_ss(&*w_fc.add(ky * fx + kx));
+                        for rx in 0..RX {
+                            acc[ty][rx] = _mm256_fmadd_ps(ivec[rx], w, acc[ty][rx]);
+                        }
+                    }
+                }
+            }
+        }
+        for (r, row) in acc.iter().enumerate().take(rows) {
+            for (rx, a) in row.iter().enumerate() {
+                _mm256_storeu_ps(out.add(r * out_stride + rx * LANES), *a);
+            }
+        }
+    }
+
+    /// `x` tile plan covering `0..out_w`: 16-wide tiles while they fit,
+    /// then 8-wide, then one overlapping 8-wide tail for ragged widths.
+    /// Requires `out_w >= LANES`. Returns `(x, wide)` pairs.
+    fn x_plan(out_w: usize) -> Vec<(usize, bool)> {
+        debug_assert!(out_w >= LANES);
+        let mut plan = Vec::new();
+        let mut x = 0;
+        while x + 2 * LANES <= out_w {
+            plan.push((x, true));
+            x += 2 * LANES;
+        }
+        while x + LANES <= out_w {
+            plan.push((x, false));
+            x += LANES;
+        }
+        if x < out_w {
+            plan.push((out_w - LANES, false));
+        }
+        plan
+    }
+
+    /// Unit-`x`-stride register-tiled forward pass.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees AVX2+FMA and buffers matching `spec`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn forward_tiled(
+        spec: &ConvSpec,
+        input: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+    ) {
+        let (in_h, in_w) = (spec.in_h(), spec.in_w());
+        let (out_h, out_w) = (spec.out_h(), spec.out_w());
+        let (fy, fx) = (spec.ky(), spec.kx());
+        let (nc, nf, sy) = (spec.in_c(), spec.features(), spec.sy());
+        let in_ptr = input.as_ptr();
+        let w_ptr = weights.as_ptr();
+
+        let cache_tile = crate::stencil::plan_cache_schedule(spec).y_tile.max(TILE_ROWS);
+        let xs = x_plan(out_w);
+        for f in 0..nf {
+            let out_plane = output.as_mut_ptr().add(f * out_h * out_w);
+            // Cache schedule: sweep one block of output rows completely
+            // (all channels reduced inside the register tiles) before
+            // moving down the image.
+            let mut y0 = 0;
+            while y0 < out_h {
+                let y1 = (y0 + cache_tile).min(out_h);
+                let mut y = y0;
+                while y < y1 {
+                    let rows = TILE_ROWS.min(y1 - y);
+                    for &(x, wide) in &xs {
+                        let in_row = |c: usize, iy: usize| {
+                            in_ptr.add((c * in_h + y * sy + iy) * in_w + x)
+                        };
+                        let w_fc = |c: usize| w_ptr.add((f * nc + c) * fy * fx);
+                        let dst = out_plane.add(y * out_w + x);
+                        if wide {
+                            tile_block::<2>(rows, fy, fx, sy, nc, in_row, w_fc, |kx| kx, dst, out_w);
+                        } else {
+                            tile_block::<1>(rows, fy, fx, sy, nc, in_row, w_fc, |kx| kx, dst, out_w);
+                        }
+                    }
+                    y += rows;
+                }
+                y0 = y1;
+            }
+        }
+    }
+
+    /// Strided (phase-transformed) register-tiled forward pass.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees AVX2+FMA and that `phased` came from `lay`
+    /// applied to the input of `spec`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn forward_tiled_phased(
+        spec: &ConvSpec,
+        lay: &StridedLayout,
+        phased: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+    ) {
+        let (out_h, out_w) = (spec.out_h(), spec.out_w());
+        let (fy, fx) = (spec.ky(), spec.kx());
+        let (nc, nf, sy, sx) = (spec.in_c(), spec.features(), spec.sy(), spec.sx());
+        let pw = lay.phase_width();
+        let in_ptr = phased.as_ptr();
+        let w_ptr = weights.as_ptr();
+
+        let cache_tile = crate::stencil::plan_cache_schedule(spec).y_tile.max(TILE_ROWS);
+        let xs = x_plan(out_w);
+        for f in 0..nf {
+            let out_plane = output.as_mut_ptr().add(f * out_h * out_w);
+            let mut y0 = 0;
+            while y0 < out_h {
+                let y1 = (y0 + cache_tile).min(out_h);
+                let mut y = y0;
+                while y < y1 {
+                    let rows = TILE_ROWS.min(y1 - y);
+                    for &(x, wide) in &xs {
+                        // Base of row (y*sy + iy) at phase 0, column 0; the
+                        // kx offset selects phase kx % sx at column
+                        // kx / sx + x (the Eq. 21 access pattern).
+                        let in_row =
+                            |c: usize, iy: usize| in_ptr.add(lay.index(c, y * sy + iy, 0, 0));
+                        let w_fc = |c: usize| w_ptr.add((f * nc + c) * fy * fx);
+                        let koff = |kx: usize| (kx % sx) * pw + kx / sx + x;
+                        let dst = out_plane.add(y * out_w + x);
+                        if wide {
+                            tile_block::<2>(rows, fy, fx, sy, nc, in_row, w_fc, koff, dst, out_w);
+                        } else {
+                            tile_block::<1>(rows, fy, fx, sy, nc, in_row, w_fc, koff, dst, out_w);
+                        }
+                    }
+                    y += rows;
+                }
+                y0 = y1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_convnet::reference;
+
+    fn pseudo(n: usize, salt: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 29 + salt * 13) % 19) as f32 - 9.0) / 5.0).collect()
+    }
+
+    fn check(spec: ConvSpec) {
+        let input = pseudo(spec.input_shape().len(), 1);
+        let weights = pseudo(spec.weight_shape().len(), 2);
+        let olen = spec.output_shape().len();
+        let mut stencil = vec![0.0; olen];
+        let mut oracle = vec![0.0; olen];
+        forward(&spec, &input, &weights, &mut stencil);
+        reference::forward(&spec, &input, &weights, &mut oracle);
+        // Accumulation order differs from the reference; tolerance scales
+        // with the reduction length (Nc * Fy * Fx).
+        let diff =
+            stencil.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(diff < 5e-4, "{spec}: diff {diff}");
+    }
+
+    #[test]
+    fn unit_stride_matches_reference() {
+        check(ConvSpec::new(1, 4, 4, 1, 2, 2, 1, 1).unwrap());
+        check(ConvSpec::new(3, 8, 8, 4, 3, 3, 1, 1).unwrap());
+        check(ConvSpec::new(2, 9, 7, 5, 2, 4, 1, 1).unwrap());
+        // MNIST layer 0 shape (Table 2).
+        check(ConvSpec::square(28, 20, 1, 5, 1));
+    }
+
+    #[test]
+    fn strided_matches_reference() {
+        check(ConvSpec::new(1, 8, 8, 2, 2, 2, 2, 2).unwrap());
+        check(ConvSpec::new(2, 11, 13, 3, 3, 3, 1, 2).unwrap());
+        check(ConvSpec::new(3, 12, 12, 2, 2, 2, 3, 3).unwrap());
+        // AlexNet layer 0 geometry, shrunk input (stride 4, 11x11 kernel).
+        check(ConvSpec::new(3, 30, 30, 4, 11, 11, 4, 4).unwrap());
+    }
+
+    #[test]
+    fn vertical_stride_only() {
+        // sy > 1 with sx == 1 stays on the fast path.
+        check(ConvSpec::new(2, 10, 6, 3, 3, 3, 2, 1).unwrap());
+    }
+
+    #[test]
+    fn narrow_output_uses_shifted_gemm() {
+        // CIFAR-10 L1 (Table 2): 4x4 outputs, 64 features.
+        check(ConvSpec::square(8, 64, 64, 5, 1));
+        check(ConvSpec::new(3, 6, 6, 7, 3, 3, 1, 1).unwrap());
+        // Narrow and strided.
+        check(ConvSpec::new(2, 9, 9, 5, 3, 3, 2, 2).unwrap());
+    }
+
+    #[test]
+    fn tile_edges_are_exact() {
+        // Output widths straddling the 8-lane boundary and heights not
+        // divisible by the 6-row tile.
+        for w in [8usize, 9, 15, 16, 17] {
+            for h in [3usize, 6, 7, 13] {
+                check(ConvSpec::new(1, h + 2, w + 2, 2, 3, 3, 1, 1).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weights_short_circuit_is_invisible() {
+        let spec = ConvSpec::new(1, 5, 12, 2, 3, 3, 1, 1).unwrap();
+        let input = pseudo(60, 3);
+        let mut weights = pseudo(18, 4);
+        weights[4] = 0.0;
+        weights[9] = 0.0;
+        let mut stencil = vec![0.0; spec.output_shape().len()];
+        let mut oracle = vec![0.0; spec.output_shape().len()];
+        forward(&spec, &input, &weights, &mut stencil);
+        reference::forward(&spec, &input, &weights, &mut oracle);
+        let diff =
+            stencil.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(diff < 5e-4, "diff {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn validates_output_buffer() {
+        let spec = ConvSpec::new(1, 4, 4, 1, 2, 2, 1, 1).unwrap();
+        forward(&spec, &[0.0; 16], &[0.0; 4], &mut [0.0; 3]);
+    }
+}

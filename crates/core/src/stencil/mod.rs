@@ -1,0 +1,42 @@
+//! **Stencil-Kernel (FP)** — generated direct convolution (paper Sec. 4.3).
+//!
+//! Unfolding a small convolution multiplies its memory traffic by up to
+//! `Fx * Fy`, collapsing arithmetic intensity (Table 1, IDs 0 and 5). The
+//! stencil kernel instead computes the convolution *in place*, exploiting
+//! the same spatial reuse a stencil computation enjoys: each input element
+//! contributes to up to `Fy * Fx` neighbouring outputs while it sits in a
+//! register or cache line.
+//!
+//! The module mirrors the paper's two-stage generator:
+//!
+//! * [`RegisterTilePlan`] / [`plan_register_tile`] — the **basic block
+//!   generator**: searches output register-tile shapes `rx x ry`
+//!   (vectors wide x rows tall) for the one minimizing vector loads per
+//!   FMA, subject to the accumulator-register budget.
+//! * [`CacheSchedule`] / [`plan_cache_schedule`] — the **schedule
+//!   generator**: picks output cache tiles whose working set fits L1 and
+//!   whose footprint respects the TLB budget; the kernel holds one such
+//!   tile across the whole channel reduction.
+//! * [`kernel`] — executes the planned direct convolution: an AVX2+FMA
+//!   register-tiled basic block under the cache schedule, with the
+//!   Eq. 21 strided-layout transform applied first when the
+//!   convolution's `x`-stride is not 1, a feature-vectorized
+//!   shifted-GEMM path for outputs narrower than one vector, and a
+//!   portable scalar fallback.
+//! * [`render_basic_block`] — emits the generated basic block as readable
+//!   pseudo-C intrinsics, mirroring the paper's Fig. 7 listing.
+//! * [`StencilExecutor`] — plugs the kernel into the training stack as a
+//!   forward-phase [`ConvExecutor`](spg_convnet::exec::ConvExecutor).
+
+mod executor;
+pub mod kernel;
+mod plan;
+mod render;
+mod schedule;
+
+pub use executor::StencilExecutor;
+pub use plan::{plan_register_tile, RegisterTilePlan, ACCUMULATOR_BUDGET, VECTOR_WIDTH};
+pub use render::render_basic_block;
+pub use schedule::{
+    plan_cache_schedule, CacheSchedule, L1_BUDGET_ELEMS, PAGE_ELEMS, TLB_BUDGET_PAGES,
+};

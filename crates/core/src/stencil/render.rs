@@ -1,0 +1,137 @@
+//! Renders a generated stencil basic block as pseudo-C AVX intrinsics,
+//! mirroring the paper's Fig. 7 listing. The emitted text is for
+//! inspection and documentation — the executable kernel lives in
+//! [`kernel`](crate::stencil::kernel) — but it makes the "code generator"
+//! nature of the framework tangible and testable.
+
+use std::fmt::Write as _;
+
+use spg_convnet::ConvSpec;
+
+use crate::stencil::{plan_register_tile, RegisterTilePlan};
+
+/// Emits the basic block for one `(f, c)` slice of `spec` under `plan` as
+/// Fig. 7-style pseudo-C. Each input vector is loaded once and its
+/// contributions to every output vector in the register tile are listed.
+///
+/// # Example
+///
+/// ```
+/// use spg_convnet::ConvSpec;
+/// use spg_core::stencil::{plan_register_tile, render_basic_block};
+///
+/// // The paper's Fig. 7 shape: 1x2 kernel, 1x2 register tile.
+/// let spec = ConvSpec::new(1, 64, 64, 1, 2, 1, 1, 1)?;
+/// let listing = render_basic_block(&spec, None);
+/// assert!(listing.contains("_mm256_loadu_ps"));
+/// assert!(listing.contains("_mm256_fmadd_ps"));
+/// # Ok::<(), spg_convnet::ConvError>(())
+/// ```
+pub fn render_basic_block(spec: &ConvSpec, plan: Option<RegisterTilePlan>) -> String {
+    let plan = plan.unwrap_or_else(|| plan_register_tile(spec));
+    let (fy, fx) = (spec.ky(), spec.kx());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* stencil basic block: {}x{} kernel, {}x{} register tile",
+        fy, fx, plan.rx, plan.ry
+    );
+    let _ = writeln!(
+        out,
+        "   {} vector loads, {} fmadds per block (reuse {:.2}x) */",
+        plan.loads_per_block,
+        plan.fmas_per_block,
+        plan.reuse()
+    );
+    for ty in 0..plan.ry {
+        for tx in 0..plan.rx {
+            let _ = writeln!(out, "__m256 ovec_{ty}_{tx} = _mm256_setzero_ps();");
+        }
+    }
+    let mut load_id = 0usize;
+    for iy in 0..plan.ry + fy - 1 {
+        for kx in 0..fx {
+            for tx in 0..plan.rx {
+                // Which output rows does input row `iy` feed? Row ty uses
+                // input rows ty..ty+fy, so iy feeds ty in
+                // [iy+1-fy, iy] \cap [0, ry).
+                let ty_lo = iy.saturating_sub(fy - 1);
+                let ty_hi = iy.min(plan.ry - 1);
+                if ty_lo > ty_hi {
+                    continue;
+                }
+                let contributions = ty_hi - ty_lo + 1;
+                let _ = writeln!(
+                    out,
+                    "/* load input vector {load_id}: row y+{iy}, shift x+{kx}, tile col {tx} -> {contributions} contribution(s) */"
+                );
+                let _ = writeln!(
+                    out,
+                    "__m256 ivec{load_id} = _mm256_loadu_ps(input + (y + {iy})*NX + x + {tx}*8 + {kx});"
+                );
+                for ty in ty_lo..=ty_hi {
+                    let ky = iy - ty;
+                    let _ = writeln!(
+                        out,
+                        "ovec_{ty}_{tx} = _mm256_fmadd_ps(ivec{load_id}, wvec[{ky}][{kx}], ovec_{ty}_{tx});"
+                    );
+                }
+                load_id += 1;
+            }
+        }
+    }
+    let _ = writeln!(out, "/* store register tile */");
+    for ty in 0..plan.ry {
+        for tx in 0..plan.rx {
+            let _ = writeln!(
+                out,
+                "_mm256_storeu_ps(output + (y + {ty})*OX + x + {tx}*8, ovec_{ty}_{tx});"
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shape_load_count() {
+        // Fig. 7: Fy=2, Fx=1, tile 1x2 -> 3 loads.
+        let spec = ConvSpec::new(1, 64, 64, 1, 2, 1, 1, 1).unwrap();
+        let plan = RegisterTilePlan { rx: 1, ry: 2, loads_per_block: 3, fmas_per_block: 4 };
+        let listing = render_basic_block(&spec, Some(plan));
+        assert_eq!(listing.matches("_mm256_loadu_ps").count(), 3);
+        assert_eq!(listing.matches("_mm256_fmadd_ps").count(), 4);
+        assert_eq!(listing.matches("_mm256_storeu_ps").count(), 2);
+    }
+
+    #[test]
+    fn counts_match_plan_for_searched_tiles() {
+        for (k, n) in [(3usize, 32usize), (5, 32), (2, 16)] {
+            let spec = ConvSpec::square(n, 8, 4, k, 1);
+            let plan = plan_register_tile(&spec);
+            let listing = render_basic_block(&spec, Some(plan));
+            assert_eq!(
+                listing.matches("_mm256_loadu_ps").count(),
+                plan.loads_per_block,
+                "kernel {k}"
+            );
+            assert_eq!(
+                listing.matches("_mm256_fmadd_ps").count(),
+                plan.fmas_per_block,
+                "kernel {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn middle_rows_have_max_contributions() {
+        // For a 3-tall kernel and tall tile, interior input rows feed 3
+        // output rows each.
+        let spec = ConvSpec::square(32, 8, 4, 3, 1);
+        let listing = render_basic_block(&spec, None);
+        assert!(listing.contains("3 contribution(s)"));
+    }
+}

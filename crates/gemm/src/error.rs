@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for GEMM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GemmError {
+    /// Inner dimensions of the two operands do not agree.
+    DimensionMismatch {
+        /// Rows of the left operand.
+        a_rows: usize,
+        /// Columns of the left operand.
+        a_cols: usize,
+        /// Rows of the right operand.
+        b_rows: usize,
+        /// Columns of the right operand.
+        b_cols: usize,
+    },
+    /// The output matrix has the wrong shape for the requested product.
+    OutputShapeMismatch {
+        /// Expected output rows.
+        expected_rows: usize,
+        /// Expected output columns.
+        expected_cols: usize,
+        /// Provided output rows.
+        actual_rows: usize,
+        /// Provided output columns.
+        actual_cols: usize,
+    },
+    /// A parallel schedule was asked to run on zero threads.
+    ZeroThreads,
+}
+
+impl fmt::Display for GemmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GemmError::DimensionMismatch { a_rows, a_cols, b_rows, b_cols } => write!(
+                f,
+                "cannot multiply {a_rows}x{a_cols} by {b_rows}x{b_cols}: inner dimensions differ"
+            ),
+            GemmError::OutputShapeMismatch {
+                expected_rows,
+                expected_cols,
+                actual_rows,
+                actual_cols,
+            } => write!(
+                f,
+                "output must be {expected_rows}x{expected_cols}, got {actual_rows}x{actual_cols}"
+            ),
+            GemmError::ZeroThreads => write!(f, "thread count must be positive"),
+        }
+    }
+}
+
+impl Error for GemmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_shapes() {
+        let e = GemmError::DimensionMismatch { a_rows: 2, a_cols: 3, b_rows: 4, b_cols: 5 };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GemmError>();
+    }
+}

@@ -1,0 +1,114 @@
+use spg_tensor::Matrix;
+
+use crate::{check_dims, GemmError};
+
+/// Reference triple-loop matrix multiply: `C = A * B`.
+///
+/// Unblocked and unvectorized; exists as the correctness oracle for every
+/// optimized kernel in the workspace and as the "no blocking" end of the
+/// blocking ablation.
+///
+/// # Errors
+///
+/// Returns [`GemmError::DimensionMismatch`] if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use spg_tensor::Matrix;
+///
+/// let a = Matrix::from_vec(1, 2, vec![1.0, 2.0])?;
+/// let b = Matrix::from_vec(2, 1, vec![3.0, 4.0])?;
+/// let c = spg_gemm::gemm_naive(&a, &b)?;
+/// assert_eq!(c.get(0, 0), 11.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn gemm_naive(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
+    check_dims(a.rows(), a.cols(), b.rows(), b.cols())?;
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_naive_into(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// Reference multiply accumulating into an existing matrix: `C += A * B`.
+///
+/// # Errors
+///
+/// Returns [`GemmError::DimensionMismatch`] if the operand inner dimensions
+/// differ, or [`GemmError::OutputShapeMismatch`] if `c` is not
+/// `a.rows() x b.cols()`.
+pub fn gemm_naive_into(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), GemmError> {
+    check_dims(a.rows(), a.cols(), b.rows(), b.cols())?;
+    if c.rows() != a.rows() || c.cols() != b.cols() {
+        return Err(GemmError::OutputShapeMismatch {
+            expected_rows: a.rows(),
+            expected_cols: b.cols(),
+            actual_rows: c.rows(),
+            actual_cols: c.cols(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    for i in 0..m {
+        for p in 0..k {
+            let aip = av[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += aip * bj;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = gemm_naive(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let b = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(gemm_naive(&a, &b).unwrap(), b);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(gemm_naive(&a, &b), Err(GemmError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn into_accumulates() {
+        let a = Matrix::from_vec(1, 1, vec![2.0]).unwrap();
+        let b = Matrix::from_vec(1, 1, vec![3.0]).unwrap();
+        let mut c = Matrix::from_vec(1, 1, vec![10.0]).unwrap();
+        gemm_naive_into(&a, &b, &mut c).unwrap();
+        assert_eq!(c.get(0, 0), 16.0);
+    }
+
+    #[test]
+    fn into_rejects_bad_output_shape() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        let mut c = Matrix::zeros(3, 2);
+        assert!(matches!(
+            gemm_naive_into(&a, &b, &mut c),
+            Err(GemmError::OutputShapeMismatch { .. })
+        ));
+    }
+}

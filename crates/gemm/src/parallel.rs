@@ -1,0 +1,207 @@
+use spg_tensor::Matrix;
+
+use crate::{check_dims, gemm_slice, GemmError};
+
+/// **Parallel-GEMM**: one matrix multiply partitioned across `threads`
+/// cores by rows of the output (`C = A * B`).
+///
+/// This is the conventional schedule used by Caffe / TensorFlow / Torch via
+/// multi-threaded BLAS. Each worker computes a contiguous row band of `C`
+/// from the matching row band of `A` and the *entire* `B` — which is
+/// exactly why the paper shows it scales poorly: the arithmetic per core
+/// shrinks by `1/threads` while the `B` traffic per core does not, so
+/// per-core arithmetic intensity falls as cores are added (Sec. 3.2).
+///
+/// # Errors
+///
+/// Returns [`GemmError::DimensionMismatch`] if `a.cols() != b.rows()`, or
+/// [`GemmError::ZeroThreads`] if `threads == 0`.
+///
+/// # Example
+///
+/// ```
+/// use spg_tensor::Matrix;
+///
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+/// let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0])?;
+/// let c = spg_gemm::parallel_gemm(&a, &b, 2)?;
+/// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parallel_gemm(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix, GemmError> {
+    check_dims(a.rows(), a.cols(), b.rows(), b.cols())?;
+    if threads == 0 {
+        return Err(GemmError::ZeroThreads);
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(c);
+    }
+
+    let workers = threads.min(m);
+    if workers <= 1 {
+        gemm_slice(m, n, k, a.as_slice(), k, b.as_slice(), n, c.as_mut_slice(), n);
+        return Ok(c);
+    }
+
+    // Partition C (and A) into row bands, one per worker.
+    let band = m.div_ceil(workers);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut bands: Vec<&mut [f32]> = c.as_mut_slice().chunks_mut(band * n).collect();
+    crossbeam::thread::scope(|scope| {
+        for (w, cband) in bands.iter_mut().enumerate() {
+            let row0 = w * band;
+            let rows = (m - row0).min(band);
+            let aband = &av[row0 * k..(row0 + rows) * k];
+            scope.spawn(move |_| {
+                gemm_slice(rows, n, k, aband, k, bv, n, cband, n);
+            });
+        }
+    })
+    .expect("gemm worker panicked");
+    Ok(c)
+}
+
+/// **Parallel-GEMM, column partitioning**: one multiply split across
+/// `threads` cores by *columns* of the output.
+///
+/// Each worker computes a column band of `C` from the matching column
+/// band of `B` and the **entire** `A` — the mirror image of
+/// [`parallel_gemm`]'s row partitioning, with the same pathology: the
+/// replicated operand's traffic does not shrink with the core count
+/// (Sec. 3.2 notes the partitioning choice only swaps which operand is
+/// replicated). The ablation bench compares the two on asymmetric shapes.
+///
+/// # Errors
+///
+/// Returns [`GemmError::DimensionMismatch`] if `a.cols() != b.rows()`, or
+/// [`GemmError::ZeroThreads`] if `threads == 0`.
+pub fn parallel_gemm_cols(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix, GemmError> {
+    check_dims(a.rows(), a.cols(), b.rows(), b.cols())?;
+    if threads == 0 {
+        return Err(GemmError::ZeroThreads);
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(c);
+    }
+
+    let workers = threads.min(n);
+    if workers <= 1 {
+        gemm_slice(m, n, k, a.as_slice(), k, b.as_slice(), n, c.as_mut_slice(), n);
+        return Ok(c);
+    }
+
+    // Column bands share rows of C, so workers write disjoint column
+    // ranges of every row; hand each worker a raw sub-view via split
+    // boundaries computed up front.
+    let band = n.div_ceil(workers);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = std::sync::Mutex::new(c.as_mut_slice());
+    // Compute each band into a private buffer, then stitch: avoids
+    // aliasing &mut access to interleaved columns.
+    let bands: Vec<(usize, usize)> = (0..workers)
+        .map(|w| ((w * band).min(n), ((w + 1) * band).min(n)))
+        .filter(|(c0, c1)| c0 < c1)
+        .collect();
+    let partials = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = bands
+            .iter()
+            .map(|&(c0, c1)| {
+                scope.spawn(move |_| {
+                    let cols = c1 - c0;
+                    let mut part = vec![0.0f32; m * cols];
+                    // B column band: rows of b offset by c0, width cols.
+                    gemm_slice(m, cols, k, av, k, &bv[c0..], n, &mut part, cols);
+                    (c0, c1, part)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("gemm worker panicked")).collect::<Vec<_>>()
+    })
+    .expect("gemm scope panicked");
+    {
+        let mut cv = cv.lock().expect("result lock");
+        for (c0, c1, part) in partials {
+            let cols = c1 - c0;
+            for r in 0..m {
+                cv[r * n + c0..r * n + c1].copy_from_slice(&part[r * cols..(r + 1) * cols]);
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_naive;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_naive_across_thread_counts() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let a = Matrix::random_uniform(23, 17, 1.0, &mut rng);
+        let b = Matrix::random_uniform(17, 31, 1.0, &mut rng);
+        let slow = gemm_naive(&a, &b).unwrap();
+        for threads in [1, 2, 3, 4, 8, 16, 64] {
+            let fast = parallel_gemm(&a, &b, threads).unwrap();
+            let diff = fast.max_abs_diff(&slow).unwrap();
+            assert!(diff < 1e-3, "threads={threads} diff={diff}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = Matrix::random_uniform(3, 5, 1.0, &mut rng);
+        let b = Matrix::random_uniform(5, 4, 1.0, &mut rng);
+        let fast = parallel_gemm(&a, &b, 16).unwrap();
+        let slow = gemm_naive(&a, &b).unwrap();
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        assert!(matches!(parallel_gemm(&a, &b, 0), Err(GemmError::ZeroThreads)));
+        assert!(matches!(parallel_gemm_cols(&a, &b, 0), Err(GemmError::ZeroThreads)));
+    }
+
+    #[test]
+    fn column_partition_matches_naive() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let a = Matrix::random_uniform(13, 21, 1.0, &mut rng);
+        let b = Matrix::random_uniform(21, 29, 1.0, &mut rng);
+        let slow = gemm_naive(&a, &b).unwrap();
+        for threads in [1, 2, 3, 7, 32] {
+            let fast = parallel_gemm_cols(&a, &b, threads).unwrap();
+            let diff = fast.max_abs_diff(&slow).unwrap();
+            assert!(diff < 1e-3, "threads={threads} diff={diff}");
+        }
+    }
+
+    #[test]
+    fn row_and_column_partitions_agree() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let a = Matrix::random_uniform(17, 9, 1.0, &mut rng);
+        let b = Matrix::random_uniform(9, 23, 1.0, &mut rng);
+        let rows = parallel_gemm(&a, &b, 4).unwrap();
+        let cols = parallel_gemm_cols(&a, &b, 4).unwrap();
+        assert!(rows.max_abs_diff(&cols).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn empty_product() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        let c = parallel_gemm(&a, &b, 4).unwrap();
+        assert_eq!((c.rows(), c.cols()), (0, 3));
+    }
+}

@@ -1,0 +1,124 @@
+use spg_tensor::sparse::{Csr, CtCsr};
+use spg_tensor::Matrix;
+
+use crate::{check_dims, GemmError};
+
+/// Sparse × dense multiply: `C = A * B` with `A` in CSR format.
+///
+/// Only the non-zero entries of `A` generate work, so throughput in
+/// *useful* flops (goodput) does not degrade with sparsity the way a dense
+/// multiply does. This is the classic sparse-GEMM baseline the paper's
+/// related work discusses; the paper's own backward kernel goes further by
+/// never materializing the unfolded matrix at all.
+///
+/// # Errors
+///
+/// Returns [`GemmError::DimensionMismatch`] if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use spg_tensor::{Matrix, sparse::Csr};
+///
+/// let a = Csr::from_dense(&Matrix::from_vec(2, 2, vec![0.0, 2.0, 0.0, 0.0])?);
+/// let b = Matrix::from_vec(2, 2, vec![1.0, 1.0, 3.0, 4.0])?;
+/// let c = spg_gemm::spmm_csr_dense(&a, &b)?;
+/// assert_eq!(c.as_slice(), &[6.0, 8.0, 0.0, 0.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn spmm_csr_dense(a: &Csr, b: &Matrix) -> Result<Matrix, GemmError> {
+    check_dims(a.rows(), a.cols(), b.rows(), b.cols())?;
+    let n = b.cols();
+    let mut c = Matrix::zeros(a.rows(), n);
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for r in 0..a.rows() {
+        let crow = &mut cv[r * n..(r + 1) * n];
+        for (col, v) in a.row_entries(r) {
+            let brow = &bv[col * n..(col + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += v * bj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Sparse × dense multiply with the left operand in column-tiled CSR.
+///
+/// Functionally identical to [`spmm_csr_dense`]; traversal proceeds tile by
+/// tile so the touched rows of `B` stay within one column tile's reach —
+/// the locality argument for CT-CSR in Sec. 4.2 of the paper. The ablation
+/// bench compares the two directly.
+///
+/// # Errors
+///
+/// Returns [`GemmError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn spmm_ctcsr_dense(a: &CtCsr, b: &Matrix) -> Result<Matrix, GemmError> {
+    check_dims(a.rows(), a.cols(), b.rows(), b.cols())?;
+    let n = b.cols();
+    let mut c = Matrix::zeros(a.rows(), n);
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for (col0, tile) in a.iter() {
+        for r in 0..a.rows() {
+            let crow = &mut cv[r * n..(r + 1) * n];
+            for (local_col, v) in tile.row_entries(r) {
+                let col = col0 + local_col;
+                let brow = &bv[col * n..(col + 1) * n];
+                for (cj, bj) in crow.iter_mut().zip(brow) {
+                    *cj += v * bj;
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_naive;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn csr_matches_dense_oracle() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let dense_a = Matrix::random_sparse(11, 13, 0.8, 1.0, &mut rng);
+        let b = Matrix::random_uniform(13, 9, 1.0, &mut rng);
+        let oracle = gemm_naive(&dense_a, &b).unwrap();
+        let c = spmm_csr_dense(&Csr::from_dense(&dense_a), &b).unwrap();
+        assert!(c.max_abs_diff(&oracle).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn ctcsr_matches_csr() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let dense_a = Matrix::random_sparse(10, 16, 0.9, 1.0, &mut rng);
+        let b = Matrix::random_uniform(16, 12, 1.0, &mut rng);
+        let via_csr = spmm_csr_dense(&Csr::from_dense(&dense_a), &b).unwrap();
+        for tw in [1, 3, 8, 16, 32] {
+            let tiled = CtCsr::from_dense(&dense_a, tw).unwrap();
+            let via_tiled = spmm_ctcsr_dense(&tiled, &b).unwrap();
+            assert!(via_tiled.max_abs_diff(&via_csr).unwrap() < 1e-5, "tile width {tw}");
+        }
+    }
+
+    #[test]
+    fn fully_sparse_input_gives_zero_output() {
+        let a = Csr::from_dense(&Matrix::zeros(4, 4));
+        let b = Matrix::from_vec(4, 4, vec![2.0; 16]).unwrap();
+        let c = spmm_csr_dense(&a, &b).unwrap();
+        assert_eq!(c, Matrix::zeros(4, 4));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = Csr::from_dense(&Matrix::zeros(2, 3));
+        let b = Matrix::zeros(2, 3);
+        assert!(spmm_csr_dense(&a, &b).is_err());
+        let at = CtCsr::from_dense(&Matrix::zeros(2, 3), 2).unwrap();
+        assert!(spmm_ctcsr_dense(&at, &b).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Transposed-left-operand multiply: `C = A^T * B` without materializing
+//! `A^T`.
+//!
+//! The backward error propagation of Unfold+GEMM computes
+//! `E_U = E_O^T * W` (Sec. 2.3); with only a plain `gemm`, the gradient
+//! matrix must first be transposed into a scratch buffer — pure traffic.
+//! Packing already reorders operands into panels, so the transpose can be
+//! folded into the A-panel packing for free.
+
+use spg_tensor::Matrix;
+
+use crate::kernels::{microkernel, pack_b, MR, NR};
+use crate::{check_dims, GemmError};
+
+const KC: usize = 256;
+const MC: usize = 72;
+const NC: usize = 1024;
+
+/// Packs an `mc x kc` block of `A^T` into MR-row panels by reading `a`
+/// (the untransposed `k x m` matrix, leading dimension `lda`)
+/// column-wise: element `(r, c)` of `A^T` is `a[c * lda + r]`.
+fn pack_at(
+    a: &[f32],
+    lda: usize,
+    row0: usize, // row offset into A^T == column offset into A
+    col0: usize, // column offset into A^T == row offset into A
+    mc: usize,
+    kc: usize,
+    out: &mut Vec<f32>,
+) {
+    let panels = mc.div_ceil(MR);
+    out.clear();
+    out.resize(panels * kc * MR, 0.0);
+    for panel in 0..panels {
+        let base = panel * kc * MR;
+        let rows = (mc - panel * MR).min(MR);
+        for p in 0..kc {
+            let src_row = (col0 + p) * lda + row0 + panel * MR;
+            for mr in 0..rows {
+                out[base + p * MR + mr] = a[src_row + mr];
+            }
+        }
+    }
+}
+
+/// Computes `C = A^T * B` where `a` is `k x m` and `b` is `k x n`, both
+/// row-major. Equivalent to `gemm(&a.transposed(), b)` without the
+/// intermediate transpose.
+///
+/// # Errors
+///
+/// Returns [`GemmError::DimensionMismatch`] if `a.rows() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use spg_tensor::Matrix;
+/// use spg_gemm::{gemm, gemm_at_b};
+///
+/// let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+/// let b = Matrix::from_vec(2, 2, vec![7.0, 8.0, 9.0, 10.0])?;
+/// let fused = gemm_at_b(&a, &b)?;
+/// let via_transpose = gemm(&a.transposed(), &b)?;
+/// assert_eq!(fused.as_slice(), via_transpose.as_slice());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn gemm_at_b(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
+    // A^T is m x k with m = a.cols(), k = a.rows(); inner dim must match
+    // b.rows().
+    check_dims(a.cols(), a.rows(), b.rows(), b.cols())?;
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(c);
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    let lda = a.cols();
+
+    let mut a_pack = Vec::new();
+    let mut b_pack = Vec::new();
+    let mut acc = [0.0f32; MR * NR];
+    for jc in (0..n).step_by(NC) {
+        let nc = (n - jc).min(NC);
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            pack_b(bv, n, pc, jc, kc, nc, &mut b_pack);
+            for ic in (0..m).step_by(MC) {
+                let mc = (m - ic).min(MC);
+                pack_at(av, lda, ic, pc, mc, kc, &mut a_pack);
+                let m_panels = mc.div_ceil(MR);
+                let n_panels = nc.div_ceil(NR);
+                for jp in 0..n_panels {
+                    let bp = &b_pack[jp * kc * NR..(jp + 1) * kc * NR];
+                    let cols = (nc - jp * NR).min(NR);
+                    for ip in 0..m_panels {
+                        let ap = &a_pack[ip * kc * MR..(ip + 1) * kc * MR];
+                        microkernel(kc, ap, bp, &mut acc);
+                        let rows = (mc - ip * MR).min(MR);
+                        for mr in 0..rows {
+                            let crow = ic + ip * MR + mr;
+                            let cbase = crow * n + jc + jp * NR;
+                            let dst = &mut cv[cbase..cbase + cols];
+                            let src = &acc[mr * NR..mr * NR + cols];
+                            for (d, s) in dst.iter_mut().zip(src) {
+                                *d += s;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gemm, gemm_naive};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_explicit_transpose() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for &(k, m, n) in &[(1usize, 1usize, 1usize), (7, 5, 9), (17, 23, 13), (64, 100, 37)] {
+            let a = Matrix::random_uniform(k, m, 1.0, &mut rng);
+            let b = Matrix::random_uniform(k, n, 1.0, &mut rng);
+            let fused = gemm_at_b(&a, &b).unwrap();
+            let oracle = gemm_naive(&a.transposed(), &b).unwrap();
+            let diff = fused.max_abs_diff(&oracle).unwrap();
+            assert!(diff < 1e-3, "{k}x{m}x{n}: {diff}");
+        }
+    }
+
+    #[test]
+    fn crosses_cache_blocks() {
+        let mut rng = SmallRng::seed_from_u64(78);
+        let a = Matrix::random_uniform(KC + 9, MC + 5, 1.0, &mut rng);
+        let b = Matrix::random_uniform(KC + 9, 40, 1.0, &mut rng);
+        let fused = gemm_at_b(&a, &b).unwrap();
+        let oracle = gemm(&a.transposed(), &b).unwrap();
+        assert!(fused.max_abs_diff(&oracle).unwrap() < 1e-2);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(4, 2); // inner dims 3 vs 4
+        assert!(matches!(gemm_at_b(&a, &b), Err(GemmError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(0, 2);
+        let c = gemm_at_b(&a, &b).unwrap();
+        assert_eq!((c.rows(), c.cols()), (3, 2));
+        assert!(c.as_slice().iter().all(|v| *v == 0.0));
+    }
+}

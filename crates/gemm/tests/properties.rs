@@ -1,0 +1,96 @@
+//! Property-based tests: every optimized GEMM path must agree with the
+//! naive triple-loop oracle on arbitrary shapes, thread counts, and
+//! sparsity levels.
+
+use proptest::prelude::*;
+
+use spg_gemm::{
+    gemm, gemm_in_parallel, gemm_naive, parallel_gemm, parallel_gemm_cols, spmm_csr_dense,
+    spmm_ctcsr_dense, BatchJob,
+};
+use spg_tensor::sparse::{Csr, CtCsr};
+use spg_tensor::Matrix;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("length matches"))
+}
+
+fn mm_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..24, 1usize..24, 1usize..24)
+        .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
+}
+
+fn close(a: &Matrix, b: &Matrix) -> bool {
+    // f32 accumulation order differs between kernels; scale tolerance by k.
+    a.max_abs_diff(b).map(|d| d < 1e-2).unwrap_or(false)
+}
+
+proptest! {
+    #[test]
+    fn blocked_matches_naive((a, b) in mm_pair()) {
+        let fast = gemm(&a, &b).expect("dims agree");
+        let slow = gemm_naive(&a, &b).expect("dims agree");
+        prop_assert!(close(&fast, &slow));
+    }
+
+    #[test]
+    fn parallel_matches_naive((a, b) in mm_pair(), threads in 1usize..9) {
+        let fast = parallel_gemm(&a, &b, threads).expect("dims agree");
+        let slow = gemm_naive(&a, &b).expect("dims agree");
+        prop_assert!(close(&fast, &slow));
+    }
+
+    #[test]
+    fn column_partition_matches_naive((a, b) in mm_pair(), threads in 1usize..9) {
+        let fast = parallel_gemm_cols(&a, &b, threads).expect("dims agree");
+        let slow = gemm_naive(&a, &b).expect("dims agree");
+        prop_assert!(close(&fast, &slow));
+    }
+
+    #[test]
+    fn batch_matches_naive((a, b) in mm_pair(), threads in 1usize..5, copies in 1usize..4) {
+        let jobs: Vec<BatchJob> = (0..copies).map(|_| BatchJob::new(&a, &b)).collect();
+        let out = gemm_in_parallel(&jobs, threads).expect("dims agree");
+        let slow = gemm_naive(&a, &b).expect("dims agree");
+        for c in &out {
+            prop_assert!(close(c, &slow));
+        }
+    }
+
+    #[test]
+    fn spmm_matches_naive((a, b) in mm_pair(), tile_width in 1usize..10) {
+        // Sparsify A deterministically: zero every third element.
+        let mut av = a.as_slice().to_vec();
+        for (i, v) in av.iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let a_sparse = Matrix::from_vec(a.rows(), a.cols(), av).expect("length matches");
+        let oracle = gemm_naive(&a_sparse, &b).expect("dims agree");
+        let via_csr = spmm_csr_dense(&Csr::from_dense(&a_sparse), &b).expect("dims agree");
+        prop_assert!(close(&via_csr, &oracle));
+        let tiled = CtCsr::from_dense(&a_sparse, tile_width).expect("positive width");
+        let via_tiled = spmm_ctcsr_dense(&tiled, &b).expect("dims agree");
+        prop_assert!(close(&via_tiled, &oracle));
+    }
+
+    #[test]
+    fn gemm_is_linear_in_a((a, b) in mm_pair()) {
+        // (2A)B == 2(AB) — catches accumulation/packing bugs cheaply.
+        let doubled = Matrix::from_vec(
+            a.rows(),
+            a.cols(),
+            a.as_slice().iter().map(|v| v * 2.0).collect(),
+        ).expect("length matches");
+        let c1 = gemm(&doubled, &b).expect("dims agree");
+        let c2 = gemm(&a, &b).expect("dims agree");
+        let c2x = Matrix::from_vec(
+            c2.rows(),
+            c2.cols(),
+            c2.as_slice().iter().map(|v| v * 2.0).collect(),
+        ).expect("length matches");
+        prop_assert!(close(&c1, &c2x));
+    }
+}

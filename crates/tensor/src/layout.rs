@@ -1,0 +1,196 @@
+//! Axis-order (data layout) transforms.
+//!
+//! The paper's sparse backward kernel (Sec. 4.2) performs an explicit data
+//! layout transformation before computing: weights and outputs are permuted
+//! so the channel dimension `c` is fastest-varying in memory, and the
+//! incoming error gradient is permuted so the feature dimension `f` is
+//! fastest-varying. This lets each non-zero gradient element multiply a
+//! *contiguous* weight vector `W'[f, *]` and accumulate into a contiguous
+//! output vector `E_I[y, x, *]` with SIMD.
+//!
+//! All transforms here are total bijections on the element set; property
+//! tests assert the round trips.
+
+use crate::{Shape3, Shape4, Tensor, TensorError};
+
+/// Converts a CHW activation tensor to HWC order (channel fastest-varying).
+///
+/// Element `(c, y, x)` moves from offset `(c*h + y)*w + x` to offset
+/// `(y*w + x)*c_count + c`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if `src.len() != shape.len()`.
+///
+/// # Example
+///
+/// ```
+/// use spg_tensor::{layout, Shape3, Tensor};
+///
+/// let shape = Shape3::new(2, 1, 2); // 2 channels, 1x2 spatial
+/// let chw = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+/// let hwc = layout::chw_to_hwc(&chw, shape)?;
+/// assert_eq!(hwc.as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+/// # Ok::<(), spg_tensor::TensorError>(())
+/// ```
+pub fn chw_to_hwc(src: &Tensor, shape: Shape3) -> Result<Tensor, TensorError> {
+    check_len(src.len(), shape.len())?;
+    let (c_n, h, w) = (shape.c, shape.h, shape.w);
+    let mut out = vec![0.0f32; src.len()];
+    let s = src.as_slice();
+    for c in 0..c_n {
+        for y in 0..h {
+            let row = &s[(c * h + y) * w..(c * h + y + 1) * w];
+            for (x, &v) in row.iter().enumerate() {
+                out[(y * w + x) * c_n + c] = v;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out))
+}
+
+/// Converts an HWC activation tensor back to CHW order.
+///
+/// Inverse of [`chw_to_hwc`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if `src.len() != shape.len()`.
+pub fn hwc_to_chw(src: &Tensor, shape: Shape3) -> Result<Tensor, TensorError> {
+    check_len(src.len(), shape.len())?;
+    let (c_n, h, w) = (shape.c, shape.h, shape.w);
+    let mut out = vec![0.0f32; src.len()];
+    let s = src.as_slice();
+    for y in 0..h {
+        for x in 0..w {
+            let base = (y * w + x) * c_n;
+            for c in 0..c_n {
+                out[(c * h + y) * w + x] = s[base + c];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out))
+}
+
+/// Permutes a weight tensor from `[f, c, ky, kx]` to `[ky, kx, f, c]` order
+/// (channel fastest-varying).
+///
+/// This is the weight layout the sparse backward kernel multiplies against:
+/// for a fixed kernel coordinate `(ky, kx)` and gradient feature `f`, the
+/// per-channel weights `W'[ky, kx, f, *]` are contiguous.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if `src.len() != shape.len()`.
+pub fn fckk_to_kkfc(src: &Tensor, shape: Shape4) -> Result<Tensor, TensorError> {
+    check_len(src.len(), shape.len())?;
+    let Shape4 { f: f_n, c: c_n, ky: ky_n, kx: kx_n } = shape;
+    let mut out = vec![0.0f32; src.len()];
+    let s = src.as_slice();
+    for f in 0..f_n {
+        for c in 0..c_n {
+            for ky in 0..ky_n {
+                for kx in 0..kx_n {
+                    let from = ((f * c_n + c) * ky_n + ky) * kx_n + kx;
+                    let to = ((ky * kx_n + kx) * f_n + f) * c_n + c;
+                    out[to] = s[from];
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out))
+}
+
+/// Permutes a weight tensor from `[ky, kx, f, c]` back to `[f, c, ky, kx]`.
+///
+/// Inverse of [`fckk_to_kkfc`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if `src.len() != shape.len()`.
+pub fn kkfc_to_fckk(src: &Tensor, shape: Shape4) -> Result<Tensor, TensorError> {
+    check_len(src.len(), shape.len())?;
+    let Shape4 { f: f_n, c: c_n, ky: ky_n, kx: kx_n } = shape;
+    let mut out = vec![0.0f32; src.len()];
+    let s = src.as_slice();
+    for ky in 0..ky_n {
+        for kx in 0..kx_n {
+            for f in 0..f_n {
+                for c in 0..c_n {
+                    let from = ((ky * kx_n + kx) * f_n + f) * c_n + c;
+                    let to = ((f * c_n + c) * ky_n + ky) * kx_n + kx;
+                    out[to] = s[from];
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out))
+}
+
+fn check_len(actual: usize, expected: usize) -> Result<(), TensorError> {
+    if actual != expected {
+        Err(TensorError::LengthMismatch { expected, actual })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(n: usize) -> Tensor {
+        (0..n).map(|i| i as f32).collect()
+    }
+
+    #[test]
+    fn chw_hwc_round_trip() {
+        let shape = Shape3::new(3, 4, 5);
+        let t = iota(shape.len());
+        let hwc = chw_to_hwc(&t, shape).unwrap();
+        let back = hwc_to_chw(&hwc, shape).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn chw_to_hwc_places_elements() {
+        let shape = Shape3::new(2, 2, 2);
+        // CHW: c0 = [0,1,2,3], c1 = [4,5,6,7]
+        let t = iota(8);
+        let hwc = chw_to_hwc(&t, shape).unwrap();
+        // (y=0,x=0) -> [c0, c1] = [0, 4]
+        assert_eq!(&hwc.as_slice()[..2], &[0.0, 4.0]);
+        // (y=1,x=1) -> [3, 7]
+        assert_eq!(&hwc.as_slice()[6..], &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn weight_permutation_round_trip() {
+        let shape = Shape4::new(3, 2, 2, 2);
+        let t = iota(shape.len());
+        let kkfc = fckk_to_kkfc(&t, shape).unwrap();
+        let back = kkfc_to_fckk(&kkfc, shape).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn weight_permutation_channel_contiguity() {
+        let shape = Shape4::new(2, 3, 1, 1);
+        // src[f=0] = [0,1,2], src[f=1] = [3,4,5] (over channels)
+        let t = iota(shape.len());
+        let kkfc = fckk_to_kkfc(&t, shape).unwrap();
+        // With ky=kx=0, layout is [f=0 channels..., f=1 channels...]
+        assert_eq!(kkfc.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let shape = Shape3::new(2, 2, 2);
+        let t = iota(7);
+        assert!(chw_to_hwc(&t, shape).is_err());
+        assert!(hwc_to_chw(&t, shape).is_err());
+        let w = Shape4::new(2, 2, 2, 2);
+        assert!(fckk_to_kkfc(&t, w).is_err());
+        assert!(kkfc_to_fckk(&t, w).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+use std::fmt;
+
+/// Shape of a 3-D activation tensor: `(channels, height, width)`.
+///
+/// Activations in this workspace are stored channel-major (CHW): the
+/// flattened index of element `(c, y, x)` is `c * h * w + y * w + x`.
+///
+/// # Example
+///
+/// ```
+/// use spg_tensor::Shape3;
+///
+/// let s = Shape3::new(3, 32, 32);
+/// assert_eq!(s.len(), 3072);
+/// assert_eq!(s.index(1, 0, 5), 32 * 32 + 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape3 {
+    /// Number of channels (feature maps).
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape3 {
+    /// Creates a new shape from channel count, height, and width.
+    pub const fn new(c: usize, h: usize, w: usize) -> Self {
+        Shape3 { c, h, w }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Returns `true` if the shape contains no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of elements in one channel plane.
+    pub const fn plane(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Flattened CHW index of element `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if any coordinate is out of range.
+    #[inline]
+    pub fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        (c * self.h + y) * self.w + x
+    }
+}
+
+impl fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+/// Shape of a 4-D weight tensor: `(features, channels, kernel height, kernel width)`.
+///
+/// Weights are stored F-C-Ky-Kx major: the flattened index of
+/// `(f, c, ky, kx)` is `((f * c_count + c) * fy + ky) * fx + kx`.
+///
+/// # Example
+///
+/// ```
+/// use spg_tensor::Shape4;
+///
+/// let s = Shape4::new(64, 3, 5, 5);
+/// assert_eq!(s.len(), 64 * 3 * 25);
+/// assert_eq!(s.index(1, 0, 0, 0), 75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Number of output features `Nf`.
+    pub f: usize,
+    /// Number of input channels `Nc`.
+    pub c: usize,
+    /// Kernel height `Fy`.
+    pub ky: usize,
+    /// Kernel width `Fx`.
+    pub kx: usize,
+}
+
+impl Shape4 {
+    /// Creates a new shape from feature count, channel count, and kernel extents.
+    pub const fn new(f: usize, c: usize, ky: usize, kx: usize) -> Self {
+        Shape4 { f, c, ky, kx }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.f * self.c * self.ky * self.kx
+    }
+
+    /// Returns `true` if the shape contains no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of weights belonging to one output feature.
+    pub const fn per_feature(&self) -> usize {
+        self.c * self.ky * self.kx
+    }
+
+    /// Flattened index of weight `(f, c, ky, kx)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if any coordinate is out of range.
+    #[inline]
+    pub fn index(&self, f: usize, c: usize, ky: usize, kx: usize) -> usize {
+        debug_assert!(f < self.f && c < self.c && ky < self.ky && kx < self.kx);
+        ((f * self.c + c) * self.ky + ky) * self.kx + kx
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.f, self.c, self.ky, self.kx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape3_len_and_index() {
+        let s = Shape3::new(2, 3, 4);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.plane(), 12);
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(1, 2, 3), 23);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn shape3_display() {
+        assert_eq!(Shape3::new(3, 32, 32).to_string(), "3x32x32");
+    }
+
+    #[test]
+    fn shape4_len_and_index() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.per_feature(), 60);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn shape4_display() {
+        assert_eq!(Shape4::new(64, 3, 5, 5).to_string(), "64x3x5x5");
+    }
+
+    #[test]
+    fn empty_shapes() {
+        assert!(Shape3::new(0, 4, 4).is_empty());
+        assert!(Shape4::new(1, 0, 3, 3).is_empty());
+    }
+
+    #[test]
+    fn index_is_row_major_contiguous() {
+        let s = Shape3::new(2, 2, 2);
+        let mut expected = 0;
+        for c in 0..2 {
+            for y in 0..2 {
+                for x in 0..2 {
+                    assert_eq!(s.index(c, y, x), expected);
+                    expected += 1;
+                }
+            }
+        }
+    }
+}

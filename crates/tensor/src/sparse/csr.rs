@@ -1,0 +1,212 @@
+use std::fmt;
+
+use crate::Matrix;
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// Stores the three classic arrays: non-zero `values`, their `col_indices`,
+/// and `row_ptr` offsets marking where each row begins (Sec. 4.2 of the
+/// paper). Rows with no non-zeros are represented by equal consecutive
+/// `row_ptr` entries.
+///
+/// # Example
+///
+/// ```
+/// use spg_tensor::{Matrix, sparse::Csr};
+///
+/// let dense = Matrix::from_vec(2, 3, vec![0.0, 5.0, 0.0, 7.0, 0.0, 0.0])?;
+/// let csr = Csr::from_dense(&dense);
+/// assert_eq!(csr.nnz(), 2);
+/// assert_eq!(csr.to_dense(), dense);
+/// # Ok::<(), spg_tensor::TensorError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    values: Vec<f32>,
+    col_indices: Vec<u32>,
+    row_ptr: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from a dense row-major matrix, dropping zeros.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let mut values = Vec::new();
+        let mut col_indices = Vec::new();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0u32);
+        for r in 0..rows {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    values.push(v);
+                    col_indices.push(c as u32);
+                }
+            }
+            row_ptr.push(values.len() as u32);
+        }
+        Csr { rows, cols, values, col_indices, row_ptr }
+    }
+
+    /// Builds a CSR matrix directly from a dense buffer slice of the given
+    /// geometry (row-major), dropping zeros. Avoids constructing a `Matrix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_slice(rows: usize, cols: usize, data: &[f32]) -> Self {
+        assert_eq!(data.len(), rows * cols, "dense buffer length mismatch");
+        let mut values = Vec::new();
+        let mut col_indices = Vec::new();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0u32);
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    values.push(v);
+                    col_indices.push(c as u32);
+                }
+            }
+            row_ptr.push(values.len() as u32);
+        }
+        Csr { rows, cols, values, col_indices, row_ptr }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zero values.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of elements that are zero, in `[0, 1]`.
+    /// Returns `0.0` for an empty matrix.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / total as f64
+    }
+
+    /// The non-zero values, row by row.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Column index of each non-zero value.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Row start offsets (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Iterates over the `(col, value)` pairs of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(r < self.rows, "row index out of bounds");
+        let lo = self.row_ptr[r] as usize;
+        let hi = self.row_ptr[r + 1] as usize;
+        self.col_indices[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Expands back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Bytes of storage used by the three CSR arrays.
+    ///
+    /// Used by the machine model to cost the format-construction and
+    /// traversal memory traffic of the sparse kernels.
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * 4 + self.col_indices.len() * 4 + self.row_ptr.len() * 4
+    }
+}
+
+impl fmt::Debug for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Csr({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_dense() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let dense = Matrix::random_sparse(13, 17, 0.7, 1.0, &mut rng);
+        let csr = Csr::from_dense(&dense);
+        assert_eq!(csr.to_dense(), dense);
+    }
+
+    #[test]
+    fn from_slice_matches_from_dense() {
+        let dense = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]).unwrap();
+        let a = Csr::from_dense(&dense);
+        let b = Csr::from_slice(2, 2, dense.as_slice());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_rows_have_equal_row_ptrs() {
+        let dense = Matrix::from_vec(3, 2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0]).unwrap();
+        let csr = Csr::from_dense(&dense);
+        assert_eq!(csr.row_ptr(), &[0, 0, 1, 1]);
+        assert_eq!(csr.row_entries(0).count(), 0);
+        assert_eq!(csr.row_entries(1).collect::<Vec<_>>(), vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn sparsity_and_nnz() {
+        let dense = Matrix::from_vec(2, 2, vec![0.0, 0.0, 0.0, 3.0]).unwrap();
+        let csr = Csr::from_dense(&dense);
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.sparsity(), 0.75);
+        assert_eq!(Csr::from_dense(&Matrix::zeros(0, 0)).sparsity(), 0.0);
+    }
+
+    #[test]
+    fn all_zero_matrix() {
+        let csr = Csr::from_dense(&Matrix::zeros(4, 4));
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.to_dense(), Matrix::zeros(4, 4));
+    }
+
+    #[test]
+    fn storage_bytes_counts_arrays() {
+        let dense = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let csr = Csr::from_dense(&dense);
+        // 4 values + 4 col indices + 3 row ptrs, each 4 bytes
+        assert_eq!(csr.storage_bytes(), (4 + 4 + 3) * 4);
+    }
+}

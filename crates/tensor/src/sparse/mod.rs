@@ -1,0 +1,17 @@
+//! Sparse matrix formats used by the goodput-oriented backward kernels.
+//!
+//! The paper stores backward-propagated error gradients — moderately sparse
+//! (50–95 %) matrices — in **CT-CSR** (column-tiled compressed sparse row,
+//! Fig. 5a): the matrix is first cut into column tiles, and each tile is
+//! stored in ordinary CSR. Tiling along both dimensions improves reuse of
+//! tile elements in cache and keeps adjacent rows of a tile adjacent in
+//! memory, reducing the number of TLB entries touched (Sec. 4.2).
+//!
+//! [`Csr`] is the plain format (also the related-work sparse-GEMM baseline);
+//! [`CtCsr`] is the paper's tiled adaptation.
+
+mod csr;
+mod ctcsr;
+
+pub use csr::Csr;
+pub use ctcsr::CtCsr;

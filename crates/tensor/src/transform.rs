@@ -1,0 +1,205 @@
+//! Strided-convolution data-layout transformation (paper Eq. 21).
+//!
+//! Strided convolutions defeat SIMD because the inputs contributing to one
+//! output vector are not contiguous: with stride `sx`, consecutive outputs
+//! read inputs `x, x + sx, x + 2*sx, ...`. The paper (following Henretty et
+//! al.) transforms the input layout
+//!
+//! ```text
+//! I[c, y, x]  ->  I[c, y, s, x']     s = x mod sx,  x' = x / sx
+//! ```
+//!
+//! so that, within one *phase* `s`, consecutive `x'` values are exactly the
+//! strided access pattern — contiguous in the new layout and loadable with
+//! a single unaligned vector load.
+//!
+//! When `w` is not a multiple of `sx`, short phases are zero-padded to the
+//! common phase width `ceil(w / sx)` so phase rows stay uniform.
+
+use crate::{Shape3, Tensor, TensorError};
+
+/// Description of a strided relayout of a CHW tensor along `x`.
+///
+/// # Example
+///
+/// ```
+/// use spg_tensor::transform::StridedLayout;
+/// use spg_tensor::{Shape3, Tensor};
+///
+/// let layout = StridedLayout::new(Shape3::new(1, 1, 6), 2)?;
+/// let t = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+/// let phased = layout.apply(&t)?;
+/// // phase 0 = even columns, phase 1 = odd columns
+/// assert_eq!(phased.as_slice(), &[0.0, 2.0, 4.0, 1.0, 3.0, 5.0]);
+/// assert_eq!(layout.invert(&phased)?, t);
+/// # Ok::<(), spg_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridedLayout {
+    shape: Shape3,
+    stride: usize,
+    phase_width: usize,
+}
+
+impl StridedLayout {
+    /// Creates a relayout for tensors of `shape` with `x`-stride `stride`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ZeroDimension`] if `stride == 0`.
+    pub fn new(shape: Shape3, stride: usize) -> Result<Self, TensorError> {
+        if stride == 0 {
+            return Err(TensorError::ZeroDimension { dim: "stride" });
+        }
+        let phase_width = shape.w.div_ceil(stride);
+        Ok(StridedLayout { shape, stride, phase_width })
+    }
+
+    /// The original tensor shape.
+    pub fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// The `x` stride this layout was built for.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Width of one phase row (`ceil(w / stride)`), including padding.
+    pub fn phase_width(&self) -> usize {
+        self.phase_width
+    }
+
+    /// Total length of the transformed buffer
+    /// (`c * h * stride * phase_width`, >= the original length).
+    pub fn transformed_len(&self) -> usize {
+        self.shape.c * self.shape.h * self.stride * self.phase_width
+    }
+
+    /// Offset of element `(c, y, phase, x')` in the transformed buffer.
+    #[inline]
+    pub fn index(&self, c: usize, y: usize, phase: usize, xp: usize) -> usize {
+        debug_assert!(phase < self.stride && xp < self.phase_width);
+        ((c * self.shape.h + y) * self.stride + phase) * self.phase_width + xp
+    }
+
+    /// Applies the relayout `I[c, y, x] -> I[c, y, s, x']`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `src.len()` does not match
+    /// the layout's shape.
+    pub fn apply(&self, src: &Tensor) -> Result<Tensor, TensorError> {
+        if src.len() != self.shape.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: self.shape.len(),
+                actual: src.len(),
+            });
+        }
+        let Shape3 { c: c_n, h, w } = self.shape;
+        let mut out = vec![0.0f32; self.transformed_len()];
+        let s = src.as_slice();
+        for c in 0..c_n {
+            for y in 0..h {
+                let row = &s[(c * h + y) * w..(c * h + y + 1) * w];
+                for (x, &v) in row.iter().enumerate() {
+                    out[self.index(c, y, x % self.stride, x / self.stride)] = v;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out))
+    }
+
+    /// Inverts the relayout, dropping phase padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `src.len()` does not match
+    /// [`transformed_len`](Self::transformed_len).
+    pub fn invert(&self, src: &Tensor) -> Result<Tensor, TensorError> {
+        if src.len() != self.transformed_len() {
+            return Err(TensorError::LengthMismatch {
+                expected: self.transformed_len(),
+                actual: src.len(),
+            });
+        }
+        let Shape3 { c: c_n, h, w } = self.shape;
+        let mut out = vec![0.0f32; self.shape.len()];
+        let s = src.as_slice();
+        for c in 0..c_n {
+            for y in 0..h {
+                for x in 0..w {
+                    out[(c * h + y) * w + x] = s[self.index(c, y, x % self.stride, x / self.stride)];
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(n: usize) -> Tensor {
+        (0..n).map(|i| i as f32).collect()
+    }
+
+    #[test]
+    fn unit_stride_is_identity() {
+        let shape = Shape3::new(2, 3, 4);
+        let layout = StridedLayout::new(shape, 1).unwrap();
+        let t = iota(shape.len());
+        assert_eq!(layout.apply(&t).unwrap(), t);
+    }
+
+    #[test]
+    fn stride_two_separates_phases() {
+        let shape = Shape3::new(1, 2, 4);
+        let layout = StridedLayout::new(shape, 2).unwrap();
+        let t = iota(8);
+        let out = layout.apply(&t).unwrap();
+        // row 0: [0,1,2,3] -> phase0 [0,2], phase1 [1,3]
+        assert_eq!(&out.as_slice()[..4], &[0.0, 2.0, 1.0, 3.0]);
+        // row 1: [4,5,6,7] -> phase0 [4,6], phase1 [5,7]
+        assert_eq!(&out.as_slice()[4..], &[4.0, 6.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn round_trip_non_divisible_width() {
+        let shape = Shape3::new(2, 2, 7);
+        let layout = StridedLayout::new(shape, 3).unwrap();
+        assert_eq!(layout.phase_width(), 3);
+        let t = iota(shape.len());
+        let phased = layout.apply(&t).unwrap();
+        assert_eq!(phased.len(), 2 * 2 * 3 * 3);
+        assert_eq!(layout.invert(&phased).unwrap(), t);
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        assert!(StridedLayout::new(Shape3::new(1, 1, 4), 0).is_err());
+    }
+
+    #[test]
+    fn wrong_lengths_rejected() {
+        let layout = StridedLayout::new(Shape3::new(1, 1, 4), 2).unwrap();
+        assert!(layout.apply(&iota(5)).is_err());
+        assert!(layout.invert(&iota(5)).is_err());
+    }
+
+    #[test]
+    fn phase_rows_are_strided_columns() {
+        // The whole point: within a phase, consecutive x' are stride-apart
+        // columns of the original — i.e. the access pattern of a strided conv.
+        let shape = Shape3::new(1, 1, 8);
+        let layout = StridedLayout::new(shape, 4).unwrap();
+        let t = iota(8);
+        let out = layout.apply(&t).unwrap();
+        for phase in 0..4 {
+            for xp in 0..2 {
+                assert_eq!(out[layout.index(0, 0, phase, xp)], (phase + 4 * xp) as f32);
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Benchmark workloads for the spg-CNN reproduction: the exact
+//! convolutions of the paper's Table 1 and Table 2, synthetic operand
+//! generators, and the error-gradient sparsity curves of Fig. 3b.
+
+#![warn(missing_docs)]
+
+pub mod networks;
+pub mod sparsity;
+pub mod synth;
+pub mod table1;
+pub mod table2;

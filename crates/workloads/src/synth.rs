@@ -1,0 +1,83 @@
+//! Seeded synthetic operand generators for kernel benchmarks.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spg_convnet::ConvSpec;
+use spg_tensor::{Matrix, Tensor};
+
+/// All buffers needed to run one convolution layer's FP and BP phases.
+#[derive(Debug, Clone)]
+pub struct ConvOperands {
+    /// Input activations (CHW).
+    pub input: Tensor,
+    /// Weights (FCKK).
+    pub weights: Tensor,
+    /// Backward error gradient (CHW over the output shape), sparsified to
+    /// the requested level.
+    pub grad_out: Tensor,
+}
+
+/// Generates deterministic operands for `spec` with the given
+/// error-gradient sparsity.
+///
+/// # Example
+///
+/// ```
+/// use spg_convnet::ConvSpec;
+/// use spg_workloads::synth::conv_operands;
+///
+/// let spec = ConvSpec::square(16, 8, 4, 3, 1);
+/// let ops = conv_operands(&spec, 0.9, 42);
+/// assert_eq!(ops.input.len(), spec.input_shape().len());
+/// assert!((ops.grad_out.sparsity() - 0.9).abs() < 0.05);
+/// ```
+pub fn conv_operands(spec: &ConvSpec, grad_sparsity: f64, seed: u64) -> ConvOperands {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let input = Tensor::random_uniform(spec.input_shape().len(), 1.0, &mut rng);
+    let weights = Tensor::random_uniform(spec.weight_shape().len(), 0.5, &mut rng);
+    let olen = spec.output_shape().len();
+    let grad_mat = Matrix::random_sparse(1, olen, grad_sparsity, 1.0, &mut rng);
+    ConvOperands { input, weights, grad_out: Tensor::from_vec(grad_mat.into_vec()) }
+}
+
+/// Generates a deterministic dense matrix pair for a GEMM benchmark.
+pub fn gemm_operands(m: usize, n: usize, k: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (Matrix::random_uniform(m, k, 1.0, &mut rng), Matrix::random_uniform(k, n, 1.0, &mut rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operands_are_seed_deterministic() {
+        let spec = ConvSpec::square(8, 4, 2, 3, 1);
+        let a = conv_operands(&spec, 0.5, 7);
+        let b = conv_operands(&spec, 0.5, 7);
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.grad_out, b.grad_out);
+        let c = conv_operands(&spec, 0.5, 8);
+        assert_ne!(a.input, c.input);
+    }
+
+    #[test]
+    fn sparsity_is_respected() {
+        let spec = ConvSpec::square(32, 16, 4, 3, 1);
+        for target in [0.0, 0.5, 0.9, 0.99] {
+            let ops = conv_operands(&spec, target, 1);
+            assert!(
+                (ops.grad_out.sparsity() - target).abs() < 0.05,
+                "target {target}, got {}",
+                ops.grad_out.sparsity()
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_operands_have_requested_shapes() {
+        let (a, b) = gemm_operands(3, 5, 7, 2);
+        assert_eq!((a.rows(), a.cols()), (3, 7));
+        assert_eq!((b.rows(), b.cols()), (7, 5));
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end CIFAR-10-shaped training — the workload of the paper's
+//! Fig. 9 — comparing the baseline `Unfold+GEMM` execution against the
+//! full spg-CNN technique stack (stencil forward + sparse backward) on
+//! real kernels, plus the machine model's multicore projection.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example cifar_training
+//! ```
+
+use std::time::Instant;
+
+use spg_cnn::convnet::data::Dataset;
+use spg_cnn::convnet::{Network, Trainer, TrainerConfig};
+use spg_cnn::core::autotune::{Framework, TuningMode};
+use spg_cnn::core::config::NetworkDescription;
+use spg_cnn::simcpu::{cifar10_throughput, EndToEndConfig, Machine};
+use spg_cnn::tensor::Shape3;
+
+/// The CIFAR-10 network of Table 2 at reduced spatial scale so the
+/// example finishes in seconds (the layer *shapes* — feature counts,
+/// kernels — are the paper's; only the image is smaller).
+const CIFAR_SMALL: &str = r#"
+    name: "cifar10-small"
+    input { channels: 3 height: 20 width: 20 }
+    conv  { features: 64 kernel: 5 }
+    relu  { }
+    pool  { window: 2 }
+    conv  { features: 64 kernel: 5 }
+    relu  { }
+    fc    { outputs: 10 }
+"#;
+
+fn build() -> Result<Network, Box<dyn std::error::Error>> {
+    Ok(NetworkDescription::parse(CIFAR_SMALL)?.build(1234)?)
+}
+
+fn train(net: &mut Network, label: &str) -> f64 {
+    let mut data = Dataset::synthetic(Shape3::new(3, 20, 20), 10, 60, 0.1, 99);
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 2,
+        learning_rate: 0.05,
+        batch_size: 10,
+        sample_threads: 1,
+        momentum: 0.0,
+        shuffle_seed: 3,
+    });
+    let start = Instant::now();
+    let stats = trainer.train(net, &mut data);
+    let elapsed = start.elapsed().as_secs_f64();
+    let images = (data.len() * stats.len()) as f64;
+    let throughput = images / elapsed;
+    println!(
+        "{label:<32} {throughput:>8.1} images/s  (final loss {:.3}, accuracy {:.2})",
+        stats.last().expect("epochs ran").mean_loss,
+        stats.last().expect("epochs ran").accuracy,
+    );
+    throughput
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== measured on this host (single core, real kernels) ==");
+
+    // Baseline: conventional Unfold+GEMM everywhere.
+    let mut baseline = build()?;
+    let base_tp = train(&mut baseline, "Unfold+GEMM baseline");
+
+    // Full framework: stencil FP + sparse BP planned per layer.
+    let mut optimized = build()?;
+    let framework = Framework::new(1, TuningMode::Heuristic, 1);
+    let plans = framework.plan_network(&mut optimized, 0.85);
+    for (layer, plan) in &plans {
+        println!("  layer {layer}: {plan}");
+    }
+    let opt_tp = train(&mut optimized, "spg-CNN (stencil FP + sparse BP)");
+    println!("single-core speedup on this host: {:.2}x", opt_tp / base_tp);
+
+    // The paper's Fig. 9 projection across core counts.
+    println!("\n== machine-model projection (Fig. 9, Xeon E5-2650) ==");
+    let machine = Machine::xeon_e5_2650();
+    println!("{:<44} {:>6} {:>6} {:>6}", "configuration", "4", "16", "32");
+    for config in EndToEndConfig::all() {
+        println!(
+            "{:<44} {:>6.0} {:>6.0} {:>6.0}",
+            config.label(),
+            cifar10_throughput(&machine, config, 4, 0.85),
+            cifar10_throughput(&machine, config, 16, 0.85),
+            cifar10_throughput(&machine, config, 32, 0.85),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Plan all four of the paper's benchmark networks (Table 2) at full
+//! scale: parse each description, place every convolution layer in the
+//! Fig. 1 design space, and print the technique plan the framework
+//! deploys per layer and phase — the configuration behind Fig. 8.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example plan_benchmarks
+//! ```
+
+use spg_cnn::core::autotune::{Framework, TuningMode};
+use spg_cnn::core::config::NetworkDescription;
+use spg_cnn::core::region::classify;
+use spg_cnn::workloads::networks;
+use spg_cnn::workloads::table2::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's setting: 16 cores, 85 % measured BP sparsity.
+    let framework = Framework::new(16, TuningMode::Heuristic, 2);
+    let sparsity = 0.85;
+
+    for bench in Benchmark::all() {
+        let desc = NetworkDescription::parse(&networks::description(bench))?;
+        let mut net = desc.build(7)?;
+        println!("== {} ({}) ==", bench.label(), desc.name);
+        let plans = framework.plan_network(&mut net, sparsity);
+        for (conv_idx, (layer_idx, plan)) in plans.into_iter().enumerate() {
+            let spec = net.layers()[layer_idx].conv_spec().expect("planned layers are conv");
+            println!(
+                "  L{conv_idx}: {spec}\n      {} | {plan}",
+                classify(spec, sparsity),
+            );
+        }
+        println!();
+    }
+
+    println!("(85 % BP sparsity, 16 cores — the Fig. 8 configuration)");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: declare a CNN in the text format, let the spg-CNN
+//! framework plan each convolution layer, and train it on a synthetic
+//! dataset while watching the error-gradient sparsity the sparse kernels
+//! exploit.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spg_cnn::convnet::data::Dataset;
+use spg_cnn::convnet::{Trainer, TrainerConfig};
+use spg_cnn::core::autotune::{Framework, TuningMode};
+use spg_cnn::core::config::NetworkDescription;
+use spg_cnn::tensor::Shape3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the network (the paper ingests an equivalent Protocol
+    //    Buffer description, Sec. 4).
+    let description = NetworkDescription::parse(
+        r#"
+        name: "quickstart"
+        input { channels: 1 height: 16 width: 16 }
+        conv  { features: 8 kernel: 3 }
+        relu  { }
+        pool  { window: 2 }
+        fc    { outputs: 4 }
+        "#,
+    )?;
+    let mut net = description.build(42)?;
+    println!("built `{}`: {net:?}", description.name);
+
+    // 2. Let the framework pick a technique per layer and phase. With 8
+    //    output features this lands in Region 4/5: stencil forward, and
+    //    sparse backward once gradients sparsify.
+    let framework = Framework::new(16, TuningMode::Heuristic, 2);
+    for (layer, plan) in framework.plan_network(&mut net, 0.85) {
+        println!("layer {layer}: {plan}");
+    }
+
+    // 3. Train on a synthetic dataset, re-tuning backward plans as the
+    //    measured gradient sparsity drifts (Sec. 4.4).
+    let mut data = Dataset::synthetic(Shape3::new(1, 16, 16), 4, 64, 0.15, 7);
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 6,
+        learning_rate: 0.08,
+        batch_size: 8,
+        sample_threads: 1,
+        momentum: 0.0,
+        shuffle_seed: 1,
+    });
+    let stats = trainer.train_with(&mut net, &mut data, |net, epoch| {
+        framework.retune(net, epoch);
+    });
+
+    println!("\nepoch  loss    accuracy  conv-grad sparsity");
+    for s in &stats {
+        println!(
+            "{:>5}  {:<6.3}  {:<8.2}  {:.3}",
+            s.epoch, s.mean_loss, s.accuracy, s.conv_grad_sparsity[0]
+        );
+    }
+
+    let last = stats.last().expect("at least one epoch");
+    assert!(
+        last.mean_loss < stats[0].mean_loss,
+        "training should reduce the loss"
+    );
+    println!("\ntrained: loss {:.3} -> {:.3}", stats[0].mean_loss, last.mean_loss);
+    Ok(())
+}

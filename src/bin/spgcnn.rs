@@ -1,0 +1,234 @@
+//! `spgcnn` — command-line front end for the spg-CNN framework.
+//!
+//! ```text
+//! spgcnn characterize <Nc> <N> <Nf> <K> <S>   # Sec. 3 characterization of one convolution
+//! spgcnn plan <net.cfg> [--cores N] [--sparsity S]
+//! spgcnn render <net.cfg> [--cores N] [--sparsity S]
+//! spgcnn train <net.cfg> [--epochs N] [--classes N] [--samples N] [--threads N]
+//! ```
+//!
+//! Network files use the protobuf-text-like format of
+//! `spg_core::config` (see `examples/` and the README quickstart).
+
+use std::process::ExitCode;
+
+use spg_cnn::convnet::data::Dataset;
+use spg_cnn::convnet::{io, ConvSpec, Network, Trainer, TrainerConfig};
+use spg_cnn::core::autotune::{Framework, TuningMode};
+use spg_cnn::core::compiled::CompiledConv;
+use spg_cnn::core::config::NetworkDescription;
+use spg_cnn::core::region::classify;
+use spg_cnn::core::schedule::recommended_plan;
+use spg_cnn::tensor::Shape3;
+
+const USAGE: &str = "\
+usage:
+  spgcnn characterize <Nc> <N> <Nf> <K> <S>
+      Sec. 3 characterization of one square convolution
+      (channels, input size, features, kernel, stride).
+  spgcnn plan <net.cfg> [--cores N] [--sparsity S]
+      Parse a network description and print the per-layer technique plan.
+  spgcnn render <net.cfg> [--cores N] [--sparsity S]
+      Print the generated kernel listings for every conv layer.
+  spgcnn train <net.cfg> [--epochs N] [--classes N] [--samples N] [--threads N]
+               [--save weights.spgw]
+      Train the network on a seeded synthetic dataset and report per-epoch
+      loss, accuracy, and gradient sparsity; optionally save the weights.
+  spgcnn eval <net.cfg> <weights.spgw> [--samples N]
+      Load trained weights and report accuracy on a fresh synthetic set.
+  spgcnn tune <net.cfg> [--cores N] [--sparsity S] [--reps N]
+      Measure every technique on every conv layer of this machine and
+      report the timings and winners (the paper's measure-and-pick step).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("characterize") => characterize(&args[1..]),
+        Some("plan") => plan(&args[1..], false),
+        Some("render") => plan(&args[1..], true),
+        Some("train") => train(&args[1..]),
+        Some("eval") => eval(&args[1..]),
+        Some("tune") => tune(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` flags after the positional arguments.
+fn flag<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == key) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value after {key}"))?
+            .parse()
+            .map_err(|_| format!("invalid value for {key}")),
+    }
+}
+
+fn characterize(args: &[String]) -> Result<(), String> {
+    if args.len() < 5 {
+        return Err("characterize needs <Nc> <N> <Nf> <K> <S>".into());
+    }
+    let nums: Vec<usize> = args[..5]
+        .iter()
+        .map(|a| a.parse().map_err(|_| format!("`{a}` is not a number")))
+        .collect::<Result<_, _>>()?;
+    let spec = ConvSpec::new(nums[0], nums[1], nums[1], nums[2], nums[3], nums[3], nums[4], nums[4])
+        .map_err(|e| e.to_string())?;
+    println!("convolution      : {spec}");
+    println!("arithmetic ops   : {}", spec.arithmetic_ops());
+    println!("intrinsic AIT    : {:.1}", spec.intrinsic_ait());
+    println!("Unfold+GEMM AIT  : {:.1}", spec.unfold_ait());
+    println!("unfold blow-up   : {:.1}x", spec.unfold_blowup());
+    for sparsity in [0.0, 0.85] {
+        println!(
+            "at sparsity {sparsity:.2} : {} -> {}",
+            classify(&spec, sparsity),
+            recommended_plan(&spec, sparsity, 16)
+        );
+    }
+    Ok(())
+}
+
+fn load(args: &[String]) -> Result<NetworkDescription, String> {
+    let path = args.first().ok_or("missing network file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    NetworkDescription::parse(&text).map_err(|e| e.to_string())
+}
+
+fn plan(args: &[String], render: bool) -> Result<(), String> {
+    let desc = load(args)?;
+    let cores = flag(args, "--cores", 16usize)?;
+    let sparsity = flag(args, "--sparsity", 0.85f64)?;
+    let mut net = desc.build(42).map_err(|e| e.to_string())?;
+    println!("network `{}`: {net:?}", desc.name);
+    let framework = Framework::new(cores, TuningMode::Heuristic, 2);
+    for (i, layer_plan) in framework.plan_network(&mut net, sparsity) {
+        let spec = *net.layers()[i].conv_spec().expect("planned layers are conv");
+        println!("\nlayer {i}: {spec}");
+        println!("  {} | {layer_plan}", classify(&spec, sparsity));
+        if render {
+            let weights = vec![0.0f32; spec.weight_shape().len()];
+            let compiled = CompiledConv::compile(spec, layer_plan, &weights, cores)
+                .map_err(|e| e.to_string())?;
+            for line in compiled.render().lines() {
+                println!("  {line}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn train(args: &[String]) -> Result<(), String> {
+    let desc = load(args)?;
+    let epochs = flag(args, "--epochs", 5usize)?;
+    let classes = flag(args, "--classes", 0usize)?;
+    let samples = flag(args, "--samples", 64usize)?;
+    let threads = flag(args, "--threads", 1usize)?;
+
+    let mut net = desc.build(42).map_err(|e| e.to_string())?;
+    let classes = if classes == 0 { net.output_len() } else { classes };
+    if classes > net.output_len() {
+        return Err(format!(
+            "{classes} classes but the network only has {} outputs",
+            net.output_len()
+        ));
+    }
+    let framework = Framework::new(threads.max(1), TuningMode::Heuristic, 2);
+    framework.plan_network(&mut net, 0.0);
+
+    let shape = Shape3::new(desc.input.c, desc.input.h, desc.input.w);
+    let mut data = Dataset::synthetic(shape, classes, samples, 0.15, 7);
+    let trainer = Trainer::new(TrainerConfig {
+        epochs,
+        sample_threads: threads.max(1),
+        ..TrainerConfig::default()
+    });
+    println!("training `{}` on {} synthetic samples, {} classes", desc.name, samples, classes);
+    println!("epoch  loss     accuracy  grad-sparsity  images/s");
+    let stats = trainer.train_with(&mut net, &mut data, |net, s| framework.retune(net, s));
+    for s in &stats {
+        let sparsity = s.conv_grad_sparsity.first().copied().unwrap_or(0.0);
+        println!(
+            "{:>5}  {:<7.4}  {:<8.3}  {:<13.3}  {:.0}",
+            s.epoch, s.mean_loss, s.accuracy, sparsity, s.images_per_sec
+        );
+    }
+    if let Some(i) = args.iter().position(|a| a == "--save") {
+        let path = args.get(i + 1).ok_or("missing value after --save")?;
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        io::save_weights(&net, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+        println!("weights saved to {path}");
+    }
+    Ok(())
+}
+
+fn tune(args: &[String]) -> Result<(), String> {
+    use spg_cnn::core::autotune::{measure_technique, Phase};
+    use spg_cnn::core::schedule::Technique;
+
+    let desc = load(args)?;
+    let cores = flag(args, "--cores", 1usize)?;
+    let sparsity = flag(args, "--sparsity", 0.85f64)?;
+    let reps = flag(args, "--reps", 3usize)?;
+    let net = desc.build(42).map_err(|e| e.to_string())?;
+    println!(
+        "measuring `{}` on this machine ({cores} core(s), sparsity {sparsity:.2}, {reps} reps)",
+        desc.name
+    );
+    for (i, layer) in net.layers().iter().enumerate() {
+        let Some(spec) = layer.conv_spec() else { continue };
+        println!("
+layer {i}: {spec}");
+        for (phase, label, candidates) in [
+            (Phase::Forward, "FP", Technique::forward_candidates()),
+            (Phase::Backward, "BP", Technique::backward_candidates()),
+        ] {
+            let mut timings: Vec<(Technique, std::time::Duration)> = candidates
+                .iter()
+                .map(|&t| (t, measure_technique(spec, t, phase, sparsity, cores, reps)))
+                .collect();
+            timings.sort_by_key(|&(_, d)| d);
+            for (rank, (t, d)) in timings.iter().enumerate() {
+                let marker = if rank == 0 { "  <- fastest" } else { "" };
+                println!(
+                    "  {label} {:<24} {:>10.3} ms{marker}",
+                    t.to_string(),
+                    d.as_secs_f64() * 1e3
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn eval(args: &[String]) -> Result<(), String> {
+    let desc = load(args)?;
+    let weights_path = args.get(1).ok_or("missing weights file")?;
+    let samples = flag(args, "--samples", 64usize)?;
+    let mut net: Network = desc.build(42).map_err(|e| e.to_string())?;
+    let file = std::fs::File::open(weights_path).map_err(|e| format!("{weights_path}: {e}"))?;
+    io::load_weights(&mut net, std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+
+    let shape = Shape3::new(desc.input.c, desc.input.h, desc.input.w);
+    let data = Dataset::synthetic(shape, net.output_len(), samples, 0.15, 7);
+    let correct = data.iter().filter(|(img, label)| net.predict(img) == *label).count();
+    println!(
+        "`{}` with weights {}: accuracy {:.3} ({correct}/{samples})",
+        desc.name,
+        weights_path,
+        correct as f64 / samples as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! Integration tests driving the `spgcnn` command-line binary end to end.
+
+use std::process::Command;
+
+fn spgcnn(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_spgcnn"))
+        .args(args)
+        .output()
+        .expect("binary exists and runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_net(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(
+        &path,
+        r#"
+        name: "cli-test"
+        input { channels: 1 height: 12 width: 12 }
+        conv  { features: 6 kernel: 3 }
+        relu  { }
+        pool  { window: 2 }
+        fc    { outputs: 3 }
+        "#,
+    )
+    .expect("temp dir is writable");
+    path
+}
+
+#[test]
+fn characterize_prints_ait_and_plan() {
+    let (stdout, _, ok) = spgcnn(&["characterize", "3", "36", "64", "5", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("intrinsic AIT"));
+    assert!(stdout.contains("Stencil-Kernel"));
+    assert!(stdout.contains("Region 5"));
+}
+
+#[test]
+fn plan_reads_network_file() {
+    let path = write_net("spgcnn_plan_test.cfg");
+    let (stdout, _, ok) = spgcnn(&["plan", path.to_str().expect("utf-8 path")]);
+    assert!(ok);
+    assert!(stdout.contains("cli-test"));
+    assert!(stdout.contains("layer 0"));
+    assert!(stdout.contains("FP:"));
+}
+
+#[test]
+fn render_emits_generated_kernels() {
+    let path = write_net("spgcnn_render_test.cfg");
+    let (stdout, _, ok) =
+        spgcnn(&["render", path.to_str().expect("utf-8 path"), "--sparsity", "0.9"]);
+    assert!(ok);
+    assert!(stdout.contains("compiled conv"));
+    assert!(stdout.contains("CT-CSR"));
+}
+
+#[test]
+fn train_reports_epochs() {
+    let path = write_net("spgcnn_train_test.cfg");
+    let (stdout, _, ok) = spgcnn(&[
+        "train",
+        path.to_str().expect("utf-8 path"),
+        "--epochs",
+        "2",
+        "--samples",
+        "12",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("epoch"));
+    assert_eq!(stdout.lines().filter(|l| l.trim_start().starts_with(['1', '2'])).count(), 2);
+}
+
+#[test]
+fn train_save_eval_round_trip() {
+    let net = write_net("spgcnn_save_test.cfg");
+    let weights = std::env::temp_dir().join("spgcnn_save_test.spgw");
+    let (stdout, _, ok) = spgcnn(&[
+        "train",
+        net.to_str().expect("utf-8 path"),
+        "--epochs",
+        "4",
+        "--samples",
+        "24",
+        "--save",
+        weights.to_str().expect("utf-8 path"),
+    ]);
+    assert!(ok, "train failed: {stdout}");
+    assert!(stdout.contains("weights saved"));
+    let (stdout, _, ok) = spgcnn(&[
+        "eval",
+        net.to_str().expect("utf-8 path"),
+        weights.to_str().expect("utf-8 path"),
+        "--samples",
+        "24",
+    ]);
+    assert!(ok, "eval failed: {stdout}");
+    assert!(stdout.contains("accuracy"));
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let (_, stderr, ok) = spgcnn(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let (_, stderr, ok) = spgcnn(&["plan", "/nonexistent/net.cfg"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
+fn tune_measures_all_techniques() {
+    let path = write_net("spgcnn_tune_test.cfg");
+    let (stdout, _, ok) = spgcnn(&["tune", path.to_str().expect("utf-8 path"), "--reps", "1"]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("fastest"));
+    assert!(stdout.contains("Stencil-Kernel"));
+    assert!(stdout.contains("Sparse-Kernel"));
+}
