@@ -121,7 +121,9 @@ fn bench_compiled_amortization(c: &mut Criterion) {
     group.throughput(Throughput::Elements(spec.arithmetic_ops()));
 
     group.bench_function("stencil_fp_stateless", |bch| {
-        bch.iter(|| stencil::forward(&spec, ops.input.as_slice(), ops.weights.as_slice(), &mut out));
+        bch.iter(|| {
+            stencil::forward(&spec, ops.input.as_slice(), ops.weights.as_slice(), &mut out)
+        });
     });
     let plan = LayerPlan { forward: Technique::StencilFp, backward: Technique::SparseBp };
     let compiled =

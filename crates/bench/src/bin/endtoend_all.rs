@@ -18,7 +18,15 @@ fn main() {
         let layers: Vec<LayerCost> =
             bench.conv_layers().into_iter().map(|spec| LayerCost { spec }).collect();
         let caffe_peak = (1..=32)
-            .map(|t| training_throughput(&machine, &layers, EndToEndConfig::ParallelGemmCaffe, t, sparsity))
+            .map(|t| {
+                training_throughput(
+                    &machine,
+                    &layers,
+                    EndToEndConfig::ParallelGemmCaffe,
+                    t,
+                    sparsity,
+                )
+            })
             .fold(0.0, f64::max);
         let full =
             training_throughput(&machine, &layers, EndToEndConfig::StencilFpSparseBp, 32, sparsity);

@@ -22,14 +22,7 @@ fn main() {
         let gemm = spg_bench::measured::unfold_gemm_fp_gflops(&spec, 5);
         let stencil = spg_bench::measured::stencil_fp_gflops(&spec, 5);
         let compiled = spg_bench::measured::stencil_fp_compiled_gflops(&spec, 5);
-        rows.push(vec![
-            name.to_owned(),
-            fmt_speedup(stencil / gemm),
-            fmt_speedup(compiled / gemm),
-        ]);
+        rows.push(vec![name.to_owned(), fmt_speedup(stencil / gemm), fmt_speedup(compiled / gemm)]);
     }
-    print!(
-        "{}",
-        render_table(&["layer", "stateless speedup", "compiled speedup"], &rows)
-    );
+    print!("{}", render_table(&["layer", "stateless speedup", "compiled speedup"], &rows));
 }

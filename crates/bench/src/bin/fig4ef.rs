@@ -16,11 +16,7 @@ fn main() {
     let mut rows = Vec::new();
     for s in [0.5, 0.75, 0.9, 0.97] {
         let m = spg_bench::measured::sparse_bp_measurement(&spec, s, 3);
-        rows.push(vec![
-            fmt(m.sparsity, 2),
-            fmt(m.goodput_gflops, 2),
-            fmt_speedup(m.speedup()),
-        ]);
+        rows.push(vec![fmt(m.sparsity, 2), fmt(m.goodput_gflops, 2), fmt_speedup(m.speedup())]);
     }
     print!("{}", render_table(&["sparsity", "goodput GFlops", "speedup vs dense"], &rows));
 }

@@ -57,13 +57,7 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &[
-                "layer",
-                "U+GEMM GF",
-                "stencil FP",
-                "stencil FP (compiled)",
-                "sparse BP @0.85",
-            ],
+            &["layer", "U+GEMM GF", "stencil FP", "stencil FP (compiled)", "sparse BP @0.85",],
             &rows
         )
     );

@@ -7,7 +7,6 @@
 //! single-core anchors printed next to them are measured on this host by
 //! [`crate::measured`].
 
-
 use spg_convnet::ConvSpec;
 use spg_core::region::classify_by_features;
 use spg_core::schedule::recommended_plan;
@@ -74,7 +73,10 @@ pub fn table2_report() -> String {
         ]);
     }
     let mut out = banner("Table 2", "real-world benchmark layer specifications");
-    out.push_str(&render_table(&["benchmark", "layer", "Nx,Nf,Nc,Fx,sx", "AIT", "Unfold AIT"], &rows));
+    out.push_str(&render_table(
+        &["benchmark", "layer", "Nx,Nf,Nc,Fx,sx", "AIT", "Unfold AIT"],
+        &rows,
+    ));
     out
 }
 
@@ -92,10 +94,7 @@ pub fn fig1_report() -> String {
         }
         rows.push(row);
     }
-    out.push_str(&render_table(
-        &["features", "s=0.00", "s=0.50", "s=0.80", "s=0.95"],
-        &rows,
-    ));
+    out.push_str(&render_table(&["features", "s=0.00", "s=0.50", "s=0.80", "s=0.95"], &rows));
     out.push_str("\nbenchmark placement (dense region -> sparse region):\n");
     let mut rows = Vec::new();
     for (bench, layer, spec) in table2::all_layers() {
@@ -115,7 +114,9 @@ pub fn fig1_report() -> String {
 pub fn fig3a_report(machine: &Machine) -> String {
     let mut out = banner("Fig 3a", "Parallel-GEMM scalability (model GFlops/core)");
     out.push_str(&scaling_table(machine, parallel_gemm_gflops_per_core));
-    out.push_str("\npaper shape: all but ID 1 lose over half their per-core performance by 16 cores\n");
+    out.push_str(
+        "\npaper shape: all but ID 1 lose over half their per-core performance by 16 cores\n",
+    );
     out
 }
 
@@ -184,7 +185,8 @@ pub fn fig4d_report(machine: &Machine) -> String {
 
 /// Fig. 4e: Sparse-Kernel (BP) goodput versus sparsity at 16 cores.
 pub fn fig4e_report(machine: &Machine) -> String {
-    let mut out = banner("Fig 4e", "Sparse-Kernel (BP) goodput vs sparsity, 16 cores (model GFlops)");
+    let mut out =
+        banner("Fig 4e", "Sparse-Kernel (BP) goodput vs sparsity, 16 cores (model GFlops)");
     let mut rows = Vec::new();
     for row in table1::rows() {
         let mut cells = vec![format!("ID {}", row.id)];
@@ -207,7 +209,9 @@ pub fn fig4f_report(machine: &Machine) -> String {
     for row in table1::rows() {
         let mut cells = vec![format!("ID {}", row.id)];
         for &s in &SPARSITY_LEVELS_4F {
-            cells.push(fmt_speedup(sparse_bp_prediction(machine, &row.spec, s, 16).speedup_over_gip));
+            cells.push(fmt_speedup(
+                sparse_bp_prediction(machine, &row.spec, s, 16).speedup_over_gip,
+            ));
         }
         rows.push(cells);
     }
@@ -231,7 +235,9 @@ pub fn fig8_report(machine: &Machine) -> String {
         let plan = recommended_plan(&spec, sparsity, cores);
         let pg = parallel_gemm_gflops_per_core(machine, &spec, cores);
         let fp_rate = match plan.forward {
-            spg_core::schedule::Technique::StencilFp => stencil_gflops_per_core(machine, &spec, cores),
+            spg_core::schedule::Technique::StencilFp => {
+                stencil_gflops_per_core(machine, &spec, cores)
+            }
             spg_core::schedule::Technique::GemmInParallel => {
                 gemm_in_parallel_gflops_per_core(machine, &spec, cores)
             }
@@ -258,7 +264,10 @@ pub fn fig8_report(machine: &Machine) -> String {
             fmt_speedup(pg_bp_time / bp_time),
         ]);
     }
-    out.push_str(&render_table(&["layer", "FP technique", "FP speedup", "BP technique", "BP speedup"], &rows));
+    out.push_str(&render_table(
+        &["layer", "FP technique", "FP speedup", "BP technique", "BP speedup"],
+        &rows,
+    ));
     out.push_str("\npaper shape: 2x-16x FP speedups; 2x-14x BP speedups at 85 % sparsity\n");
     out
 }
@@ -276,18 +285,12 @@ pub fn fig9_report(machine: &Machine) -> String {
         }
         rows.push(cells);
     }
-    out.push_str(&render_table(
-        &["configuration", "1", "2", "4", "8", "16", "32"],
-        &rows,
-    ));
+    out.push_str(&render_table(&["configuration", "1", "2", "4", "8", "16", "32"], &rows));
     out.push_str("\npaper shape: Caffe fastest at 1-2 cores; Parallel-GEMM platforms plateau after\n2 cores; GiP keeps scaling; sparse BP then stencil FP stack further gains\n");
     out
 }
 
-fn scaling_table(
-    machine: &Machine,
-    f: fn(&Machine, &ConvSpec, usize) -> f64,
-) -> String {
+fn scaling_table(machine: &Machine, f: fn(&Machine, &ConvSpec, usize) -> f64) -> String {
     let mut rows = Vec::new();
     for row in table1::rows() {
         let mut cells = vec![format!(

@@ -90,8 +90,20 @@ pub fn sparse_bp_measurement(spec: &ConvSpec, sparsity: f64, reps: usize) -> Spa
     let mut grad_w = vec![0.0f32; spec.weight_shape().len()];
 
     let mut dense = || {
-        gemm_exec::backward_data(spec, ops.weights.as_slice(), ops.grad_out.as_slice(), &mut grad_in, 1);
-        gemm_exec::backward_weights(spec, ops.input.as_slice(), ops.grad_out.as_slice(), &mut grad_w, 1);
+        gemm_exec::backward_data(
+            spec,
+            ops.weights.as_slice(),
+            ops.grad_out.as_slice(),
+            &mut grad_in,
+            1,
+        );
+        gemm_exec::backward_weights(
+            spec,
+            ops.input.as_slice(),
+            ops.grad_out.as_slice(),
+            &mut grad_w,
+            1,
+        );
     };
     dense();
     let start = Instant::now();

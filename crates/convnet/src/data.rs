@@ -58,10 +58,8 @@ impl Dataset {
         let mut labels = Vec::with_capacity(samples);
         for i in 0..samples {
             let label = i % classes;
-            let img: Tensor = prototypes[label]
-                .iter()
-                .map(|v| v + noise_dist.sample(&mut rng))
-                .collect();
+            let img: Tensor =
+                prototypes[label].iter().map(|v| v + noise_dist.sample(&mut rng)).collect();
             images.push(img);
             labels.push(label);
         }
@@ -169,18 +167,10 @@ mod tests {
     fn same_class_samples_are_similar() {
         let ds = Dataset::synthetic(Shape3::new(1, 8, 8), 2, 8, 0.05, 9);
         // Samples 0 and 2 share class 0; 0 and 1 differ.
-        let d_same: f32 = ds
-            .image(0)
-            .iter()
-            .zip(ds.image(2).iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
-        let d_diff: f32 = ds
-            .image(0)
-            .iter()
-            .zip(ds.image(1).iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let d_same: f32 =
+            ds.image(0).iter().zip(ds.image(2).iter()).map(|(a, b)| (a - b).abs()).sum();
+        let d_diff: f32 =
+            ds.image(0).iter().zip(ds.image(1).iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(d_same < d_diff, "same {d_same} vs diff {d_diff}");
     }
 
@@ -192,10 +182,8 @@ mod tests {
             ds.iter().map(|(img, l)| (img.as_slice().to_vec(), l)).collect();
         ds.shuffle(99);
         for (img, label) in ds.iter() {
-            let matching = proto
-                .iter()
-                .find(|(p, _)| p == img.as_slice())
-                .expect("image survives shuffle");
+            let matching =
+                proto.iter().find(|(p, _)| p == img.as_slice()).expect("image survives shuffle");
             assert_eq!(matching.1, label);
         }
     }

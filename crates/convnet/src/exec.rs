@@ -26,7 +26,13 @@ pub trait ConvExecutor: Send + Sync + fmt::Debug {
     fn forward(&self, spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]);
 
     /// Backward error propagation (Eq. 3). `grad_in` is overwritten.
-    fn backward_data(&self, spec: &ConvSpec, weights: &[f32], grad_out: &[f32], grad_in: &mut [f32]);
+    fn backward_data(
+        &self,
+        spec: &ConvSpec,
+        weights: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    );
 
     /// Weight gradients (Eq. 4). `grad_weights` is overwritten.
     fn backward_weights(
@@ -62,7 +68,13 @@ impl ConvExecutor for ReferenceExecutor {
         reference::forward(spec, input, weights, output);
     }
 
-    fn backward_data(&self, spec: &ConvSpec, weights: &[f32], grad_out: &[f32], grad_in: &mut [f32]) {
+    fn backward_data(
+        &self,
+        spec: &ConvSpec,
+        weights: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) {
         reference::backward_data(spec, weights, grad_out, grad_in);
     }
 
@@ -124,7 +136,13 @@ impl ConvExecutor for UnfoldGemmExecutor {
         gemm_exec::forward(spec, input, weights, output, self.threads);
     }
 
-    fn backward_data(&self, spec: &ConvSpec, weights: &[f32], grad_out: &[f32], grad_in: &mut [f32]) {
+    fn backward_data(
+        &self,
+        spec: &ConvSpec,
+        weights: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) {
         gemm_exec::backward_data(spec, weights, grad_out, grad_in, self.threads);
     }
 
@@ -146,7 +164,8 @@ mod tests {
     #[test]
     fn executors_agree() {
         let spec = ConvSpec::new(2, 6, 6, 3, 3, 3, 1, 1).unwrap();
-        let input: Vec<f32> = (0..spec.input_shape().len()).map(|i| (i as f32 * 0.3).sin()).collect();
+        let input: Vec<f32> =
+            (0..spec.input_shape().len()).map(|i| (i as f32 * 0.3).sin()).collect();
         let weights: Vec<f32> =
             (0..spec.weight_shape().len()).map(|i| (i as f32 * 0.7).cos()).collect();
         let olen = spec.output_shape().len();

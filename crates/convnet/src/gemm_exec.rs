@@ -16,13 +16,20 @@ use crate::ConvSpec;
 /// # Panics
 ///
 /// Panics if buffer lengths do not match the spec.
-pub fn forward(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32], threads: usize) {
+pub fn forward(
+    spec: &ConvSpec,
+    input: &[f32],
+    weights: &[f32],
+    output: &mut [f32],
+    threads: usize,
+) {
     let oshape = spec.output_shape();
     assert_eq!(output.len(), oshape.len(), "output length");
     assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
     let ut = unfold_transposed(spec, input);
-    let w_mat = Matrix::from_vec(spec.features(), spec.weight_shape().per_feature(), weights.to_vec())
-        .expect("weights length checked above");
+    let w_mat =
+        Matrix::from_vec(spec.features(), spec.weight_shape().per_feature(), weights.to_vec())
+            .expect("weights length checked above");
     let o = run_gemm(&w_mat, &ut, threads);
     output.copy_from_slice(o.as_slice());
 }
@@ -43,8 +50,9 @@ pub fn backward_data(
     assert_eq!(grad_out.len(), oshape.len(), "grad_out length");
     assert_eq!(grad_in.len(), spec.input_shape().len(), "grad_in length");
     let patches = spec.out_h() * spec.out_w();
-    let w_mat = Matrix::from_vec(spec.features(), spec.weight_shape().per_feature(), weights.to_vec())
-        .expect("weights length matches spec");
+    let w_mat =
+        Matrix::from_vec(spec.features(), spec.weight_shape().per_feature(), weights.to_vec())
+            .expect("weights length matches spec");
     // grad_out is CHW = features x patches row-major; E_U = E_O^T * W is
     // computed with the transpose folded into panel packing.
     let eo = Matrix::from_vec(spec.features(), patches, grad_out.to_vec())
@@ -117,11 +125,8 @@ mod tests {
             for threads in [1, 3] {
                 forward(&spec, &input, &weights, &mut via_gemm, threads);
                 reference::forward(&spec, &input, &weights, &mut oracle);
-                let diff = via_gemm
-                    .iter()
-                    .zip(&oracle)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0f32, f32::max);
+                let diff =
+                    via_gemm.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
                 assert!(diff < 1e-4, "{spec}: diff {diff}");
             }
         }

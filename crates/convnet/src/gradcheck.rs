@@ -201,9 +201,9 @@ mod tests {
         }
 
         let mut rng = SmallRng::seed_from_u64(4);
-        let mut net = Network::new(vec![Box::new(LyingLayer {
-            inner: FcLayer::new(4, 2, &mut rng),
-        }) as Box<dyn Layer>])
+        let mut net = Network::new(vec![
+            Box::new(LyingLayer { inner: FcLayer::new(4, 2, &mut rng) }) as Box<dyn Layer>,
+        ])
         .unwrap();
         let input = Tensor::random_uniform(4, 1.0, &mut rng);
         let mismatches = check_gradients(&mut net, &input, 0, 1e-2, 1e-2, 1);
@@ -213,10 +213,8 @@ mod tests {
     #[test]
     fn restores_parameters_after_checking() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let mut net = Network::new(vec![
-            Box::new(FcLayer::new(4, 3, &mut rng)) as Box<dyn Layer>,
-        ])
-        .unwrap();
+        let mut net =
+            Network::new(vec![Box::new(FcLayer::new(4, 3, &mut rng)) as Box<dyn Layer>]).unwrap();
         let before: Vec<f32> = net.layers()[0].params().unwrap().to_vec();
         let input = Tensor::random_uniform(4, 1.0, &mut rng);
         check_gradients(&mut net, &input, 2, 1e-2, 1e-2, 1);

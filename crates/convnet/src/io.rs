@@ -201,7 +201,7 @@ mod tests {
 
         let mut rng = SmallRng::seed_from_u64(5);
         let mut different = Network::new(vec![
-            Box::new(FcLayer::new(8, 2, &mut rng)) as Box<dyn crate::layer::Layer>,
+            Box::new(FcLayer::new(8, 2, &mut rng)) as Box<dyn crate::layer::Layer>
         ])
         .unwrap();
         assert!(matches!(load_weights(&mut different, buf.as_slice()), Err(LoadError::Format(_))));

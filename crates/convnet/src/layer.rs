@@ -179,9 +179,17 @@ impl Layer for ConvLayer {
         grad_out: &[f32],
         grad_in: &mut [f32],
     ) -> Option<Tensor> {
-        self.bwd.backward_data(&self.spec, self.weights.as_slice(), grad_out, grad_in);
+        // Split the two kernel sub-phases under the enclosing layer scope
+        // so goodput is observable per kernel, not just per layer.
+        {
+            let _telemetry = spg_telemetry::phase_scope(spg_telemetry::Phase::BackwardData);
+            self.bwd.backward_data(&self.spec, self.weights.as_slice(), grad_out, grad_in);
+        }
         let mut dw = Tensor::zeros(self.weights.len());
-        self.bwd.backward_weights(&self.spec, input, grad_out, dw.as_mut_slice());
+        {
+            let _telemetry = spg_telemetry::phase_scope(spg_telemetry::Phase::BackwardWeights);
+            self.bwd.backward_weights(&self.spec, input, grad_out, dw.as_mut_slice());
+        }
         Some(dw)
     }
 
@@ -544,17 +552,9 @@ mod tests {
             o.iter().zip(&gout).map(|(a, b)| a * b).sum::<f32>()
         };
         for pi in [1usize, 6] {
-            let mut plus = FcLayer {
-                in_len: 3,
-                out_len: 2,
-                params: fc.params.clone(),
-            };
+            let mut plus = FcLayer { in_len: 3, out_len: 2, params: fc.params.clone() };
             plus.params[pi] += eps;
-            let mut minus = FcLayer {
-                in_len: 3,
-                out_len: 2,
-                params: fc.params.clone(),
-            };
+            let mut minus = FcLayer { in_len: 3, out_len: 2, params: fc.params.clone() };
             minus.params[pi] -= eps;
             let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
             assert!((fd - grads[pi]).abs() < 1e-2, "param {pi}: {fd} vs {}", grads[pi]);

@@ -48,6 +48,6 @@ mod spec;
 pub mod unfold;
 
 pub use error::ConvError;
-pub use net::{LayerGradients, Network, SampleTrace};
+pub use net::{scope_label, LayerGradients, Network, SampleTrace};
 pub use sgd::{EpochStats, Trainer, TrainerConfig};
 pub use spec::ConvSpec;

@@ -6,6 +6,18 @@ use spg_tensor::Tensor;
 use crate::layer::Layer;
 use crate::ConvError;
 
+/// Telemetry scope label for layer `index` with [`Layer::name`] `name`:
+/// `conv0`, `relu1`, ... — the per-layer key of the metrics JSON schema.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(spg_convnet::scope_label(0, "conv"), "conv0");
+/// ```
+pub fn scope_label(index: usize, name: &str) -> String {
+    format!("{name}{index}")
+}
+
 /// All activations recorded during one sample's forward pass.
 ///
 /// `activations[0]` is the input; `activations[i + 1]` is the output of
@@ -129,12 +141,11 @@ impl Network {
         assert_eq!(input.len(), self.input_len(), "input length");
         let mut activations = Vec::with_capacity(self.layers.len() + 1);
         activations.push(input.clone());
-        for layer in &self.layers {
+        for (i, layer) in self.layers.iter().enumerate() {
+            let _telemetry =
+                spg_telemetry::scope(&scope_label(i, layer.name()), spg_telemetry::Phase::Forward);
             let mut out = Tensor::zeros(layer.output_len());
-            layer.forward(
-                activations.last().expect("non-empty").as_slice(),
-                out.as_mut_slice(),
-            );
+            layer.forward(activations.last().expect("non-empty").as_slice(), out.as_mut_slice());
             activations.push(out);
         }
         SampleTrace { activations }
@@ -173,12 +184,18 @@ impl Network {
         let mut grad_sparsity = vec![0.0; self.layers.len()];
         let mut grad_out = loss_grad.clone();
         for (i, layer) in self.layers.iter().enumerate().rev() {
+            let _telemetry =
+                spg_telemetry::scope(&scope_label(i, layer.name()), spg_telemetry::Phase::Backward);
             grad_sparsity[i] = grad_out.sparsity();
             let input = &trace.activations[i];
             let output = &trace.activations[i + 1];
             let mut grad_in = Tensor::zeros(layer.input_len());
-            params[i] =
-                layer.backward(input.as_slice(), output.as_slice(), grad_out.as_slice(), grad_in.as_mut_slice());
+            params[i] = layer.backward(
+                input.as_slice(),
+                output.as_slice(),
+                grad_out.as_slice(),
+                grad_in.as_mut_slice(),
+            );
             grad_out = grad_in;
         }
         LayerGradients { params, grad_sparsity }
@@ -213,17 +230,15 @@ impl Network {
             return inputs.iter().map(|input| self.predict(input)).collect();
         }
         let chunk = inputs.len().div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = inputs
                 .chunks(chunk)
-                .map(|batch| scope.spawn(move |_| batch.iter().map(|i| self.predict(i)).collect::<Vec<_>>()))
+                .map(|batch| {
+                    scope.spawn(move || batch.iter().map(|i| self.predict(i)).collect::<Vec<_>>())
+                })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("inference worker panicked"))
-                .collect()
+            handles.into_iter().flat_map(|h| h.join().expect("inference worker panicked")).collect()
         })
-        .expect("inference scope panicked")
     }
 
     /// Applies averaged parameter gradients: `params -= lr * grads / scale`.

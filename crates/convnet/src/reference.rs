@@ -96,7 +96,12 @@ pub fn backward_data(spec: &ConvSpec, weights: &[f32], grad_out: &[f32], grad_in
 /// # Panics
 ///
 /// Panics if any buffer length does not match the spec.
-pub fn backward_weights(spec: &ConvSpec, input: &[f32], grad_out: &[f32], grad_weights: &mut [f32]) {
+pub fn backward_weights(
+    spec: &ConvSpec,
+    input: &[f32],
+    grad_out: &[f32],
+    grad_weights: &mut [f32],
+) {
     let ishape = spec.input_shape();
     let wshape = spec.weight_shape();
     let oshape = spec.output_shape();

@@ -51,7 +51,8 @@ impl DropoutLayer {
     #[inline]
     fn keeps(&self, i: usize, value: f32) -> bool {
         // splitmix64 over (seed, index, value bits).
-        let mut h = self.seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ u64::from(value.to_bits());
+        let mut h =
+            self.seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ u64::from(value.to_bits());
         h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
         h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
         h ^= h >> 31;

@@ -99,10 +99,7 @@ impl Trainer {
         assert!(config.batch_size > 0, "batch size must be positive");
         assert!(config.epochs > 0, "epoch count must be positive");
         assert!(config.sample_threads > 0, "sample thread count must be positive");
-        assert!(
-            (0.0..1.0).contains(&config.momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&config.momentum), "momentum must be in [0, 1)");
         Trainer { config }
     }
 
@@ -118,20 +115,24 @@ impl Trainer {
 
     /// Trains with a per-epoch callback (used by the autotuner to re-plan
     /// backward executors as gradient sparsity drifts, Sec. 4.4).
-    pub fn train_with<F>(&self, net: &mut Network, data: &mut Dataset, mut after_epoch: F) -> Vec<EpochStats>
+    pub fn train_with<F>(
+        &self,
+        net: &mut Network,
+        data: &mut Dataset,
+        mut after_epoch: F,
+    ) -> Vec<EpochStats>
     where
         F: FnMut(&mut Network, &EpochStats),
     {
-        let conv_layers: Vec<usize> = net
-            .layers()
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.conv_spec().map(|_| i))
-            .collect();
+        let conv_layers: Vec<usize> =
+            net.layers().iter().enumerate().filter_map(|(i, l)| l.conv_spec().map(|_| i)).collect();
         let mut all_stats = Vec::with_capacity(self.config.epochs);
         // Momentum velocity per layer, lazily sized on first gradient.
         let mut velocity: Vec<Option<Tensor>> = vec![None; net.layers().len()];
         for epoch in 1..=self.config.epochs {
+            // One scope entry per epoch: `trainer` wall time / call count
+            // gives total optimizer-loop time in the metrics snapshot.
+            let _telemetry = spg_telemetry::scope("trainer", spg_telemetry::Phase::Other);
             data.shuffle(self.config.shuffle_seed.wrapping_add(epoch as u64));
             let start = Instant::now();
             let mut loss_sum = 0.0f64;
@@ -191,12 +192,8 @@ impl Trainer {
     }
 
     fn run_batch(&self, net: &Network, data: &Dataset, batch: &[usize]) -> BatchOutcome {
-        let conv_layers: Vec<usize> = net
-            .layers()
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.conv_spec().map(|_| i))
-            .collect();
+        let conv_layers: Vec<usize> =
+            net.layers().iter().enumerate().filter_map(|(i, l)| l.conv_spec().map(|_| i)).collect();
         let workers = self.config.sample_threads.min(batch.len()).max(1);
         if workers == 1 {
             let mut acc = BatchOutcome::empty(net, conv_layers.len());
@@ -207,12 +204,12 @@ impl Trainer {
         }
 
         let chunks: Vec<&[usize]> = batch.chunks(batch.len().div_ceil(workers)).collect();
-        let partials = crossbeam::thread::scope(|scope| {
+        let partials: Vec<BatchOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|chunk| {
                     let conv_layers = &conv_layers;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut acc = BatchOutcome::empty(net, conv_layers.len());
                         for &i in *chunk {
                             acc.absorb_sample(net, data, i, conv_layers);
@@ -221,9 +218,8 @@ impl Trainer {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("sample worker panicked")).collect::<Vec<_>>()
-        })
-        .expect("batch scope panicked");
+            handles.into_iter().map(|h| h.join().expect("sample worker panicked")).collect()
+        });
 
         let mut acc = BatchOutcome::empty(net, conv_layers.len());
         for p in partials {
@@ -330,7 +326,11 @@ mod tests {
         let cfg = TrainerConfig { epochs: 8, learning_rate: 0.1, ..Default::default() };
         let stats = Trainer::new(cfg).train(&mut net, &mut data);
         assert!(stats.last().unwrap().mean_loss < stats.first().unwrap().mean_loss);
-        assert!(stats.last().unwrap().accuracy > 0.6, "accuracy {}", stats.last().unwrap().accuracy);
+        assert!(
+            stats.last().unwrap().accuracy > 0.6,
+            "accuracy {}",
+            stats.last().unwrap().accuracy
+        );
     }
 
     #[test]
@@ -345,8 +345,8 @@ mod tests {
         let base = TrainerConfig { epochs: 3, ..Default::default() };
         let s1 = Trainer::new(TrainerConfig { sample_threads: 1, ..base.clone() })
             .train(&mut net1, &mut data1);
-        let s2 = Trainer::new(TrainerConfig { sample_threads: 4, ..base })
-            .train(&mut net2, &mut data2);
+        let s2 =
+            Trainer::new(TrainerConfig { sample_threads: 4, ..base }).train(&mut net2, &mut data2);
         let (l1, l2) = (s1.last().unwrap().mean_loss, s2.last().unwrap().mean_loss);
         assert!((l1 - l2).abs() < 1e-3, "{l1} vs {l2}");
     }
@@ -397,12 +397,8 @@ mod tests {
     fn momentum_training_learns() {
         let mut net = make_net(20);
         let mut data = make_data();
-        let cfg = TrainerConfig {
-            epochs: 8,
-            learning_rate: 0.05,
-            momentum: 0.9,
-            ..Default::default()
-        };
+        let cfg =
+            TrainerConfig { epochs: 8, learning_rate: 0.05, momentum: 0.9, ..Default::default() };
         let stats = Trainer::new(cfg).train(&mut net, &mut data);
         assert!(stats.last().unwrap().mean_loss < stats.first().unwrap().mean_loss);
         assert!(stats.last().unwrap().accuracy > 0.6);
@@ -416,8 +412,8 @@ mod tests {
         let mut d2 = make_data();
         let base = TrainerConfig { epochs: 3, ..Default::default() };
         let plain = Trainer::new(base.clone()).train(&mut plain_net, &mut d1);
-        let momentum = Trainer::new(TrainerConfig { momentum: 0.9, ..base })
-            .train(&mut mom_net, &mut d2);
+        let momentum =
+            Trainer::new(TrainerConfig { momentum: 0.9, ..base }).train(&mut mom_net, &mut d2);
         let (a, b) = (plain.last().unwrap().mean_loss, momentum.last().unwrap().mean_loss);
         assert!((a - b).abs() > 1e-6, "momentum had no effect: {a} vs {b}");
     }

@@ -192,7 +192,11 @@ impl ConvSpec {
     /// (`out_h * out_w` patches of `Nc * Fy * Fx` each): every kernel
     /// application gets its own copy of its receptive field.
     pub fn unfolded_elems(&self) -> u64 {
-        self.out_h() as u64 * self.out_w() as u64 * self.in_c as u64 * self.ky as u64 * self.kx as u64
+        self.out_h() as u64
+            * self.out_w() as u64
+            * self.in_c as u64
+            * self.ky as u64
+            * self.kx as u64
     }
 
     /// `|U|` under the paper's accounting, which approximates the patch

@@ -157,8 +157,7 @@ mod tests {
         fold(&spec, &g, &mut folded);
         let lhs: f64 =
             u.as_slice().iter().zip(g.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
-        let rhs: f64 =
-            input.iter().zip(&folded).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = input.iter().zip(&folded).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
         assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
     }
 

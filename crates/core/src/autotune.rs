@@ -12,7 +12,7 @@
 
 use std::time::{Duration, Instant};
 
-use spg_convnet::{EpochStats, ConvSpec, Network};
+use spg_convnet::{ConvSpec, EpochStats, Network};
 
 use crate::schedule::{recommended_plan, LayerPlan, Technique};
 
@@ -82,12 +82,37 @@ pub fn measure_technique(
 /// Panics if `reps == 0`.
 pub fn tune_layer(spec: &ConvSpec, sparsity: f64, cores: usize, reps: usize) -> LayerPlan {
     let pick = |phase: Phase, candidates: &[Technique]| {
-        candidates
+        let timed: Vec<(Technique, Duration)> = candidates
             .iter()
             .map(|&t| (t, measure_technique(spec, t, phase, sparsity, cores, reps)))
-            .min_by_key(|&(_, d)| d)
-            .map(|(t, _)| t)
-            .expect("candidate lists are non-empty")
+            .collect();
+        let chosen = timed
+            .iter()
+            .min_by_key(|&&(_, d)| d)
+            .map(|&(t, _)| t)
+            .expect("candidate lists are non-empty");
+        // Log the measure-and-pick evidence so `spgcnn tune --json` can
+        // report not just the winner but why it won.
+        if spg_telemetry::enabled() {
+            spg_telemetry::record_decision(spg_telemetry::Decision {
+                label: spg_telemetry::current_label().unwrap_or_else(|| "unscoped".to_string()),
+                phase: match phase {
+                    Phase::Forward => spg_telemetry::Phase::Forward,
+                    Phase::Backward => spg_telemetry::Phase::Backward,
+                },
+                chosen: chosen.id().to_string(),
+                sparsity,
+                cores,
+                candidates: timed
+                    .iter()
+                    .map(|&(t, d)| spg_telemetry::CandidateTiming {
+                        technique: t.id().to_string(),
+                        wall_ns: d.as_nanos() as u64,
+                    })
+                    .collect(),
+            });
+        }
+        chosen
     };
     LayerPlan {
         forward: pick(Phase::Forward, Technique::forward_candidates()),
@@ -164,7 +189,11 @@ impl Framework {
     pub fn plan_network(&self, net: &mut Network, sparsity: f64) -> Vec<(usize, LayerPlan)> {
         let mut plans = Vec::new();
         for (i, layer) in net.layers_mut().iter_mut().enumerate() {
+            let label = spg_convnet::scope_label(i, layer.name());
             let Some(conv) = layer.as_conv_mut() else { continue };
+            // Tuning traffic records under the layer's label, Tune phase,
+            // keeping measurement flops out of the training buckets.
+            let _tune = spg_telemetry::scope(&label, spg_telemetry::Phase::Tune);
             let plan = self.plan_layer(&conv.spec().clone(), sparsity);
             conv.set_forward_executor(plan.forward.executor(self.cores));
             conv.set_backward_executor(plan.backward.executor(self.cores));
@@ -182,8 +211,10 @@ impl Framework {
             return;
         }
         let mut conv_idx = 0;
-        for layer in net.layers_mut().iter_mut() {
+        for (i, layer) in net.layers_mut().iter_mut().enumerate() {
+            let label = spg_convnet::scope_label(i, layer.name());
             let Some(conv) = layer.as_conv_mut() else { continue };
+            let _tune = spg_telemetry::scope(&label, spg_telemetry::Phase::Tune);
             let sparsity = stats.conv_grad_sparsity.get(conv_idx).copied().unwrap_or(0.0);
             let plan = self.plan_layer(&conv.spec().clone(), sparsity);
             conv.set_backward_executor(plan.backward.executor(self.cores));
@@ -205,14 +236,8 @@ mod tests {
 
     #[test]
     fn measurement_returns_nonzero_time() {
-        let d = measure_technique(
-            &small_spec(),
-            Technique::GemmInParallel,
-            Phase::Forward,
-            0.0,
-            1,
-            2,
-        );
+        let d =
+            measure_technique(&small_spec(), Technique::GemmInParallel, Phase::Forward, 0.0, 1, 2);
         assert!(d > Duration::ZERO);
     }
 
@@ -229,8 +254,7 @@ mod tests {
         let spec = small_spec();
         let conv = ConvLayer::new(spec, &mut rng);
         let olen = spec.output_shape().len();
-        let mut net =
-            Network::new(vec![Box::new(conv), Box::new(ReluLayer::new(olen))]).unwrap();
+        let mut net = Network::new(vec![Box::new(conv), Box::new(ReluLayer::new(olen))]).unwrap();
         let fw = Framework::new(16, TuningMode::Heuristic, 1);
         let plans = fw.plan_network(&mut net, 0.9);
         assert_eq!(plans.len(), 1);
@@ -249,8 +273,7 @@ mod tests {
         let spec = small_spec();
         let conv = ConvLayer::new(spec, &mut rng);
         let olen = spec.output_shape().len();
-        let mut net =
-            Network::new(vec![Box::new(conv), Box::new(ReluLayer::new(olen))]).unwrap();
+        let mut net = Network::new(vec![Box::new(conv), Box::new(ReluLayer::new(olen))]).unwrap();
         let fw = Framework::new(16, TuningMode::Heuristic, 2);
         fw.plan_network(&mut net, 0.0); // dense start: GiP backward
         let stats = |epoch, sparsity| EpochStats {

@@ -115,13 +115,12 @@ impl CompiledConv {
         } else {
             None
         };
-        self.w_kkcf = if self.plan.forward == Technique::StencilFp
-            && self.spec.out_w() < VECTOR_WIDTH
-        {
-            Some(stencil_kernel::narrow_weights(&self.spec, weights))
-        } else {
-            None
-        };
+        self.w_kkcf =
+            if self.plan.forward == Technique::StencilFp && self.spec.out_w() < VECTOR_WIDTH {
+                Some(stencil_kernel::narrow_weights(&self.spec, weights))
+            } else {
+                None
+            };
     }
 
     /// The compiled convolution's specification.
@@ -191,7 +190,9 @@ impl CompiledConv {
                 grad_in,
                 self.cores,
             ),
-            _ => gemm_exec::backward_data(&self.spec, self.weights.as_slice(), grad_out, grad_in, 1),
+            _ => {
+                gemm_exec::backward_data(&self.spec, self.weights.as_slice(), grad_out, grad_in, 1)
+            }
         }
     }
 
@@ -210,13 +211,9 @@ impl CompiledConv {
                 grad_weights,
                 self.tile_width,
             ),
-            Technique::ParallelGemm => gemm_exec::backward_weights(
-                &self.spec,
-                input,
-                grad_out,
-                grad_weights,
-                self.cores,
-            ),
+            Technique::ParallelGemm => {
+                gemm_exec::backward_weights(&self.spec, input, grad_out, grad_weights, self.cores)
+            }
             _ => gemm_exec::backward_weights(&self.spec, input, grad_out, grad_weights, 1),
         }
     }

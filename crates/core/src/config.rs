@@ -199,11 +199,10 @@ impl NetworkDescription {
                             message: format!("layer {i}: conv after fc is unsupported"),
                         });
                     }
-                    let spec =
-                        ConvSpec::new(shape.c, shape.h, shape.w, features, kernel, kernel, stride, stride)
-                            .map_err(|e| SpgError::InvalidNetwork {
-                                message: format!("layer {i}: {e}"),
-                            })?;
+                    let spec = ConvSpec::new(
+                        shape.c, shape.h, shape.w, features, kernel, kernel, stride, stride,
+                    )
+                    .map_err(|e| SpgError::InvalidNetwork { message: format!("layer {i}: {e}") })?;
                     shape = spec.output_shape();
                     layers.push(Box::new(ConvLayer::new(spec, &mut rng)));
                 }
@@ -234,11 +233,10 @@ impl NetworkDescription {
                     // not from the weight-initialization seed — so a saved
                     // model restored into a freshly built shell computes
                     // the same function (see `io`).
-                    let layer =
-                        DropoutLayer::new(len, rate_pct as f32 / 100.0, 0xd20b ^ i as u64)
-                            .map_err(|e| SpgError::InvalidNetwork {
-                                message: format!("layer {i}: {e}"),
-                            })?;
+                    let layer = DropoutLayer::new(len, rate_pct as f32 / 100.0, 0xd20b ^ i as u64)
+                        .map_err(|e| SpgError::InvalidNetwork {
+                            message: format!("layer {i}: {e}"),
+                        })?;
                     layers.push(Box::new(layer));
                 }
                 LayerDesc::Lrn { size } => {
@@ -254,8 +252,7 @@ impl NetworkDescription {
                 }
             }
         }
-        Network::new(layers)
-            .map_err(|e| SpgError::InvalidNetwork { message: e.to_string() })
+        Network::new(layers).map_err(|e| SpgError::InvalidNetwork { message: e.to_string() })
     }
 }
 
@@ -301,7 +298,10 @@ fn parse_block(
                 return Err(SpgError::Parse { line, message: format!("unexpected token `{t}`") });
             }
             None => {
-                return Err(SpgError::Parse { line: start_line, message: "unterminated block".into() });
+                return Err(SpgError::Parse {
+                    line: start_line,
+                    message: "unterminated block".into(),
+                });
             }
         }
     }
@@ -369,10 +369,8 @@ mod tests {
 
     #[test]
     fn reports_line_numbers_on_errors() {
-        let err = NetworkDescription::parse(
-            "input { channels: 1 height: 8 width: 8 }\nwat { }",
-        )
-        .unwrap_err();
+        let err = NetworkDescription::parse("input { channels: 1 height: 8 width: 8 }\nwat { }")
+            .unwrap_err();
         assert!(matches!(err, SpgError::Parse { line: 2, .. }), "{err}");
     }
 

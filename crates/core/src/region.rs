@@ -114,9 +114,17 @@ pub fn classify_by_features(features: usize, sparsity: f64) -> Region {
     assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
     let sparse = sparsity > SPARSE_THRESHOLD;
     if features >= HIGH_FEATURE_THRESHOLD {
-        if sparse { Region::R1 } else { Region::R0 }
+        if sparse {
+            Region::R1
+        } else {
+            Region::R0
+        }
     } else if features >= LOW_FEATURE_THRESHOLD {
-        if sparse { Region::R3 } else { Region::R2 }
+        if sparse {
+            Region::R3
+        } else {
+            Region::R2
+        }
     } else if sparse {
         Region::R5
     } else {

@@ -38,6 +38,17 @@ impl Technique {
         &[Technique::ParallelGemm, Technique::GemmInParallel, Technique::SparseBp]
     }
 
+    /// Stable machine-readable identifier used in metrics JSON (matches
+    /// the executor names where an executor exists for the technique).
+    pub fn id(self) -> &'static str {
+        match self {
+            Technique::ParallelGemm => "parallel-gemm",
+            Technique::GemmInParallel => "gemm-in-parallel",
+            Technique::StencilFp => "stencil-fp",
+            Technique::SparseBp => "sparse-bp",
+        }
+    }
+
     /// Builds the executor implementing this technique.
     ///
     /// `cores` configures Parallel-GEMM's partitioning; the other

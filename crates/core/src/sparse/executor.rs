@@ -59,7 +59,13 @@ impl ConvExecutor for SparseBpExecutor {
         gemm_exec::forward(spec, input, weights, output, 1);
     }
 
-    fn backward_data(&self, spec: &ConvSpec, weights: &[f32], grad_out: &[f32], grad_in: &mut [f32]) {
+    fn backward_data(
+        &self,
+        spec: &ConvSpec,
+        weights: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) {
         kernel::backward_data(spec, weights, grad_out, grad_in, self.tile_width);
     }
 

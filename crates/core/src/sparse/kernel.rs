@@ -65,15 +65,22 @@ pub fn backward_data_pretransformed(
     let (fy, fx) = (spec.ky(), spec.kx());
 
     // Per-sample transform: gradient -> [y', x', f] (f fastest).
-    let eo_hwc = layout::chw_to_hwc(
-        &Tensor::from_vec(grad_out.to_vec()),
-        Shape3::new(nf, out_h, out_w),
-    )
-    .expect("grad_out length checked above");
+    let eo_hwc =
+        layout::chw_to_hwc(&Tensor::from_vec(grad_out.to_vec()), Shape3::new(nf, out_h, out_w))
+            .expect("grad_out length checked above");
 
     // Column-tiled CSR over (spatial positions x features).
     let eo_sparse = CtCsr::from_slice(out_h * out_w, nf, eo_hwc.as_slice(), tile_width)
         .expect("tile width validated above");
+
+    // Goodput accounting (Sec. 3.3): each stored gradient value touches
+    // one `(c, ky, kx)` weight block, so the kernel performs
+    // `2 * nnz * kdim` flops where a dense backward pass performs
+    // `2 * Nf * H' * W' * kdim` — the skipped zeros are the gap.
+    let nnz = eo_sparse.nnz() as u64;
+    let kdim = (nc * fy * fx) as u64;
+    spg_telemetry::record_flops(2 * nnz * kdim, spec.arithmetic_ops());
+    spg_telemetry::record_tile_occupancy(nnz, (out_h * out_w * nf) as u64);
 
     // Accumulate E_I in HWC; each non-zero scatters a channel vector per
     // kernel offset via the Eq. 15 pointer shift.
@@ -132,13 +139,19 @@ pub fn backward_weights(
 
     let in_hwc = layout::chw_to_hwc(&Tensor::from_vec(input.to_vec()), spec.input_shape())
         .expect("input length checked above");
-    let eo_hwc = layout::chw_to_hwc(
-        &Tensor::from_vec(grad_out.to_vec()),
-        Shape3::new(nf, out_h, out_w),
-    )
-    .expect("grad_out length checked above");
+    let eo_hwc =
+        layout::chw_to_hwc(&Tensor::from_vec(grad_out.to_vec()), Shape3::new(nf, out_h, out_w))
+            .expect("grad_out length checked above");
     let eo_sparse = CtCsr::from_slice(out_h * out_w, nf, eo_hwc.as_slice(), tile_width)
         .expect("tile width validated above");
+
+    // Same goodput accounting as `backward_data_pretransformed`: the
+    // delta-weight reduction also visits one `(c, ky, kx)` block per
+    // stored gradient value (Eq. 4 executed sparsely).
+    let nnz = eo_sparse.nnz() as u64;
+    let kdim = (nc * fy * fx) as u64;
+    spg_telemetry::record_flops(2 * nnz * kdim, spec.arithmetic_ops());
+    spg_telemetry::record_tile_occupancy(nnz, (out_h * out_w * nf) as u64);
 
     // Accumulate dW in [ky, kx, f, c] (c fastest), then permute back.
     let mut dw_kkfc = vec![0.0f32; fy * fx * nf * nc];

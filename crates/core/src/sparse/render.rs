@@ -34,22 +34,26 @@ pub fn render_backward_kernel(spec: &ConvSpec, tile_width: usize) -> String {
         out,
         "/* sparse backward kernel: {spec}\n   E_O stored as CT-CSR: {tiles} column tile(s) of <= {tile_width} features */"
     );
-    let _ = writeln!(out, "transform(W,  FCKK -> KKFC);   /* channels fastest: W'[ky][kx][f][0..{nc}] */");
+    let _ = writeln!(
+        out,
+        "transform(W,  FCKK -> KKFC);   /* channels fastest: W'[ky][kx][f][0..{nc}] */"
+    );
     let _ = writeln!(out, "transform(E_O, CHW -> HWC);    /* features fastest */");
     let _ = writeln!(out, "build_ct_csr(E_O, tile_width = {tile_width});");
     let _ = writeln!(out, "for (tile = 0; tile < {tiles}; ++tile)");
-    let _ = writeln!(out, "  for (p = 0; p < OUT_H*OUT_W; ++p)        /* y' = p / OUT_W, x' = p % OUT_W */");
-    let _ = writeln!(out, "    for ((f, v) in ct_csr_row(tile, p)) {{ /* non-zeros only: goodput */");
+    let _ = writeln!(
+        out,
+        "  for (p = 0; p < OUT_H*OUT_W; ++p)        /* y' = p / OUT_W, x' = p % OUT_W */"
+    );
+    let _ =
+        writeln!(out, "    for ((f, v) in ct_csr_row(tile, p)) {{ /* non-zeros only: goodput */");
     let _ = writeln!(out, "      for (ky = 0; ky < {fy}; ++ky)");
     let _ = writeln!(out, "        for (kx = 0; kx < {fx}; ++kx) {{");
     let _ = writeln!(
         out,
         "          /* pointer shift (Eq. 15): E_O[y',x',f] -> E_I[y'*{sy}+ky, x'*{sx}+kx, *] */"
     );
-    let _ = writeln!(
-        out,
-        "          axpy_{nc}(E_I + ((y'*{sy}+ky)*IN_W + x'*{sx}+kx)*{nc},"
-    );
+    let _ = writeln!(out, "          axpy_{nc}(E_I + ((y'*{sy}+ky)*IN_W + x'*{sx}+kx)*{nc},");
     let _ = writeln!(out, "                   W' + ((ky*{fx}+kx)*{nf} + f)*{nc}, v);");
     let _ = writeln!(out, "        }}");
     let _ = writeln!(out, "    }}");

@@ -35,7 +35,13 @@ impl ConvExecutor for StencilExecutor {
         kernel::forward(spec, input, weights, output);
     }
 
-    fn backward_data(&self, spec: &ConvSpec, weights: &[f32], grad_out: &[f32], grad_in: &mut [f32]) {
+    fn backward_data(
+        &self,
+        spec: &ConvSpec,
+        weights: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+    ) {
         gemm_exec::backward_data(spec, weights, grad_out, grad_in, 1);
     }
 

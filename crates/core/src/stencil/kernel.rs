@@ -48,6 +48,11 @@ pub fn forward(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f3
     assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
     assert_eq!(output.len(), spec.output_shape().len(), "output length");
 
+    // The stencil kernel computes the full dense convolution, so every
+    // charged flop is useful (goodput 1, Sec. 3.3).
+    let ops = spec.arithmetic_ops();
+    spg_telemetry::record_flops(ops, ops);
+
     if spec.out_w() < LANES {
         forward_shifted_gemm(spec, input, weights, output);
         return;
@@ -66,7 +71,9 @@ pub fn forward(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f3
                 let phased = lay.apply(&Tensor::from_vec(input.to_vec())).expect("length checked");
                 // SAFETY: as above; the phased buffer geometry comes from
                 // the layout itself.
-                unsafe { avx::forward_tiled_phased(spec, &lay, phased.as_slice(), weights, output) };
+                unsafe {
+                    avx::forward_tiled_phased(spec, &lay, phased.as_slice(), weights, output)
+                };
             }
             return;
         }
@@ -102,7 +109,8 @@ pub fn narrow_weights(spec: &ConvSpec, weights: &[f32]) -> Vec<f32> {
         for c in 0..nc {
             for ky in 0..fy {
                 for kx in 0..fx {
-                    w_kkcf[((ky * fx + kx) * nc + c) * nf + f] = weights[wshape.index(f, c, ky, kx)];
+                    w_kkcf[((ky * fx + kx) * nc + c) * nf + f] =
+                        weights[wshape.index(f, c, ky, kx)];
                 }
             }
         }
@@ -157,11 +165,8 @@ pub fn forward_narrow_pretransformed(
         }
     }
 
-    let back = layout::hwc_to_chw(
-        &Tensor::from_vec(out_hwc),
-        Shape3::new(nf, out_h, out_w),
-    )
-    .expect("constructed with matching length");
+    let back = layout::hwc_to_chw(&Tensor::from_vec(out_hwc), Shape3::new(nf, out_h, out_w))
+        .expect("constructed with matching length");
     output.copy_from_slice(back.as_slice());
 }
 
@@ -381,15 +386,36 @@ mod avx {
                 while y < y1 {
                     let rows = TILE_ROWS.min(y1 - y);
                     for &(x, wide) in &xs {
-                        let in_row = |c: usize, iy: usize| {
-                            in_ptr.add((c * in_h + y * sy + iy) * in_w + x)
-                        };
+                        let in_row =
+                            |c: usize, iy: usize| in_ptr.add((c * in_h + y * sy + iy) * in_w + x);
                         let w_fc = |c: usize| w_ptr.add((f * nc + c) * fy * fx);
                         let dst = out_plane.add(y * out_w + x);
                         if wide {
-                            tile_block::<2>(rows, fy, fx, sy, nc, in_row, w_fc, |kx| kx, dst, out_w);
+                            tile_block::<2>(
+                                rows,
+                                fy,
+                                fx,
+                                sy,
+                                nc,
+                                in_row,
+                                w_fc,
+                                |kx| kx,
+                                dst,
+                                out_w,
+                            );
                         } else {
-                            tile_block::<1>(rows, fy, fx, sy, nc, in_row, w_fc, |kx| kx, dst, out_w);
+                            tile_block::<1>(
+                                rows,
+                                fy,
+                                fx,
+                                sy,
+                                nc,
+                                in_row,
+                                w_fc,
+                                |kx| kx,
+                                dst,
+                                out_w,
+                            );
                         }
                     }
                     y += rows;
@@ -472,8 +498,7 @@ mod tests {
         reference::forward(&spec, &input, &weights, &mut oracle);
         // Accumulation order differs from the reference; tolerance scales
         // with the reduction length (Nc * Fy * Fx).
-        let diff =
-            stencil.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        let diff = stencil.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(diff < 5e-4, "{spec}: diff {diff}");
     }
 
@@ -532,8 +557,7 @@ mod tests {
         let mut oracle = vec![0.0; spec.output_shape().len()];
         forward(&spec, &input, &weights, &mut stencil);
         reference::forward(&spec, &input, &weights, &mut oracle);
-        let diff =
-            stencil.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        let diff = stencil.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(diff < 5e-4, "diff {diff}");
     }
 

@@ -61,6 +61,9 @@ pub fn gemm_in_parallel(jobs: &[BatchJob<'_>], threads: usize) -> Result<Vec<Mat
     for job in jobs {
         check_dims(job.a.rows(), job.a.cols(), job.b.rows(), job.b.cols())?;
     }
+    let batch_flops: u64 =
+        jobs.iter().map(|j| crate::gemm_flops(j.a.rows(), j.b.cols(), j.a.cols())).sum();
+    spg_telemetry::record_flops(batch_flops, batch_flops);
     let mut results: Vec<Matrix> =
         jobs.iter().map(|j| Matrix::zeros(j.a.rows(), j.b.cols())).collect();
 
@@ -76,9 +79,9 @@ pub fn gemm_in_parallel(jobs: &[BatchJob<'_>], threads: usize) -> Result<Vec<Mat
     // Hand each result slot to exactly one claimer through a Vec of options
     // guarded by the same index the atomic distributes.
     let slots: Vec<_> = results.iter_mut().map(std::sync::Mutex::new).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
@@ -87,8 +90,7 @@ pub fn gemm_in_parallel(jobs: &[BatchJob<'_>], threads: usize) -> Result<Vec<Mat
                 run_job(&jobs[i], &mut out);
             });
         }
-    })
-    .expect("batch gemm worker panicked");
+    });
     Ok(results)
 }
 
@@ -110,7 +112,10 @@ mod tests {
         let mats: Vec<(Matrix, Matrix)> = (0..9)
             .map(|i| {
                 let m = 3 + i;
-                (Matrix::random_uniform(m, 7, 1.0, &mut rng), Matrix::random_uniform(7, 5, 1.0, &mut rng))
+                (
+                    Matrix::random_uniform(m, 7, 1.0, &mut rng),
+                    Matrix::random_uniform(7, 5, 1.0, &mut rng),
+                )
             })
             .collect();
         let jobs: Vec<BatchJob> = mats.iter().map(|(a, b)| BatchJob::new(a, b)).collect();

@@ -58,6 +58,9 @@ pub fn gemm_into(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), GemmError
         });
     }
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    // A dense multiply performs every flop it is charged for, so useful
+    // and total coincide (telemetry is a no-op unless enabled).
+    spg_telemetry::record_flops(crate::gemm_flops(m, n, k), crate::gemm_flops(m, n, k));
     gemm_slice(m, n, k, a.as_slice(), k, b.as_slice(), n, c.as_mut_slice(), n);
     Ok(())
 }
@@ -145,7 +148,8 @@ mod tests {
     #[test]
     fn matches_naive_on_random_sizes() {
         let mut rng = SmallRng::seed_from_u64(42);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (6, 16, 6), (7, 17, 19), (64, 64, 64), (100, 37, 113)]
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 7), (6, 16, 6), (7, 17, 19), (64, 64, 64), (100, 37, 113)]
         {
             let a = Matrix::random_uniform(m, k, 1.0, &mut rng);
             let b = Matrix::random_uniform(k, n, 1.0, &mut rng);
@@ -192,17 +196,7 @@ mod tests {
         let b = Matrix::random_uniform(4, 4, 1.0, &mut rng);
         let full = gemm_naive(&a, &b).unwrap();
         let mut c = Matrix::zeros(4, 4);
-        gemm_slice(
-            2,
-            4,
-            4,
-            &a.as_slice()[4..],
-            4,
-            b.as_slice(),
-            4,
-            &mut c.as_mut_slice()[4..],
-            4,
-        );
+        gemm_slice(2, 4, 4, &a.as_slice()[4..], 4, b.as_slice(), 4, &mut c.as_mut_slice()[4..], 4);
         for j in 0..4 {
             assert_eq!(c.get(0, j), 0.0);
             assert!((c.get(1, j) - full.get(1, j)).abs() < 1e-4);

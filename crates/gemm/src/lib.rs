@@ -67,12 +67,7 @@ pub const fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
     2 * m as u64 * n as u64 * k as u64
 }
 
-fn check_dims(
-    a_rows: usize,
-    a_cols: usize,
-    b_rows: usize,
-    b_cols: usize,
-) -> Result<(), GemmError> {
+fn check_dims(a_rows: usize, a_cols: usize, b_rows: usize, b_cols: usize) -> Result<(), GemmError> {
     if a_cols != b_rows {
         return Err(GemmError::DimensionMismatch { a_rows, a_cols, b_rows, b_cols });
     }

@@ -48,6 +48,7 @@ pub fn gemm_naive_into(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), Gem
         });
     }
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    spg_telemetry::record_flops(crate::gemm_flops(m, n, k), crate::gemm_flops(m, n, k));
     let (av, bv) = (a.as_slice(), b.as_slice());
     let cv = c.as_mut_slice();
     for i in 0..m {

@@ -38,6 +38,9 @@ pub fn parallel_gemm(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix, G
     if m == 0 || n == 0 || k == 0 {
         return Ok(c);
     }
+    // Recorded on the calling thread so the flops land in the caller's
+    // scope; worker threads have no scope stack of their own.
+    spg_telemetry::record_flops(crate::gemm_flops(m, n, k), crate::gemm_flops(m, n, k));
 
     let workers = threads.min(m);
     if workers <= 1 {
@@ -50,17 +53,16 @@ pub fn parallel_gemm(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix, G
     let av = a.as_slice();
     let bv = b.as_slice();
     let mut bands: Vec<&mut [f32]> = c.as_mut_slice().chunks_mut(band * n).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (w, cband) in bands.iter_mut().enumerate() {
             let row0 = w * band;
             let rows = (m - row0).min(band);
             let aband = &av[row0 * k..(row0 + rows) * k];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 gemm_slice(rows, n, k, aband, k, bv, n, cband, n);
             });
         }
-    })
-    .expect("gemm worker panicked");
+    });
     Ok(c)
 }
 
@@ -88,6 +90,7 @@ pub fn parallel_gemm_cols(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matr
     if m == 0 || n == 0 || k == 0 {
         return Ok(c);
     }
+    spg_telemetry::record_flops(crate::gemm_flops(m, n, k), crate::gemm_flops(m, n, k));
 
     let workers = threads.min(n);
     if workers <= 1 {
@@ -101,18 +104,17 @@ pub fn parallel_gemm_cols(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matr
     let band = n.div_ceil(workers);
     let av = a.as_slice();
     let bv = b.as_slice();
-    let cv = std::sync::Mutex::new(c.as_mut_slice());
     // Compute each band into a private buffer, then stitch: avoids
     // aliasing &mut access to interleaved columns.
     let bands: Vec<(usize, usize)> = (0..workers)
         .map(|w| ((w * band).min(n), ((w + 1) * band).min(n)))
         .filter(|(c0, c1)| c0 < c1)
         .collect();
-    let partials = crossbeam::thread::scope(|scope| {
+    let partials: Vec<(usize, usize, Vec<f32>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = bands
             .iter()
             .map(|&(c0, c1)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let cols = c1 - c0;
                     let mut part = vec![0.0f32; m * cols];
                     // B column band: rows of b offset by c0, width cols.
@@ -121,16 +123,15 @@ pub fn parallel_gemm_cols(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matr
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("gemm worker panicked")).collect::<Vec<_>>()
-    })
-    .expect("gemm scope panicked");
-    {
-        let mut cv = cv.lock().expect("result lock");
-        for (c0, c1, part) in partials {
-            let cols = c1 - c0;
-            for r in 0..m {
-                cv[r * n + c0..r * n + c1].copy_from_slice(&part[r * cols..(r + 1) * cols]);
-            }
+        handles.into_iter().map(|h| h.join().expect("gemm worker panicked")).collect()
+    });
+    // The stitch runs strictly after the scope joins, so the result slice
+    // needs no lock: write each band straight into `c`.
+    let cv = c.as_mut_slice();
+    for (c0, c1, part) in partials {
+        let cols = c1 - c0;
+        for r in 0..m {
+            cv[r * n + c0..r * n + c1].copy_from_slice(&part[r * cols..(r + 1) * cols]);
         }
     }
     Ok(c)

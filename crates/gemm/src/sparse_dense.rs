@@ -30,6 +30,12 @@ pub fn spmm_csr_dense(a: &Csr, b: &Matrix) -> Result<Matrix, GemmError> {
     check_dims(a.rows(), a.cols(), b.rows(), b.cols())?;
     let n = b.cols();
     let mut c = Matrix::zeros(a.rows(), n);
+    // Only the stored entries generate work: useful = 2 * nnz * n against
+    // the dense total — this gap *is* the goodput headroom (Sec. 3.3).
+    spg_telemetry::record_flops(
+        2 * a.nnz() as u64 * n as u64,
+        crate::gemm_flops(a.rows(), n, a.cols()),
+    );
     let bv = b.as_slice();
     let cv = c.as_mut_slice();
     for r in 0..a.rows() {
@@ -58,6 +64,11 @@ pub fn spmm_ctcsr_dense(a: &CtCsr, b: &Matrix) -> Result<Matrix, GemmError> {
     check_dims(a.rows(), a.cols(), b.rows(), b.cols())?;
     let n = b.cols();
     let mut c = Matrix::zeros(a.rows(), n);
+    spg_telemetry::record_flops(
+        2 * a.nnz() as u64 * n as u64,
+        crate::gemm_flops(a.rows(), n, a.cols()),
+    );
+    spg_telemetry::record_tile_occupancy(a.nnz() as u64, (a.rows() * a.cols()) as u64);
     let bv = b.as_slice();
     let cv = c.as_mut_slice();
     for (col0, tile) in a.iter() {

@@ -73,6 +73,7 @@ pub fn gemm_at_b(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
     if m == 0 || n == 0 || k == 0 {
         return Ok(c);
     }
+    spg_telemetry::record_flops(crate::gemm_flops(m, n, k), crate::gemm_flops(m, n, k));
     let (av, bv) = (a.as_slice(), b.as_slice());
     let cv = c.as_mut_slice();
     let lda = a.cols();

@@ -17,8 +17,7 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 }
 
 fn mm_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
-    (1usize..24, 1usize..24, 1usize..24)
-        .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
+    (1usize..24, 1usize..24, 1usize..24).prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
 }
 
 fn close(a: &Matrix, b: &Matrix) -> bool {

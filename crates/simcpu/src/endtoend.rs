@@ -145,7 +145,9 @@ pub fn training_throughput(
             let mut time = 0.0;
             for layer in layers {
                 let fp_rate = match config {
-                    Config::StencilFpSparseBp => stencil_gflops_per_core(machine, &layer.spec, threads),
+                    Config::StencilFpSparseBp => {
+                        stencil_gflops_per_core(machine, &layer.spec, threads)
+                    }
                     _ => gemm_in_parallel_gflops_per_core(machine, &layer.spec, threads),
                 } * 1e9;
                 time += layer.spec.arithmetic_ops() as f64 / fp_rate;

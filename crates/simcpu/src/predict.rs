@@ -31,8 +31,7 @@ fn phase_ait_per_core(spec: &ConvSpec, dims: (usize, usize, usize), p: usize) ->
     let p = p as f64;
     let flops = 2.0 * m * n * k / p;
     let gemm_traffic = (m / p) * k + k * n + (m / p) * n;
-    let unfold_overhead =
-        (spec.unfolded_elems() as f64 + spec.input_elems() as f64) / p;
+    let unfold_overhead = (spec.unfolded_elems() as f64 + spec.input_elems() as f64) / p;
     flops / (gemm_traffic + unfold_overhead)
 }
 

@@ -12,10 +12,10 @@ use spg_simcpu::{
 };
 
 fn conv_spec() -> impl Strategy<Value = ConvSpec> {
-    (1usize..512, 8usize..256, 1usize..512, 1usize..8, 1usize..3).prop_filter_map(
-        "kernel fits input",
-        |(f, n, c, k, s)| ConvSpec::new(c, n, n, f, k, k, s, s).ok(),
-    )
+    (1usize..512, 8usize..256, 1usize..512, 1usize..8, 1usize..3)
+        .prop_filter_map("kernel fits input", |(f, n, c, k, s)| {
+            ConvSpec::new(c, n, n, f, k, k, s, s).ok()
+        })
 }
 
 proptest! {

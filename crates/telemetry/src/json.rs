@@ -1,0 +1,434 @@
+//! Dependency-free JSON helpers for the metrics schema: string escaping
+//! for the serializer, a minimal recursive-descent parser, and the
+//! schema validator behind `spgcnn validate-metrics`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serializes `s` as a JSON string literal with escaping.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes a finite float as a JSON number.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes an optional ratio as a JSON number or `null`.
+pub fn ratio(v: Option<f64>) -> String {
+    match v {
+        Some(v) => number(v),
+        None => "null".to_string(),
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (key order not preserved).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable message with a byte offset on malformed
+/// input or trailing garbage.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", byte as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn require_number(value: &Value, owner: &str, field: &str) -> Result<f64, String> {
+    value
+        .get(field)
+        .and_then(Value::as_number)
+        .ok_or_else(|| format!("{owner}: missing numeric field `{field}`"))
+}
+
+fn require_string<'v>(value: &'v Value, owner: &str, field: &str) -> Result<&'v str, String> {
+    value
+        .get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{owner}: missing string field `{field}`"))
+}
+
+fn require_ratio(value: &Value, owner: &str, field: &str) -> Result<(), String> {
+    match value.get(field) {
+        Some(Value::Null) => Ok(()),
+        Some(Value::Number(n)) if (0.0..=1.0).contains(n) => Ok(()),
+        Some(Value::Number(n)) => Err(format!("{owner}: field `{field}` = {n} outside [0, 1]")),
+        _ => Err(format!("{owner}: missing ratio field `{field}`")),
+    }
+}
+
+const PHASE_NAMES: [&str; 6] =
+    ["forward", "backward", "backward_data", "backward_weights", "tune", "other"];
+
+/// Validates a metrics document against schema version
+/// [`SCHEMA_VERSION`](crate::SCHEMA_VERSION).
+///
+/// # Errors
+///
+/// Returns the first structural problem found: parse failure, wrong
+/// schema name/version, or a scope/decision entry missing a required
+/// field.
+pub fn validate_metrics(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    let schema = require_string(&doc, "document", "schema")?;
+    if schema != crate::SCHEMA_NAME {
+        return Err(format!("schema `{schema}` is not `{}`", crate::SCHEMA_NAME));
+    }
+    let version = require_number(&doc, "document", "schema_version")?;
+    if version != crate::SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version} unsupported (expected {})",
+            crate::SCHEMA_VERSION
+        ));
+    }
+    if !matches!(doc.get("meta"), Some(Value::Object(_))) {
+        return Err("document: missing object field `meta`".to_string());
+    }
+
+    let scopes = doc
+        .get("scopes")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "document: missing array field `scopes`".to_string())?;
+    for (i, scope) in scopes.iter().enumerate() {
+        let owner = format!("scopes[{i}]");
+        require_string(scope, &owner, "label")?;
+        let phase = require_string(scope, &owner, "phase")?;
+        if !PHASE_NAMES.contains(&phase) {
+            return Err(format!("{owner}: unknown phase `{phase}`"));
+        }
+        for field in ["calls", "wall_ns", "useful_flops", "total_flops"] {
+            let n = require_number(scope, &owner, field)?;
+            if n < 0.0 {
+                return Err(format!("{owner}: field `{field}` = {n} is negative"));
+            }
+        }
+        require_ratio(scope, &owner, "goodput")?;
+        require_ratio(scope, &owner, "tile_occupancy")?;
+    }
+
+    let decisions = doc
+        .get("decisions")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "document: missing array field `decisions`".to_string())?;
+    for (i, decision) in decisions.iter().enumerate() {
+        let owner = format!("decisions[{i}]");
+        require_string(decision, &owner, "label")?;
+        require_string(decision, &owner, "chosen")?;
+        let phase = require_string(decision, &owner, "phase")?;
+        if !PHASE_NAMES.contains(&phase) {
+            return Err(format!("{owner}: unknown phase `{phase}`"));
+        }
+        require_number(decision, &owner, "cores")?;
+        require_number(decision, &owner, "sparsity")?;
+        let candidates = decision
+            .get("candidates")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{owner}: missing array field `candidates`"))?;
+        for (j, candidate) in candidates.iter().enumerate() {
+            let owner = format!("{owner}.candidates[{j}]");
+            require_string(candidate, &owner, "technique")?;
+            require_number(candidate, &owner, "wall_ns")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = parse(r#"{"a": [1, 2.5, "x\n", true, null], "b": {"c": -3e2}}"#).unwrap();
+        assert_eq!(doc.get("b").and_then(|b| b.get("c")).and_then(Value::as_number), Some(-300.0));
+        let items = doc.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(items[2].as_str(), Some("x\n"));
+        assert_eq!(items.len(), 5);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let original = "quote \" slash \\ newline \n tab \t unicode \u{1}";
+        let doc = parse(&format!("{{{}: {}}}", string("k"), string(original))).unwrap();
+        assert_eq!(doc.get("k").and_then(Value::as_str), Some(original));
+    }
+
+    #[test]
+    fn validator_accepts_minimal_document() {
+        let text = format!(
+            r#"{{"schema": "spgcnn-metrics", "schema_version": {},
+                "meta": {{}}, "scopes": [], "decisions": []}}"#,
+            crate::SCHEMA_VERSION
+        );
+        validate_metrics(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate_metrics("{}").is_err());
+        assert!(validate_metrics(
+            r#"{"schema": "other", "schema_version": 1, "meta": {}, "scopes": [], "decisions": []}"#
+        )
+        .is_err());
+        assert!(validate_metrics(
+            r#"{"schema": "spgcnn-metrics", "schema_version": 999, "meta": {},
+                "scopes": [], "decisions": []}"#
+        )
+        .is_err());
+        // Scope entry missing `total_flops`.
+        assert!(validate_metrics(
+            r#"{"schema": "spgcnn-metrics", "schema_version": 1, "meta": {},
+                "scopes": [{"label": "x", "phase": "forward", "calls": 1,
+                            "wall_ns": 5, "useful_flops": 1, "goodput": null,
+                            "tile_nnz": 0, "tile_capacity": 0, "tile_occupancy": null}],
+                "decisions": []}"#
+        )
+        .is_err());
+        // Goodput outside [0, 1].
+        assert!(validate_metrics(
+            r#"{"schema": "spgcnn-metrics", "schema_version": 1, "meta": {},
+                "scopes": [{"label": "x", "phase": "forward", "calls": 1,
+                            "wall_ns": 5, "useful_flops": 2, "total_flops": 1,
+                            "goodput": 2.0, "tile_nnz": 0, "tile_capacity": 0,
+                            "tile_occupancy": null}],
+                "decisions": []}"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,535 @@
+//! Goodput telemetry for the spg-CNN execution stack.
+//!
+//! The paper's third axis — *goodput*, the rate of useful (non-zero)
+//! flops (Sec. 3.3) — is made observable at runtime by this crate:
+//! kernels report the flops they actually performed (`useful`) against
+//! the flops a dense execution of the same operator would perform
+//! (`total`), attributed to the innermost active *scope* (a per-layer,
+//! per-phase label pushed by the network driver). Scopes also accumulate
+//! wall time and call counts, sparse kernels additionally report CT-CSR
+//! tile occupancy, and the autotuner logs every measure-and-pick
+//! decision with the candidate timings that justified it.
+//!
+//! Collection is disabled by default and the disabled fast path is one
+//! relaxed atomic load per instrumentation site, so the kernels pay
+//! essentially nothing unless a caller opts in via [`set_enabled`].
+//! All state is process-global and thread-safe: counters are atomics,
+//! the scope stack is thread-local, and [`snapshot`] linearizes the
+//! registry into a serializable [`MetricsSnapshot`].
+//!
+//! # Example
+//!
+//! ```
+//! use spg_telemetry as telemetry;
+//!
+//! telemetry::reset();
+//! telemetry::set_enabled(true);
+//! {
+//!     let _guard = telemetry::scope("conv0", telemetry::Phase::Forward);
+//!     // ... kernel work happens here ...
+//!     telemetry::record_flops(75, 100);
+//! }
+//! telemetry::set_enabled(false);
+//! let snap = telemetry::snapshot();
+//! let scope = &snap.scopes[0];
+//! assert_eq!((scope.label.as_str(), scope.useful_flops), ("conv0", 75));
+//! assert_eq!(scope.goodput(), Some(0.75));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub mod json;
+
+/// Version of the emitted JSON schema. Bumped on any breaking change to
+/// field names or meanings; consumers must ignore unknown fields.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Identifies the JSON document family in the `schema` field.
+pub const SCHEMA_NAME: &str = "spgcnn-metrics";
+
+/// Execution phase a scope attributes its counters to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Forward propagation.
+    Forward,
+    /// Whole-layer backward propagation (both kernel sub-phases).
+    Backward,
+    /// The data-gradient kernel inside backward propagation.
+    BackwardData,
+    /// The weight-gradient kernel inside backward propagation.
+    BackwardWeights,
+    /// Autotuning / measurement traffic.
+    Tune,
+    /// Anything else (default attribution bucket).
+    Other,
+}
+
+impl Phase {
+    /// Stable lower-snake name used in the JSON schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Forward => "forward",
+            Phase::Backward => "backward",
+            Phase::BackwardData => "backward_data",
+            Phase::BackwardWeights => "backward_weights",
+            Phase::Tune => "tune",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// Atomic counter block for one `(label, phase)` bucket.
+#[derive(Debug, Default)]
+struct PhaseCounters {
+    calls: AtomicU64,
+    wall_ns: AtomicU64,
+    useful_flops: AtomicU64,
+    total_flops: AtomicU64,
+    tile_nnz: AtomicU64,
+    tile_capacity: AtomicU64,
+}
+
+/// One candidate timing inside an autotune [`Decision`].
+#[derive(Debug, Clone)]
+pub struct CandidateTiming {
+    /// Executor / technique name as reported by the executor.
+    pub technique: String,
+    /// Measured mean wall time for the candidate.
+    pub wall_ns: u64,
+}
+
+/// One autotune measure-and-pick decision.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Scope label the decision applies to (e.g. `conv0`).
+    pub label: String,
+    /// Phase the technique was chosen for.
+    pub phase: Phase,
+    /// Name of the winning technique.
+    pub chosen: String,
+    /// Gradient sparsity assumed while measuring.
+    pub sparsity: f64,
+    /// Core count the candidates were measured at.
+    pub cores: usize,
+    /// Every measured candidate with its timing.
+    pub candidates: Vec<CandidateTiming>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<BTreeMap<(String, Phase), Arc<PhaseCounters>>> = Mutex::new(BTreeMap::new());
+static DECISIONS: Mutex<Vec<Decision>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Innermost-last stack of active scopes on this thread.
+    static SCOPES: std::cell::RefCell<Vec<(Arc<str>, Arc<PhaseCounters>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Turns collection on or off. Off is the default; when off, every
+/// instrumentation site reduces to one relaxed atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether collection is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all recorded counters and decisions (scopes currently on any
+/// thread's stack keep recording into their detached counter blocks).
+pub fn reset() {
+    REGISTRY.lock().expect("telemetry registry poisoned").clear();
+    DECISIONS.lock().expect("telemetry decisions poisoned").clear();
+}
+
+fn counters_for(label: &str, phase: Phase) -> Arc<PhaseCounters> {
+    let mut registry = REGISTRY.lock().expect("telemetry registry poisoned");
+    if let Some(existing) = registry.get(&(label.to_string(), phase)) {
+        return Arc::clone(existing);
+    }
+    let fresh = Arc::new(PhaseCounters::default());
+    registry.insert((label.to_string(), phase), Arc::clone(&fresh));
+    fresh
+}
+
+/// RAII guard produced by [`scope`] / [`phase_scope`]: accumulates wall
+/// time into its bucket and pops the thread's scope stack on drop.
+#[must_use = "a scope guard records on drop; binding it to _ discards it immediately"]
+pub struct ScopeGuard {
+    active: Option<(Instant, Arc<PhaseCounters>)>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some((start, counters)) = self.active.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            counters.wall_ns.fetch_add(ns, Ordering::Relaxed);
+            counters.calls.fetch_add(1, Ordering::Relaxed);
+            SCOPES.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Opens a `(label, phase)` scope on the current thread. Kernel-level
+/// [`record_flops`] / [`record_tile_occupancy`] calls made while the
+/// guard lives are attributed to this bucket. Inert when disabled.
+pub fn scope(label: &str, phase: Phase) -> ScopeGuard {
+    if !enabled() {
+        return ScopeGuard { active: None };
+    }
+    let counters = counters_for(label, phase);
+    SCOPES.with(|stack| {
+        stack.borrow_mut().push((Arc::from(label), Arc::clone(&counters)));
+    });
+    ScopeGuard { active: Some((Instant::now(), counters)) }
+}
+
+/// Opens a scope reusing the innermost active label but a different
+/// phase — used by layers to split backward into its two kernel
+/// sub-phases without knowing their own network position.
+pub fn phase_scope(phase: Phase) -> ScopeGuard {
+    if !enabled() {
+        return ScopeGuard { active: None };
+    }
+    let label = current_label().unwrap_or_else(|| "unscoped".to_string());
+    scope(&label, phase)
+}
+
+/// Label of the innermost active scope on this thread, if any.
+pub fn current_label() -> Option<String> {
+    SCOPES.with(|stack| stack.borrow().last().map(|(label, _)| label.to_string()))
+}
+
+fn current_counters() -> Arc<PhaseCounters> {
+    SCOPES
+        .with(|stack| stack.borrow().last().map(|(_, counters)| Arc::clone(counters)))
+        .unwrap_or_else(|| counters_for("unscoped", Phase::Other))
+}
+
+/// Records one kernel execution's flop traffic: `useful` flops actually
+/// performed versus the `total` a dense execution of the same operator
+/// would perform. Goodput for a bucket is `useful / total` (Sec. 3.3).
+pub fn record_flops(useful: u64, total: u64) {
+    if !enabled() {
+        return;
+    }
+    let counters = current_counters();
+    counters.useful_flops.fetch_add(useful, Ordering::Relaxed);
+    counters.total_flops.fetch_add(total, Ordering::Relaxed);
+}
+
+/// Records CT-CSR tile occupancy observed by a sparse kernel: `nnz`
+/// stored values against the `capacity` of a dense matrix of the same
+/// shape.
+pub fn record_tile_occupancy(nnz: u64, capacity: u64) {
+    if !enabled() {
+        return;
+    }
+    let counters = current_counters();
+    counters.tile_nnz.fetch_add(nnz, Ordering::Relaxed);
+    counters.tile_capacity.fetch_add(capacity, Ordering::Relaxed);
+}
+
+/// Logs one autotune decision (no-op while disabled).
+pub fn record_decision(decision: Decision) {
+    if !enabled() {
+        return;
+    }
+    DECISIONS.lock().expect("telemetry decisions poisoned").push(decision);
+}
+
+/// Point-in-time copy of one `(label, phase)` bucket.
+#[derive(Debug, Clone)]
+pub struct ScopeMetrics {
+    /// Scope label (e.g. `conv0`).
+    pub label: String,
+    /// Phase the counters belong to.
+    pub phase: Phase,
+    /// Number of completed scope entries.
+    pub calls: u64,
+    /// Accumulated wall time inside the scope, in nanoseconds.
+    pub wall_ns: u64,
+    /// Flops actually performed.
+    pub useful_flops: u64,
+    /// Flops a dense execution would have performed.
+    pub total_flops: u64,
+    /// CT-CSR stored values observed by sparse kernels.
+    pub tile_nnz: u64,
+    /// Dense capacity corresponding to `tile_nnz`.
+    pub tile_capacity: u64,
+}
+
+impl ScopeMetrics {
+    /// Goodput ratio `useful / total`, or `None` when no flops were
+    /// recorded.
+    pub fn goodput(&self) -> Option<f64> {
+        if self.total_flops == 0 {
+            None
+        } else {
+            Some(self.useful_flops as f64 / self.total_flops as f64)
+        }
+    }
+
+    /// Observed CT-CSR tile occupancy `nnz / capacity`, or `None` when no
+    /// sparse kernel ran in this bucket.
+    pub fn tile_occupancy(&self) -> Option<f64> {
+        if self.tile_capacity == 0 {
+            None
+        } else {
+            Some(self.tile_nnz as f64 / self.tile_capacity as f64)
+        }
+    }
+}
+
+/// Point-in-time copy of the whole telemetry state.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// All buckets, ordered by `(label, phase)`.
+    pub scopes: Vec<ScopeMetrics>,
+    /// All autotune decisions, in the order they were taken.
+    pub decisions: Vec<Decision>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up one bucket by label and phase.
+    pub fn scope(&self, label: &str, phase: Phase) -> Option<&ScopeMetrics> {
+        self.scopes.iter().find(|s| s.label == label && s.phase == phase)
+    }
+
+    /// Serializes to the versioned metrics JSON document (see
+    /// `README.md`, section *Observability*, for the schema). `meta`
+    /// key/value pairs are embedded verbatim under the `meta` object.
+    pub fn to_json(&self, meta: &[(&str, String)]) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json::string(SCHEMA_NAME)));
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str("  \"meta\": {");
+        for (i, (key, value)) in meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json::string(key), json::string(value)));
+        }
+        if !meta.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"scopes\": [");
+        for (i, scope) in self.scopes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"label\": {}, \"phase\": {}, \"calls\": {}, \"wall_ns\": {}, \
+                 \"useful_flops\": {}, \"total_flops\": {}, \"goodput\": {}, \
+                 \"tile_nnz\": {}, \"tile_capacity\": {}, \"tile_occupancy\": {}}}",
+                json::string(&scope.label),
+                json::string(scope.phase.as_str()),
+                scope.calls,
+                scope.wall_ns,
+                scope.useful_flops,
+                scope.total_flops,
+                json::ratio(scope.goodput()),
+                scope.tile_nnz,
+                scope.tile_capacity,
+                json::ratio(scope.tile_occupancy()),
+            ));
+        }
+        if !self.scopes.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"decisions\": [");
+        for (i, decision) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let candidates: Vec<String> = decision
+                .candidates
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"technique\": {}, \"wall_ns\": {}}}",
+                        json::string(&c.technique),
+                        c.wall_ns
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "\n    {{\"label\": {}, \"phase\": {}, \"chosen\": {}, \"sparsity\": {}, \
+                 \"cores\": {}, \"candidates\": [{}]}}",
+                json::string(&decision.label),
+                json::string(decision.phase.as_str()),
+                json::string(&decision.chosen),
+                json::number(decision.sparsity),
+                decision.cores,
+                candidates.join(", "),
+            ));
+        }
+        if !self.decisions.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Copies the current telemetry state out of the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    let registry = REGISTRY.lock().expect("telemetry registry poisoned");
+    let scopes = registry
+        .iter()
+        .map(|((label, phase), counters)| ScopeMetrics {
+            label: label.clone(),
+            phase: *phase,
+            calls: counters.calls.load(Ordering::Relaxed),
+            wall_ns: counters.wall_ns.load(Ordering::Relaxed),
+            useful_flops: counters.useful_flops.load(Ordering::Relaxed),
+            total_flops: counters.total_flops.load(Ordering::Relaxed),
+            tile_nnz: counters.tile_nnz.load(Ordering::Relaxed),
+            tile_capacity: counters.tile_capacity.load(Ordering::Relaxed),
+        })
+        .collect();
+    drop(registry);
+    let decisions = DECISIONS.lock().expect("telemetry decisions poisoned").clone();
+    MetricsSnapshot { scopes, decisions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes enable/disable cycles across tests in this module:
+    /// telemetry state is process-global and cargo runs tests in
+    /// parallel.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(false);
+        let _guard = scope("off", Phase::Forward);
+        record_flops(10, 10);
+        assert!(snapshot().scope("off", Phase::Forward).is_none());
+    }
+
+    #[test]
+    fn scope_attributes_flops_and_wall_time() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        {
+            let _guard = scope("layer", Phase::Forward);
+            record_flops(30, 40);
+            record_flops(10, 20);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let metrics = snap.scope("layer", Phase::Forward).expect("bucket exists");
+        assert_eq!(metrics.calls, 1);
+        assert_eq!(metrics.useful_flops, 40);
+        assert_eq!(metrics.total_flops, 60);
+        assert_eq!(metrics.goodput(), Some(40.0 / 60.0));
+    }
+
+    #[test]
+    fn nested_phase_scope_reuses_label() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = scope("convX", Phase::Backward);
+            {
+                let _inner = phase_scope(Phase::BackwardData);
+                record_flops(5, 9);
+            }
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let inner = snap.scope("convX", Phase::BackwardData).expect("inner bucket");
+        assert_eq!((inner.useful_flops, inner.total_flops), (5, 9));
+        assert_eq!(snap.scope("convX", Phase::Backward).expect("outer bucket").calls, 1);
+    }
+
+    #[test]
+    fn unscoped_records_fall_into_default_bucket() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        record_flops(7, 7);
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.scope("unscoped", Phase::Other).expect("bucket").useful_flops, 7);
+    }
+
+    #[test]
+    fn tile_occupancy_tracks_nnz() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        {
+            let _guard = scope("sparse", Phase::BackwardData);
+            record_tile_occupancy(25, 100);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let metrics = snap.scope("sparse", Phase::BackwardData).expect("bucket");
+        assert_eq!(metrics.tile_occupancy(), Some(0.25));
+    }
+
+    #[test]
+    fn json_round_trips_through_validator() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        {
+            let _guard = scope("conv0", Phase::Forward);
+            record_flops(100, 100);
+        }
+        record_decision(Decision {
+            label: "conv0".to_string(),
+            phase: Phase::Backward,
+            chosen: "sparse-bp".to_string(),
+            sparsity: 0.85,
+            cores: 4,
+            candidates: vec![
+                CandidateTiming { technique: "sparse-bp".to_string(), wall_ns: 10 },
+                CandidateTiming { technique: "unfold+gemm".to_string(), wall_ns: 25 },
+            ],
+        });
+        set_enabled(false);
+        let text = snapshot().to_json(&[("command", "test".to_string())]);
+        json::validate_metrics(&text).expect("snapshot JSON validates against the schema");
+    }
+
+    #[test]
+    fn multithreaded_scopes_are_independent() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        std::thread::scope(|threads| {
+            for worker in 0..4 {
+                threads.spawn(move || {
+                    let label = format!("worker{worker}");
+                    let _guard = scope(&label, Phase::Forward);
+                    record_flops(100, 100);
+                });
+            }
+        });
+        set_enabled(false);
+        let snap = snapshot();
+        for worker in 0..4 {
+            let label = format!("worker{worker}");
+            let metrics = snap.scope(&label, Phase::Forward).expect("per-thread bucket");
+            assert_eq!((metrics.calls, metrics.useful_flops), (1, 100));
+        }
+    }
+}

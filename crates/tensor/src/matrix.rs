@@ -177,12 +177,7 @@ impl Matrix {
         if self.rows != other.rows || self.cols != other.cols {
             return Err(TensorError::LengthMismatch { expected: self.len(), actual: other.len() });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max))
     }
 }
 

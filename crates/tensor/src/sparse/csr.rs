@@ -123,10 +123,7 @@ impl Csr {
         assert!(r < self.rows, "row index out of bounds");
         let lo = self.row_ptr[r] as usize;
         let hi = self.row_ptr[r + 1] as usize;
-        self.col_indices[lo..hi]
-            .iter()
-            .zip(&self.values[lo..hi])
-            .map(|(&c, &v)| (c as usize, v))
+        self.col_indices[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c as usize, v))
     }
 
     /// Expands back to a dense matrix.

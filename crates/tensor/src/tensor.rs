@@ -141,12 +141,7 @@ impl Tensor {
         if self.len() != other.len() {
             return Err(TensorError::LengthMismatch { expected: self.len(), actual: other.len() });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max))
     }
 }
 

@@ -129,7 +129,8 @@ impl StridedLayout {
         for c in 0..c_n {
             for y in 0..h {
                 for x in 0..w {
-                    out[(c * h + y) * w + x] = s[self.index(c, y, x % self.stride, x / self.stride)];
+                    out[(c * h + y) * w + x] =
+                        s[self.index(c, y, x % self.stride, x / self.stride)];
                 }
             }
         }

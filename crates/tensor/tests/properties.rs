@@ -9,18 +9,15 @@ use spg_tensor::{layout, Matrix, Shape3, Shape4, Tensor};
 
 fn sparse_matrix() -> impl Strategy<Value = Matrix> {
     (1usize..12, 1usize..12, 0.0f64..1.0).prop_flat_map(|(r, c, sp)| {
-        proptest::collection::vec(
-            prop_oneof![3 => Just(0.0f32), 1 => -10.0f32..10.0],
-            r * c,
-        )
-        .prop_map(move |mut v| {
-            // Push towards the requested sparsity deterministically.
-            let target_zeros = (sp * (r * c) as f64) as usize;
-            for x in v.iter_mut().take(target_zeros) {
-                *x = 0.0;
-            }
-            Matrix::from_vec(r, c, v).expect("length matches by construction")
-        })
+        proptest::collection::vec(prop_oneof![3 => Just(0.0f32), 1 => -10.0f32..10.0], r * c)
+            .prop_map(move |mut v| {
+                // Push towards the requested sparsity deterministically.
+                let target_zeros = (sp * (r * c) as f64) as usize;
+                for x in v.iter_mut().take(target_zeros) {
+                    *x = 0.0;
+                }
+                Matrix::from_vec(r, c, v).expect("length matches by construction")
+            })
     })
 }
 

@@ -176,7 +176,13 @@ mod tests {
                 // sizes (Table 2 note); a valid-convolution chain can only
                 // approximate them, so allow a few pixels of slack.
                 let dh = got.in_h() as i64 - want.in_h() as i64;
-                assert!(dh.abs() <= 4, "{} L{i} input size: {} vs {}", bench.label(), got.in_h(), want.in_h());
+                assert!(
+                    dh.abs() <= 4,
+                    "{} L{i} input size: {} vs {}",
+                    bench.label(),
+                    got.in_h(),
+                    want.in_h()
+                );
                 assert_eq!(got.features(), want.features(), "{} L{i} features", bench.label());
                 assert_eq!(got.kx(), want.kx(), "{} L{i} kernel", bench.label());
                 assert_eq!(got.sx(), want.sx(), "{} L{i} stride", bench.label());

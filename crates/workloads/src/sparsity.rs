@@ -71,9 +71,7 @@ impl SparsityBenchmark {
 pub fn modeled_curve(benchmark: SparsityBenchmark, epochs: usize) -> Vec<f64> {
     let (s1, s_inf) = benchmark.fit();
     const TAU: f64 = 2.5;
-    (1..=epochs)
-        .map(|e| s_inf - (s_inf - s1) * (-((e - 1) as f64) / TAU).exp())
-        .collect()
+    (1..=epochs).map(|e| s_inf - (s_inf - s1) * (-((e - 1) as f64) / TAU).exp()).collect()
 }
 
 /// Trains a small CNN on a synthetic dataset and returns the measured
@@ -91,9 +89,7 @@ pub fn measured_curve(epochs: usize, seed: u64) -> Vec<f64> {
     let net = Network::new(vec![
         Box::new(ConvLayer::new(spec, &mut rng)),
         Box::new(ReluLayer::new(out.len())),
-        Box::new(
-            MaxPoolLayer::new(Shape3::new(out.c, out.h, out.w), 2).expect("valid fixed pool"),
-        ),
+        Box::new(MaxPoolLayer::new(Shape3::new(out.c, out.h, out.w), 2).expect("valid fixed pool")),
         Box::new(FcLayer::new(6 * 5 * 5, 4, &mut rng)),
     ])
     .expect("geometry chains by construction");

@@ -84,12 +84,24 @@ mod tests {
     #[test]
     fn computed_values_match_paper() {
         for row in rows() {
-            let i_err =
-                (row.computed_intrinsic_ait() - row.paper_intrinsic_ait).abs() / row.paper_intrinsic_ait;
-            assert!(i_err < 0.005, "ID {}: intrinsic {} vs {}", row.id, row.computed_intrinsic_ait(), row.paper_intrinsic_ait);
+            let i_err = (row.computed_intrinsic_ait() - row.paper_intrinsic_ait).abs()
+                / row.paper_intrinsic_ait;
+            assert!(
+                i_err < 0.005,
+                "ID {}: intrinsic {} vs {}",
+                row.id,
+                row.computed_intrinsic_ait(),
+                row.paper_intrinsic_ait
+            );
             let u_err =
                 (row.computed_unfold_ait() - row.paper_unfold_ait).abs() / row.paper_unfold_ait;
-            assert!(u_err < 0.05, "ID {}: unfold {} vs {}", row.id, row.computed_unfold_ait(), row.paper_unfold_ait);
+            assert!(
+                u_err < 0.05,
+                "ID {}: unfold {} vs {}",
+                row.id,
+                row.computed_unfold_ait(),
+                row.paper_unfold_ait
+            );
             assert_eq!(row.computed_regions(), row.paper_regions, "ID {}", row.id);
         }
     }

@@ -33,7 +33,10 @@ fn main() {
     let dims = conv_gemm_dims(&spec);
     println!("forward GEMM dims       : {:?}", dims.forward);
     for cores in [1usize, 2, 4, 8, 16] {
-        println!("  {cores:>2} cores -> mean AIT/core {:.1}", conv_training_ait_per_core(&spec, cores));
+        println!(
+            "  {cores:>2} cores -> mean AIT/core {:.1}",
+            conv_training_ait_per_core(&spec, cores)
+        );
     }
     println!();
 

@@ -27,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plans = framework.plan_network(&mut net, sparsity);
         for (conv_idx, (layer_idx, plan)) in plans.into_iter().enumerate() {
             let spec = net.layers()[layer_idx].conv_spec().expect("planned layers are conv");
-            println!(
-                "  L{conv_idx}: {spec}\n      {} | {plan}",
-                classify(spec, sparsity),
-            );
+            println!("  L{conv_idx}: {spec}\n      {} | {plan}", classify(spec, sparsity),);
         }
         println!();
     }

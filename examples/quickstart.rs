@@ -63,10 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let last = stats.last().expect("at least one epoch");
-    assert!(
-        last.mean_loss < stats[0].mean_loss,
-        "training should reduce the loss"
-    );
+    assert!(last.mean_loss < stats[0].mean_loss, "training should reduce the loss");
     println!("\ntrained: loss {:.3} -> {:.3}", stats[0].mean_loss, last.mean_loss);
     Ok(())
 }

@@ -42,8 +42,20 @@ fn main() {
         let mut grad_w = vec![0.0f32; spec.weight_shape().len()];
 
         let dense_secs = time(3, || {
-            gemm_exec::backward_data(&spec, ops.weights.as_slice(), ops.grad_out.as_slice(), &mut grad_in, 1);
-            gemm_exec::backward_weights(&spec, ops.input.as_slice(), ops.grad_out.as_slice(), &mut grad_w, 1);
+            gemm_exec::backward_data(
+                &spec,
+                ops.weights.as_slice(),
+                ops.grad_out.as_slice(),
+                &mut grad_in,
+                1,
+            );
+            gemm_exec::backward_weights(
+                &spec,
+                ops.input.as_slice(),
+                ops.grad_out.as_slice(),
+                &mut grad_w,
+                1,
+            );
         });
         let sparse_secs = time(3, || {
             sparse::backward_data(
@@ -65,12 +77,14 @@ fn main() {
         // Verify the sparse kernel against the reference oracle while
         // we're here — goodput means nothing if the answer is wrong.
         let mut oracle = vec![0.0f32; spec.input_shape().len()];
-        reference::backward_data(&spec, ops.weights.as_slice(), ops.grad_out.as_slice(), &mut oracle);
-        let max_diff = grad_in
-            .iter()
-            .zip(&oracle)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
+        reference::backward_data(
+            &spec,
+            ops.weights.as_slice(),
+            ops.grad_out.as_slice(),
+            &mut oracle,
+        );
+        let max_diff =
+            grad_in.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(max_diff < 1e-3, "sparse kernel diverged from oracle: {max_diff}");
 
         let actual = ops.grad_out.sparsity();

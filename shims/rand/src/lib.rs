@@ -1,0 +1,277 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides exactly the API surface this workspace uses: a deterministic
+//! [`rngs::SmallRng`] seeded via [`SeedableRng::seed_from_u64`], the
+//! [`Rng`] extension methods `gen_range` / `gen_bool`, and
+//! [`distributions::Uniform`] sampling through
+//! [`distributions::Distribution`]. Streams differ from upstream `rand`
+//! but are deterministic per seed, which is the only property call sites
+//! rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::distributions::{Distribution, Uniform};
+//! use rand::rngs::SmallRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let dist = Uniform::new_inclusive(-1.0f32, 1.0f32);
+//! let x = dist.sample(&mut rng);
+//! assert!((-1.0..=1.0).contains(&x));
+//! assert!(rng.gen_range(0..=4usize) <= 4);
+//! let _coin: bool = rng.gen_bool(0.5);
+//! ```
+
+/// Core random-number generation: a source of `u64` words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding from a `u64`, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Maps 64 random bits onto the unit interval `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can produce a uniform sample; implemented for the range
+/// types the workspace passes to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u32, u64, i32, i64);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (unit_f64(rng.next_u64()) as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic generator (xoshiro256++ core, SplitMix64
+    /// seeding). Not cryptographically secure — matches the contract of
+    /// `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions.
+
+    use super::{unit_f64, RngCore};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng` as the entropy source.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Element types [`Uniform`] can sample.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Linear interpolation between `low` and `high` at `u ∈ [0, 1)`.
+        fn lerp(low: Self, high: Self, u: f64) -> Self;
+    }
+
+    macro_rules! float_sample_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn lerp(low: $t, high: $t, u: f64) -> $t {
+                    low + (u as $t) * (high - low)
+                }
+            }
+        )*};
+    }
+
+    float_sample_uniform!(f32, f64);
+
+    /// Uniform distribution over a closed or half-open interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over the half-open interval `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new: low >= high");
+            Uniform { low, high }
+        }
+
+        /// Uniform over the closed interval `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive: low > high");
+            Uniform { low, high }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::lerp(self.low, self.high, unit_f64(rng.next_u64()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.gen_range(0..u64::MAX) == b.gen_range(0..u64::MAX));
+        assert_eq!(same.count(), 0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let dist = Uniform::new_inclusive(-0.25f32, 0.25);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((-0.25..=0.25).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..=2usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
+    }
+}

@@ -31,14 +31,22 @@ usage:
   spgcnn render <net.cfg> [--cores N] [--sparsity S]
       Print the generated kernel listings for every conv layer.
   spgcnn train <net.cfg> [--epochs N] [--classes N] [--samples N] [--threads N]
-               [--save weights.spgw]
+               [--save weights.spgw] [--metrics-json FILE]
       Train the network on a seeded synthetic dataset and report per-epoch
-      loss, accuracy, and gradient sparsity; optionally save the weights.
+      loss, accuracy, and gradient sparsity; optionally save the weights
+      and/or write goodput telemetry as spgcnn-metrics JSON.
   spgcnn eval <net.cfg> <weights.spgw> [--samples N]
       Load trained weights and report accuracy on a fresh synthetic set.
-  spgcnn tune <net.cfg> [--cores N] [--sparsity S] [--reps N]
+  spgcnn tune <net.cfg> [--cores N] [--sparsity S] [--reps N] [--json]
       Measure every technique on every conv layer of this machine and
       report the timings and winners (the paper's measure-and-pick step).
+      With --json, emit the decisions as spgcnn-metrics JSON on stdout.
+  spgcnn smoke [--metrics-json FILE]
+      Train a tiny built-in network for two epochs with telemetry enabled
+      and emit spgcnn-metrics JSON (to stdout, or FILE if given). Exits
+      non-zero if the collected metrics fail schema validation.
+  spgcnn validate-metrics <metrics.json>
+      Check that a JSON file conforms to the spgcnn-metrics schema.
 ";
 
 fn main() -> ExitCode {
@@ -50,6 +58,8 @@ fn main() -> ExitCode {
         Some("train") => train(&args[1..]),
         Some("eval") => eval(&args[1..]),
         Some("tune") => tune(&args[1..]),
+        Some("smoke") => smoke(&args[1..]),
+        Some("validate-metrics") => validate_metrics(&args[1..]),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::FAILURE;
@@ -76,6 +86,32 @@ fn flag<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<
     }
 }
 
+/// Parses an optional `--key value` flag, distinguishing absent from given.
+fn opt_flag(args: &[String], key: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == key) {
+        None => Ok(None),
+        Some(i) => {
+            args.get(i + 1).cloned().map(Some).ok_or_else(|| format!("missing value after {key}"))
+        }
+    }
+}
+
+/// Serializes the collected telemetry as spgcnn-metrics JSON, validates it
+/// against the schema, and writes it to `path` (or stdout when `None`).
+fn emit_metrics(path: Option<&str>, meta: &[(&str, String)]) -> Result<(), String> {
+    let text = spg_cnn::telemetry::snapshot().to_json(meta);
+    spg_cnn::telemetry::json::validate_metrics(&text)
+        .map_err(|e| format!("internal error: emitted metrics violate the schema: {e}"))?;
+    match path {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            println!("metrics written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn characterize(args: &[String]) -> Result<(), String> {
     if args.len() < 5 {
         return Err("characterize needs <Nc> <N> <Nf> <K> <S>".into());
@@ -84,8 +120,9 @@ fn characterize(args: &[String]) -> Result<(), String> {
         .iter()
         .map(|a| a.parse().map_err(|_| format!("`{a}` is not a number")))
         .collect::<Result<_, _>>()?;
-    let spec = ConvSpec::new(nums[0], nums[1], nums[1], nums[2], nums[3], nums[3], nums[4], nums[4])
-        .map_err(|e| e.to_string())?;
+    let spec =
+        ConvSpec::new(nums[0], nums[1], nums[1], nums[2], nums[3], nums[3], nums[4], nums[4])
+            .map_err(|e| e.to_string())?;
     println!("convolution      : {spec}");
     println!("arithmetic ops   : {}", spec.arithmetic_ops());
     println!("intrinsic AIT    : {:.1}", spec.intrinsic_ait());
@@ -136,6 +173,11 @@ fn train(args: &[String]) -> Result<(), String> {
     let classes = flag(args, "--classes", 0usize)?;
     let samples = flag(args, "--samples", 64usize)?;
     let threads = flag(args, "--threads", 1usize)?;
+    let metrics_path = opt_flag(args, "--metrics-json")?;
+    if metrics_path.is_some() {
+        spg_cnn::telemetry::reset();
+        spg_cnn::telemetry::set_enabled(true);
+    }
 
     let mut net = desc.build(42).map_err(|e| e.to_string())?;
     let classes = if classes == 0 { net.output_len() } else { classes };
@@ -171,26 +213,65 @@ fn train(args: &[String]) -> Result<(), String> {
         io::save_weights(&net, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
         println!("weights saved to {path}");
     }
+    if let Some(path) = metrics_path {
+        spg_cnn::telemetry::set_enabled(false);
+        let meta = [
+            ("command", "train".to_string()),
+            ("network", desc.name.clone()),
+            ("epochs", epochs.to_string()),
+            ("samples", samples.to_string()),
+            ("classes", classes.to_string()),
+            ("threads", threads.to_string()),
+        ];
+        emit_metrics(Some(&path), &meta)?;
+    }
     Ok(())
 }
 
 fn tune(args: &[String]) -> Result<(), String> {
-    use spg_cnn::core::autotune::{measure_technique, Phase};
+    use spg_cnn::convnet::scope_label;
+    use spg_cnn::core::autotune::{measure_technique, tune_layer, Phase};
     use spg_cnn::core::schedule::Technique;
 
     let desc = load(args)?;
     let cores = flag(args, "--cores", 1usize)?;
     let sparsity = flag(args, "--sparsity", 0.85f64)?;
     let reps = flag(args, "--reps", 3usize)?;
+    let json = args.iter().any(|a| a == "--json");
     let net = desc.build(42).map_err(|e| e.to_string())?;
+    if json {
+        // Machine-readable mode: run the real measure-and-pick primitive
+        // under per-layer Tune scopes so every decision is captured with
+        // the candidate timings that justified it, then emit the
+        // spgcnn-metrics document on stdout.
+        spg_cnn::telemetry::reset();
+        spg_cnn::telemetry::set_enabled(true);
+        for (i, layer) in net.layers().iter().enumerate() {
+            let label = scope_label(i, layer.name());
+            let Some(spec) = layer.conv_spec() else { continue };
+            let _tune = spg_cnn::telemetry::scope(&label, spg_cnn::telemetry::Phase::Tune);
+            tune_layer(spec, sparsity, cores, reps);
+        }
+        spg_cnn::telemetry::set_enabled(false);
+        let meta = [
+            ("command", "tune".to_string()),
+            ("network", desc.name.clone()),
+            ("cores", cores.to_string()),
+            ("sparsity", sparsity.to_string()),
+            ("reps", reps.to_string()),
+        ];
+        return emit_metrics(None, &meta);
+    }
     println!(
         "measuring `{}` on this machine ({cores} core(s), sparsity {sparsity:.2}, {reps} reps)",
         desc.name
     );
     for (i, layer) in net.layers().iter().enumerate() {
         let Some(spec) = layer.conv_spec() else { continue };
-        println!("
-layer {i}: {spec}");
+        println!(
+            "
+layer {i}: {spec}"
+        );
         for (phase, label, candidates) in [
             (Phase::Forward, "FP", Technique::forward_candidates()),
             (Phase::Backward, "BP", Technique::backward_candidates()),
@@ -210,6 +291,62 @@ layer {i}: {spec}");
             }
         }
     }
+    Ok(())
+}
+
+/// The built-in smoke-test network: small enough to train in well under a
+/// second on one core, yet it exercises every instrumented code path
+/// (conv forward/backward through the executor seam, ReLU, pooling, FC).
+const SMOKE_NETWORK: &str = r#"
+name: "smoke"
+input { channels: 1 height: 8 width: 8 }
+conv { features: 4 kernel: 3 stride: 1 }
+relu { }
+pool { window: 2 }
+fc { outputs: 3 }
+"#;
+
+fn smoke(args: &[String]) -> Result<(), String> {
+    let metrics_path = opt_flag(args, "--metrics-json")?;
+    let desc = NetworkDescription::parse(SMOKE_NETWORK).map_err(|e| e.to_string())?;
+    let mut net = desc.build(42).map_err(|e| e.to_string())?;
+
+    spg_cnn::telemetry::reset();
+    spg_cnn::telemetry::set_enabled(true);
+    let framework = Framework::new(1, TuningMode::Heuristic, 1);
+    framework.plan_network(&mut net, 0.0);
+    let shape = Shape3::new(desc.input.c, desc.input.h, desc.input.w);
+    let mut data = Dataset::synthetic(shape, 3, 16, 0.15, 7);
+    let trainer = Trainer::new(TrainerConfig { epochs: 2, ..TrainerConfig::default() });
+    let stats = trainer.train_with(&mut net, &mut data, |net, s| framework.retune(net, s));
+    spg_cnn::telemetry::set_enabled(false);
+
+    let last = stats.last().ok_or("training produced no epochs")?;
+    eprintln!(
+        "smoke: trained `{}` for {} epochs (final loss {:.4}, accuracy {:.3})",
+        desc.name,
+        stats.len(),
+        last.mean_loss,
+        last.accuracy
+    );
+    let meta = [
+        ("command", "smoke".to_string()),
+        ("network", desc.name.clone()),
+        ("epochs", stats.len().to_string()),
+        ("samples", "16".to_string()),
+    ];
+    emit_metrics(metrics_path.as_deref(), &meta)
+}
+
+fn validate_metrics(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing metrics file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    spg_cnn::telemetry::json::validate_metrics(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid {} v{} document",
+        spg_cnn::telemetry::SCHEMA_NAME,
+        spg_cnn::telemetry::SCHEMA_VERSION
+    );
     Ok(())
 }
 

@@ -63,14 +63,8 @@ fn render_emits_generated_kernels() {
 #[test]
 fn train_reports_epochs() {
     let path = write_net("spgcnn_train_test.cfg");
-    let (stdout, _, ok) = spgcnn(&[
-        "train",
-        path.to_str().expect("utf-8 path"),
-        "--epochs",
-        "2",
-        "--samples",
-        "12",
-    ]);
+    let (stdout, _, ok) =
+        spgcnn(&["train", path.to_str().expect("utf-8 path"), "--epochs", "2", "--samples", "12"]);
     assert!(ok, "stdout: {stdout}");
     assert!(stdout.contains("epoch"));
     assert_eq!(stdout.lines().filter(|l| l.trim_start().starts_with(['1', '2'])).count(), 2);

@@ -19,8 +19,7 @@ fn table1_values_reproduce() {
         let rel = (row.computed_intrinsic_ait() - row.paper_intrinsic_ait).abs()
             / row.paper_intrinsic_ait;
         assert!(rel < 0.005, "ID {} intrinsic", row.id);
-        let rel =
-            (row.computed_unfold_ait() - row.paper_unfold_ait).abs() / row.paper_unfold_ait;
+        let rel = (row.computed_unfold_ait() - row.paper_unfold_ait).abs() / row.paper_unfold_ait;
         assert!(rel < 0.05, "ID {} unfold", row.id);
         assert_eq!(row.computed_regions(), row.paper_regions, "ID {}", row.id);
     }
@@ -52,7 +51,11 @@ fn stencil_crossover() {
         let st = stencil_gflops_per_core(&m, &row.spec, 16);
         let gip = gemm_in_parallel_gflops_per_core(&m, &row.spec, 16);
         if row.spec.features() < 128 {
-            assert!(st > gip * 1.5, "ID {}: stencil {st} should clearly win over gip {gip}", row.id);
+            assert!(
+                st > gip * 1.5,
+                "ID {}: stencil {st} should clearly win over gip {gip}",
+                row.id
+            );
         } else {
             // At and above the boundary the techniques trade places
             // within noise (ID 3 sits exactly on 128 features).
