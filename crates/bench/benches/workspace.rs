@@ -1,0 +1,163 @@
+//! Allocation-path versus workspace-path benchmarks.
+//!
+//! Every conv kernel has two entry points: a legacy wrapper that builds a
+//! fresh [`ConvScratch`] per call (paying buffer allocation and zeroing on
+//! every sample) and a `_scratch` variant that reuses a caller-owned,
+//! warmed workspace — the allocation-free steady state the training loop
+//! runs in after warm-up. The gap between the two is the per-sample heap
+//! cost the workspace refactor removes; it is what keeps per-core
+//! arithmetic intensity at the kernel's own level instead of diluting it
+//! with allocator traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use spg_convnet::{gemm_exec, ConvScratch, ConvSpec};
+use spg_core::sparse::kernel as sparse;
+use spg_core::sparse::DEFAULT_TILE_WIDTH;
+use spg_core::stencil::kernel as stencil;
+use spg_workloads::synth::conv_operands;
+
+fn bench_forward_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workspace_forward");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("cifar_l1", ConvSpec::square(8, 64, 64, 5, 1)),
+        ("id0_shrunk", ConvSpec::square(32, 32, 32, 4, 1)),
+    ] {
+        let ops = conv_operands(&spec, 0.0, 0x55);
+        let mut out = vec![0.0f32; spec.output_shape().len()];
+        group.throughput(Throughput::Elements(spec.arithmetic_ops()));
+
+        group.bench_with_input(BenchmarkId::new("unfold_alloc", name), &spec, |bch, spec| {
+            bch.iter(|| {
+                gemm_exec::forward(spec, ops.input.as_slice(), ops.weights.as_slice(), &mut out, 1)
+            });
+        });
+        let mut scratch = ConvScratch::new();
+        group.bench_with_input(BenchmarkId::new("unfold_workspace", name), &spec, |bch, spec| {
+            bch.iter(|| {
+                gemm_exec::forward_scratch(
+                    spec,
+                    ops.input.as_slice(),
+                    ops.weights.as_slice(),
+                    &mut out,
+                    1,
+                    &mut scratch,
+                )
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("stencil_alloc", name), &spec, |bch, spec| {
+            bch.iter(|| {
+                stencil::forward(spec, ops.input.as_slice(), ops.weights.as_slice(), &mut out)
+            });
+        });
+        let mut scratch = ConvScratch::new();
+        group.bench_with_input(BenchmarkId::new("stencil_workspace", name), &spec, |bch, spec| {
+            bch.iter(|| {
+                stencil::forward_scratch(
+                    spec,
+                    ops.input.as_slice(),
+                    ops.weights.as_slice(),
+                    &mut out,
+                    &mut scratch,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workspace_backward");
+    group.sample_size(10);
+    let spec = ConvSpec::square(32, 32, 32, 4, 1); // shrunken Table 1 ID 0
+    let ops = conv_operands(&spec, 0.9, 0x66);
+    let mut grad_in = vec![0.0f32; spec.input_shape().len()];
+    let mut grad_w = vec![0.0f32; spec.weight_shape().len()];
+    group.throughput(Throughput::Elements(2 * spec.arithmetic_ops()));
+
+    group.bench_with_input(BenchmarkId::new("dense_bp", "alloc"), &spec, |bch, spec| {
+        bch.iter(|| {
+            gemm_exec::backward_data(
+                spec,
+                ops.weights.as_slice(),
+                ops.grad_out.as_slice(),
+                &mut grad_in,
+                1,
+            );
+            gemm_exec::backward_weights(
+                spec,
+                ops.input.as_slice(),
+                ops.grad_out.as_slice(),
+                &mut grad_w,
+                1,
+            );
+        });
+    });
+    let mut scratch = ConvScratch::new();
+    group.bench_with_input(BenchmarkId::new("dense_bp", "workspace"), &spec, |bch, spec| {
+        bch.iter(|| {
+            gemm_exec::backward_data_scratch(
+                spec,
+                ops.weights.as_slice(),
+                ops.grad_out.as_slice(),
+                &mut grad_in,
+                1,
+                &mut scratch,
+            );
+            gemm_exec::backward_weights_scratch(
+                spec,
+                ops.input.as_slice(),
+                ops.grad_out.as_slice(),
+                &mut grad_w,
+                1,
+                &mut scratch,
+            );
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::new("sparse_bp", "alloc"), &spec, |bch, spec| {
+        bch.iter(|| {
+            sparse::backward_data(
+                spec,
+                ops.weights.as_slice(),
+                ops.grad_out.as_slice(),
+                &mut grad_in,
+                DEFAULT_TILE_WIDTH,
+            );
+            sparse::backward_weights(
+                spec,
+                ops.input.as_slice(),
+                ops.grad_out.as_slice(),
+                &mut grad_w,
+                DEFAULT_TILE_WIDTH,
+            );
+        });
+    });
+    let mut scratch = ConvScratch::new();
+    group.bench_with_input(BenchmarkId::new("sparse_bp", "workspace"), &spec, |bch, spec| {
+        bch.iter(|| {
+            sparse::backward_data_scratch(
+                spec,
+                ops.weights.as_slice(),
+                ops.grad_out.as_slice(),
+                &mut grad_in,
+                DEFAULT_TILE_WIDTH,
+                &mut scratch,
+            );
+            sparse::backward_weights_scratch(
+                spec,
+                ops.input.as_slice(),
+                ops.grad_out.as_slice(),
+                &mut grad_w,
+                DEFAULT_TILE_WIDTH,
+                &mut scratch,
+            );
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_paths, bench_backward_paths);
+criterion_main!(benches);

@@ -3,27 +3,40 @@
 //!
 //! A [`ConvExecutor`] computes the three convolution phases — forward
 //! propagation, backward error propagation, and weight gradients — for a
-//! given [`ConvSpec`]. The substrate ships the two conventional executors
-//! ([`ReferenceExecutor`] and [`UnfoldGemmExecutor`]); the `spg-core` crate
-//! plugs its stencil forward kernel and sparse backward kernel in through
-//! this trait, and the paper's scheduler swaps executors per layer and per
-//! phase (Sec. 4.4).
+//! given [`ConvSpec`]. Every phase runs out of a caller-provided
+//! [`ConvScratch`]: executors stage unfold matrices, packed panels, and
+//! permuted-layout copies in the scratch instead of allocating, so the
+//! per-sample hot path is heap-free once the scratch has warmed up. The
+//! substrate ships the two conventional executors ([`ReferenceExecutor`]
+//! and [`UnfoldGemmExecutor`]); the `spg-core` crate plugs its stencil
+//! forward kernel and sparse backward kernel in through this trait, and the
+//! paper's scheduler swaps executors per layer and per phase (Sec. 4.4).
 
 use std::fmt;
 use std::sync::Arc;
 
+use crate::workspace::ConvScratch;
 use crate::{gemm_exec, reference, ConvSpec};
 
 /// Strategy object computing the three phases of a convolution layer.
 ///
 /// Implementations must be `Send + Sync`: the trainer runs samples on
 /// worker threads sharing one executor (the GEMM-in-Parallel schedule).
+/// Per-call mutable state lives in the [`ConvScratch`] each worker owns,
+/// never in the executor itself.
 pub trait ConvExecutor: Send + Sync + fmt::Debug {
     /// Short human-readable name used in logs and benchmark output.
     fn name(&self) -> &str;
 
     /// Forward propagation (Eq. 2). `output` is overwritten.
-    fn forward(&self, spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]);
+    fn forward(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+        scratch: &mut ConvScratch,
+    );
 
     /// Backward error propagation (Eq. 3). `grad_in` is overwritten.
     fn backward_data(
@@ -32,6 +45,7 @@ pub trait ConvExecutor: Send + Sync + fmt::Debug {
         weights: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
+        scratch: &mut ConvScratch,
     );
 
     /// Weight gradients (Eq. 4). `grad_weights` is overwritten.
@@ -41,6 +55,7 @@ pub trait ConvExecutor: Send + Sync + fmt::Debug {
         input: &[f32],
         grad_out: &[f32],
         grad_weights: &mut [f32],
+        scratch: &mut ConvScratch,
     );
 }
 
@@ -48,6 +63,9 @@ pub trait ConvExecutor: Send + Sync + fmt::Debug {
 pub type SharedExecutor = Arc<dyn ConvExecutor>;
 
 /// The naive direct-convolution executor (the correctness oracle).
+///
+/// Needs no scratch: the direct loops read and write the caller's buffers
+/// only.
 ///
 /// # Example
 ///
@@ -64,7 +82,14 @@ impl ConvExecutor for ReferenceExecutor {
         "reference"
     }
 
-    fn forward(&self, spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+    fn forward(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+        _scratch: &mut ConvScratch,
+    ) {
         reference::forward(spec, input, weights, output);
     }
 
@@ -74,6 +99,7 @@ impl ConvExecutor for ReferenceExecutor {
         weights: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
+        _scratch: &mut ConvScratch,
     ) {
         reference::backward_data(spec, weights, grad_out, grad_in);
     }
@@ -84,6 +110,7 @@ impl ConvExecutor for ReferenceExecutor {
         input: &[f32],
         grad_out: &[f32],
         grad_weights: &mut [f32],
+        _scratch: &mut ConvScratch,
     ) {
         reference::backward_weights(spec, input, grad_out, grad_weights);
     }
@@ -132,8 +159,15 @@ impl ConvExecutor for UnfoldGemmExecutor {
         }
     }
 
-    fn forward(&self, spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
-        gemm_exec::forward(spec, input, weights, output, self.threads);
+    fn forward(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+        scratch: &mut ConvScratch,
+    ) {
+        gemm_exec::forward_scratch(spec, input, weights, output, self.threads, scratch);
     }
 
     fn backward_data(
@@ -142,8 +176,9 @@ impl ConvExecutor for UnfoldGemmExecutor {
         weights: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
+        scratch: &mut ConvScratch,
     ) {
-        gemm_exec::backward_data(spec, weights, grad_out, grad_in, self.threads);
+        gemm_exec::backward_data_scratch(spec, weights, grad_out, grad_in, self.threads, scratch);
     }
 
     fn backward_weights(
@@ -152,8 +187,16 @@ impl ConvExecutor for UnfoldGemmExecutor {
         input: &[f32],
         grad_out: &[f32],
         grad_weights: &mut [f32],
+        scratch: &mut ConvScratch,
     ) {
-        gemm_exec::backward_weights(spec, input, grad_out, grad_weights, self.threads);
+        gemm_exec::backward_weights_scratch(
+            spec,
+            input,
+            grad_out,
+            grad_weights,
+            self.threads,
+            scratch,
+        );
     }
 }
 
@@ -170,10 +213,11 @@ mod tests {
             (0..spec.weight_shape().len()).map(|i| (i as f32 * 0.7).cos()).collect();
         let olen = spec.output_shape().len();
 
-        let mut a = vec![0.0; olen];
-        let mut b = vec![0.0; olen];
-        ReferenceExecutor.forward(&spec, &input, &weights, &mut a);
-        UnfoldGemmExecutor::new(2).forward(&spec, &input, &weights, &mut b);
+        let mut scratch = ConvScratch::new();
+        let mut a = vec![0f32; olen];
+        let mut b = vec![0f32; olen];
+        ReferenceExecutor.forward(&spec, &input, &weights, &mut a, &mut scratch);
+        UnfoldGemmExecutor::new(2).forward(&spec, &input, &weights, &mut b, &mut scratch);
         let diff = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
         assert!(diff < 1e-4);
     }

@@ -1,10 +1,18 @@
 //! `Unfold + GEMM` execution of convolution FP and BP — the conventional
 //! strategy (Sec. 2.3) that every CNN framework of the paper's era used,
 //! and the baseline every spg-CNN technique is measured against.
+//!
+//! All three phases run directly on raw slices: the row-major weight
+//! tensor `[f][c*ky*kx]` *is* the GEMM weight matrix and the CHW gradient
+//! `[f][out_h*out_w]` *is* `E_O`, so neither is ever copied. The only
+//! materialized intermediates — the unfold matrix and the patch-space
+//! gradient — live in a caller-provided [`ConvScratch`], making the
+//! steady-state per-sample path allocation-free.
 
-use spg_tensor::Matrix;
+use spg_gemm::{gemm_at_b_slice, gemm_flops, gemm_slice, parallel_gemm_slice};
 
-use crate::unfold::{fold, unfold, unfold_transposed};
+use crate::unfold::{fold, unfold_into, unfold_transposed_into};
+use crate::workspace::ConvScratch;
 use crate::ConvSpec;
 
 /// Forward propagation via `O = W_mat * U^T` (Fig. 2c).
@@ -23,15 +31,38 @@ pub fn forward(
     output: &mut [f32],
     threads: usize,
 ) {
+    forward_scratch(spec, input, weights, output, threads, &mut ConvScratch::new());
+}
+
+/// [`forward`] running out of a caller-owned [`ConvScratch`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec.
+pub fn forward_scratch(
+    spec: &ConvSpec,
+    input: &[f32],
+    weights: &[f32],
+    output: &mut [f32],
+    threads: usize,
+    scratch: &mut ConvScratch,
+) {
     let oshape = spec.output_shape();
     assert_eq!(output.len(), oshape.len(), "output length");
     assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
-    let ut = unfold_transposed(spec, input);
-    let w_mat =
-        Matrix::from_vec(spec.features(), spec.weight_shape().per_feature(), weights.to_vec())
-            .expect("weights length checked above");
-    let o = run_gemm(&w_mat, &ut, threads);
-    output.copy_from_slice(o.as_slice());
+    let patches = spec.out_h() * spec.out_w();
+    let patch_len = spec.weight_shape().per_feature();
+    unfold_transposed_into(spec, input, &mut scratch.mat_a);
+    // The weight tensor is row-major [f][c*ky*kx]: already the GEMM left
+    // operand. The slice kernels accumulate, so clear the output first.
+    output.fill(0.0);
+    let (m, n, k) = (spec.features(), patches, patch_len);
+    spg_telemetry::record_flops(gemm_flops(m, n, k), gemm_flops(m, n, k));
+    if threads > 1 {
+        parallel_gemm_slice(m, n, k, weights, scratch.mat_a.as_slice(), output, threads);
+    } else {
+        gemm_slice(m, n, k, weights, k, scratch.mat_a.as_slice(), n, output, n);
+    }
 }
 
 /// Backward error propagation via `E_U = E_O^T * W_mat`, then `col2im`.
@@ -46,24 +77,67 @@ pub fn backward_data(
     grad_in: &mut [f32],
     threads: usize,
 ) {
+    backward_data_scratch(spec, weights, grad_out, grad_in, threads, &mut ConvScratch::new());
+}
+
+/// [`backward_data`] running out of a caller-owned [`ConvScratch`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec.
+pub fn backward_data_scratch(
+    spec: &ConvSpec,
+    weights: &[f32],
+    grad_out: &[f32],
+    grad_in: &mut [f32],
+    threads: usize,
+    scratch: &mut ConvScratch,
+) {
     let oshape = spec.output_shape();
     assert_eq!(grad_out.len(), oshape.len(), "grad_out length");
     assert_eq!(grad_in.len(), spec.input_shape().len(), "grad_in length");
+    assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
     let patches = spec.out_h() * spec.out_w();
-    let w_mat =
-        Matrix::from_vec(spec.features(), spec.weight_shape().per_feature(), weights.to_vec())
-            .expect("weights length matches spec");
-    // grad_out is CHW = features x patches row-major; E_U = E_O^T * W is
-    // computed with the transpose folded into panel packing.
-    let eo = Matrix::from_vec(spec.features(), patches, grad_out.to_vec())
-        .expect("grad_out length checked above");
-    let eu = if threads > 1 {
-        spg_gemm::parallel_gemm(&eo.transposed(), &w_mat, threads)
-            .expect("dimensions agree by construction")
+    let patch_len = spec.weight_shape().per_feature();
+    let features = spec.features();
+    // grad_out is CHW = features x patches row-major; E_U = E_O^T * W.
+    let (m, n, k) = (patches, patch_len, features);
+    spg_telemetry::record_flops(gemm_flops(m, n, k), gemm_flops(m, n, k));
+    scratch.mat_b.resize(patches, patch_len);
+    if threads > 1 {
+        // Parallel-GEMM partitions by rows of E_U, so stage the explicit
+        // transpose of E_O in recycled scratch.
+        scratch.mat_a.resize(patches, features);
+        let eot = scratch.mat_a.as_mut_slice();
+        for f in 0..features {
+            let row = &grad_out[f * patches..(f + 1) * patches];
+            for (p, &v) in row.iter().enumerate() {
+                eot[p * features + f] = v;
+            }
+        }
+        parallel_gemm_slice(
+            m,
+            n,
+            k,
+            scratch.mat_a.as_slice(),
+            weights,
+            scratch.mat_b.as_mut_slice(),
+            threads,
+        );
     } else {
-        spg_gemm::gemm_at_b(&eo, &w_mat).expect("dimensions agree by construction")
-    };
-    fold(spec, &eu, grad_in);
+        // Transpose folded into panel packing; pack buffers are recycled.
+        gemm_at_b_slice(
+            k,
+            m,
+            n,
+            grad_out,
+            weights,
+            scratch.mat_b.as_mut_slice(),
+            &mut scratch.pack_a,
+            &mut scratch.pack_b,
+        );
+    }
+    fold(spec, &scratch.mat_b, grad_in);
 }
 
 /// Weight-gradient computation via `dW = E_O * U`.
@@ -78,22 +152,35 @@ pub fn backward_weights(
     grad_weights: &mut [f32],
     threads: usize,
 ) {
+    backward_weights_scratch(spec, input, grad_out, grad_weights, threads, &mut ConvScratch::new());
+}
+
+/// [`backward_weights`] running out of a caller-owned [`ConvScratch`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec.
+pub fn backward_weights_scratch(
+    spec: &ConvSpec,
+    input: &[f32],
+    grad_out: &[f32],
+    grad_weights: &mut [f32],
+    threads: usize,
+    scratch: &mut ConvScratch,
+) {
     let oshape = spec.output_shape();
     assert_eq!(grad_out.len(), oshape.len(), "grad_out length");
     assert_eq!(grad_weights.len(), spec.weight_shape().len(), "grad_weights length");
     let patches = spec.out_h() * spec.out_w();
-    let u = unfold(spec, input);
-    let eo = Matrix::from_vec(spec.features(), patches, grad_out.to_vec())
-        .expect("grad_out length checked above");
-    let dw = run_gemm(&eo, &u, threads);
-    grad_weights.copy_from_slice(dw.as_slice());
-}
-
-fn run_gemm(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    let patch_len = spec.weight_shape().per_feature();
+    unfold_into(spec, input, &mut scratch.mat_a);
+    grad_weights.fill(0.0);
+    let (m, n, k) = (spec.features(), patch_len, patches);
+    spg_telemetry::record_flops(gemm_flops(m, n, k), gemm_flops(m, n, k));
     if threads > 1 {
-        spg_gemm::parallel_gemm(a, b, threads).expect("dimensions agree by construction")
+        parallel_gemm_slice(m, n, k, grad_out, scratch.mat_a.as_slice(), grad_weights, threads);
     } else {
-        spg_gemm::gemm(a, b).expect("dimensions agree by construction")
+        gemm_slice(m, n, k, grad_out, k, scratch.mat_a.as_slice(), n, grad_weights, n);
     }
 }
 
@@ -120,8 +207,8 @@ mod tests {
         for spec in spec_cases() {
             let input = pseudo(spec.input_shape().len(), 1);
             let weights = pseudo(spec.weight_shape().len(), 2);
-            let mut via_gemm = vec![0.0; spec.output_shape().len()];
-            let mut oracle = vec![0.0; spec.output_shape().len()];
+            let mut via_gemm = vec![0f32; spec.output_shape().len()];
+            let mut oracle = vec![0f32; spec.output_shape().len()];
             for threads in [1, 3] {
                 forward(&spec, &input, &weights, &mut via_gemm, threads);
                 reference::forward(&spec, &input, &weights, &mut oracle);
@@ -137,13 +224,15 @@ mod tests {
         for spec in spec_cases() {
             let weights = pseudo(spec.weight_shape().len(), 3);
             let grad_out = pseudo(spec.output_shape().len(), 4);
-            let mut via_gemm = vec![0.0; spec.input_shape().len()];
-            let mut oracle = vec![0.0; spec.input_shape().len()];
-            backward_data(&spec, &weights, &grad_out, &mut via_gemm, 1);
-            reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
-            let diff =
-                via_gemm.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
-            assert!(diff < 1e-4, "{spec}: diff {diff}");
+            let mut via_gemm = vec![0f32; spec.input_shape().len()];
+            let mut oracle = vec![0f32; spec.input_shape().len()];
+            for threads in [1, 3] {
+                backward_data(&spec, &weights, &grad_out, &mut via_gemm, threads);
+                reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
+                let diff =
+                    via_gemm.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+                assert!(diff < 1e-4, "{spec}: diff {diff}");
+            }
         }
     }
 
@@ -152,13 +241,45 @@ mod tests {
         for spec in spec_cases() {
             let input = pseudo(spec.input_shape().len(), 5);
             let grad_out = pseudo(spec.output_shape().len(), 6);
-            let mut via_gemm = vec![0.0; spec.weight_shape().len()];
-            let mut oracle = vec![0.0; spec.weight_shape().len()];
+            let mut via_gemm = vec![0f32; spec.weight_shape().len()];
+            let mut oracle = vec![0f32; spec.weight_shape().len()];
             backward_weights(&spec, &input, &grad_out, &mut via_gemm, 2);
             reference::backward_weights(&spec, &input, &grad_out, &mut oracle);
             let diff =
                 via_gemm.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
             assert!(diff < 1e-4, "{spec}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_across_phases() {
+        // One scratch serving all three phases of all specs must keep
+        // producing correct results (buffer shapes change per call).
+        let mut scratch = ConvScratch::new();
+        for spec in spec_cases() {
+            let input = pseudo(spec.input_shape().len(), 7);
+            let weights = pseudo(spec.weight_shape().len(), 8);
+            let grad_out = pseudo(spec.output_shape().len(), 9);
+            let mut out = vec![0f32; spec.output_shape().len()];
+            let mut oracle_out = vec![0f32; spec.output_shape().len()];
+            forward_scratch(&spec, &input, &weights, &mut out, 1, &mut scratch);
+            reference::forward(&spec, &input, &weights, &mut oracle_out);
+            let d = out.iter().zip(&oracle_out).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+            assert!(d < 1e-4, "{spec} forward: {d}");
+
+            let mut gin = vec![0f32; spec.input_shape().len()];
+            let mut oracle_gin = vec![0f32; spec.input_shape().len()];
+            backward_data_scratch(&spec, &weights, &grad_out, &mut gin, 1, &mut scratch);
+            reference::backward_data(&spec, &weights, &grad_out, &mut oracle_gin);
+            let d = gin.iter().zip(&oracle_gin).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+            assert!(d < 1e-4, "{spec} backward_data: {d}");
+
+            let mut gw = vec![0f32; spec.weight_shape().len()];
+            let mut oracle_gw = vec![0f32; spec.weight_shape().len()];
+            backward_weights_scratch(&spec, &input, &grad_out, &mut gw, 1, &mut scratch);
+            reference::backward_weights(&spec, &input, &grad_out, &mut oracle_gw);
+            let d = gw.iter().zip(&oracle_gw).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+            assert!(d < 1e-4, "{spec} backward_weights: {d}");
         }
     }
 }

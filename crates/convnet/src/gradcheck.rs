@@ -174,8 +174,13 @@ mod tests {
             fn output_len(&self) -> usize {
                 self.inner.output_len()
             }
-            fn forward(&self, input: &[f32], output: &mut [f32]) {
-                self.inner.forward(input, output);
+            fn forward(
+                &self,
+                input: &[f32],
+                output: &mut [f32],
+                scratch: &mut crate::workspace::ConvScratch,
+            ) {
+                self.inner.forward(input, output, scratch);
             }
             fn backward(
                 &self,
@@ -183,11 +188,14 @@ mod tests {
                 output: &[f32],
                 grad_out: &[f32],
                 grad_in: &mut [f32],
-            ) -> Option<Tensor> {
+                param_grads: &mut Tensor,
+                scratch: &mut crate::workspace::ConvScratch,
+            ) {
+                self.inner.backward(input, output, grad_out, grad_in, param_grads, scratch);
                 // Double every parameter gradient: wrong by construction.
-                self.inner
-                    .backward(input, output, grad_out, grad_in)
-                    .map(|g| g.iter().map(|v| v * 2.0 + 0.5).collect())
+                for v in param_grads.iter_mut() {
+                    *v = *v * 2.0 + 0.5;
+                }
             }
             fn param_count(&self) -> usize {
                 self.inner.param_count()

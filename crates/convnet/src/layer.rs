@@ -2,9 +2,11 @@
 //! layers behind one object-safe [`Layer`] trait.
 //!
 //! Layers are *stateless across samples*: `forward` and `backward` take the
-//! sample's activations explicitly, so the trainer can push many samples
-//! through shared layers on worker threads (the GEMM-in-Parallel schedule)
-//! and apply accumulated parameter gradients afterwards.
+//! sample's activations, parameter-gradient buffer, and scratch explicitly,
+//! so the trainer can push many samples through shared layers on worker
+//! threads (the GEMM-in-Parallel schedule) and apply accumulated parameter
+//! gradients afterwards. All per-sample buffers are caller-owned, which is
+//! what makes steady-state training allocation-free.
 
 use std::fmt;
 
@@ -12,13 +14,16 @@ use rand::Rng;
 use spg_tensor::{Shape3, Tensor};
 
 use crate::exec::{SharedExecutor, UnfoldGemmExecutor};
+use crate::workspace::ConvScratch;
 use crate::{ConvError, ConvSpec};
 
 /// A differentiable network layer.
 ///
 /// `forward` writes `output` from `input`; `backward` writes `grad_in` from
-/// the saved activations and `grad_out`, returning flattened parameter
-/// gradients for layers that have parameters.
+/// the saved activations and `grad_out`, and overwrites `param_grads`
+/// (sized [`Layer::param_count`]; ignored by parameter-free layers). Both
+/// stage any intermediates in the caller's [`ConvScratch`] instead of
+/// allocating.
 pub trait Layer: Send + Sync + fmt::Debug {
     /// Short human-readable layer name.
     fn name(&self) -> &str;
@@ -30,17 +35,21 @@ pub trait Layer: Send + Sync + fmt::Debug {
     fn output_len(&self) -> usize;
 
     /// Forward propagation for one sample. `output` is overwritten.
-    fn forward(&self, input: &[f32], output: &mut [f32]);
+    fn forward(&self, input: &[f32], output: &mut [f32], scratch: &mut ConvScratch);
 
-    /// Backward propagation for one sample. `grad_in` is overwritten;
-    /// returns flattened parameter gradients if the layer has parameters.
+    /// Backward propagation for one sample. `grad_in` is overwritten; for
+    /// layers with parameters, `param_grads` (length
+    /// [`Layer::param_count`]) is overwritten with this sample's flattened
+    /// parameter gradients.
     fn backward(
         &self,
         input: &[f32],
         output: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
-    ) -> Option<Tensor>;
+        param_grads: &mut Tensor,
+        scratch: &mut ConvScratch,
+    );
 
     /// Number of trainable parameters (0 for activation/pooling layers).
     fn param_count(&self) -> usize {
@@ -168,8 +177,9 @@ impl Layer for ConvLayer {
         self.spec.output_shape().len()
     }
 
-    fn forward(&self, input: &[f32], output: &mut [f32]) {
-        self.fwd.forward(&self.spec, input, self.weights.as_slice(), output);
+    fn forward(&self, input: &[f32], output: &mut [f32], scratch: &mut ConvScratch) {
+        self.fwd.forward(&self.spec, input, self.weights.as_slice(), output, scratch);
+        spg_telemetry::record_workspace_bytes(scratch.bytes() as u64);
     }
 
     fn backward(
@@ -178,19 +188,28 @@ impl Layer for ConvLayer {
         _output: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
-    ) -> Option<Tensor> {
+        param_grads: &mut Tensor,
+        scratch: &mut ConvScratch,
+    ) {
+        assert_eq!(param_grads.len(), self.weights.len(), "parameter gradient length");
         // Split the two kernel sub-phases under the enclosing layer scope
         // so goodput is observable per kernel, not just per layer.
         {
             let _telemetry = spg_telemetry::phase_scope(spg_telemetry::Phase::BackwardData);
-            self.bwd.backward_data(&self.spec, self.weights.as_slice(), grad_out, grad_in);
+            self.bwd.backward_data(&self.spec, self.weights.as_slice(), grad_out, grad_in, scratch);
+            spg_telemetry::record_workspace_bytes(scratch.bytes() as u64);
         }
-        let mut dw = Tensor::zeros(self.weights.len());
         {
             let _telemetry = spg_telemetry::phase_scope(spg_telemetry::Phase::BackwardWeights);
-            self.bwd.backward_weights(&self.spec, input, grad_out, dw.as_mut_slice());
+            self.bwd.backward_weights(
+                &self.spec,
+                input,
+                grad_out,
+                param_grads.as_mut_slice(),
+                scratch,
+            );
+            spg_telemetry::record_workspace_bytes(scratch.bytes() as u64);
         }
-        Some(dw)
     }
 
     fn param_count(&self) -> usize {
@@ -252,7 +271,7 @@ impl Layer for ReluLayer {
         self.len
     }
 
-    fn forward(&self, input: &[f32], output: &mut [f32]) {
+    fn forward(&self, input: &[f32], output: &mut [f32], _scratch: &mut ConvScratch) {
         for (o, &i) in output.iter_mut().zip(input) {
             *o = i.max(0.0);
         }
@@ -264,11 +283,12 @@ impl Layer for ReluLayer {
         output: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
-    ) -> Option<Tensor> {
+        _param_grads: &mut Tensor,
+        _scratch: &mut ConvScratch,
+    ) {
         for ((gi, &go), &o) in grad_in.iter_mut().zip(grad_out).zip(output) {
             *gi = if o > 0.0 { go } else { 0.0 };
         }
-        None
     }
 }
 
@@ -319,7 +339,7 @@ impl Layer for MaxPoolLayer {
         self.out_shape().len()
     }
 
-    fn forward(&self, input: &[f32], output: &mut [f32]) {
+    fn forward(&self, input: &[f32], output: &mut [f32], _scratch: &mut ConvScratch) {
         let out = self.out_shape();
         let k = self.window;
         for c in 0..out.c {
@@ -343,7 +363,9 @@ impl Layer for MaxPoolLayer {
         _output: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
-    ) -> Option<Tensor> {
+        _param_grads: &mut Tensor,
+        _scratch: &mut ConvScratch,
+    ) {
         grad_in.fill(0.0);
         let out = self.out_shape();
         let k = self.window;
@@ -366,7 +388,6 @@ impl Layer for MaxPoolLayer {
                 }
             }
         }
-        None
     }
 }
 
@@ -411,7 +432,7 @@ impl Layer for FcLayer {
         self.out_len
     }
 
-    fn forward(&self, input: &[f32], output: &mut [f32]) {
+    fn forward(&self, input: &[f32], output: &mut [f32], _scratch: &mut ConvScratch) {
         let w = self.weights();
         let b = self.biases();
         for (o, (wrow, &bias)) in output.iter_mut().zip(w.chunks(self.in_len).zip(b)) {
@@ -425,26 +446,25 @@ impl Layer for FcLayer {
         _output: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
-    ) -> Option<Tensor> {
+        param_grads: &mut Tensor,
+        _scratch: &mut ConvScratch,
+    ) {
+        assert_eq!(param_grads.len(), self.params.len(), "parameter gradient length");
         let w = self.weights();
         grad_in.fill(0.0);
-        let mut grads = Tensor::zeros(self.params.len());
-        {
-            let gv = grads.as_mut_slice();
-            for (r, &g) in grad_out.iter().enumerate() {
-                let wrow = &w[r * self.in_len..(r + 1) * self.in_len];
-                let dwrow = &mut gv[r * self.in_len..(r + 1) * self.in_len];
-                for ((gi, dw), (&wi, &xi)) in
-                    grad_in.iter_mut().zip(dwrow.iter_mut()).zip(wrow.iter().zip(input))
-                {
-                    *gi += g * wi;
-                    *dw = g * xi;
-                }
+        let gv = param_grads.as_mut_slice();
+        for (r, &g) in grad_out.iter().enumerate() {
+            let wrow = &w[r * self.in_len..(r + 1) * self.in_len];
+            let dwrow = &mut gv[r * self.in_len..(r + 1) * self.in_len];
+            for ((gi, dw), (&wi, &xi)) in
+                grad_in.iter_mut().zip(dwrow.iter_mut()).zip(wrow.iter().zip(input))
+            {
+                *gi += g * wi;
+                *dw = g * xi;
             }
-            let bias_grads = &mut gv[self.in_len * self.out_len..];
-            bias_grads.copy_from_slice(grad_out);
         }
-        Some(grads)
+        let bias_grads = &mut gv[self.in_len * self.out_len..];
+        bias_grads.copy_from_slice(grad_out);
     }
 
     fn param_count(&self) -> usize {
@@ -477,11 +497,13 @@ mod tests {
     #[test]
     fn relu_clamps_and_masks() {
         let relu = ReluLayer::new(4);
+        let mut scratch = ConvScratch::new();
+        let mut none = Tensor::default();
         let mut out = [0.0; 4];
-        relu.forward(&[-1.0, 2.0, -3.0, 4.0], &mut out);
+        relu.forward(&[-1.0, 2.0, -3.0, 4.0], &mut out, &mut scratch);
         assert_eq!(out, [0.0, 2.0, 0.0, 4.0]);
         let mut gin = [9.0; 4];
-        relu.backward(&[], &out, &[1.0, 1.0, 1.0, 1.0], &mut gin);
+        relu.backward(&[], &out, &[1.0, 1.0, 1.0, 1.0], &mut gin, &mut none, &mut scratch);
         assert_eq!(gin, [0.0, 1.0, 0.0, 1.0]);
     }
 
@@ -490,11 +512,13 @@ mod tests {
         // Half-negative input -> ~half-sparse gradient: the paper's Fig. 3b
         // mechanism in miniature.
         let relu = ReluLayer::new(100);
+        let mut scratch = ConvScratch::new();
+        let mut none = Tensor::default();
         let input: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
-        let mut out = vec![0.0; 100];
-        relu.forward(&input, &mut out);
-        let mut gin = vec![0.0; 100];
-        relu.backward(&input, &out, &vec![1.0; 100], &mut gin);
+        let mut out = vec![0f32; 100];
+        relu.forward(&input, &mut out, &mut scratch);
+        let mut gin = vec![0f32; 100];
+        relu.backward(&input, &out, &vec![1.0; 100], &mut gin, &mut none, &mut scratch);
         let g = Tensor::from_vec(gin);
         assert_eq!(g.sparsity(), 0.5);
     }
@@ -503,12 +527,14 @@ mod tests {
     fn maxpool_forward_and_routing() {
         let shape = Shape3::new(1, 4, 4);
         let pool = MaxPoolLayer::new(shape, 2).unwrap();
+        let mut scratch = ConvScratch::new();
+        let mut none = Tensor::default();
         let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
-        let mut out = vec![0.0; 4];
-        pool.forward(&input, &mut out);
+        let mut out = vec![0f32; 4];
+        pool.forward(&input, &mut out, &mut scratch);
         assert_eq!(out, [5.0, 7.0, 13.0, 15.0]);
-        let mut gin = vec![0.0; 16];
-        pool.backward(&input, &out, &[1.0, 2.0, 3.0, 4.0], &mut gin);
+        let mut gin = vec![0f32; 16];
+        pool.backward(&input, &out, &[1.0, 2.0, 3.0, 4.0], &mut gin, &mut none, &mut scratch);
         assert_eq!(gin[5], 1.0);
         assert_eq!(gin[7], 2.0);
         assert_eq!(gin[13], 3.0);
@@ -529,7 +555,7 @@ mod tests {
         // Overwrite params with known values: W = [[1,2],[3,4]], b = [10, 20].
         fc.params = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0]);
         let mut out = [0.0; 2];
-        fc.forward(&[1.0, 1.0], &mut out);
+        fc.forward(&[1.0, 1.0], &mut out, &mut ConvScratch::new());
         assert_eq!(out, [13.0, 27.0]);
     }
 
@@ -537,18 +563,20 @@ mod tests {
     fn fc_backward_finite_difference() {
         let mut rng = SmallRng::seed_from_u64(2);
         let fc = FcLayer::new(3, 2, &mut rng);
+        let mut scratch = ConvScratch::new();
         let input = [0.5, -0.3, 0.8];
         let gout = [1.0, -2.0];
         let mut out = [0.0; 2];
-        fc.forward(&input, &mut out);
+        fc.forward(&input, &mut out, &mut scratch);
         let mut gin = [0.0; 3];
-        let grads = fc.backward(&input, &out, &gout, &mut gin).unwrap();
+        let mut grads = Tensor::zeros(fc.param_count());
+        fc.backward(&input, &out, &gout, &mut gin, &mut grads, &mut scratch);
 
         // Check dW[0][1] and db[0] by finite differences on <y, gout>.
         let eps = 1e-3;
         let loss = |fc: &FcLayer| {
             let mut o = [0.0; 2];
-            fc.forward(&input, &mut o);
+            fc.forward(&input, &mut o, &mut ConvScratch::new());
             o.iter().zip(&gout).map(|(a, b)| a * b).sum::<f32>()
         };
         for pi in [1usize, 6] {
@@ -566,13 +594,15 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let spec = ConvSpec::new(1, 4, 4, 2, 3, 3, 1, 1).unwrap();
         let layer = ConvLayer::new(spec, &mut rng);
+        let mut scratch = ConvScratch::new();
         assert_eq!(layer.input_len(), 16);
         assert_eq!(layer.output_len(), 2 * 4);
         let input = vec![1.0; 16];
-        let mut out = vec![0.0; 8];
-        layer.forward(&input, &mut out);
-        let mut gin = vec![0.0; 16];
-        let grads = layer.backward(&input, &out, &[1.0; 8], &mut gin).unwrap();
+        let mut out = vec![0f32; 8];
+        layer.forward(&input, &mut out, &mut scratch);
+        let mut gin = vec![0f32; 16];
+        let mut grads = Tensor::zeros(layer.param_count());
+        layer.backward(&input, &out, &[1.0; 8], &mut gin, &mut grads, &mut scratch);
         assert_eq!(grads.len(), layer.param_count());
         assert!(layer.conv_spec().is_some());
     }

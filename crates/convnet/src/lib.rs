@@ -46,8 +46,10 @@ pub mod regularize;
 mod sgd;
 mod spec;
 pub mod unfold;
+pub mod workspace;
 
 pub use error::ConvError;
 pub use net::{scope_label, LayerGradients, Network, SampleTrace};
 pub use sgd::{EpochStats, Trainer, TrainerConfig};
 pub use spec::ConvSpec;
+pub use workspace::{ConvScratch, Workspace};

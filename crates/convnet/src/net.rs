@@ -1,9 +1,16 @@
 //! Sequential network container with per-sample forward/backward passes
 //! and the gradient-sparsity instrumentation behind the paper's Fig. 3b.
+//!
+//! The hot-path entry points are [`Network::forward_into`] and
+//! [`Network::backward_into`], which run a sample entirely out of a
+//! caller-provided [`Workspace`] — no per-sample heap allocation. The
+//! allocating [`Network::forward`] / [`Network::backward`] wrappers remain
+//! for one-shot callers and tests.
 
 use spg_tensor::Tensor;
 
 use crate::layer::Layer;
+use crate::workspace::Workspace;
 use crate::ConvError;
 
 /// Telemetry scope label for layer `index` with [`Layer::name`] `name`:
@@ -30,6 +37,17 @@ pub struct SampleTrace {
 }
 
 impl SampleTrace {
+    /// Preallocates a trace shaped for `net`, ready for
+    /// [`Network::forward_into`] to fill in place.
+    pub fn for_network(net: &Network) -> Self {
+        let mut activations = Vec::with_capacity(net.layers().len() + 1);
+        activations.push(Tensor::zeros(net.input_len()));
+        for layer in net.layers() {
+            activations.push(Tensor::zeros(layer.output_len()));
+        }
+        SampleTrace { activations }
+    }
+
     /// The network output (logits) for this sample.
     ///
     /// # Panics
@@ -50,6 +68,14 @@ pub struct LayerGradients {
     /// Sparsity (zero fraction) of the *output-side* error gradient each
     /// layer received — the quantity plotted in Fig. 3b for conv layers.
     pub grad_sparsity: Vec<f64>,
+}
+
+/// Zero fraction of a slice (the [`Tensor::sparsity`] measure on borrows).
+fn slice_sparsity(s: &[f32]) -> f64 {
+    if s.is_empty() {
+        return 0.0;
+    }
+    s.iter().filter(|v| **v == 0.0).count() as f64 / s.len() as f64
 }
 
 /// A sequential stack of layers with a softmax + cross-entropy loss head.
@@ -132,23 +158,39 @@ impl Network {
         self.layers.last().expect("validated non-empty").output_len()
     }
 
+    /// Runs one sample forward entirely inside `ws`, filling
+    /// `ws.trace` — the allocation-free hot-path variant of
+    /// [`Network::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_len()` or `ws` was planned for
+    /// a different network geometry.
+    pub fn forward_into(&self, input: &[f32], ws: &mut Workspace) {
+        assert_eq!(input.len(), self.input_len(), "input length");
+        let Workspace { trace, scratch, .. } = ws;
+        assert_eq!(trace.activations.len(), self.layers.len() + 1, "workspace trace length");
+        trace.activations[0].as_mut_slice().copy_from_slice(input);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let _telemetry =
+                spg_telemetry::scope(&scope_label(i, layer.name()), spg_telemetry::Phase::Forward);
+            let (prev, rest) = trace.activations.split_at_mut(i + 1);
+            layer.forward(prev[i].as_slice(), rest[0].as_mut_slice(), scratch);
+        }
+    }
+
     /// Runs one sample forward, recording every activation.
+    ///
+    /// Allocates a fresh trace per call; training uses
+    /// [`Network::forward_into`] with a pooled [`Workspace`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `input.len() != self.input_len()`.
     pub fn forward(&self, input: &Tensor) -> SampleTrace {
-        assert_eq!(input.len(), self.input_len(), "input length");
-        let mut activations = Vec::with_capacity(self.layers.len() + 1);
-        activations.push(input.clone());
-        for (i, layer) in self.layers.iter().enumerate() {
-            let _telemetry =
-                spg_telemetry::scope(&scope_label(i, layer.name()), spg_telemetry::Phase::Forward);
-            let mut out = Tensor::zeros(layer.output_len());
-            layer.forward(activations.last().expect("non-empty").as_slice(), out.as_mut_slice());
-            activations.push(out);
-        }
-        SampleTrace { activations }
+        let mut ws = Workspace::for_network(self);
+        self.forward_into(input.as_slice(), &mut ws);
+        ws.into_trace()
     }
 
     /// Softmax + cross-entropy loss and its gradient w.r.t. the logits.
@@ -169,9 +211,47 @@ impl Network {
         (loss, grad)
     }
 
+    /// Runs one sample backward from a loss gradient at the logits, using
+    /// the activations [`Network::forward_into`] left in `ws.trace` and
+    /// writing per-layer parameter gradients into `ws.param_grads` and
+    /// gradient-sparsity measurements into `ws.grad_sparsity` — the
+    /// allocation-free hot-path variant of [`Network::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_grad.len() != self.output_len()` or `ws` was planned
+    /// for a different network geometry.
+    pub fn backward_into(&self, loss_grad: &[f32], ws: &mut Workspace) {
+        assert_eq!(loss_grad.len(), self.output_len(), "loss gradient length");
+        let Workspace { trace, param_grads, grad_sparsity, scratch, grad_a, grad_b } = ws;
+        assert_eq!(trace.activations.len(), self.layers.len() + 1, "workspace trace length");
+        assert_eq!(param_grads.len(), self.layers.len(), "workspace gradient slots");
+        grad_a.as_mut_slice()[..loss_grad.len()].copy_from_slice(loss_grad);
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let _telemetry =
+                spg_telemetry::scope(&scope_label(i, layer.name()), spg_telemetry::Phase::Backward);
+            let out_len = layer.output_len();
+            let in_len = layer.input_len();
+            let grad_out = &grad_a.as_slice()[..out_len];
+            grad_sparsity[i] = slice_sparsity(grad_out);
+            layer.backward(
+                trace.activations[i].as_slice(),
+                trace.activations[i + 1].as_slice(),
+                grad_out,
+                &mut grad_b.as_mut_slice()[..in_len],
+                &mut param_grads[i],
+                scratch,
+            );
+            std::mem::swap(grad_a, grad_b);
+        }
+    }
+
     /// Runs one sample backward from a loss gradient at the logits,
     /// returning per-layer parameter gradients and gradient-sparsity
     /// measurements.
+    ///
+    /// Allocates a fresh workspace per call; training uses
+    /// [`Network::backward_into`] instead.
     ///
     /// # Panics
     ///
@@ -179,32 +259,26 @@ impl Network {
     /// length does not match the output length.
     pub fn backward(&self, trace: &SampleTrace, loss_grad: &Tensor) -> LayerGradients {
         assert_eq!(trace.activations.len(), self.layers.len() + 1, "trace length");
-        assert_eq!(loss_grad.len(), self.output_len(), "loss gradient length");
-        let mut params = vec![None; self.layers.len()];
-        let mut grad_sparsity = vec![0.0; self.layers.len()];
-        let mut grad_out = loss_grad.clone();
-        for (i, layer) in self.layers.iter().enumerate().rev() {
-            let _telemetry =
-                spg_telemetry::scope(&scope_label(i, layer.name()), spg_telemetry::Phase::Backward);
-            grad_sparsity[i] = grad_out.sparsity();
-            let input = &trace.activations[i];
-            let output = &trace.activations[i + 1];
-            let mut grad_in = Tensor::zeros(layer.input_len());
-            params[i] = layer.backward(
-                input.as_slice(),
-                output.as_slice(),
-                grad_out.as_slice(),
-                grad_in.as_mut_slice(),
-            );
-            grad_out = grad_in;
-        }
-        LayerGradients { params, grad_sparsity }
+        let mut ws = Workspace::for_network(self);
+        ws.trace = trace.clone();
+        self.backward_into(loss_grad.as_slice(), &mut ws);
+        let params = self
+            .layers
+            .iter()
+            .zip(&ws.param_grads)
+            .map(|(l, g)| if l.param_count() > 0 { Some(g.clone()) } else { None })
+            .collect();
+        LayerGradients { params, grad_sparsity: ws.grad_sparsity }
     }
 
-    /// Predicted class (argmax of logits) for one sample.
-    pub fn predict(&self, input: &Tensor) -> usize {
-        let trace = self.forward(input);
-        let logits = trace.logits();
+    /// Predicted class (argmax of logits) for one sample, reusing `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length or workspace geometry mismatches.
+    pub fn predict_with(&self, input: &Tensor, ws: &mut Workspace) -> usize {
+        self.forward_into(input.as_slice(), ws);
+        let logits = ws.trace.logits();
         let mut best = 0;
         for i in 1..logits.len() {
             if logits[i] > logits[best] {
@@ -214,9 +288,16 @@ impl Network {
         best
     }
 
+    /// Predicted class (argmax of logits) for one sample.
+    pub fn predict(&self, input: &Tensor) -> usize {
+        self.predict_with(input, &mut Workspace::for_network(self))
+    }
+
     /// Classifies a batch of samples, distributing whole samples across
     /// `threads` workers — inference under the GEMM-in-Parallel schedule
     /// (forward propagation is the inference subset of training, Sec. 6).
+    /// Each worker plans one [`Workspace`] and reuses it for every sample
+    /// it classifies.
     ///
     /// Returns the predicted class per sample, in input order.
     ///
@@ -227,14 +308,18 @@ impl Network {
         assert!(threads > 0, "thread count must be positive");
         let workers = threads.min(inputs.len().max(1));
         if workers <= 1 {
-            return inputs.iter().map(|input| self.predict(input)).collect();
+            let mut ws = Workspace::for_network(self);
+            return inputs.iter().map(|input| self.predict_with(input, &mut ws)).collect();
         }
         let chunk = inputs.len().div_ceil(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = inputs
                 .chunks(chunk)
                 .map(|batch| {
-                    scope.spawn(move || batch.iter().map(|i| self.predict(i)).collect::<Vec<_>>())
+                    scope.spawn(move || {
+                        let mut ws = Workspace::for_network(self);
+                        batch.iter().map(|i| self.predict_with(i, &mut ws)).collect::<Vec<_>>()
+                    })
                 })
                 .collect();
             handles.into_iter().flat_map(|h| h.join().expect("inference worker panicked")).collect()
@@ -252,6 +337,24 @@ impl Network {
             if let Some(g) = grad {
                 let scaled: Tensor = g.iter().map(|v| v / scale).collect();
                 layer.apply_update(&scaled, lr);
+            }
+        }
+    }
+
+    /// Applies averaged parameter gradients from a dense per-layer slice:
+    /// `params -= (lr / scale) * grads`. Empty tensors (parameter-free
+    /// layers) are skipped. Unlike [`Network::apply_gradients`] this never
+    /// allocates — the form the trainer's hot loop uses with
+    /// [`Workspace`]-accumulated gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not have one entry per layer.
+    pub fn apply_gradient_slices(&mut self, grads: &[Tensor], lr: f32, scale: f32) {
+        assert_eq!(grads.len(), self.layers.len(), "one gradient slot per layer");
+        for (layer, grad) in self.layers.iter_mut().zip(grads) {
+            if !grad.is_empty() {
+                layer.apply_update(grad, lr / scale);
             }
         }
     }
@@ -340,6 +443,32 @@ mod tests {
         // must show some sparsity; the logits gradient is dense.
         assert!(grads.grad_sparsity[0] > 0.0);
         assert_eq!(grads.grad_sparsity[3], 0.0);
+    }
+
+    #[test]
+    fn workspace_pass_matches_allocating_pass() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let net = tiny_net(&mut rng);
+        let input = Tensor::random_uniform(64, 1.0, &mut rng);
+        let trace = net.forward(&input);
+        let (_, grad) = Network::loss_and_gradient(trace.logits(), 1);
+        let lg = net.backward(&trace, &grad);
+
+        let mut ws = Workspace::for_network(&net);
+        // Two passes through the same workspace: the second must be
+        // bit-identical to the allocating path (no stale-state leakage).
+        for _ in 0..2 {
+            net.forward_into(input.as_slice(), &mut ws);
+            net.backward_into(grad.as_slice(), &mut ws);
+        }
+        assert_eq!(ws.trace.logits().as_slice(), trace.logits().as_slice());
+        assert_eq!(ws.grad_sparsity, lg.grad_sparsity);
+        for (slot, dense) in lg.params.iter().zip(&ws.param_grads) {
+            match slot {
+                Some(g) => assert_eq!(g.as_slice(), dense.as_slice()),
+                None => assert_eq!(dense.len(), 0),
+            }
+        }
     }
 
     #[test]

@@ -3,13 +3,16 @@
 //!
 //! [`profile_network`] pushes samples through the network and times every
 //! layer's forward and backward pass separately, so executor choices can
-//! be compared layer by layer rather than end to end.
+//! be compared layer by layer rather than end to end. The run executes out
+//! of one reused [`Workspace`], so after the first sample the timings
+//! measure kernels, not the allocator.
 
 use std::time::Instant;
 
 use spg_tensor::Tensor;
 
 use crate::net::Network;
+use crate::workspace::Workspace;
 
 /// Wall-clock totals for one layer across a profiling run.
 #[derive(Debug, Clone)]
@@ -72,33 +75,39 @@ pub fn profile_network(net: &Network, samples: usize) -> Vec<LayerProfile> {
         .collect();
 
     let input: Tensor = (0..net.input_len()).map(|i| ((i % 17) as f32 - 8.0) / 9.0).collect();
+    let mut ws = Workspace::for_network(net);
     for sample in 0..samples {
         // Forward, timing each layer.
-        let mut activations: Vec<Tensor> = Vec::with_capacity(net.layers().len() + 1);
-        activations.push(input.clone());
-        for (i, layer) in net.layers().iter().enumerate() {
-            let mut out = Tensor::zeros(layer.output_len());
-            let start = Instant::now();
-            layer.forward(activations[i].as_slice(), out.as_mut_slice());
-            profiles[i].forward_secs += start.elapsed().as_secs_f64();
-            activations.push(out);
+        {
+            let Workspace { trace, scratch, .. } = &mut ws;
+            trace.activations[0].as_mut_slice().copy_from_slice(input.as_slice());
+            for (i, layer) in net.layers().iter().enumerate() {
+                let (prev, rest) = trace.activations.split_at_mut(i + 1);
+                let start = Instant::now();
+                layer.forward(prev[i].as_slice(), rest[0].as_mut_slice(), scratch);
+                profiles[i].forward_secs += start.elapsed().as_secs_f64();
+            }
         }
 
         // Backward, timing each layer.
         let label = sample % net.output_len();
-        let (_, mut grad_out) =
-            Network::loss_and_gradient(activations.last().expect("non-empty"), label);
+        let (_, loss_grad) = Network::loss_and_gradient(ws.trace.logits(), label);
+        let Workspace { trace, param_grads, scratch, grad_a, grad_b, .. } = &mut ws;
+        grad_a.as_mut_slice()[..loss_grad.len()].copy_from_slice(loss_grad.as_slice());
         for (i, layer) in net.layers().iter().enumerate().rev() {
-            let mut grad_in = Tensor::zeros(layer.input_len());
+            let out_len = layer.output_len();
+            let in_len = layer.input_len();
             let start = Instant::now();
             layer.backward(
-                activations[i].as_slice(),
-                activations[i + 1].as_slice(),
-                grad_out.as_slice(),
-                grad_in.as_mut_slice(),
+                trace.activations[i].as_slice(),
+                trace.activations[i + 1].as_slice(),
+                &grad_a.as_slice()[..out_len],
+                &mut grad_b.as_mut_slice()[..in_len],
+                &mut param_grads[i],
+                scratch,
             );
             profiles[i].backward_secs += start.elapsed().as_secs_f64();
-            grad_out = grad_in;
+            std::mem::swap(grad_a, grad_b);
         }
     }
     profiles

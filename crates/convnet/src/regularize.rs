@@ -10,6 +10,7 @@
 use spg_tensor::Tensor;
 
 use crate::layer::Layer;
+use crate::workspace::ConvScratch;
 use crate::ConvError;
 
 /// Inverted dropout: each activation is zeroed with probability `rate`,
@@ -73,7 +74,7 @@ impl Layer for DropoutLayer {
         self.len
     }
 
-    fn forward(&self, input: &[f32], output: &mut [f32]) {
+    fn forward(&self, input: &[f32], output: &mut [f32], _scratch: &mut ConvScratch) {
         let scale = 1.0 / (1.0 - self.rate);
         for (i, (o, &x)) in output.iter_mut().zip(input).enumerate() {
             *o = if self.keeps(i, x) { x * scale } else { 0.0 };
@@ -86,12 +87,13 @@ impl Layer for DropoutLayer {
         _output: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
-    ) -> Option<Tensor> {
+        _param_grads: &mut Tensor,
+        _scratch: &mut ConvScratch,
+    ) {
         let scale = 1.0 / (1.0 - self.rate);
         for (i, ((gi, &go), &x)) in grad_in.iter_mut().zip(grad_out).zip(input).enumerate() {
             *gi = if self.keeps(i, x) { go * scale } else { 0.0 };
         }
-        None
     }
 }
 
@@ -171,7 +173,7 @@ impl Layer for LrnLayer {
         self.channels * self.plane
     }
 
-    fn forward(&self, input: &[f32], output: &mut [f32]) {
+    fn forward(&self, input: &[f32], output: &mut [f32], _scratch: &mut ConvScratch) {
         for c in 0..self.channels {
             for p in 0..self.plane {
                 let idx = c * self.plane + p;
@@ -186,7 +188,9 @@ impl Layer for LrnLayer {
         _output: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
-    ) -> Option<Tensor> {
+        _param_grads: &mut Tensor,
+        _scratch: &mut ConvScratch,
+    ) {
         // d b[c'] / d a[c] = delta(c,c') * D(c')^-beta
         //   - 2 alpha beta / n * a[c] a[c'] * D(c')^(-beta-1)
         // for c in the window of c'.
@@ -208,7 +212,6 @@ impl Layer for LrnLayer {
                 }
             }
         }
-        None
     }
 }
 
@@ -220,8 +223,8 @@ mod tests {
     fn dropout_zeroes_roughly_rate_fraction() {
         let layer = DropoutLayer::new(10_000, 0.4, 7).unwrap();
         let input: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.37).sin() + 1.5).collect();
-        let mut out = vec![0.0; 10_000];
-        layer.forward(&input, &mut out);
+        let mut out = vec![0f32; 10_000];
+        layer.forward(&input, &mut out, &mut ConvScratch::new());
         let dropped = out.iter().filter(|v| **v == 0.0).count() as f64 / 10_000.0;
         assert!((dropped - 0.4).abs() < 0.03, "dropped {dropped}");
         // Survivors are scaled by 1/(1-p).
@@ -233,10 +236,12 @@ mod tests {
     fn dropout_forward_backward_masks_agree() {
         let layer = DropoutLayer::new(256, 0.5, 3).unwrap();
         let input: Vec<f32> = (0..256).map(|i| (i as f32 * 0.71).cos()).collect();
-        let mut out = vec![0.0; 256];
-        layer.forward(&input, &mut out);
-        let mut gin = vec![0.0; 256];
-        layer.backward(&input, &out, &vec![1.0; 256], &mut gin);
+        let mut scratch = ConvScratch::new();
+        let mut none = Tensor::default();
+        let mut out = vec![0f32; 256];
+        layer.forward(&input, &mut out, &mut scratch);
+        let mut gin = vec![0f32; 256];
+        layer.backward(&input, &out, &vec![1.0; 256], &mut gin, &mut none, &mut scratch);
         for (o, g) in out.iter().zip(&gin) {
             assert_eq!(*o == 0.0, *g == 0.0, "mask mismatch");
         }
@@ -246,8 +251,15 @@ mod tests {
     fn dropout_increases_gradient_sparsity() {
         let layer = DropoutLayer::new(1000, 0.6, 9).unwrap();
         let input: Vec<f32> = (0..1000).map(|i| (i as f32).sin() + 2.0).collect();
-        let mut gin = vec![0.0; 1000];
-        layer.backward(&input, &[], &vec![1.0; 1000], &mut gin);
+        let mut gin = vec![0f32; 1000];
+        layer.backward(
+            &input,
+            &[],
+            &vec![1.0; 1000],
+            &mut gin,
+            &mut Tensor::default(),
+            &mut ConvScratch::new(),
+        );
         let sparsity = gin.iter().filter(|v| **v == 0.0).count() as f64 / 1000.0;
         assert!(sparsity > 0.5, "sparsity {sparsity}");
     }
@@ -263,8 +275,8 @@ mod tests {
     fn lrn_normalizes_toward_unit_scale() {
         let lrn = LrnLayer::new(4, 2, 3).unwrap();
         let input = vec![1.0; 8];
-        let mut out = vec![0.0; 8];
-        lrn.forward(&input, &mut out);
+        let mut out = vec![0f32; 8];
+        lrn.forward(&input, &mut out, &mut ConvScratch::new());
         // Every output is input / (2 + small)^0.75 — positive and < input.
         assert!(out.iter().all(|v| *v > 0.0 && *v < 1.0));
         // Interior channels see a bigger window sum than edge channels.
@@ -276,12 +288,12 @@ mod tests {
         let lrn = LrnLayer::new(3, 2, 3).unwrap();
         let input: Vec<f32> = vec![0.4, -0.7, 1.1, 0.2, -0.3, 0.9];
         let gout: Vec<f32> = vec![1.0, -2.0, 0.5, 0.7, 1.5, -0.4];
-        let mut gin = vec![0.0; 6];
-        lrn.backward(&input, &[], &gout, &mut gin);
+        let mut gin = vec![0f32; 6];
+        lrn.backward(&input, &[], &gout, &mut gin, &mut Tensor::default(), &mut ConvScratch::new());
 
         let loss = |inp: &[f32]| {
-            let mut out = vec![0.0; 6];
-            lrn.forward(inp, &mut out);
+            let mut out = vec![0f32; 6];
+            lrn.forward(inp, &mut out, &mut ConvScratch::new());
             out.iter().zip(&gout).map(|(a, b)| a * b).sum::<f32>()
         };
         let eps = 1e-3;

@@ -5,13 +5,22 @@
 //! at the training-loop level: each worker thread pushes whole samples
 //! through the shared network with single-threaded kernels, instead of
 //! every sample's GEMM being partitioned across all cores (Sec. 4.1).
+//!
+//! Workers are *persistent*: one pool is spawned for the whole training
+//! run, each worker owning one [`Workspace`] it reuses for every sample it
+//! ever processes. Sample `j` of a batch always goes to worker
+//! `j % workers` and results are merged in exact sample order, so the
+//! f32 gradient accumulation is bit-identical for every worker count.
 
+use std::sync::mpsc;
+use std::sync::RwLock;
 use std::time::Instant;
 
 use spg_tensor::Tensor;
 
 use crate::data::Dataset;
 use crate::net::Network;
+use crate::workspace::Workspace;
 
 /// Configuration for [`Trainer`].
 #[derive(Debug, Clone)]
@@ -119,176 +128,337 @@ impl Trainer {
         &self,
         net: &mut Network,
         data: &mut Dataset,
+        after_epoch: F,
+    ) -> Vec<EpochStats>
+    where
+        F: FnMut(&mut Network, &EpochStats),
+    {
+        if self.config.sample_threads == 1 {
+            self.train_inline(net, data, after_epoch)
+        } else {
+            self.train_pooled(net, data, after_epoch)
+        }
+    }
+
+    /// Single-threaded training: one long-lived [`Workspace`] serves every
+    /// sample, and batches merge in sample order — the same arithmetic as
+    /// the pooled path with any worker count.
+    fn train_inline<F>(
+        &self,
+        net: &mut Network,
+        data: &mut Dataset,
         mut after_epoch: F,
     ) -> Vec<EpochStats>
     where
         F: FnMut(&mut Network, &EpochStats),
     {
-        let conv_layers: Vec<usize> =
-            net.layers().iter().enumerate().filter_map(|(i, l)| l.conv_spec().map(|_| i)).collect();
+        let conv_layers = conv_layer_indices(net);
+        let mut ws = Workspace::for_network(net);
+        let mut acc = BatchAcc::for_network(net, conv_layers.len());
+        let mut velocity = zero_param_grads(net);
         let mut all_stats = Vec::with_capacity(self.config.epochs);
-        // Momentum velocity per layer, lazily sized on first gradient.
-        let mut velocity: Vec<Option<Tensor>> = vec![None; net.layers().len()];
         for epoch in 1..=self.config.epochs {
             // One scope entry per epoch: `trainer` wall time / call count
             // gives total optimizer-loop time in the metrics snapshot.
             let _telemetry = spg_telemetry::scope("trainer", spg_telemetry::Phase::Other);
             data.shuffle(self.config.shuffle_seed.wrapping_add(epoch as u64));
             let start = Instant::now();
-            let mut loss_sum = 0.0f64;
-            let mut correct = 0usize;
-            let mut sparsity_sums = vec![0.0f64; conv_layers.len()];
-            let mut sparsity_count = 0usize;
+            let mut epoch_acc = EpochAcc::new(conv_layers.len());
 
             let indices: Vec<usize> = (0..data.len()).collect();
             for batch in indices.chunks(self.config.batch_size) {
-                let outcome = self.run_batch(net, data, batch);
-                loss_sum += outcome.loss_sum;
-                correct += outcome.correct;
-                for (dst, src) in sparsity_sums.iter_mut().zip(&outcome.sparsity_sums) {
-                    *dst += src;
+                acc.reset();
+                for &i in batch {
+                    let (loss, correct) = process_sample(net, data, i, &mut ws);
+                    acc.absorb(loss, correct, &ws.param_grads, &ws.grad_sparsity, &conv_layers);
                 }
-                sparsity_count += batch.len();
-                if self.config.momentum > 0.0 {
-                    let scale = batch.len() as f32;
-                    for (v_slot, g_slot) in velocity.iter_mut().zip(&outcome.grads) {
-                        let Some(g) = g_slot else { continue };
-                        match v_slot {
-                            Some(v) => {
-                                for (v, g) in v.iter_mut().zip(g.iter()) {
-                                    *v = self.config.momentum * *v + g / scale;
-                                }
-                            }
-                            None => {
-                                *v_slot = Some(g.iter().map(|g| g / scale).collect());
-                            }
-                        }
-                    }
-                    net.apply_gradients(&velocity, self.config.learning_rate, 1.0);
-                } else {
-                    net.apply_gradients(
-                        &outcome.grads,
-                        self.config.learning_rate,
-                        batch.len() as f32,
-                    );
-                }
+                epoch_acc.absorb(&acc, batch.len());
+                self.apply_batch(net, &mut velocity, &acc, batch.len());
             }
 
-            let elapsed = start.elapsed().as_secs_f64();
-            let stats = EpochStats {
-                epoch,
-                mean_loss: loss_sum / data.len() as f64,
-                accuracy: correct as f64 / data.len() as f64,
-                conv_grad_sparsity: sparsity_sums
-                    .iter()
-                    .map(|s| s / sparsity_count.max(1) as f64)
-                    .collect(),
-                images_per_sec: data.len() as f64 / elapsed.max(1e-9),
-            };
+            let stats = epoch_acc.into_stats(epoch, data.len(), start.elapsed().as_secs_f64());
             after_epoch(net, &stats);
             all_stats.push(stats);
         }
         all_stats
     }
 
-    fn run_batch(&self, net: &Network, data: &Dataset, batch: &[usize]) -> BatchOutcome {
-        let conv_layers: Vec<usize> =
-            net.layers().iter().enumerate().filter_map(|(i, l)| l.conv_spec().map(|_| i)).collect();
-        let workers = self.config.sample_threads.min(batch.len()).max(1);
-        if workers == 1 {
-            let mut acc = BatchOutcome::empty(net, conv_layers.len());
-            for &i in batch {
-                acc.absorb_sample(net, data, i, &conv_layers);
-            }
-            return acc;
-        }
+    /// Pooled training: `sample_threads` persistent workers, spawned once,
+    /// each owning one [`Workspace`]. Jobs carry recycled [`SampleResult`]
+    /// buffers out and back, so the steady-state loop is allocation-free
+    /// end to end.
+    fn train_pooled<F>(
+        &self,
+        net: &mut Network,
+        data: &mut Dataset,
+        mut after_epoch: F,
+    ) -> Vec<EpochStats>
+    where
+        F: FnMut(&mut Network, &EpochStats),
+    {
+        let conv_layers = conv_layer_indices(net);
+        let workers = self.config.sample_threads;
+        let mut acc = BatchAcc::for_network(net, conv_layers.len());
+        let mut velocity = zero_param_grads(net);
+        // Enough result slots that a full batch can be in flight.
+        let mut free: Vec<SampleResult> = (0..self.config.batch_size.max(workers))
+            .map(|_| SampleResult::for_network(net))
+            .collect();
 
-        let chunks: Vec<&[usize]> = batch.chunks(batch.len().div_ceil(workers)).collect();
-        let partials: Vec<BatchOutcome> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    let conv_layers = &conv_layers;
-                    scope.spawn(move || {
-                        let mut acc = BatchOutcome::empty(net, conv_layers.len());
-                        for &i in *chunk {
-                            acc.absorb_sample(net, data, i, conv_layers);
+        // Workers read the network and dataset through RwLocks; the main
+        // thread takes the write side only between batches (applying
+        // updates / reshuffling), when no jobs are outstanding.
+        let net_lock = RwLock::new(net);
+        let data_lock = RwLock::new(data);
+
+        std::thread::scope(|scope| {
+            let mut job_txs = Vec::with_capacity(workers);
+            let mut result_rxs = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (job_tx, job_rx) = mpsc::channel::<(usize, SampleResult)>();
+                let (result_tx, result_rx) = mpsc::channel::<SampleResult>();
+                job_txs.push(job_tx);
+                result_rxs.push(result_rx);
+                let net_lock = &net_lock;
+                let data_lock = &data_lock;
+                scope.spawn(move || {
+                    let mut ws = {
+                        let net = net_lock.read().expect("network lock poisoned");
+                        Workspace::for_network(&net)
+                    };
+                    // Blocked on recv the worker holds no locks; it exits
+                    // when the main thread drops its job sender.
+                    while let Ok((i, mut slot)) = job_rx.recv() {
+                        {
+                            let net = net_lock.read().expect("network lock poisoned");
+                            let data = data_lock.read().expect("dataset lock poisoned");
+                            let (loss, correct) = process_sample(&net, &data, i, &mut ws);
+                            slot.capture(&ws, loss, correct);
                         }
-                        acc
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("sample worker panicked")).collect()
-        });
+                        if result_tx.send(slot).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
 
-        let mut acc = BatchOutcome::empty(net, conv_layers.len());
-        for p in partials {
-            acc.merge(p);
+            let mut all_stats = Vec::with_capacity(self.config.epochs);
+            for epoch in 1..=self.config.epochs {
+                let _telemetry = spg_telemetry::scope("trainer", spg_telemetry::Phase::Other);
+                let data_len = {
+                    let mut data = data_lock.write().expect("dataset lock poisoned");
+                    data.shuffle(self.config.shuffle_seed.wrapping_add(epoch as u64));
+                    data.len()
+                };
+                let start = Instant::now();
+                let mut epoch_acc = EpochAcc::new(conv_layers.len());
+
+                let indices: Vec<usize> = (0..data_len).collect();
+                for batch in indices.chunks(self.config.batch_size) {
+                    acc.reset();
+                    // Sample j -> worker j % workers, round-robin.
+                    for (j, &i) in batch.iter().enumerate() {
+                        let slot = free.pop().unwrap_or_else(|| {
+                            let net = net_lock.read().expect("network lock poisoned");
+                            SampleResult::for_network(&net)
+                        });
+                        job_txs[j % workers].send((i, slot)).expect("worker died");
+                    }
+                    // Receive in sample order: worker j % workers returns
+                    // its results FIFO, so this merge order — and with it
+                    // the f32 accumulation — is identical to the inline
+                    // path regardless of worker count.
+                    for j in 0..batch.len() {
+                        let r = result_rxs[j % workers].recv().expect("worker died");
+                        acc.absorb(
+                            r.loss,
+                            r.correct,
+                            &r.param_grads,
+                            &r.grad_sparsity,
+                            &conv_layers,
+                        );
+                        free.push(r);
+                    }
+                    epoch_acc.absorb(&acc, batch.len());
+                    let mut net = net_lock.write().expect("network lock poisoned");
+                    self.apply_batch(&mut net, &mut velocity, &acc, batch.len());
+                }
+
+                let stats = epoch_acc.into_stats(epoch, data_len, start.elapsed().as_secs_f64());
+                {
+                    let mut net = net_lock.write().expect("network lock poisoned");
+                    after_epoch(&mut net, &stats);
+                }
+                all_stats.push(stats);
+            }
+            // Dropping the job senders ends the workers before the scope
+            // joins them.
+            drop(job_txs);
+            all_stats
+        })
+    }
+
+    /// Applies one batch's accumulated gradients (with optional momentum).
+    fn apply_batch(
+        &self,
+        net: &mut Network,
+        velocity: &mut [Tensor],
+        acc: &BatchAcc,
+        batch_len: usize,
+    ) {
+        let scale = batch_len as f32;
+        if self.config.momentum > 0.0 {
+            for (v, g) in velocity.iter_mut().zip(&acc.grads) {
+                for (v, g) in v.iter_mut().zip(g.iter()) {
+                    *v = self.config.momentum * *v + g / scale;
+                }
+            }
+            net.apply_gradient_slices(velocity, self.config.learning_rate, 1.0);
+        } else {
+            net.apply_gradient_slices(&acc.grads, self.config.learning_rate, scale);
         }
-        acc
     }
 }
 
-struct BatchOutcome {
-    grads: Vec<Option<Tensor>>,
+/// Indices of the conv layers (the Fig. 3b sparsity series).
+fn conv_layer_indices(net: &Network) -> Vec<usize> {
+    net.layers().iter().enumerate().filter_map(|(i, l)| l.conv_spec().map(|_| i)).collect()
+}
+
+/// One zeroed parameter-gradient-shaped tensor per layer (empty for
+/// parameter-free layers).
+fn zero_param_grads(net: &Network) -> Vec<Tensor> {
+    net.layers().iter().map(|l| Tensor::zeros(l.param_count())).collect()
+}
+
+/// Runs one sample forward + backward inside `ws`, returning its loss and
+/// whether the prediction was correct.
+fn process_sample(net: &Network, data: &Dataset, i: usize, ws: &mut Workspace) -> (f32, bool) {
+    net.forward_into(data.image(i).as_slice(), ws);
+    let label = data.label(i);
+    let (loss, loss_grad) = Network::loss_and_gradient(ws.trace.logits(), label);
+    let logits = ws.trace.logits();
+    let pred = (0..logits.len()).max_by(|&a, &b| logits[a].total_cmp(&logits[b])).unwrap_or(0);
+    net.backward_into(loss_grad.as_slice(), ws);
+    (loss, pred == label)
+}
+
+/// One sample's results, shuttled main -> worker -> main and recycled; the
+/// buffers are copied out of the worker's [`Workspace`] so the worker can
+/// start its next sample while the main thread merges.
+struct SampleResult {
+    loss: f32,
+    correct: bool,
+    param_grads: Vec<Tensor>,
+    grad_sparsity: Vec<f64>,
+}
+
+impl SampleResult {
+    fn for_network(net: &Network) -> Self {
+        SampleResult {
+            loss: 0.0,
+            correct: false,
+            param_grads: zero_param_grads(net),
+            grad_sparsity: vec![0.0; net.layers().len()],
+        }
+    }
+
+    fn capture(&mut self, ws: &Workspace, loss: f32, correct: bool) {
+        self.loss = loss;
+        self.correct = correct;
+        for (dst, src) in self.param_grads.iter_mut().zip(&ws.param_grads) {
+            dst.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+        self.grad_sparsity.copy_from_slice(&ws.grad_sparsity);
+    }
+}
+
+/// Per-batch accumulator, reset and refilled every batch.
+struct BatchAcc {
+    grads: Vec<Tensor>,
     loss_sum: f64,
     correct: usize,
     sparsity_sums: Vec<f64>,
 }
 
-impl BatchOutcome {
-    fn empty(net: &Network, conv_count: usize) -> Self {
-        BatchOutcome {
-            grads: vec![None; net.layers().len()],
+impl BatchAcc {
+    fn for_network(net: &Network, conv_count: usize) -> Self {
+        BatchAcc {
+            grads: zero_param_grads(net),
             loss_sum: 0.0,
             correct: 0,
             sparsity_sums: vec![0.0; conv_count],
         }
     }
 
-    fn absorb_sample(&mut self, net: &Network, data: &Dataset, i: usize, conv_layers: &[usize]) {
-        let trace = net.forward(data.image(i));
-        let label = data.label(i);
-        let (loss, loss_grad) = Network::loss_and_gradient(trace.logits(), label);
-        self.loss_sum += loss as f64;
-        let logits = trace.logits();
-        let pred = (0..logits.len()).max_by(|&a, &b| logits[a].total_cmp(&logits[b])).unwrap_or(0);
-        if pred == label {
-            self.correct += 1;
+    fn reset(&mut self) {
+        for g in &mut self.grads {
+            g.as_mut_slice().fill(0.0);
         }
-        let lg = net.backward(&trace, &loss_grad);
-        for (slot, g) in self.grads.iter_mut().zip(lg.params) {
-            match (slot.as_mut(), g) {
-                (Some(acc), Some(g)) => {
-                    for (a, v) in acc.iter_mut().zip(g.iter()) {
-                        *a += v;
-                    }
-                }
-                (None, Some(g)) => *slot = Some(g),
-                _ => {}
+        self.loss_sum = 0.0;
+        self.correct = 0;
+        self.sparsity_sums.fill(0.0);
+    }
+
+    fn absorb(
+        &mut self,
+        loss: f32,
+        correct: bool,
+        param_grads: &[Tensor],
+        grad_sparsity: &[f64],
+        conv_layers: &[usize],
+    ) {
+        self.loss_sum += loss as f64;
+        self.correct += correct as usize;
+        for (acc, g) in self.grads.iter_mut().zip(param_grads) {
+            for (a, v) in acc.iter_mut().zip(g.iter()) {
+                *a += v;
             }
         }
         for (dst, &li) in self.sparsity_sums.iter_mut().zip(conv_layers) {
-            *dst += lg.grad_sparsity[li];
+            *dst += grad_sparsity[li];
+        }
+    }
+}
+
+/// Per-epoch accumulator over the batch accumulators.
+struct EpochAcc {
+    loss_sum: f64,
+    correct: usize,
+    sparsity_sums: Vec<f64>,
+    sparsity_count: usize,
+}
+
+impl EpochAcc {
+    fn new(conv_count: usize) -> Self {
+        EpochAcc {
+            loss_sum: 0.0,
+            correct: 0,
+            sparsity_sums: vec![0.0; conv_count],
+            sparsity_count: 0,
         }
     }
 
-    fn merge(&mut self, other: BatchOutcome) {
-        self.loss_sum += other.loss_sum;
-        self.correct += other.correct;
-        for (a, b) in self.sparsity_sums.iter_mut().zip(&other.sparsity_sums) {
-            *a += b;
+    fn absorb(&mut self, acc: &BatchAcc, batch_len: usize) {
+        self.loss_sum += acc.loss_sum;
+        self.correct += acc.correct;
+        for (dst, src) in self.sparsity_sums.iter_mut().zip(&acc.sparsity_sums) {
+            *dst += src;
         }
-        for (slot, g) in self.grads.iter_mut().zip(other.grads) {
-            match (slot.as_mut(), g) {
-                (Some(acc), Some(g)) => {
-                    for (a, v) in acc.iter_mut().zip(g.iter()) {
-                        *a += v;
-                    }
-                }
-                (None, Some(g)) => *slot = Some(g),
-                _ => {}
-            }
+        self.sparsity_count += batch_len;
+    }
+
+    fn into_stats(self, epoch: usize, samples: usize, elapsed: f64) -> EpochStats {
+        EpochStats {
+            epoch,
+            mean_loss: self.loss_sum / samples as f64,
+            accuracy: self.correct as f64 / samples as f64,
+            conv_grad_sparsity: self
+                .sparsity_sums
+                .iter()
+                .map(|s| s / self.sparsity_count.max(1) as f64)
+                .collect(),
+            images_per_sec: samples as f64 / elapsed.max(1e-9),
         }
     }
 }
@@ -335,9 +505,6 @@ mod tests {
 
     #[test]
     fn parallel_samples_match_sequential() {
-        // Same seed + same batches -> identical parameter trajectory
-        // regardless of sample thread count (addition order differs only
-        // within f32 tolerance; use loose comparison on final loss).
         let mut data1 = make_data();
         let mut data2 = make_data();
         let mut net1 = make_net(11);
@@ -349,6 +516,29 @@ mod tests {
             Trainer::new(TrainerConfig { sample_threads: 4, ..base }).train(&mut net2, &mut data2);
         let (l1, l2) = (s1.last().unwrap().mean_loss, s2.last().unwrap().mean_loss);
         assert!((l1 - l2).abs() < 1e-3, "{l1} vs {l2}");
+    }
+
+    #[test]
+    fn sample_thread_count_is_bit_deterministic() {
+        // In-order merging makes the accumulation order — and therefore
+        // every f32 rounding — independent of the worker count: epoch
+        // losses must match to the bit, not merely to a tolerance.
+        let run = |threads: usize| -> Vec<u64> {
+            let mut net = make_net(42);
+            let mut data = make_data();
+            let cfg = TrainerConfig {
+                epochs: 3,
+                momentum: 0.9,
+                sample_threads: threads,
+                ..Default::default()
+            };
+            Trainer::new(cfg)
+                .train(&mut net, &mut data)
+                .iter()
+                .map(|s| s.mean_loss.to_bits())
+                .collect()
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]
@@ -379,6 +569,27 @@ mod tests {
             },
         );
         assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn pooled_epoch_callback_can_retune_executors() {
+        // The callback takes &mut Network under the pool's write lock; a
+        // re-plan mid-training must not wedge or corrupt the run.
+        let mut net = make_net(14);
+        let mut data = make_data();
+        let mut calls = 0;
+        Trainer::new(TrainerConfig { epochs: 2, sample_threads: 3, ..Default::default() })
+            .train_with(&mut net, &mut data, |net, _| {
+                calls += 1;
+                for layer in net.layers_mut() {
+                    if let Some(conv) = layer.as_conv_mut() {
+                        conv.set_backward_executor(std::sync::Arc::new(
+                            crate::exec::ReferenceExecutor,
+                        ));
+                    }
+                }
+            });
+        assert_eq!(calls, 2);
     }
 
     #[test]

@@ -25,11 +25,26 @@ use crate::ConvSpec;
 ///
 /// Panics if `input.len() != spec.input_shape().len()`.
 pub fn unfold(spec: &ConvSpec, input: &[f32]) -> Matrix {
+    let mut u = Matrix::default();
+    unfold_into(spec, input, &mut u);
+    u
+}
+
+/// [`unfold`] into a caller-owned matrix, reshaped in place.
+///
+/// With steady-state layer geometry the matrix's buffer is recycled, so
+/// per-sample unfolding performs no heap allocation — the hot-path variant
+/// the workspace-threaded executors use.
+///
+/// # Panics
+///
+/// Panics if `input.len() != spec.input_shape().len()`.
+pub fn unfold_into(spec: &ConvSpec, input: &[f32], u: &mut Matrix) {
     let ishape = spec.input_shape();
     assert_eq!(input.len(), ishape.len(), "input length");
     let patches = spec.out_h() * spec.out_w();
     let patch_len = spec.in_c() * spec.ky() * spec.kx();
-    let mut u = Matrix::zeros(patches, patch_len);
+    u.resize(patches, patch_len);
     let (sy, sx, kx_n, ky_n) = (spec.sy(), spec.sx(), spec.kx(), spec.ky());
     let uv = u.as_mut_slice();
     for y in 0..spec.out_h() {
@@ -44,7 +59,6 @@ pub fn unfold(spec: &ConvSpec, input: &[f32]) -> Matrix {
             }
         }
     }
-    u
 }
 
 /// Unfolds directly into the transposed patch matrix `U^T`
@@ -55,11 +69,22 @@ pub fn unfold(spec: &ConvSpec, input: &[f32]) -> Matrix {
 ///
 /// Panics if `input.len() != spec.input_shape().len()`.
 pub fn unfold_transposed(spec: &ConvSpec, input: &[f32]) -> Matrix {
+    let mut ut = Matrix::default();
+    unfold_transposed_into(spec, input, &mut ut);
+    ut
+}
+
+/// [`unfold_transposed`] into a caller-owned matrix, reshaped in place.
+///
+/// # Panics
+///
+/// Panics if `input.len() != spec.input_shape().len()`.
+pub fn unfold_transposed_into(spec: &ConvSpec, input: &[f32], ut: &mut Matrix) {
     let ishape = spec.input_shape();
     assert_eq!(input.len(), ishape.len(), "input length");
     let patches = spec.out_h() * spec.out_w();
     let patch_len = spec.in_c() * spec.ky() * spec.kx();
-    let mut ut = Matrix::zeros(patch_len, patches);
+    ut.resize(patch_len, patches);
     let (sy, sx, kx_n, ky_n) = (spec.sy(), spec.sx(), spec.kx(), spec.ky());
     let uv = ut.as_mut_slice();
     for c in 0..spec.in_c() {
@@ -75,7 +100,6 @@ pub fn unfold_transposed(spec: &ConvSpec, input: &[f32]) -> Matrix {
             }
         }
     }
-    ut
 }
 
 /// Folds a patch-space gradient back into input space (`col2im`):
@@ -153,7 +177,7 @@ mod tests {
             (0..u.len()).map(|i| ((i * 11 % 5) as f32) - 2.0).collect(),
         )
         .unwrap();
-        let mut folded = vec![0.0; ilen];
+        let mut folded = vec![0f32; ilen];
         fold(&spec, &g, &mut folded);
         let lhs: f64 =
             u.as_slice().iter().zip(g.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();

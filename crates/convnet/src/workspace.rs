@@ -1,0 +1,217 @@
+//! Planned, reusable execution workspaces.
+//!
+//! The paper's scalability argument (Sec. 3.2/4.1) is that GEMM-in-Parallel
+//! preserves each core's *full* arithmetic intensity. Re-allocating unfold
+//! matrices, staging buffers, and gradient accumulators on every sample
+//! squanders that: the allocator serializes cores on shared locks and cold
+//! pages evict the very operands whose reuse the schedule protects. This
+//! module provides the two pool types that make steady-state training
+//! allocation-free:
+//!
+//! * [`ConvScratch`] — per-call scratch for a
+//!   [`ConvExecutor`](crate::exec::ConvExecutor): unfold matrices, GEMM pack buffers, HWC
+//!   staging, permuted-weight accumulators, and CT-CSR staging. Buffers
+//!   grow on first use (warm-up) and are recycled afterwards.
+//! * [`Workspace`] — everything one training sample needs end to end:
+//!   an activation trace, ping-pong error-gradient buffers, per-layer
+//!   parameter-gradient buffers, and one shared [`ConvScratch`]. The
+//!   trainer's persistent worker pool owns one `Workspace` per worker for
+//!   the lifetime of training.
+
+use spg_tensor::sparse::CtCsr;
+use spg_tensor::{Matrix, Tensor};
+
+use crate::net::{Network, SampleTrace};
+use crate::ConvSpec;
+
+/// Resizes `buf` to `len` zeros, reusing its allocation, and returns it as
+/// a slice.
+///
+/// This is the buffer-recycling primitive the workspace-threaded kernels
+/// use for `Vec<f32>` scratch: after warm-up the capacity is stable and no
+/// heap allocation occurs.
+pub fn zeroed_slice(buf: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    buf.clear();
+    buf.resize(len, 0.0);
+    &mut buf[..]
+}
+
+/// Per-call scratch buffers for the convolution executors.
+///
+/// One `ConvScratch` serves every conv layer of a network: each executor
+/// call resizes the buffers it needs to the layer's geometry (a zero-cost
+/// reshape once capacities have warmed up to the largest layer). The
+/// fields are public so executor implementations outside this crate — the
+/// stencil and sparse kernels and the autotuner's compiled executor in
+/// `spg-core` — can stage through the same pool.
+#[derive(Debug, Default)]
+pub struct ConvScratch {
+    /// Patch-matrix scratch: the unfold matrix `U` / `U^T`, or the
+    /// transposed gradient `E_O^T` in the Parallel-GEMM backward path.
+    pub mat_a: Matrix,
+    /// Patch-space gradient `E_U` for the backward-data fold.
+    pub mat_b: Matrix,
+    /// Input-sized HWC / phased staging buffer.
+    pub hwc_in: Vec<f32>,
+    /// Output-sized HWC staging buffer.
+    pub hwc_out: Vec<f32>,
+    /// Permuted-order weight / weight-gradient buffer (`kkfc` or `kkcf`).
+    pub wperm: Vec<f32>,
+    /// CT-CSR staging for the sparse backward kernels, rebuilt in place.
+    pub ctcsr: CtCsr,
+    /// GEMM panel-packing buffer (left operand).
+    pub pack_a: Vec<f32>,
+    /// GEMM panel-packing buffer (right operand).
+    pub pack_b: Vec<f32>,
+}
+
+impl ConvScratch {
+    /// Creates an empty scratch whose buffers grow on first use.
+    pub fn new() -> Self {
+        ConvScratch::default()
+    }
+
+    /// Pre-grows every geometry-determined buffer for `spec`, so the first
+    /// sample through a layer of this shape allocates nothing.
+    ///
+    /// Sparsity-dependent storage (the CT-CSR tiles, the GEMM pack
+    /// buffers) still warms up on first use.
+    pub fn reserve(&mut self, spec: &ConvSpec) {
+        let patches = spec.out_h() * spec.out_w();
+        let patch_len = spec.weight_shape().per_feature();
+        let unfold_area = patches * patch_len.max(spec.features());
+        if self.mat_a.len() < unfold_area {
+            self.mat_a.resize(patches, patch_len.max(spec.features()));
+        }
+        if self.mat_b.len() < patches * patch_len {
+            self.mat_b.resize(patches, patch_len);
+        }
+        // The strided stencil path stages a phased copy of the input whose
+        // padded length can exceed the input itself.
+        let ishape = spec.input_shape();
+        let phased = ishape.c * ishape.h * spec.sx() * ishape.w.div_ceil(spec.sx());
+        let in_len = ishape.len().max(phased);
+        if self.hwc_in.len() < in_len {
+            zeroed_slice(&mut self.hwc_in, in_len);
+        }
+        let out_len = spec.output_shape().len();
+        if self.hwc_out.len() < out_len {
+            zeroed_slice(&mut self.hwc_out, out_len);
+        }
+        let w_len = spec.weight_shape().len();
+        if self.wperm.len() < w_len {
+            zeroed_slice(&mut self.wperm, w_len);
+        }
+    }
+
+    /// Current footprint of the scratch buffers in bytes.
+    ///
+    /// Reported to the telemetry workspace gauge per (layer, phase); after
+    /// warm-up this is the steady-state scratch memory of the executor.
+    pub fn bytes(&self) -> usize {
+        (self.mat_a.len()
+            + self.mat_b.len()
+            + self.hwc_in.len()
+            + self.hwc_out.len()
+            + self.wperm.len()
+            + self.pack_a.len()
+            + self.pack_b.len())
+            * std::mem::size_of::<f32>()
+            + self.ctcsr.storage_bytes()
+    }
+}
+
+/// Everything one training sample needs, preallocated.
+///
+/// The trainer's worker pool builds one `Workspace` per worker from the
+/// network's geometry and reuses it for every sample the worker processes;
+/// [`Network::forward_into`] and [`Network::backward_into`] run entirely
+/// out of these buffers.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Reusable activation trace filled by [`Network::forward_into`].
+    pub trace: SampleTrace,
+    /// Per-layer parameter-gradient buffers (empty tensors for
+    /// parameter-free layers), overwritten by [`Network::backward_into`].
+    pub param_grads: Vec<Tensor>,
+    /// Output-side gradient sparsity observed per layer during backward.
+    pub grad_sparsity: Vec<f64>,
+    /// Executor scratch shared by all layers.
+    pub scratch: ConvScratch,
+    /// Ping-pong error-gradient buffers sized to the longest activation.
+    pub(crate) grad_a: Tensor,
+    pub(crate) grad_b: Tensor,
+}
+
+impl Workspace {
+    /// Plans a workspace for `net`: preallocates the activation trace, the
+    /// gradient ping-pong buffers, one parameter-gradient buffer per
+    /// layer, and conv scratch sized for the largest conv layer.
+    pub fn for_network(net: &Network) -> Self {
+        let trace = SampleTrace::for_network(net);
+        let max_act =
+            net.layers().iter().map(|l| l.input_len().max(l.output_len())).max().unwrap_or(0);
+        let param_grads = net.layers().iter().map(|l| Tensor::zeros(l.param_count())).collect();
+        let grad_sparsity = vec![0.0; net.layers().len()];
+        let mut scratch = ConvScratch::new();
+        for layer in net.layers() {
+            if let Some(spec) = layer.conv_spec() {
+                scratch.reserve(spec);
+            }
+        }
+        Workspace {
+            trace,
+            param_grads,
+            grad_sparsity,
+            scratch,
+            grad_a: Tensor::zeros(max_act),
+            grad_b: Tensor::zeros(max_act),
+        }
+    }
+
+    /// Consumes the workspace and returns its activation trace.
+    pub fn into_trace(self) -> SampleTrace {
+        self.trace
+    }
+
+    /// Current footprint of all workspace buffers in bytes.
+    pub fn bytes(&self) -> usize {
+        let acts: usize = self.trace.activations.iter().map(Tensor::len).sum();
+        let grads: usize = self.param_grads.iter().map(Tensor::len).sum();
+        (acts + grads + self.grad_a.len() + self.grad_b.len()) * std::mem::size_of::<f32>()
+            + self.scratch.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_slice_recycles_capacity() {
+        let mut buf = Vec::new();
+        {
+            let s = zeroed_slice(&mut buf, 64);
+            s.iter_mut().for_each(|v| *v = 3.0);
+        }
+        let cap = buf.capacity();
+        let s = zeroed_slice(&mut buf, 32);
+        assert_eq!(s.len(), 32);
+        assert!(s.iter().all(|v| *v == 0.0));
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn reserve_sizes_buffers_for_spec() {
+        let spec = ConvSpec::new(3, 8, 8, 4, 3, 3, 2, 2).unwrap();
+        let mut scratch = ConvScratch::new();
+        scratch.reserve(&spec);
+        let patches = spec.out_h() * spec.out_w();
+        let patch_len = spec.weight_shape().per_feature();
+        assert!(scratch.mat_a.len() >= patches * patch_len);
+        assert!(scratch.hwc_in.len() >= spec.input_shape().len());
+        assert_eq!(scratch.hwc_out.len(), spec.output_shape().len());
+        assert_eq!(scratch.wperm.len(), spec.weight_shape().len());
+        assert!(scratch.bytes() > 0);
+    }
+}

@@ -12,6 +12,7 @@
 
 use std::time::{Duration, Instant};
 
+use spg_convnet::workspace::ConvScratch;
 use spg_convnet::{ConvSpec, EpochStats, Network};
 
 use crate::schedule::{recommended_plan, LayerPlan, Technique};
@@ -58,18 +59,22 @@ pub fn measure_technique(
     let mut output = vec![0.0f32; olen];
     let mut grad_in = vec![0.0f32; spec.input_shape().len()];
     let mut grad_w = vec![0.0f32; spec.weight_shape().len()];
+    // One scratch reused across warm-up and all reps: the warm-up run
+    // pays the buffer growth, so the timed runs measure the steady-state
+    // (allocation-free) path the trainer actually executes.
+    let mut scratch = ConvScratch::new();
 
-    let mut run = || match phase {
-        Phase::Forward => exec.forward(spec, &input, &weights, &mut output),
+    let mut run = |scratch: &mut ConvScratch| match phase {
+        Phase::Forward => exec.forward(spec, &input, &weights, &mut output, scratch),
         Phase::Backward => {
-            exec.backward_data(spec, &weights, &grad_out, &mut grad_in);
-            exec.backward_weights(spec, &input, &grad_out, &mut grad_w);
+            exec.backward_data(spec, &weights, &grad_out, &mut grad_in, scratch);
+            exec.backward_weights(spec, &input, &grad_out, &mut grad_w, scratch);
         }
     };
-    run(); // warm-up
+    run(&mut scratch); // warm-up
     let start = Instant::now();
     for _ in 0..reps {
-        run();
+        run(&mut scratch);
     }
     start.elapsed() / reps as u32
 }

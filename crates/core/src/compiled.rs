@@ -14,6 +14,7 @@ use std::fmt;
 
 use spg_tensor::{layout, Tensor};
 
+use spg_convnet::workspace::ConvScratch;
 use spg_convnet::{gemm_exec, ConvSpec};
 
 use crate::schedule::{LayerPlan, Technique};
@@ -149,21 +150,52 @@ impl CompiledConv {
     ///
     /// Panics if buffer lengths do not match the spec.
     pub fn forward(&self, input: &[f32], output: &mut [f32]) {
+        self.forward_scratch(input, output, &mut ConvScratch::new());
+    }
+
+    /// [`forward`](CompiledConv::forward) running out of a caller-provided
+    /// [`ConvScratch`]: with a reused scratch the per-sample path performs
+    /// no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the spec.
+    pub fn forward_scratch(&self, input: &[f32], output: &mut [f32], scratch: &mut ConvScratch) {
         match self.plan.forward {
             Technique::StencilFp => {
                 if let Some(w_kkcf) = &self.w_kkcf {
-                    stencil_kernel::forward_narrow_pretransformed(
-                        &self.spec, input, w_kkcf, output,
+                    stencil_kernel::forward_narrow_pretransformed_scratch(
+                        &self.spec, input, w_kkcf, output, scratch,
                     );
                 } else {
-                    stencil_kernel::forward(&self.spec, input, self.weights.as_slice(), output);
+                    stencil_kernel::forward_scratch(
+                        &self.spec,
+                        input,
+                        self.weights.as_slice(),
+                        output,
+                        scratch,
+                    );
                 }
             }
             Technique::ParallelGemm => {
-                gemm_exec::forward(&self.spec, input, self.weights.as_slice(), output, self.cores);
+                gemm_exec::forward_scratch(
+                    &self.spec,
+                    input,
+                    self.weights.as_slice(),
+                    output,
+                    self.cores,
+                    scratch,
+                );
             }
             Technique::GemmInParallel | Technique::SparseBp => {
-                gemm_exec::forward(&self.spec, input, self.weights.as_slice(), output, 1);
+                gemm_exec::forward_scratch(
+                    &self.spec,
+                    input,
+                    self.weights.as_slice(),
+                    output,
+                    1,
+                    scratch,
+                );
             }
         }
     }
@@ -175,24 +207,48 @@ impl CompiledConv {
     ///
     /// Panics if buffer lengths do not match the spec.
     pub fn backward_data(&self, grad_out: &[f32], grad_in: &mut [f32]) {
+        self.backward_data_scratch(grad_out, grad_in, &mut ConvScratch::new());
+    }
+
+    /// [`backward_data`](CompiledConv::backward_data) running out of a
+    /// caller-provided [`ConvScratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the spec.
+    pub fn backward_data_scratch(
+        &self,
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+        scratch: &mut ConvScratch,
+    ) {
         match (&self.plan.backward, &self.w_kkfc) {
-            (Technique::SparseBp, Some(w_kkfc)) => sparse_kernel::backward_data_pretransformed(
-                &self.spec,
-                w_kkfc.as_slice(),
-                grad_out,
-                grad_in,
-                self.tile_width,
-            ),
-            (Technique::ParallelGemm, _) => gemm_exec::backward_data(
+            (Technique::SparseBp, Some(w_kkfc)) => {
+                sparse_kernel::backward_data_pretransformed_scratch(
+                    &self.spec,
+                    w_kkfc.as_slice(),
+                    grad_out,
+                    grad_in,
+                    self.tile_width,
+                    scratch,
+                )
+            }
+            (Technique::ParallelGemm, _) => gemm_exec::backward_data_scratch(
                 &self.spec,
                 self.weights.as_slice(),
                 grad_out,
                 grad_in,
                 self.cores,
+                scratch,
             ),
-            _ => {
-                gemm_exec::backward_data(&self.spec, self.weights.as_slice(), grad_out, grad_in, 1)
-            }
+            _ => gemm_exec::backward_data_scratch(
+                &self.spec,
+                self.weights.as_slice(),
+                grad_out,
+                grad_in,
+                1,
+                scratch,
+            ),
         }
     }
 
@@ -203,18 +259,47 @@ impl CompiledConv {
     ///
     /// Panics if buffer lengths do not match the spec.
     pub fn backward_weights(&self, input: &[f32], grad_out: &[f32], grad_weights: &mut [f32]) {
+        self.backward_weights_scratch(input, grad_out, grad_weights, &mut ConvScratch::new());
+    }
+
+    /// [`backward_weights`](CompiledConv::backward_weights) running out of
+    /// a caller-provided [`ConvScratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the spec.
+    pub fn backward_weights_scratch(
+        &self,
+        input: &[f32],
+        grad_out: &[f32],
+        grad_weights: &mut [f32],
+        scratch: &mut ConvScratch,
+    ) {
         match self.plan.backward {
-            Technique::SparseBp => sparse_kernel::backward_weights(
+            Technique::SparseBp => sparse_kernel::backward_weights_scratch(
                 &self.spec,
                 input,
                 grad_out,
                 grad_weights,
                 self.tile_width,
+                scratch,
             ),
-            Technique::ParallelGemm => {
-                gemm_exec::backward_weights(&self.spec, input, grad_out, grad_weights, self.cores)
-            }
-            _ => gemm_exec::backward_weights(&self.spec, input, grad_out, grad_weights, 1),
+            Technique::ParallelGemm => gemm_exec::backward_weights_scratch(
+                &self.spec,
+                input,
+                grad_out,
+                grad_weights,
+                self.cores,
+                scratch,
+            ),
+            _ => gemm_exec::backward_weights_scratch(
+                &self.spec,
+                input,
+                grad_out,
+                grad_weights,
+                1,
+                scratch,
+            ),
         }
     }
 
@@ -297,6 +382,40 @@ mod tests {
                 for &bwd in Technique::backward_candidates() {
                     check_all_phases(spec, LayerPlan { forward: fwd, backward: bwd });
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // One ConvScratch carried across every phase and plan combination
+        // must not change results relative to per-call scratch.
+        let spec = ConvSpec::square(14, 5, 3, 3, 1);
+        let weights = pseudo(spec.weight_shape().len(), 6);
+        let input = pseudo(spec.input_shape().len(), 7);
+        let grad_out = sparse_grad(spec.output_shape().len(), 3);
+        let mut scratch = ConvScratch::new();
+        for &fwd in Technique::forward_candidates() {
+            for &bwd in Technique::backward_candidates() {
+                let plan = LayerPlan { forward: fwd, backward: bwd };
+                let kernel = CompiledConv::compile(spec, plan, &weights, 2).expect("valid");
+                let olen = spec.output_shape().len();
+                let (ilen, wlen) = (spec.input_shape().len(), spec.weight_shape().len());
+                let mut a = vec![0f32; olen];
+                let mut b = vec![0f32; olen];
+                kernel.forward_scratch(&input, &mut a, &mut scratch);
+                kernel.forward(&input, &mut b);
+                assert_eq!(a, b, "{plan} fwd");
+                let mut ga = vec![0f32; ilen];
+                let mut gb = vec![0f32; ilen];
+                kernel.backward_data_scratch(&grad_out, &mut ga, &mut scratch);
+                kernel.backward_data(&grad_out, &mut gb);
+                assert_eq!(ga, gb, "{plan} bwd-data");
+                let mut wa = vec![0f32; wlen];
+                let mut wb = vec![0f32; wlen];
+                kernel.backward_weights_scratch(&input, &grad_out, &mut wa, &mut scratch);
+                kernel.backward_weights(&input, &grad_out, &mut wb);
+                assert_eq!(wa, wb, "{plan} bwd-w");
             }
         }
     }

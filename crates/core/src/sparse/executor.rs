@@ -1,4 +1,5 @@
 use spg_convnet::exec::ConvExecutor;
+use spg_convnet::workspace::ConvScratch;
 use spg_convnet::{gemm_exec, ConvSpec};
 
 use crate::sparse::{kernel, DEFAULT_TILE_WIDTH};
@@ -55,8 +56,15 @@ impl ConvExecutor for SparseBpExecutor {
         "sparse-bp"
     }
 
-    fn forward(&self, spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
-        gemm_exec::forward(spec, input, weights, output, 1);
+    fn forward(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+        scratch: &mut ConvScratch,
+    ) {
+        gemm_exec::forward_scratch(spec, input, weights, output, 1, scratch);
     }
 
     fn backward_data(
@@ -65,8 +73,9 @@ impl ConvExecutor for SparseBpExecutor {
         weights: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
+        scratch: &mut ConvScratch,
     ) {
-        kernel::backward_data(spec, weights, grad_out, grad_in, self.tile_width);
+        kernel::backward_data_scratch(spec, weights, grad_out, grad_in, self.tile_width, scratch);
     }
 
     fn backward_weights(
@@ -75,8 +84,16 @@ impl ConvExecutor for SparseBpExecutor {
         input: &[f32],
         grad_out: &[f32],
         grad_weights: &mut [f32],
+        scratch: &mut ConvScratch,
     ) {
-        kernel::backward_weights(spec, input, grad_out, grad_weights, self.tile_width);
+        kernel::backward_weights_scratch(
+            spec,
+            input,
+            grad_out,
+            grad_weights,
+            self.tile_width,
+            scratch,
+        );
     }
 }
 
@@ -99,23 +116,24 @@ mod tests {
 
         let ours = SparseBpExecutor::new();
         let oracle = ReferenceExecutor;
+        let mut scratch = ConvScratch::new();
 
-        let mut a = vec![0.0; spec.output_shape().len()];
+        let mut a = vec![0f32; spec.output_shape().len()];
         let mut b = a.clone();
-        ours.forward(&spec, &input, &weights, &mut a);
-        oracle.forward(&spec, &input, &weights, &mut b);
+        ours.forward(&spec, &input, &weights, &mut a, &mut scratch);
+        oracle.forward(&spec, &input, &weights, &mut b, &mut scratch);
         assert!(a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-4));
 
-        let mut ga = vec![0.0; spec.input_shape().len()];
+        let mut ga = vec![0f32; spec.input_shape().len()];
         let mut gb = ga.clone();
-        ours.backward_data(&spec, &weights, &grad_out, &mut ga);
-        oracle.backward_data(&spec, &weights, &grad_out, &mut gb);
+        ours.backward_data(&spec, &weights, &grad_out, &mut ga, &mut scratch);
+        oracle.backward_data(&spec, &weights, &grad_out, &mut gb, &mut scratch);
         assert!(ga.iter().zip(&gb).all(|(x, y)| (x - y).abs() < 1e-4));
 
-        let mut wa = vec![0.0; spec.weight_shape().len()];
+        let mut wa = vec![0f32; spec.weight_shape().len()];
         let mut wb = wa.clone();
-        ours.backward_weights(&spec, &input, &grad_out, &mut wa);
-        oracle.backward_weights(&spec, &input, &grad_out, &mut wb);
+        ours.backward_weights(&spec, &input, &grad_out, &mut wa, &mut scratch);
+        oracle.backward_weights(&spec, &input, &grad_out, &mut wb, &mut scratch);
         assert!(wa.iter().zip(&wb).all(|(x, y)| (x - y).abs() < 1e-4));
     }
 

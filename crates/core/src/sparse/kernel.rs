@@ -1,9 +1,9 @@
 //! The pointer-shifting sparse backward kernels (paper Sec. 4.2).
 
 use spg_tensor::layout;
-use spg_tensor::sparse::CtCsr;
-use spg_tensor::{Shape3, Tensor};
+use spg_tensor::Shape3;
 
+use spg_convnet::workspace::{zeroed_slice, ConvScratch};
 use spg_convnet::ConvSpec;
 
 /// Backward error propagation exploiting gradient sparsity (Eq. 11–15).
@@ -26,12 +26,36 @@ pub fn backward_data(
     grad_in: &mut [f32],
     tile_width: usize,
 ) {
+    backward_data_scratch(spec, weights, grad_out, grad_in, tile_width, &mut ConvScratch::new());
+}
+
+/// [`backward_data`] staging the weight permutation, layout transforms,
+/// and CT-CSR build in a caller-provided [`ConvScratch`]: the per-sample
+/// path performs no heap allocation once the scratch has warmed up.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec or `tile_width == 0`.
+pub fn backward_data_scratch(
+    spec: &ConvSpec,
+    weights: &[f32],
+    grad_out: &[f32],
+    grad_in: &mut [f32],
+    tile_width: usize,
+    scratch: &mut ConvScratch,
+) {
     assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
     // Data layout transformation: weights -> [ky, kx, f, c] (c fastest).
-    // See Sec. 4.2 / Fig. 5b.
-    let w_kkfc = layout::fckk_to_kkfc(&Tensor::from_vec(weights.to_vec()), spec.weight_shape())
-        .expect("weight length checked above");
-    backward_data_pretransformed(spec, w_kkfc.as_slice(), grad_out, grad_in, tile_width);
+    // See Sec. 4.2 / Fig. 5b. Staged through `wperm`, taken out so the
+    // rest of the scratch stays borrowable for the kernel proper.
+    let mut w_kkfc = std::mem::take(&mut scratch.wperm);
+    layout::fckk_to_kkfc_into(
+        weights,
+        spec.weight_shape(),
+        zeroed_slice(&mut w_kkfc, weights.len()),
+    );
+    backward_data_pretransformed_scratch(spec, &w_kkfc, grad_out, grad_in, tile_width, scratch);
+    scratch.wperm = w_kkfc;
 }
 
 /// [`backward_data`] with the weight tensor already permuted to
@@ -53,6 +77,31 @@ pub fn backward_data_pretransformed(
     grad_in: &mut [f32],
     tile_width: usize,
 ) {
+    backward_data_pretransformed_scratch(
+        spec,
+        w_kkfc,
+        grad_out,
+        grad_in,
+        tile_width,
+        &mut ConvScratch::new(),
+    );
+}
+
+/// [`backward_data_pretransformed`] staging the gradient transform and
+/// CT-CSR build in a caller-provided [`ConvScratch`] (the permuted weight
+/// tensor is the caller's own buffer, e.g. a compiled plan's).
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec or `tile_width == 0`.
+pub fn backward_data_pretransformed_scratch(
+    spec: &ConvSpec,
+    w_kkfc: &[f32],
+    grad_out: &[f32],
+    grad_in: &mut [f32],
+    tile_width: usize,
+    scratch: &mut ConvScratch,
+) {
     assert_eq!(w_kkfc.len(), spec.weight_shape().len(), "weights length");
     assert_eq!(grad_out.len(), spec.output_shape().len(), "grad_out length");
     assert_eq!(grad_in.len(), spec.input_shape().len(), "grad_in length");
@@ -64,14 +113,18 @@ pub fn backward_data_pretransformed(
     let (sy, sx) = (spec.sy(), spec.sx());
     let (fy, fx) = (spec.ky(), spec.kx());
 
-    // Per-sample transform: gradient -> [y', x', f] (f fastest).
-    let eo_hwc =
-        layout::chw_to_hwc(&Tensor::from_vec(grad_out.to_vec()), Shape3::new(nf, out_h, out_w))
-            .expect("grad_out length checked above");
+    let ConvScratch { hwc_in, hwc_out, ctcsr, .. } = scratch;
 
-    // Column-tiled CSR over (spatial positions x features).
-    let eo_sparse = CtCsr::from_slice(out_h * out_w, nf, eo_hwc.as_slice(), tile_width)
+    // Per-sample transform: gradient -> [y', x', f] (f fastest).
+    let eo_hwc = zeroed_slice(hwc_out, nf * out_h * out_w);
+    layout::chw_to_hwc_into(grad_out, Shape3::new(nf, out_h, out_w), eo_hwc);
+
+    // Column-tiled CSR over (spatial positions x features), rebuilt in
+    // place over the previous sample's tile storage.
+    ctcsr
+        .assign_from_slice(out_h * out_w, nf, eo_hwc, tile_width)
         .expect("tile width validated above");
+    let eo_sparse = &*ctcsr;
 
     // Goodput accounting (Sec. 3.3): each stored gradient value touches
     // one `(c, ky, kx)` weight block, so the kernel performs
@@ -84,7 +137,7 @@ pub fn backward_data_pretransformed(
 
     // Accumulate E_I in HWC; each non-zero scatters a channel vector per
     // kernel offset via the Eq. 15 pointer shift.
-    let mut ei_hwc = vec![0.0f32; in_h * in_w * nc];
+    let ei_hwc = zeroed_slice(hwc_in, in_h * in_w * nc);
     let wv = w_kkfc;
     for (f0, tile) in eo_sparse.iter() {
         for p in 0..out_h * out_w {
@@ -107,9 +160,7 @@ pub fn backward_data_pretransformed(
         }
     }
 
-    let back = layout::hwc_to_chw(&Tensor::from_vec(ei_hwc), Shape3::new(nc, in_h, in_w))
-        .expect("constructed with matching length");
-    grad_in.copy_from_slice(back.as_slice());
+    layout::hwc_to_chw_into(ei_hwc, Shape3::new(nc, in_h, in_w), grad_in);
 }
 
 /// Delta-weight computation exploiting gradient sparsity (Eq. 4, executed
@@ -126,6 +177,31 @@ pub fn backward_weights(
     grad_weights: &mut [f32],
     tile_width: usize,
 ) {
+    backward_weights_scratch(
+        spec,
+        input,
+        grad_out,
+        grad_weights,
+        tile_width,
+        &mut ConvScratch::new(),
+    );
+}
+
+/// [`backward_weights`] staging the layout transforms, CT-CSR build, and
+/// the permuted-order gradient accumulator in a caller-provided
+/// [`ConvScratch`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec or `tile_width == 0`.
+pub fn backward_weights_scratch(
+    spec: &ConvSpec,
+    input: &[f32],
+    grad_out: &[f32],
+    grad_weights: &mut [f32],
+    tile_width: usize,
+    scratch: &mut ConvScratch,
+) {
     assert_eq!(input.len(), spec.input_shape().len(), "input length");
     assert_eq!(grad_out.len(), spec.output_shape().len(), "grad_out length");
     assert_eq!(grad_weights.len(), spec.weight_shape().len(), "grad_weights length");
@@ -137,13 +213,16 @@ pub fn backward_weights(
     let (sy, sx) = (spec.sy(), spec.sx());
     let (fy, fx) = (spec.ky(), spec.kx());
 
-    let in_hwc = layout::chw_to_hwc(&Tensor::from_vec(input.to_vec()), spec.input_shape())
-        .expect("input length checked above");
-    let eo_hwc =
-        layout::chw_to_hwc(&Tensor::from_vec(grad_out.to_vec()), Shape3::new(nf, out_h, out_w))
-            .expect("grad_out length checked above");
-    let eo_sparse = CtCsr::from_slice(out_h * out_w, nf, eo_hwc.as_slice(), tile_width)
+    let ConvScratch { hwc_in, hwc_out, wperm, ctcsr, .. } = scratch;
+
+    let in_hwc = zeroed_slice(hwc_in, input.len());
+    layout::chw_to_hwc_into(input, spec.input_shape(), in_hwc);
+    let eo_hwc = zeroed_slice(hwc_out, nf * out_h * out_w);
+    layout::chw_to_hwc_into(grad_out, Shape3::new(nf, out_h, out_w), eo_hwc);
+    ctcsr
+        .assign_from_slice(out_h * out_w, nf, eo_hwc, tile_width)
         .expect("tile width validated above");
+    let eo_sparse = &*ctcsr;
 
     // Same goodput accounting as `backward_data_pretransformed`: the
     // delta-weight reduction also visits one `(c, ky, kx)` block per
@@ -154,8 +233,8 @@ pub fn backward_weights(
     spg_telemetry::record_tile_occupancy(nnz, (out_h * out_w * nf) as u64);
 
     // Accumulate dW in [ky, kx, f, c] (c fastest), then permute back.
-    let mut dw_kkfc = vec![0.0f32; fy * fx * nf * nc];
-    let iv = in_hwc.as_slice();
+    let dw_kkfc = zeroed_slice(wperm, fy * fx * nf * nc);
+    let iv = &in_hwc[..];
     for (f0, tile) in eo_sparse.iter() {
         for p in 0..out_h * out_w {
             let (yp, xp) = (p / out_w, p % out_w);
@@ -177,9 +256,7 @@ pub fn backward_weights(
         }
     }
 
-    let back = layout::kkfc_to_fckk(&Tensor::from_vec(dw_kkfc), spec.weight_shape())
-        .expect("constructed with matching length");
-    grad_weights.copy_from_slice(back.as_slice());
+    layout::kkfc_to_fckk_into(dw_kkfc, spec.weight_shape(), grad_weights);
 }
 
 #[cfg(test)]
@@ -218,8 +295,8 @@ mod tests {
         for spec in spec_cases() {
             let weights = pseudo(spec.weight_shape().len(), 1);
             let grad_out = sparse_grad(spec.output_shape().len(), 5, 2);
-            let mut ours = vec![0.0; spec.input_shape().len()];
-            let mut oracle = vec![0.0; spec.input_shape().len()];
+            let mut ours = vec![0f32; spec.input_shape().len()];
+            let mut oracle = vec![0f32; spec.input_shape().len()];
             for tw in [1, 2, 64] {
                 backward_data(&spec, &weights, &grad_out, &mut ours, tw);
                 reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
@@ -235,8 +312,8 @@ mod tests {
         for spec in spec_cases() {
             let input = pseudo(spec.input_shape().len(), 3);
             let grad_out = sparse_grad(spec.output_shape().len(), 4, 1);
-            let mut ours = vec![0.0; spec.weight_shape().len()];
-            let mut oracle = vec![0.0; spec.weight_shape().len()];
+            let mut ours = vec![0f32; spec.weight_shape().len()];
+            let mut oracle = vec![0f32; spec.weight_shape().len()];
             for tw in [1, 3, 64] {
                 backward_weights(&spec, &input, &grad_out, &mut ours, tw);
                 reference::backward_weights(&spec, &input, &grad_out, &mut oracle);
@@ -251,7 +328,7 @@ mod tests {
     fn fully_sparse_gradient_is_free_and_zero() {
         let spec = ConvSpec::new(2, 6, 6, 3, 3, 3, 1, 1).unwrap();
         let weights = pseudo(spec.weight_shape().len(), 9);
-        let zeros = vec![0.0; spec.output_shape().len()];
+        let zeros = vec![0f32; spec.output_shape().len()];
         let mut gin = vec![1.0; spec.input_shape().len()];
         backward_data(&spec, &weights, &zeros, &mut gin, 64);
         assert!(gin.iter().all(|v| *v == 0.0));
@@ -267,8 +344,8 @@ mod tests {
         let spec = ConvSpec::new(2, 7, 7, 3, 3, 3, 1, 1).unwrap();
         let weights = pseudo(spec.weight_shape().len(), 4);
         let grad_out = pseudo(spec.output_shape().len(), 5);
-        let mut ours = vec![0.0; spec.input_shape().len()];
-        let mut oracle = vec![0.0; spec.input_shape().len()];
+        let mut ours = vec![0f32; spec.input_shape().len()];
+        let mut oracle = vec![0f32; spec.input_shape().len()];
         backward_data(&spec, &weights, &grad_out, &mut ours, 64);
         reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
         let diff = ours.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
@@ -279,7 +356,7 @@ mod tests {
     #[should_panic(expected = "tile width")]
     fn zero_tile_width_panics() {
         let spec = ConvSpec::new(1, 4, 4, 1, 2, 2, 1, 1).unwrap();
-        let mut gin = vec![0.0; 16];
+        let mut gin = vec![0f32; 16];
         backward_data(&spec, &[0.0; 4], &[0.0; 9], &mut gin, 0);
     }
 }

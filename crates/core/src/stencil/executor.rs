@@ -1,4 +1,5 @@
 use spg_convnet::exec::ConvExecutor;
+use spg_convnet::workspace::ConvScratch;
 use spg_convnet::{gemm_exec, ConvSpec};
 
 use crate::stencil::kernel;
@@ -31,8 +32,15 @@ impl ConvExecutor for StencilExecutor {
         "stencil-fp"
     }
 
-    fn forward(&self, spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
-        kernel::forward(spec, input, weights, output);
+    fn forward(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+        scratch: &mut ConvScratch,
+    ) {
+        kernel::forward_scratch(spec, input, weights, output, scratch);
     }
 
     fn backward_data(
@@ -41,8 +49,9 @@ impl ConvExecutor for StencilExecutor {
         weights: &[f32],
         grad_out: &[f32],
         grad_in: &mut [f32],
+        scratch: &mut ConvScratch,
     ) {
-        gemm_exec::backward_data(spec, weights, grad_out, grad_in, 1);
+        gemm_exec::backward_data_scratch(spec, weights, grad_out, grad_in, 1, scratch);
     }
 
     fn backward_weights(
@@ -51,8 +60,9 @@ impl ConvExecutor for StencilExecutor {
         input: &[f32],
         grad_out: &[f32],
         grad_weights: &mut [f32],
+        scratch: &mut ConvScratch,
     ) {
-        gemm_exec::backward_weights(spec, input, grad_out, grad_weights, 1);
+        gemm_exec::backward_weights_scratch(spec, input, grad_out, grad_weights, 1, scratch);
     }
 }
 
@@ -73,23 +83,24 @@ mod tests {
 
         let stencil = StencilExecutor::new();
         let oracle = ReferenceExecutor;
+        let mut scratch = ConvScratch::new();
 
-        let mut a = vec![0.0; spec.output_shape().len()];
+        let mut a = vec![0f32; spec.output_shape().len()];
         let mut b = a.clone();
-        stencil.forward(&spec, &input, &weights, &mut a);
-        oracle.forward(&spec, &input, &weights, &mut b);
+        stencil.forward(&spec, &input, &weights, &mut a, &mut scratch);
+        oracle.forward(&spec, &input, &weights, &mut b, &mut scratch);
         assert!(a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-4));
 
-        let mut ga = vec![0.0; spec.input_shape().len()];
+        let mut ga = vec![0f32; spec.input_shape().len()];
         let mut gb = ga.clone();
-        stencil.backward_data(&spec, &weights, &grad_out, &mut ga);
-        oracle.backward_data(&spec, &weights, &grad_out, &mut gb);
+        stencil.backward_data(&spec, &weights, &grad_out, &mut ga, &mut scratch);
+        oracle.backward_data(&spec, &weights, &grad_out, &mut gb, &mut scratch);
         assert!(ga.iter().zip(&gb).all(|(x, y)| (x - y).abs() < 1e-4));
 
-        let mut wa = vec![0.0; spec.weight_shape().len()];
+        let mut wa = vec![0f32; spec.weight_shape().len()];
         let mut wb = wa.clone();
-        stencil.backward_weights(&spec, &input, &grad_out, &mut wa);
-        oracle.backward_weights(&spec, &input, &grad_out, &mut wb);
+        stencil.backward_weights(&spec, &input, &grad_out, &mut wa, &mut scratch);
+        oracle.backward_weights(&spec, &input, &grad_out, &mut wb, &mut scratch);
         assert!(wa.iter().zip(&wb).all(|(x, y)| (x - y).abs() < 1e-4));
     }
 }

@@ -20,8 +20,9 @@
 //! * **Scalar shift-and-scale** fallback with identical semantics.
 
 use spg_tensor::transform::StridedLayout;
-use spg_tensor::{layout, Shape3, Tensor};
+use spg_tensor::{layout, Shape3};
 
+use spg_convnet::workspace::{zeroed_slice, ConvScratch};
 use spg_convnet::ConvSpec;
 use spg_gemm::gemm_slice;
 
@@ -44,6 +45,23 @@ const LANES: usize = 8;
 ///
 /// Panics if any buffer length does not match the spec.
 pub fn forward(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+    forward_scratch(spec, input, weights, output, &mut ConvScratch::new());
+}
+
+/// [`forward`] staging its layout transforms and gathered patch blocks in
+/// a caller-provided [`ConvScratch`]: the per-sample hot path performs no
+/// heap allocation once the scratch has warmed up to this geometry.
+///
+/// # Panics
+///
+/// Panics if any buffer length does not match the spec.
+pub fn forward_scratch(
+    spec: &ConvSpec,
+    input: &[f32],
+    weights: &[f32],
+    output: &mut [f32],
+    scratch: &mut ConvScratch,
+) {
     assert_eq!(input.len(), spec.input_shape().len(), "input length");
     assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
     assert_eq!(output.len(), spec.output_shape().len(), "output length");
@@ -54,7 +72,7 @@ pub fn forward(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f3
     spg_telemetry::record_flops(ops, ops);
 
     if spec.out_w() < LANES {
-        forward_shifted_gemm(spec, input, weights, output);
+        forward_shifted_gemm(spec, input, weights, output, scratch);
         return;
     }
     #[cfg(target_arch = "x86_64")]
@@ -68,26 +86,35 @@ pub fn forward(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f3
             } else {
                 let lay = StridedLayout::new(spec.input_shape(), spec.sx())
                     .expect("positive stride by spec validation");
-                let phased = lay.apply(&Tensor::from_vec(input.to_vec())).expect("length checked");
+                let phased = zeroed_slice(&mut scratch.hwc_in, lay.transformed_len());
+                lay.apply_into(input, phased);
                 // SAFETY: as above; the phased buffer geometry comes from
                 // the layout itself.
-                unsafe {
-                    avx::forward_tiled_phased(spec, &lay, phased.as_slice(), weights, output)
-                };
+                unsafe { avx::forward_tiled_phased(spec, &lay, phased, weights, output) };
             }
             return;
         }
     }
-    forward_scalar(spec, input, weights, output);
+    forward_scalar(spec, input, weights, output, scratch);
 }
 
 /// Narrow-output path: compose the convolution as shifted small dense
 /// MMs over channel/feature-major views (one `out_w x Nf x Nc` multiply
 /// per kernel offset and output row), vectorized by the GEMM micro-kernel
 /// along features.
-fn forward_shifted_gemm(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
-    let w_kkcf = narrow_weights(spec, weights);
-    forward_narrow_pretransformed(spec, input, &w_kkcf, output);
+fn forward_shifted_gemm(
+    spec: &ConvSpec,
+    input: &[f32],
+    weights: &[f32],
+    output: &mut [f32],
+    scratch: &mut ConvScratch,
+) {
+    // The weight permutation stages through `wperm`, which must stay
+    // borrowable alongside the rest of the scratch below.
+    let mut w_kkcf = std::mem::take(&mut scratch.wperm);
+    narrow_weights_into(spec, weights, zeroed_slice(&mut w_kkcf, weights.len()));
+    forward_narrow_pretransformed_scratch(spec, input, &w_kkcf, output, scratch);
+    scratch.wperm = w_kkcf;
 }
 
 /// Permutes weights into the `[ky][kx]` blocks of `(Nc x Nf)` matrices
@@ -100,11 +127,24 @@ fn forward_shifted_gemm(spec: &ConvSpec, input: &[f32], weights: &[f32], output:
 ///
 /// Panics if `weights.len() != spec.weight_shape().len()`.
 pub fn narrow_weights(spec: &ConvSpec, weights: &[f32]) -> Vec<f32> {
+    let mut w_kkcf = vec![0f32; weights.len()];
+    narrow_weights_into(spec, weights, &mut w_kkcf);
+    w_kkcf
+}
+
+/// [`narrow_weights`] writing into a caller-provided buffer of the same
+/// length as `weights` (every element is overwritten).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != spec.weight_shape().len()` or the output
+/// buffer length differs from the weight length.
+pub fn narrow_weights_into(spec: &ConvSpec, weights: &[f32], w_kkcf: &mut [f32]) {
     let wshape = spec.weight_shape();
     assert_eq!(weights.len(), wshape.len(), "weights length");
+    assert_eq!(w_kkcf.len(), wshape.len(), "permuted weights length");
     let (nc, nf) = (spec.in_c(), spec.features());
     let (fy, fx) = (spec.ky(), spec.kx());
-    let mut w_kkcf = vec![0.0f32; weights.len()];
     for f in 0..nf {
         for c in 0..nc {
             for ky in 0..fy {
@@ -115,7 +155,6 @@ pub fn narrow_weights(spec: &ConvSpec, weights: &[f32]) -> Vec<f32> {
             }
         }
     }
-    w_kkcf
 }
 
 /// The narrow-output forward path with weights already permuted by
@@ -132,6 +171,22 @@ pub fn forward_narrow_pretransformed(
     w_kkcf: &[f32],
     output: &mut [f32],
 ) {
+    forward_narrow_pretransformed_scratch(spec, input, w_kkcf, output, &mut ConvScratch::new());
+}
+
+/// [`forward_narrow_pretransformed`] staging the HWC views and the
+/// gathered patch block in a caller-provided [`ConvScratch`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the spec.
+pub fn forward_narrow_pretransformed_scratch(
+    spec: &ConvSpec,
+    input: &[f32],
+    w_kkcf: &[f32],
+    output: &mut [f32],
+    scratch: &mut ConvScratch,
+) {
     assert_eq!(input.len(), spec.input_shape().len(), "input length");
     assert_eq!(w_kkcf.len(), spec.weight_shape().len(), "weights length");
     assert_eq!(output.len(), spec.output_shape().len(), "output length");
@@ -140,17 +195,21 @@ pub fn forward_narrow_pretransformed(
     let (sy, sx) = (spec.sy(), spec.sx());
     let (fy, fx) = (spec.ky(), spec.kx());
 
-    let in_hwc = layout::chw_to_hwc(&Tensor::from_vec(input.to_vec()), spec.input_shape())
-        .expect("input length validated above");
+    let ConvScratch { mat_a, hwc_in, hwc_out, .. } = scratch;
+    let in_hwc = zeroed_slice(hwc_in, input.len());
+    layout::chw_to_hwc_into(input, spec.input_shape(), in_hwc);
 
-    let mut out_hwc = vec![0.0f32; out_h * out_w * nf];
-    let iv = in_hwc.as_slice();
+    // The GEMMs accumulate across kernel offsets, so the output staging
+    // buffer must start zeroed.
+    let out_hwc = zeroed_slice(hwc_out, out_h * out_w * nf);
+    let iv = &in_hwc[..];
     // Per kernel offset: gather the pointer-shifted input pixels into one
     // contiguous (P x Nc) block (rows of one output row are sx*Nc apart,
     // rows of different output rows are not uniformly spaced, so a single
     // strided GEMM cannot cover them), then one dense multiply per offset.
     let patches = out_h * out_w;
-    let mut gathered = vec![0.0f32; patches * nc];
+    mat_a.resize(patches, nc);
+    let gathered = mat_a.as_mut_slice();
     for ky in 0..fy {
         for kx in 0..fx {
             let b = &w_kkcf[(ky * fx + kx) * nc * nf..(ky * fx + kx + 1) * nc * nf];
@@ -161,24 +220,29 @@ pub fn forward_narrow_pretransformed(
                     gathered[dst..dst + nc].copy_from_slice(&iv[src..src + nc]);
                 }
             }
-            gemm_slice(patches, nf, nc, &gathered, nc, b, nf, &mut out_hwc, nf);
+            gemm_slice(patches, nf, nc, gathered, nc, b, nf, out_hwc, nf);
         }
     }
 
-    let back = layout::hwc_to_chw(&Tensor::from_vec(out_hwc), Shape3::new(nf, out_h, out_w))
-        .expect("constructed with matching length");
-    output.copy_from_slice(back.as_slice());
+    layout::hwc_to_chw_into(out_hwc, Shape3::new(nf, out_h, out_w), output);
 }
 
 /// Portable shift-and-scale path (also the oracle for the AVX tile).
-fn forward_scalar(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+fn forward_scalar(
+    spec: &ConvSpec,
+    input: &[f32],
+    weights: &[f32],
+    output: &mut [f32],
+    scratch: &mut ConvScratch,
+) {
     if spec.sx() == 1 {
         scalar_unit_stride(spec, input, weights, output);
     } else {
         let lay = StridedLayout::new(spec.input_shape(), spec.sx())
             .expect("positive stride by spec validation");
-        let phased = lay.apply(&Tensor::from_vec(input.to_vec())).expect("length checked");
-        scalar_phased(spec, &lay, phased.as_slice(), weights, output);
+        let phased = zeroed_slice(&mut scratch.hwc_in, lay.transformed_len());
+        lay.apply_into(input, phased);
+        scalar_phased(spec, &lay, phased, weights, output);
     }
 }
 
@@ -492,8 +556,8 @@ mod tests {
         let input = pseudo(spec.input_shape().len(), 1);
         let weights = pseudo(spec.weight_shape().len(), 2);
         let olen = spec.output_shape().len();
-        let mut stencil = vec![0.0; olen];
-        let mut oracle = vec![0.0; olen];
+        let mut stencil = vec![0f32; olen];
+        let mut oracle = vec![0f32; olen];
         forward(&spec, &input, &weights, &mut stencil);
         reference::forward(&spec, &input, &weights, &mut oracle);
         // Accumulation order differs from the reference; tolerance scales
@@ -553,8 +617,8 @@ mod tests {
         let mut weights = pseudo(18, 4);
         weights[4] = 0.0;
         weights[9] = 0.0;
-        let mut stencil = vec![0.0; spec.output_shape().len()];
-        let mut oracle = vec![0.0; spec.output_shape().len()];
+        let mut stencil = vec![0f32; spec.output_shape().len()];
+        let mut oracle = vec![0f32; spec.output_shape().len()];
         forward(&spec, &input, &weights, &mut stencil);
         reference::forward(&spec, &input, &weights, &mut oracle);
         let diff = stencil.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);

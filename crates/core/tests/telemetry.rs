@@ -10,6 +10,7 @@
 use proptest::prelude::*;
 
 use spg_convnet::exec::{ConvExecutor, UnfoldGemmExecutor};
+use spg_convnet::workspace::ConvScratch;
 use spg_convnet::ConvSpec;
 use spg_core::ait::conv_gemm_dims;
 use spg_core::autotune::tune_layer;
@@ -69,13 +70,14 @@ fn unfold_gemm_counters_match_ait_analytics() {
 
     for (threads, label) in [(1usize, "tel_unfold_gip"), (4, "tel_unfold_pg")] {
         let exec = UnfoldGemmExecutor::new(threads);
+        let mut scratch = ConvScratch::new();
         let fwd = record_under(label, Phase::Forward, || {
-            exec.forward(&spec, &input, &weights, &mut output);
+            exec.forward(&spec, &input, &weights, &mut output, &mut scratch);
         });
         assert_eq!(fwd, (flops(dims.forward), flops(dims.forward), 0, 0), "{label} forward");
 
         let bwd_d = record_under(label, Phase::BackwardData, || {
-            exec.backward_data(&spec, &weights, &grad_out, &mut grad_in);
+            exec.backward_data(&spec, &weights, &grad_out, &mut grad_in, &mut scratch);
         });
         assert_eq!(
             bwd_d,
@@ -84,7 +86,7 @@ fn unfold_gemm_counters_match_ait_analytics() {
         );
 
         let bwd_w = record_under(label, Phase::BackwardWeights, || {
-            exec.backward_weights(&spec, &input, &grad_out, &mut grad_w);
+            exec.backward_weights(&spec, &input, &grad_out, &mut grad_w, &mut scratch);
         });
         assert_eq!(
             bwd_w,

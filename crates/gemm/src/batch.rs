@@ -55,8 +55,38 @@ impl<'a> BatchJob<'a> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn gemm_in_parallel(jobs: &[BatchJob<'_>], threads: usize) -> Result<Vec<Matrix>, GemmError> {
+    let mut results: Vec<Matrix> = jobs.iter().map(|_| Matrix::default()).collect();
+    gemm_in_parallel_into(jobs, &mut results, threads)?;
+    Ok(results)
+}
+
+/// [`gemm_in_parallel`] writing into caller-owned result matrices.
+///
+/// Each result is reshaped in place with [`Matrix::resize`], so with
+/// steady-state job shapes the whole batch runs without heap allocation —
+/// the property the per-worker training workspaces rely on.
+///
+/// # Errors
+///
+/// Returns [`GemmError::ZeroThreads`] if `threads == 0`, or
+/// [`GemmError::DimensionMismatch`] if any job's inner dimensions differ or
+/// `results.len() != jobs.len()` (checked up front; no work is performed in
+/// either case).
+pub fn gemm_in_parallel_into(
+    jobs: &[BatchJob<'_>],
+    results: &mut [Matrix],
+    threads: usize,
+) -> Result<(), GemmError> {
     if threads == 0 {
         return Err(GemmError::ZeroThreads);
+    }
+    if results.len() != jobs.len() {
+        return Err(GemmError::DimensionMismatch {
+            a_rows: jobs.len(),
+            a_cols: 0,
+            b_rows: results.len(),
+            b_cols: 0,
+        });
     }
     for job in jobs {
         check_dims(job.a.rows(), job.a.cols(), job.b.rows(), job.b.cols())?;
@@ -64,15 +94,16 @@ pub fn gemm_in_parallel(jobs: &[BatchJob<'_>], threads: usize) -> Result<Vec<Mat
     let batch_flops: u64 =
         jobs.iter().map(|j| crate::gemm_flops(j.a.rows(), j.b.cols(), j.a.cols())).sum();
     spg_telemetry::record_flops(batch_flops, batch_flops);
-    let mut results: Vec<Matrix> =
-        jobs.iter().map(|j| Matrix::zeros(j.a.rows(), j.b.cols())).collect();
+    for (job, out) in jobs.iter().zip(results.iter_mut()) {
+        out.resize(job.a.rows(), job.b.cols());
+    }
 
     let workers = threads.min(jobs.len().max(1));
     if workers <= 1 {
         for (job, out) in jobs.iter().zip(results.iter_mut()) {
             run_job(job, out);
         }
-        return Ok(results);
+        return Ok(());
     }
 
     let next = AtomicUsize::new(0);
@@ -91,7 +122,7 @@ pub fn gemm_in_parallel(jobs: &[BatchJob<'_>], threads: usize) -> Result<Vec<Mat
             });
         }
     });
-    Ok(results)
+    Ok(())
 }
 
 fn run_job(job: &BatchJob<'_>, out: &mut Matrix) {
@@ -126,6 +157,25 @@ mod tests {
                 assert!(c.max_abs_diff(&oracle).unwrap() < 1e-3, "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn into_variant_recycles_results() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let a = Matrix::random_uniform(4, 6, 1.0, &mut rng);
+        let b = Matrix::random_uniform(6, 5, 1.0, &mut rng);
+        let jobs = [BatchJob::new(&a, &b), BatchJob::new(&a, &b)];
+        let mut results = vec![Matrix::default(), Matrix::default()];
+        gemm_in_parallel_into(&jobs, &mut results, 2).unwrap();
+        let oracle = gemm_naive(&a, &b).unwrap();
+        // Run again on the warm buffers: results must be overwritten, not
+        // accumulated, and match the oracle both times.
+        gemm_in_parallel_into(&jobs, &mut results, 2).unwrap();
+        for c in &results {
+            assert!(c.max_abs_diff(&oracle).unwrap() < 1e-3);
+        }
+        let mut short = vec![Matrix::default()];
+        assert!(gemm_in_parallel_into(&jobs, &mut short, 2).is_err());
     }
 
     #[test]

@@ -46,14 +46,14 @@ mod parallel;
 mod sparse_dense;
 mod transposed;
 
-pub use batch::{gemm_in_parallel, BatchJob};
+pub use batch::{gemm_in_parallel, gemm_in_parallel_into, BatchJob};
 pub use blocked::{gemm, gemm_into, gemm_slice};
 pub use error::GemmError;
 pub use kernels::simd_backend_name;
 pub use naive::{gemm_naive, gemm_naive_into};
-pub use parallel::{parallel_gemm, parallel_gemm_cols};
-pub use sparse_dense::{spmm_csr_dense, spmm_ctcsr_dense};
-pub use transposed::gemm_at_b;
+pub use parallel::{parallel_gemm, parallel_gemm_cols, parallel_gemm_slice};
+pub use sparse_dense::{spmm_csr_dense, spmm_ctcsr_dense, spmm_ctcsr_dense_into};
+pub use transposed::{gemm_at_b, gemm_at_b_slice};
 
 /// Number of floating-point operations in an `m x k` by `k x n` multiply
 /// (one multiply + one add per inner-product step).

@@ -41,29 +41,56 @@ pub fn parallel_gemm(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix, G
     // Recorded on the calling thread so the flops land in the caller's
     // scope; worker threads have no scope stack of their own.
     spg_telemetry::record_flops(crate::gemm_flops(m, n, k), crate::gemm_flops(m, n, k));
+    parallel_gemm_slice(m, n, k, a.as_slice(), b.as_slice(), c.as_mut_slice(), threads);
+    Ok(c)
+}
 
+/// Raw-slice Parallel-GEMM: accumulates `C += A * B` into caller-owned
+/// storage, row-partitioned across `threads` workers.
+///
+/// Operands are contiguous row-major slices (`a` is `m x k`, `b` is
+/// `k x n`, `c` is `m x n`). Like [`gemm_slice`] this **accumulates** and
+/// records no telemetry — the workspace-threaded executors own both the
+/// zeroing and the flop accounting. Allocation-free.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the given dimensions or
+/// `threads == 0`.
+pub fn parallel_gemm_slice(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) {
+    assert!(threads > 0, "parallel_gemm_slice: zero threads");
+    assert_eq!(a.len(), m * k, "parallel_gemm_slice: a length mismatch");
+    assert_eq!(b.len(), k * n, "parallel_gemm_slice: b length mismatch");
+    assert_eq!(c.len(), m * n, "parallel_gemm_slice: c length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
     let workers = threads.min(m);
     if workers <= 1 {
-        gemm_slice(m, n, k, a.as_slice(), k, b.as_slice(), n, c.as_mut_slice(), n);
-        return Ok(c);
+        gemm_slice(m, n, k, a, k, b, n, c, n);
+        return;
     }
-
     // Partition C (and A) into row bands, one per worker.
     let band = m.div_ceil(workers);
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let mut bands: Vec<&mut [f32]> = c.as_mut_slice().chunks_mut(band * n).collect();
+    let mut bands: Vec<&mut [f32]> = c.chunks_mut(band * n).collect();
     std::thread::scope(|scope| {
         for (w, cband) in bands.iter_mut().enumerate() {
             let row0 = w * band;
             let rows = (m - row0).min(band);
-            let aband = &av[row0 * k..(row0 + rows) * k];
+            let aband = &a[row0 * k..(row0 + rows) * k];
             scope.spawn(move || {
-                gemm_slice(rows, n, k, aband, k, bv, n, cband, n);
+                gemm_slice(rows, n, k, aband, k, b, n, cband, n);
             });
         }
     });
-    Ok(c)
 }
 
 /// **Parallel-GEMM, column partitioning**: one multiply split across
@@ -165,6 +192,19 @@ mod tests {
         let fast = parallel_gemm(&a, &b, 16).unwrap();
         let slow = gemm_naive(&a, &b).unwrap();
         assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn slice_variant_accumulates() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let a = Matrix::random_uniform(9, 6, 1.0, &mut rng);
+        let b = Matrix::random_uniform(6, 11, 1.0, &mut rng);
+        let oracle = gemm_naive(&a, &b).unwrap();
+        let mut c = vec![1.0f32; 9 * 11];
+        parallel_gemm_slice(9, 11, 6, a.as_slice(), b.as_slice(), &mut c, 3);
+        for (got, want) in c.iter().zip(oracle.as_slice()) {
+            assert!((got - (want + 1.0)).abs() < 1e-3);
+        }
     }
 
     #[test]

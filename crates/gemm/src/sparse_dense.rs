@@ -62,28 +62,41 @@ pub fn spmm_csr_dense(a: &Csr, b: &Matrix) -> Result<Matrix, GemmError> {
 /// Returns [`GemmError::DimensionMismatch`] if `a.cols() != b.rows()`.
 pub fn spmm_ctcsr_dense(a: &CtCsr, b: &Matrix) -> Result<Matrix, GemmError> {
     check_dims(a.rows(), a.cols(), b.rows(), b.cols())?;
-    let n = b.cols();
-    let mut c = Matrix::zeros(a.rows(), n);
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    spmm_ctcsr_dense_into(a, b.as_slice(), b.cols(), c.as_mut_slice());
+    Ok(c)
+}
+
+/// [`spmm_ctcsr_dense`] accumulating into caller-owned storage.
+///
+/// `b` is a contiguous row-major `a.cols() x n` slice and the product
+/// accumulates into the `a.rows() x n` slice `c` (callers zero it first
+/// when overwrite semantics are wanted). Allocation-free; telemetry (flops
+/// and tile occupancy) is recorded exactly as in the allocating variant.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the given dimensions.
+pub fn spmm_ctcsr_dense_into(a: &CtCsr, b: &[f32], n: usize, c: &mut [f32]) {
+    assert_eq!(b.len(), a.cols() * n, "spmm_ctcsr_dense_into: b length mismatch");
+    assert_eq!(c.len(), a.rows() * n, "spmm_ctcsr_dense_into: c length mismatch");
     spg_telemetry::record_flops(
         2 * a.nnz() as u64 * n as u64,
         crate::gemm_flops(a.rows(), n, a.cols()),
     );
     spg_telemetry::record_tile_occupancy(a.nnz() as u64, (a.rows() * a.cols()) as u64);
-    let bv = b.as_slice();
-    let cv = c.as_mut_slice();
     for (col0, tile) in a.iter() {
         for r in 0..a.rows() {
-            let crow = &mut cv[r * n..(r + 1) * n];
+            let crow = &mut c[r * n..(r + 1) * n];
             for (local_col, v) in tile.row_entries(r) {
                 let col = col0 + local_col;
-                let brow = &bv[col * n..(col + 1) * n];
+                let brow = &b[col * n..(col + 1) * n];
                 for (cj, bj) in crow.iter_mut().zip(brow) {
                     *cj += v * bj;
                 }
             }
         }
     }
-    Ok(c)
 }
 
 #[cfg(test)]

@@ -74,21 +74,62 @@ pub fn gemm_at_b(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
         return Ok(c);
     }
     spg_telemetry::record_flops(crate::gemm_flops(m, n, k), crate::gemm_flops(m, n, k));
-    let (av, bv) = (a.as_slice(), b.as_slice());
-    let cv = c.as_mut_slice();
-    let lda = a.cols();
-
     let mut a_pack = Vec::new();
     let mut b_pack = Vec::new();
+    gemm_at_b_slice(
+        k,
+        m,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+        &mut a_pack,
+        &mut b_pack,
+    );
+    Ok(c)
+}
+
+/// Raw-slice `C += A^T * B` with caller-owned packing buffers.
+///
+/// `a` is the untransposed `k x m` left operand and `b` is `k x n`, both
+/// contiguous row-major; the product accumulates into the `m x n` slice
+/// `c`. `a_pack` / `b_pack` are panel-packing scratch vectors that grow on
+/// first use and are reused afterwards, so steady-state calls with stable
+/// shapes perform no heap allocation. Records no telemetry — callers own
+/// the flop accounting (mirroring [`gemm_slice`](crate::gemm_slice)).
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_at_b_slice(
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    a_pack: &mut Vec<f32>,
+    b_pack: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), k * m, "gemm_at_b_slice: a length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_at_b_slice: b length mismatch");
+    assert_eq!(c.len(), m * n, "gemm_at_b_slice: c length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let (av, bv, cv) = (a, b, c);
+    let lda = m;
+
     let mut acc = [0.0f32; MR * NR];
     for jc in (0..n).step_by(NC) {
         let nc = (n - jc).min(NC);
         for pc in (0..k).step_by(KC) {
             let kc = (k - pc).min(KC);
-            pack_b(bv, n, pc, jc, kc, nc, &mut b_pack);
+            pack_b(bv, n, pc, jc, kc, nc, b_pack);
             for ic in (0..m).step_by(MC) {
                 let mc = (m - ic).min(MC);
-                pack_at(av, lda, ic, pc, mc, kc, &mut a_pack);
+                pack_at(av, lda, ic, pc, mc, kc, a_pack);
                 let m_panels = mc.div_ceil(MR);
                 let n_panels = nc.div_ceil(NR);
                 for jp in 0..n_panels {
@@ -112,7 +153,6 @@ pub fn gemm_at_b(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
             }
         }
     }
-    Ok(c)
 }
 
 #[cfg(test)]
@@ -143,6 +183,24 @@ mod tests {
         let fused = gemm_at_b(&a, &b).unwrap();
         let oracle = gemm(&a.transposed(), &b).unwrap();
         assert!(fused.max_abs_diff(&oracle).unwrap() < 1e-2);
+    }
+
+    #[test]
+    fn slice_variant_accumulates_and_reuses_packs() {
+        let mut rng = SmallRng::seed_from_u64(79);
+        let a = Matrix::random_uniform(12, 9, 1.0, &mut rng);
+        let b = Matrix::random_uniform(12, 7, 1.0, &mut rng);
+        let oracle = gemm_naive(&a.transposed(), &b).unwrap();
+        let mut c = vec![0.0f32; 9 * 7];
+        let (mut pa, mut pb) = (Vec::new(), Vec::new());
+        gemm_at_b_slice(12, 9, 7, a.as_slice(), b.as_slice(), &mut c, &mut pa, &mut pb);
+        let caps = (pa.capacity(), pb.capacity());
+        // Second call accumulates and must not regrow the pack buffers.
+        gemm_at_b_slice(12, 9, 7, a.as_slice(), b.as_slice(), &mut c, &mut pa, &mut pb);
+        assert_eq!(caps, (pa.capacity(), pb.capacity()));
+        for (got, want) in c.iter().zip(oracle.as_slice()) {
+            assert!((got - 2.0 * want).abs() < 1e-3);
+        }
     }
 
     #[test]

@@ -332,6 +332,16 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
         }
         require_ratio(scope, &owner, "goodput")?;
         require_ratio(scope, &owner, "tile_occupancy")?;
+        // Added in schema minor 1; older documents legitimately omit it.
+        if let Some(v) = scope.get("workspace_bytes") {
+            match v.as_number() {
+                Some(n) if n >= 0.0 => {}
+                Some(n) => {
+                    return Err(format!("{owner}: field `workspace_bytes` = {n} is negative"))
+                }
+                None => return Err(format!("{owner}: field `workspace_bytes` is not a number")),
+            }
+        }
     }
 
     let decisions = doc

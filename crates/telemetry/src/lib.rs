@@ -47,6 +47,11 @@ pub mod json;
 /// field names or meanings; consumers must ignore unknown fields.
 pub const SCHEMA_VERSION: u64 = 1;
 
+/// Minor schema version. Bumped when backwards-compatible fields are
+/// added (consumers ignore unknown fields, so older readers keep
+/// working). Minor 1 added the per-scope `workspace_bytes` gauge.
+pub const SCHEMA_VERSION_MINOR: u64 = 1;
+
 /// Identifies the JSON document family in the `schema` field.
 pub const SCHEMA_NAME: &str = "spgcnn-metrics";
 
@@ -90,6 +95,9 @@ struct PhaseCounters {
     total_flops: AtomicU64,
     tile_nnz: AtomicU64,
     tile_capacity: AtomicU64,
+    /// High-water mark of workspace bytes reported in this bucket
+    /// (a gauge updated via `fetch_max`, unlike the additive counters).
+    workspace_bytes: AtomicU64,
 }
 
 /// One candidate timing inside an autotune [`Decision`].
@@ -236,6 +244,19 @@ pub fn record_tile_occupancy(nnz: u64, capacity: u64) {
     counters.tile_capacity.fetch_add(capacity, Ordering::Relaxed);
 }
 
+/// Records the scratch-workspace footprint a kernel executed out of,
+/// attributed to the innermost active scope. A *gauge*, not a counter:
+/// the bucket keeps the high-water mark across calls, so steady-state
+/// training reports the settled per-`(layer, phase)` workspace size
+/// rather than a meaningless running sum.
+pub fn record_workspace_bytes(bytes: u64) {
+    if !enabled() {
+        return;
+    }
+    let counters = current_counters();
+    counters.workspace_bytes.fetch_max(bytes, Ordering::Relaxed);
+}
+
 /// Logs one autotune decision (no-op while disabled).
 pub fn record_decision(decision: Decision) {
     if !enabled() {
@@ -263,6 +284,9 @@ pub struct ScopeMetrics {
     pub tile_nnz: u64,
     /// Dense capacity corresponding to `tile_nnz`.
     pub tile_capacity: u64,
+    /// High-water mark of scratch-workspace bytes reported in this
+    /// bucket (0 when no kernel reported a workspace).
+    pub workspace_bytes: u64,
 }
 
 impl ScopeMetrics {
@@ -310,6 +334,7 @@ impl MetricsSnapshot {
         out.push_str("{\n");
         out.push_str(&format!("  \"schema\": {},\n", json::string(SCHEMA_NAME)));
         out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"schema_version_minor\": {SCHEMA_VERSION_MINOR},\n"));
         out.push_str("  \"meta\": {");
         for (i, (key, value)) in meta.iter().enumerate() {
             if i > 0 {
@@ -329,7 +354,8 @@ impl MetricsSnapshot {
             out.push_str(&format!(
                 "\n    {{\"label\": {}, \"phase\": {}, \"calls\": {}, \"wall_ns\": {}, \
                  \"useful_flops\": {}, \"total_flops\": {}, \"goodput\": {}, \
-                 \"tile_nnz\": {}, \"tile_capacity\": {}, \"tile_occupancy\": {}}}",
+                 \"tile_nnz\": {}, \"tile_capacity\": {}, \"tile_occupancy\": {}, \
+                 \"workspace_bytes\": {}}}",
                 json::string(&scope.label),
                 json::string(scope.phase.as_str()),
                 scope.calls,
@@ -340,6 +366,7 @@ impl MetricsSnapshot {
                 scope.tile_nnz,
                 scope.tile_capacity,
                 json::ratio(scope.tile_occupancy()),
+                scope.workspace_bytes,
             ));
         }
         if !self.scopes.is_empty() {
@@ -395,6 +422,7 @@ pub fn snapshot() -> MetricsSnapshot {
             total_flops: counters.total_flops.load(Ordering::Relaxed),
             tile_nnz: counters.tile_nnz.load(Ordering::Relaxed),
             tile_capacity: counters.tile_capacity.load(Ordering::Relaxed),
+            workspace_bytes: counters.workspace_bytes.load(Ordering::Relaxed),
         })
         .collect();
     drop(registry);
@@ -483,6 +511,23 @@ mod tests {
         let snap = snapshot();
         let metrics = snap.scope("sparse", Phase::BackwardData).expect("bucket");
         assert_eq!(metrics.tile_occupancy(), Some(0.25));
+    }
+
+    #[test]
+    fn workspace_bytes_is_a_high_water_gauge() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        {
+            let _guard = scope("conv1", Phase::Forward);
+            record_workspace_bytes(4096);
+            record_workspace_bytes(16384);
+            record_workspace_bytes(8192);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let metrics = snap.scope("conv1", Phase::Forward).expect("bucket");
+        assert_eq!(metrics.workspace_bytes, 16384);
     }
 
     #[test]

@@ -35,18 +35,31 @@ use crate::{Shape3, Shape4, Tensor, TensorError};
 /// ```
 pub fn chw_to_hwc(src: &Tensor, shape: Shape3) -> Result<Tensor, TensorError> {
     check_len(src.len(), shape.len())?;
-    let (c_n, h, w) = (shape.c, shape.h, shape.w);
     let mut out = vec![0.0f32; src.len()];
-    let s = src.as_slice();
+    chw_to_hwc_into(src.as_slice(), shape, &mut out);
+    Ok(Tensor::from_vec(out))
+}
+
+/// Slice-based [`chw_to_hwc`] writing into caller-owned storage.
+///
+/// Allocation-free; the workspace-threaded sparse kernels stage activations
+/// through preallocated buffers with this.
+///
+/// # Panics
+///
+/// Panics if `src.len()` or `out.len()` differs from `shape.len()`.
+pub fn chw_to_hwc_into(src: &[f32], shape: Shape3, out: &mut [f32]) {
+    assert_eq!(src.len(), shape.len(), "chw_to_hwc_into: src length mismatch");
+    assert_eq!(out.len(), shape.len(), "chw_to_hwc_into: out length mismatch");
+    let (c_n, h, w) = (shape.c, shape.h, shape.w);
     for c in 0..c_n {
         for y in 0..h {
-            let row = &s[(c * h + y) * w..(c * h + y + 1) * w];
+            let row = &src[(c * h + y) * w..(c * h + y + 1) * w];
             for (x, &v) in row.iter().enumerate() {
                 out[(y * w + x) * c_n + c] = v;
             }
         }
     }
-    Ok(Tensor::from_vec(out))
 }
 
 /// Converts an HWC activation tensor back to CHW order.
@@ -58,18 +71,28 @@ pub fn chw_to_hwc(src: &Tensor, shape: Shape3) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::LengthMismatch`] if `src.len() != shape.len()`.
 pub fn hwc_to_chw(src: &Tensor, shape: Shape3) -> Result<Tensor, TensorError> {
     check_len(src.len(), shape.len())?;
-    let (c_n, h, w) = (shape.c, shape.h, shape.w);
     let mut out = vec![0.0f32; src.len()];
-    let s = src.as_slice();
+    hwc_to_chw_into(src.as_slice(), shape, &mut out);
+    Ok(Tensor::from_vec(out))
+}
+
+/// Slice-based [`hwc_to_chw`] writing into caller-owned storage.
+///
+/// # Panics
+///
+/// Panics if `src.len()` or `out.len()` differs from `shape.len()`.
+pub fn hwc_to_chw_into(src: &[f32], shape: Shape3, out: &mut [f32]) {
+    assert_eq!(src.len(), shape.len(), "hwc_to_chw_into: src length mismatch");
+    assert_eq!(out.len(), shape.len(), "hwc_to_chw_into: out length mismatch");
+    let (c_n, h, w) = (shape.c, shape.h, shape.w);
     for y in 0..h {
         for x in 0..w {
             let base = (y * w + x) * c_n;
             for c in 0..c_n {
-                out[(c * h + y) * w + x] = s[base + c];
+                out[(c * h + y) * w + x] = src[base + c];
             }
         }
     }
-    Ok(Tensor::from_vec(out))
 }
 
 /// Permutes a weight tensor from `[f, c, ky, kx]` to `[ky, kx, f, c]` order
@@ -84,21 +107,31 @@ pub fn hwc_to_chw(src: &Tensor, shape: Shape3) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::LengthMismatch`] if `src.len() != shape.len()`.
 pub fn fckk_to_kkfc(src: &Tensor, shape: Shape4) -> Result<Tensor, TensorError> {
     check_len(src.len(), shape.len())?;
-    let Shape4 { f: f_n, c: c_n, ky: ky_n, kx: kx_n } = shape;
     let mut out = vec![0.0f32; src.len()];
-    let s = src.as_slice();
+    fckk_to_kkfc_into(src.as_slice(), shape, &mut out);
+    Ok(Tensor::from_vec(out))
+}
+
+/// Slice-based [`fckk_to_kkfc`] writing into caller-owned storage.
+///
+/// # Panics
+///
+/// Panics if `src.len()` or `out.len()` differs from `shape.len()`.
+pub fn fckk_to_kkfc_into(src: &[f32], shape: Shape4, out: &mut [f32]) {
+    assert_eq!(src.len(), shape.len(), "fckk_to_kkfc_into: src length mismatch");
+    assert_eq!(out.len(), shape.len(), "fckk_to_kkfc_into: out length mismatch");
+    let Shape4 { f: f_n, c: c_n, ky: ky_n, kx: kx_n } = shape;
     for f in 0..f_n {
         for c in 0..c_n {
             for ky in 0..ky_n {
                 for kx in 0..kx_n {
                     let from = ((f * c_n + c) * ky_n + ky) * kx_n + kx;
                     let to = ((ky * kx_n + kx) * f_n + f) * c_n + c;
-                    out[to] = s[from];
+                    out[to] = src[from];
                 }
             }
         }
     }
-    Ok(Tensor::from_vec(out))
 }
 
 /// Permutes a weight tensor from `[ky, kx, f, c]` back to `[f, c, ky, kx]`.
@@ -110,21 +143,31 @@ pub fn fckk_to_kkfc(src: &Tensor, shape: Shape4) -> Result<Tensor, TensorError> 
 /// Returns [`TensorError::LengthMismatch`] if `src.len() != shape.len()`.
 pub fn kkfc_to_fckk(src: &Tensor, shape: Shape4) -> Result<Tensor, TensorError> {
     check_len(src.len(), shape.len())?;
-    let Shape4 { f: f_n, c: c_n, ky: ky_n, kx: kx_n } = shape;
     let mut out = vec![0.0f32; src.len()];
-    let s = src.as_slice();
+    kkfc_to_fckk_into(src.as_slice(), shape, &mut out);
+    Ok(Tensor::from_vec(out))
+}
+
+/// Slice-based [`kkfc_to_fckk`] writing into caller-owned storage.
+///
+/// # Panics
+///
+/// Panics if `src.len()` or `out.len()` differs from `shape.len()`.
+pub fn kkfc_to_fckk_into(src: &[f32], shape: Shape4, out: &mut [f32]) {
+    assert_eq!(src.len(), shape.len(), "kkfc_to_fckk_into: src length mismatch");
+    assert_eq!(out.len(), shape.len(), "kkfc_to_fckk_into: out length mismatch");
+    let Shape4 { f: f_n, c: c_n, ky: ky_n, kx: kx_n } = shape;
     for ky in 0..ky_n {
         for kx in 0..kx_n {
             for f in 0..f_n {
                 for c in 0..c_n {
                     let from = ((ky * kx_n + kx) * f_n + f) * c_n + c;
                     let to = ((f * c_n + c) * ky_n + ky) * kx_n + kx;
-                    out[to] = s[from];
+                    out[to] = src[from];
                 }
             }
         }
     }
-    Ok(Tensor::from_vec(out))
 }
 
 fn check_len(actual: usize, expected: usize) -> Result<(), TensorError> {
@@ -181,6 +224,27 @@ mod tests {
         let kkfc = fckk_to_kkfc(&t, shape).unwrap();
         // With ky=kx=0, layout is [f=0 channels..., f=1 channels...]
         assert_eq!(kkfc.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_transforms() {
+        let shape = Shape3::new(3, 2, 4);
+        let t = iota(shape.len());
+        let mut buf = vec![0.0f32; shape.len()];
+        chw_to_hwc_into(t.as_slice(), shape, &mut buf);
+        assert_eq!(buf, chw_to_hwc(&t, shape).unwrap().into_vec());
+        let mut back = vec![0.0f32; shape.len()];
+        hwc_to_chw_into(&buf, shape, &mut back);
+        assert_eq!(back, t.into_vec());
+
+        let wshape = Shape4::new(2, 3, 2, 2);
+        let w = iota(wshape.len());
+        let mut kkfc = vec![0.0f32; wshape.len()];
+        fckk_to_kkfc_into(w.as_slice(), wshape, &mut kkfc);
+        assert_eq!(kkfc, fckk_to_kkfc(&w, wshape).unwrap().into_vec());
+        let mut fckk = vec![0.0f32; wshape.len()];
+        kkfc_to_fckk_into(&kkfc, wshape, &mut fckk);
+        assert_eq!(fckk, w.into_vec());
     }
 
     #[test]

@@ -34,6 +34,30 @@ impl Matrix {
         Matrix { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// Reshapes the matrix to `rows x cols`, zero-filling every element.
+    ///
+    /// The backing buffer is reused when its capacity suffices, so calling
+    /// this repeatedly with steady-state shapes performs no heap allocation
+    /// after the first (warm-up) call. This is the primitive the workspace
+    /// machinery uses to recycle unfold and gradient matrices per sample.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spg_tensor::Matrix;
+    ///
+    /// let mut m = Matrix::default();
+    /// m.resize(2, 3);
+    /// assert_eq!((m.rows(), m.cols()), (2, 3));
+    /// assert!(m.as_slice().iter().all(|v| *v == 0.0));
+    /// ```
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Creates a matrix from a row-major buffer.
     ///
     /// # Errors
@@ -181,6 +205,13 @@ impl Matrix {
     }
 }
 
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix that allocates nothing until [`Matrix::resize`].
+    fn default() -> Self {
+        Matrix { rows: 0, cols: 0, data: Vec::new() }
+    }
+}
+
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix({}x{}", self.rows, self.cols)?;
@@ -202,6 +233,18 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
         assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn resize_reuses_capacity_and_zeroes() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let cap = m.data.capacity();
+        m.resize(1, 3);
+        assert_eq!((m.rows(), m.cols(), m.len()), (1, 3, 3));
+        assert_eq!(m.as_slice(), &[0.0; 3]);
+        assert_eq!(m.data.capacity(), cap);
+        m.resize(2, 2);
+        assert_eq!(m.as_slice(), &[0.0; 4]);
     }
 
     #[test]

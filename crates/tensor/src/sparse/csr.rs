@@ -56,22 +56,48 @@ impl Csr {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_slice(rows: usize, cols: usize, data: &[f32]) -> Self {
-        assert_eq!(data.len(), rows * cols, "dense buffer length mismatch");
-        let mut values = Vec::new();
-        let mut col_indices = Vec::new();
-        let mut row_ptr = Vec::with_capacity(rows + 1);
-        row_ptr.push(0u32);
+        let mut csr = Csr::default();
+        csr.assign_from_columns(rows, cols, 0, cols, data);
+        csr
+    }
+
+    /// Rebuilds this matrix in place from the column window `c0..c1` of a
+    /// dense row-major buffer whose rows are `stride` elements apart.
+    ///
+    /// The three CSR arrays are reused, so steady-state rebuilds with a
+    /// stable sparsity level perform no heap allocation. The resulting
+    /// matrix has `c1 - c0` columns with *window-local* column indices —
+    /// exactly the per-tile rebuild the CT-CSR staging path needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c0 > c1`, `c1 > stride`, or `data.len() != rows * stride`.
+    pub fn assign_from_columns(
+        &mut self,
+        rows: usize,
+        stride: usize,
+        c0: usize,
+        c1: usize,
+        data: &[f32],
+    ) {
+        assert!(c0 <= c1 && c1 <= stride, "column window out of bounds");
+        assert_eq!(data.len(), rows * stride, "dense buffer length mismatch");
+        self.rows = rows;
+        self.cols = c1 - c0;
+        self.values.clear();
+        self.col_indices.clear();
+        self.row_ptr.clear();
+        self.row_ptr.push(0u32);
         for r in 0..rows {
-            let row = &data[r * cols..(r + 1) * cols];
+            let row = &data[r * stride + c0..r * stride + c1];
             for (c, &v) in row.iter().enumerate() {
                 if v != 0.0 {
-                    values.push(v);
-                    col_indices.push(c as u32);
+                    self.values.push(v);
+                    self.col_indices.push(c as u32);
                 }
             }
-            row_ptr.push(values.len() as u32);
+            self.row_ptr.push(self.values.len() as u32);
         }
-        Csr { rows, cols, values, col_indices, row_ptr }
     }
 
     /// Number of rows.
@@ -146,6 +172,13 @@ impl Csr {
     }
 }
 
+impl Default for Csr {
+    /// An empty `0 x 0` matrix ready for [`Csr::assign_from_columns`].
+    fn default() -> Self {
+        Csr { rows: 0, cols: 0, values: Vec::new(), col_indices: Vec::new(), row_ptr: vec![0u32] }
+    }
+}
+
 impl fmt::Debug for Csr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Csr({}x{}, nnz={})", self.rows, self.cols, self.nnz())
@@ -197,6 +230,27 @@ mod tests {
         let csr = Csr::from_dense(&Matrix::zeros(4, 4));
         assert_eq!(csr.nnz(), 0);
         assert_eq!(csr.to_dense(), Matrix::zeros(4, 4));
+    }
+
+    #[test]
+    fn assign_from_columns_reuses_allocations() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let dense = Matrix::random_sparse(6, 8, 0.5, 1.0, &mut rng);
+        let mut csr = Csr::default();
+        csr.assign_from_columns(6, 8, 2, 5, dense.as_slice());
+        // Warm rebuild: capacities must be reused.
+        let caps = (csr.values.capacity(), csr.col_indices.capacity(), csr.row_ptr.capacity());
+        csr.assign_from_columns(6, 8, 2, 5, dense.as_slice());
+        assert_eq!(
+            caps,
+            (csr.values.capacity(), csr.col_indices.capacity(), csr.row_ptr.capacity())
+        );
+        // Contents match a window extracted by hand.
+        let mut window = Vec::new();
+        for r in 0..6 {
+            window.extend_from_slice(&dense.row(r)[2..5]);
+        }
+        assert_eq!(csr, Csr::from_slice(6, 3, &window));
     }
 
     #[test]

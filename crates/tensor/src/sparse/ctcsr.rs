@@ -58,27 +58,50 @@ impl CtCsr {
         data: &[f32],
         tile_width: usize,
     ) -> Result<Self, TensorError> {
+        let mut out = CtCsr::default();
+        out.assign_from_slice(rows, cols, data, tile_width)?;
+        Ok(out)
+    }
+
+    /// Rebuilds this matrix in place from a dense row-major buffer, reusing
+    /// the per-tile CSR allocations.
+    ///
+    /// With a stable geometry and sparsity level, steady-state rebuilds are
+    /// allocation-free: each tile's arrays are recycled by
+    /// [`Csr::assign_from_columns`]. This is the per-sample staging path of
+    /// the sparse backward kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ZeroTileWidth`] if `tile_width == 0`, or
+    /// [`TensorError::LengthMismatch`] if `data.len() != rows * cols`.
+    pub fn assign_from_slice(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        data: &[f32],
+        tile_width: usize,
+    ) -> Result<(), TensorError> {
         if tile_width == 0 {
             return Err(TensorError::ZeroTileWidth);
         }
         if data.len() != rows * cols {
             return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
         }
-        let num_tiles = cols.div_ceil(tile_width).max(if cols == 0 { 0 } else { 1 });
-        let mut tiles = Vec::with_capacity(num_tiles);
-        let mut scratch = Vec::new();
-        for t in 0..num_tiles {
+        let num_tiles = cols.div_ceil(tile_width);
+        self.rows = rows;
+        self.cols = cols;
+        self.tile_width = tile_width;
+        self.tiles.truncate(num_tiles);
+        while self.tiles.len() < num_tiles {
+            self.tiles.push(Csr::default());
+        }
+        for (t, tile) in self.tiles.iter_mut().enumerate() {
             let c0 = t * tile_width;
             let c1 = (c0 + tile_width).min(cols);
-            let width = c1 - c0;
-            scratch.clear();
-            scratch.reserve(rows * width);
-            for r in 0..rows {
-                scratch.extend_from_slice(&data[r * cols + c0..r * cols + c1]);
-            }
-            tiles.push(Csr::from_slice(rows, width, &scratch));
+            tile.assign_from_columns(rows, cols, c0, c1, data);
         }
-        Ok(CtCsr { rows, cols, tile_width, tiles })
+        Ok(())
     }
 
     /// Number of rows.
@@ -159,6 +182,13 @@ impl CtCsr {
     }
 }
 
+impl Default for CtCsr {
+    /// An empty matrix ready for [`CtCsr::assign_from_slice`].
+    fn default() -> Self {
+        CtCsr { rows: 0, cols: 0, tile_width: 1, tiles: Vec::new() }
+    }
+}
+
 impl fmt::Debug for CtCsr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -225,5 +255,20 @@ mod tests {
     #[test]
     fn from_slice_validates_length() {
         assert!(CtCsr::from_slice(2, 2, &[0.0; 3], 2).is_err());
+    }
+
+    #[test]
+    fn assign_reuses_tiles_and_matches_fresh_build() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let a = Matrix::random_sparse(7, 10, 0.7, 1.0, &mut rng);
+        let b = Matrix::random_sparse(7, 10, 0.7, 1.0, &mut rng);
+        let mut tiled = CtCsr::from_dense(&a, 4).unwrap();
+        tiled.assign_from_slice(7, 10, b.as_slice(), 4).unwrap();
+        assert_eq!(tiled, CtCsr::from_dense(&b, 4).unwrap());
+        // Geometry changes are handled too (tile count shrinks and grows).
+        tiled.assign_from_slice(7, 10, b.as_slice(), 10).unwrap();
+        assert_eq!(tiled.num_tiles(), 1);
+        tiled.assign_from_slice(7, 10, b.as_slice(), 3).unwrap();
+        assert_eq!(tiled, CtCsr::from_dense(&b, 3).unwrap());
     }
 }

@@ -96,18 +96,33 @@ impl StridedLayout {
                 actual: src.len(),
             });
         }
-        let Shape3 { c: c_n, h, w } = self.shape;
         let mut out = vec![0.0f32; self.transformed_len()];
-        let s = src.as_slice();
+        self.apply_into(src.as_slice(), &mut out);
+        Ok(Tensor::from_vec(out))
+    }
+
+    /// Slice-based [`apply`](Self::apply) writing into caller-owned storage.
+    ///
+    /// Padding positions in `out` are zeroed, so the buffer may be reused
+    /// across samples without clearing. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` does not match the layout's shape or
+    /// `out.len()` differs from [`transformed_len`](Self::transformed_len).
+    pub fn apply_into(&self, src: &[f32], out: &mut [f32]) {
+        assert_eq!(src.len(), self.shape.len(), "apply_into: src length mismatch");
+        assert_eq!(out.len(), self.transformed_len(), "apply_into: out length mismatch");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let Shape3 { c: c_n, h, w } = self.shape;
         for c in 0..c_n {
             for y in 0..h {
-                let row = &s[(c * h + y) * w..(c * h + y + 1) * w];
+                let row = &src[(c * h + y) * w..(c * h + y + 1) * w];
                 for (x, &v) in row.iter().enumerate() {
                     out[self.index(c, y, x % self.stride, x / self.stride)] = v;
                 }
             }
         }
-        Ok(Tensor::from_vec(out))
     }
 
     /// Inverts the relayout, dropping phase padding.
