@@ -6,6 +6,10 @@
 //!   (the Sec. 4.2 "compose as small dense MMs without unfolding" claim).
 //! * **CT-CSR tile width sweep** for the sparse backward kernel.
 
+// Deliberately exercises the deprecated throwaway-scratch entry points
+// as the baseline against the reused-scratch path.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use spg_convnet::{unfold, ConvSpec};

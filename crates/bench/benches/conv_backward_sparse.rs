@@ -2,6 +2,10 @@
 //! BP half of Fig. 8: dense Unfold+GEMM BP versus the CT-CSR
 //! pointer-shifting sparse kernel across the sparsity sweep.
 
+// Deliberately exercises the deprecated throwaway-scratch entry points
+// as the baseline against the reused-scratch path.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use spg_convnet::{gemm_exec, ConvSpec};

@@ -3,6 +3,10 @@
 //! small-convolution layers where the paper deploys the stencil
 //! (MNIST L0, CIFAR-10 L1), and on a shrunken Table 1 ID 5 geometry.
 
+// Deliberately exercises the deprecated throwaway-scratch entry points
+// as the baseline against the reused-scratch path.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use spg_convnet::{gemm_exec, ConvSpec};

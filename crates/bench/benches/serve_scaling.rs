@@ -1,0 +1,94 @@
+//! Serving throughput vs worker count: the GEMM-in-Parallel argument
+//! applied to inference (one single-threaded kernel per pool worker).
+//!
+//! Prints a measured table from the real `spg-serve` engine on this host
+//! plus the analytical model's scaling curve for the paper's 16-core
+//! machine, mirroring the training-side Fig. 9 harness.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p spg-bench --bench serve_scaling
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spg_convnet::layer::{ConvLayer, FcLayer, ReluLayer};
+use spg_convnet::{ConvSpec, Network};
+use spg_core::autotune::{Framework, TuningMode};
+use spg_serve::{ServeConfig, Server};
+use spg_simcpu::{cifar10_layers, serving_throughput, EndToEndConfig, Machine};
+
+/// conv -> relu -> fc classifier over 12x12x2 inputs, big enough that a
+/// batch does real kernel work but small enough to finish in seconds.
+fn build_network() -> Network {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let spec = ConvSpec::new(2, 12, 12, 6, 3, 3, 1, 1).unwrap();
+    let conv_out = spec.output_shape().len();
+    Network::new(vec![
+        Box::new(ConvLayer::new(spec, &mut rng)),
+        Box::new(ReluLayer::new(conv_out)),
+        Box::new(FcLayer::new(conv_out, 8, &mut rng)),
+    ])
+    .unwrap()
+}
+
+fn main() {
+    let mut net = build_network();
+    let framework = Framework::new(1, TuningMode::Heuristic, 1);
+    let plans = framework.plan_network_forward(&mut net);
+    let input_len = net.input_len();
+    let net = Arc::new(net);
+
+    let requests = 256usize;
+    let inputs: Vec<Vec<f32>> = (0..requests)
+        .map(|s| (0..input_len).map(|i| (((i * 31 + s * 17) % 23) as f32 - 11.0) / 7.0).collect())
+        .collect();
+
+    println!("measured serving throughput on this host ({requests} requests, max batch 8):");
+    println!("{:>7}  {:>12}", "workers", "requests/s");
+    for workers in [1usize, 2, 4] {
+        let config = ServeConfig {
+            workers,
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+            queue_capacity: requests,
+        };
+        let server = Server::start(Arc::clone(&net), &plans, config).expect("valid network");
+        let started = Instant::now();
+        let pending: Vec<_> = inputs
+            .iter()
+            .map(|x| {
+                server
+                    .submit_timeout(x.clone(), Duration::from_secs(60))
+                    .expect("queue sized to request count")
+            })
+            .collect();
+        for p in pending {
+            p.wait().expect("worker alive");
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        server.shutdown();
+        println!("{workers:>7}  {:>12.0}", requests as f64 / elapsed);
+    }
+
+    // The multicore claim comes from the analytical model of the paper's
+    // machine; this container exposes a single core.
+    let machine = Machine::xeon_e5_2650();
+    let layers = cifar10_layers();
+    println!("\nmodeled CIFAR-10 serving throughput (images/s), 16-core Xeon E5-2650:");
+    println!(
+        "{:>7}  {:>13}  {:>16}  {:>10}  {:>14}",
+        "workers", "Parallel-GEMM", "GEMM-in-Parallel", "Stencil-FP", "GiP scaling"
+    );
+    let gip_one = serving_throughput(&machine, &layers, EndToEndConfig::GemmInParallel, 1);
+    for workers in [1usize, 2, 4, 8, 16] {
+        let pg = serving_throughput(&machine, &layers, EndToEndConfig::ParallelGemmAdam, workers);
+        let gip = serving_throughput(&machine, &layers, EndToEndConfig::GemmInParallel, workers);
+        let st = serving_throughput(&machine, &layers, EndToEndConfig::StencilFpSparseBp, workers);
+        println!("{workers:>7}  {pg:>13.1}  {gip:>16.1}  {st:>10.1}  {:>13.2}x", gip / gip_one);
+    }
+}

@@ -9,6 +9,10 @@
 //! arithmetic intensity at the kernel's own level instead of diluting it
 //! with allocator traffic.
 
+// Deliberately exercises the deprecated throwaway-scratch entry points
+// as the baseline against the reused-scratch path.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use spg_convnet::{gemm_exec, ConvScratch, ConvSpec};

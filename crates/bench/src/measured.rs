@@ -6,6 +6,10 @@
 //! kernels on this host, demonstrating that the implemented kernels show
 //! the same single-core ordering the model predicts.
 
+// Benchmarks the deprecated throwaway-scratch entry points on purpose,
+// as the baseline the reused-scratch path is compared against.
+#![allow(deprecated)]
+
 use std::time::Instant;
 
 use spg_convnet::{gemm_exec, ConvSpec};

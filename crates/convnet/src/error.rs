@@ -60,6 +60,20 @@ impl fmt::Display for ConvError {
 
 impl Error for ConvError {}
 
+impl From<ConvError> for spg_error::Error {
+    fn from(e: ConvError) -> Self {
+        let kind = match e {
+            ConvError::ZeroDimension { .. } | ConvError::KernelTooLarge { .. } => {
+                spg_error::ErrorKind::InvalidSpec
+            }
+            ConvError::BufferLength { .. }
+            | ConvError::LayerMismatch { .. }
+            | ConvError::EmptyNetwork => spg_error::ErrorKind::InvalidNetwork,
+        };
+        spg_error::Error::with_source(kind, e.to_string(), e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

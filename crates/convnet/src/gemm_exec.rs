@@ -15,15 +15,17 @@ use crate::unfold::{fold, unfold_into, unfold_transposed_into};
 use crate::workspace::ConvScratch;
 use crate::ConvSpec;
 
-/// Forward propagation via `O = W_mat * U^T` (Fig. 2c).
-///
-/// `threads == 1` runs the single-threaded blocked GEMM (the
-/// GEMM-in-Parallel building block); `threads > 1` uses the row-partitioned
-/// Parallel-GEMM schedule.
+/// Forward propagation allocating a throwaway [`ConvScratch`] per call.
 ///
 /// # Panics
 ///
 /// Panics if buffer lengths do not match the spec.
+#[cfg(feature = "legacy-alloc-path")]
+#[deprecated(
+    since = "0.1.0",
+    note = "allocates scratch per call; use `forward_scratch` with a \
+                                      reused `ConvScratch` (the PR 2 allocation-free seam)"
+)]
 pub fn forward(
     spec: &ConvSpec,
     input: &[f32],
@@ -34,7 +36,12 @@ pub fn forward(
     forward_scratch(spec, input, weights, output, threads, &mut ConvScratch::new());
 }
 
-/// [`forward`] running out of a caller-owned [`ConvScratch`].
+/// Forward propagation via `O = W_mat * U^T` (Fig. 2c), running out of a
+/// caller-owned [`ConvScratch`].
+///
+/// `threads == 1` runs the single-threaded blocked GEMM (the
+/// GEMM-in-Parallel building block); `threads > 1` uses the row-partitioned
+/// Parallel-GEMM schedule.
 ///
 /// # Panics
 ///
@@ -65,11 +72,18 @@ pub fn forward_scratch(
     }
 }
 
-/// Backward error propagation via `E_U = E_O^T * W_mat`, then `col2im`.
+/// Backward error propagation allocating a throwaway [`ConvScratch`] per
+/// call.
 ///
 /// # Panics
 ///
 /// Panics if buffer lengths do not match the spec.
+#[cfg(feature = "legacy-alloc-path")]
+#[deprecated(
+    since = "0.1.0",
+    note = "allocates scratch per call; use `backward_data_scratch` \
+                                      with a reused `ConvScratch`"
+)]
 pub fn backward_data(
     spec: &ConvSpec,
     weights: &[f32],
@@ -80,7 +94,8 @@ pub fn backward_data(
     backward_data_scratch(spec, weights, grad_out, grad_in, threads, &mut ConvScratch::new());
 }
 
-/// [`backward_data`] running out of a caller-owned [`ConvScratch`].
+/// Backward error propagation via `E_U = E_O^T * W_mat`, then `col2im`,
+/// running out of a caller-owned [`ConvScratch`].
 ///
 /// # Panics
 ///
@@ -140,11 +155,18 @@ pub fn backward_data_scratch(
     fold(spec, &scratch.mat_b, grad_in);
 }
 
-/// Weight-gradient computation via `dW = E_O * U`.
+/// Weight-gradient computation allocating a throwaway [`ConvScratch`]
+/// per call.
 ///
 /// # Panics
 ///
 /// Panics if buffer lengths do not match the spec.
+#[cfg(feature = "legacy-alloc-path")]
+#[deprecated(
+    since = "0.1.0",
+    note = "allocates scratch per call; use \
+                                      `backward_weights_scratch` with a reused `ConvScratch`"
+)]
 pub fn backward_weights(
     spec: &ConvSpec,
     input: &[f32],
@@ -155,7 +177,8 @@ pub fn backward_weights(
     backward_weights_scratch(spec, input, grad_out, grad_weights, threads, &mut ConvScratch::new());
 }
 
-/// [`backward_weights`] running out of a caller-owned [`ConvScratch`].
+/// Weight-gradient computation via `dW = E_O * U`, running out of a
+/// caller-owned [`ConvScratch`].
 ///
 /// # Panics
 ///
@@ -210,7 +233,8 @@ mod tests {
             let mut via_gemm = vec![0f32; spec.output_shape().len()];
             let mut oracle = vec![0f32; spec.output_shape().len()];
             for threads in [1, 3] {
-                forward(&spec, &input, &weights, &mut via_gemm, threads);
+                let mut scratch = ConvScratch::new();
+                forward_scratch(&spec, &input, &weights, &mut via_gemm, threads, &mut scratch);
                 reference::forward(&spec, &input, &weights, &mut oracle);
                 let diff =
                     via_gemm.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
@@ -227,7 +251,15 @@ mod tests {
             let mut via_gemm = vec![0f32; spec.input_shape().len()];
             let mut oracle = vec![0f32; spec.input_shape().len()];
             for threads in [1, 3] {
-                backward_data(&spec, &weights, &grad_out, &mut via_gemm, threads);
+                let mut scratch = ConvScratch::new();
+                backward_data_scratch(
+                    &spec,
+                    &weights,
+                    &grad_out,
+                    &mut via_gemm,
+                    threads,
+                    &mut scratch,
+                );
                 reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
                 let diff =
                     via_gemm.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
@@ -243,7 +275,8 @@ mod tests {
             let grad_out = pseudo(spec.output_shape().len(), 6);
             let mut via_gemm = vec![0f32; spec.weight_shape().len()];
             let mut oracle = vec![0f32; spec.weight_shape().len()];
-            backward_weights(&spec, &input, &grad_out, &mut via_gemm, 2);
+            let mut scratch = ConvScratch::new();
+            backward_weights_scratch(&spec, &input, &grad_out, &mut via_gemm, 2, &mut scratch);
             reference::backward_weights(&spec, &input, &grad_out, &mut oracle);
             let diff =
                 via_gemm.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);

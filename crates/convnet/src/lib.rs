@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod data;
+mod engine;
 mod error;
 pub mod exec;
 pub mod gemm_exec;
@@ -48,6 +49,7 @@ mod spec;
 pub mod unfold;
 pub mod workspace;
 
+pub use engine::{Engine, EngineBuilder, NetworkPlanner};
 pub use error::ConvError;
 pub use net::{scope_label, LayerGradients, Network, SampleTrace};
 pub use sgd::{EpochStats, Trainer, TrainerConfig};

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 
+use spg_convnet::workspace::ConvScratch;
 use spg_convnet::{gemm_exec, reference, unfold, ConvSpec};
 
 /// Random valid convolution specs, bounded to keep the oracle affordable.
@@ -37,7 +38,7 @@ proptest! {
         let olen = spec.output_shape().len();
         let mut via_gemm = vec![0.0; olen];
         let mut oracle = vec![0.0; olen];
-        gemm_exec::forward(&spec, &input, &weights, &mut via_gemm, 1);
+        gemm_exec::forward_scratch(&spec, &input, &weights, &mut via_gemm, 1, &mut ConvScratch::new());
         reference::forward(&spec, &input, &weights, &mut oracle);
         prop_assert!(max_diff(&via_gemm, &oracle) < 1e-3);
     }
@@ -49,7 +50,7 @@ proptest! {
         let ilen = spec.input_shape().len();
         let mut via_gemm = vec![0.0; ilen];
         let mut oracle = vec![0.0; ilen];
-        gemm_exec::backward_data(&spec, &weights, &grad_out, &mut via_gemm, 1);
+        gemm_exec::backward_data_scratch(&spec, &weights, &grad_out, &mut via_gemm, 1, &mut ConvScratch::new());
         reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
         prop_assert!(max_diff(&via_gemm, &oracle) < 1e-3);
     }
@@ -61,7 +62,7 @@ proptest! {
         let wlen = spec.weight_shape().len();
         let mut via_gemm = vec![0.0; wlen];
         let mut oracle = vec![0.0; wlen];
-        gemm_exec::backward_weights(&spec, &input, &grad_out, &mut via_gemm, 1);
+        gemm_exec::backward_weights_scratch(&spec, &input, &grad_out, &mut via_gemm, 1, &mut ConvScratch::new());
         reference::backward_weights(&spec, &input, &grad_out, &mut oracle);
         prop_assert!(max_diff(&via_gemm, &oracle) < 1e-3);
     }

@@ -125,6 +125,43 @@ pub fn tune_layer(spec: &ConvSpec, sparsity: f64, cores: usize, reps: usize) -> 
     }
 }
 
+/// Measures only the forward-phase candidates and returns the fastest —
+/// the inference/serving subset of [`tune_layer`]. Backward candidates
+/// are never run, so tuning for a forward-only deployment costs roughly
+/// a third of a full training tune.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn tune_layer_forward(spec: &ConvSpec, cores: usize, reps: usize) -> Technique {
+    let timed: Vec<(Technique, Duration)> = Technique::forward_candidates()
+        .iter()
+        .map(|&t| (t, measure_technique(spec, t, Phase::Forward, 0.0, cores, reps)))
+        .collect();
+    let chosen = timed
+        .iter()
+        .min_by_key(|&&(_, d)| d)
+        .map(|&(t, _)| t)
+        .expect("candidate list is non-empty");
+    if spg_telemetry::enabled() {
+        spg_telemetry::record_decision(spg_telemetry::Decision {
+            label: spg_telemetry::current_label().unwrap_or_else(|| "unscoped".to_string()),
+            phase: spg_telemetry::Phase::Forward,
+            chosen: chosen.id().to_string(),
+            sparsity: 0.0,
+            cores,
+            candidates: timed
+                .iter()
+                .map(|&(t, d)| spg_telemetry::CandidateTiming {
+                    technique: t.id().to_string(),
+                    wall_ns: d.as_nanos() as u64,
+                })
+                .collect(),
+        });
+    }
+    chosen
+}
+
 /// How the framework chooses techniques.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TuningMode {
@@ -207,6 +244,35 @@ impl Framework {
         plans
     }
 
+    /// Plans one layer's forward technique only (the serving path).
+    pub fn plan_layer_forward(&self, spec: &ConvSpec) -> Technique {
+        match self.mode {
+            TuningMode::Heuristic => recommended_plan(spec, 0.0, self.cores).forward,
+            TuningMode::Measured { reps } => tune_layer_forward(spec, self.cores, reps),
+        }
+    }
+
+    /// Plans and installs forward executors only — inference never runs
+    /// backward propagation, so backward tuning (and the stencil layer's
+    /// backward weight caches) is skipped entirely. The returned plans
+    /// carry the heuristic backward technique purely for reporting.
+    pub fn plan_network_forward(&self, net: &mut Network) -> Vec<(usize, LayerPlan)> {
+        let mut plans = Vec::new();
+        for (i, layer) in net.layers_mut().iter_mut().enumerate() {
+            let label = spg_convnet::scope_label(i, layer.name());
+            let Some(conv) = layer.as_conv_mut() else { continue };
+            let _tune = spg_telemetry::scope(&label, spg_telemetry::Phase::Tune);
+            let spec = *conv.spec();
+            let forward = self.plan_layer_forward(&spec);
+            conv.set_forward_executor(forward.executor(self.cores));
+            plans.push((
+                i,
+                LayerPlan { forward, backward: recommended_plan(&spec, 0.0, self.cores).backward },
+            ));
+        }
+        plans
+    }
+
     /// Epoch callback for [`Trainer::train_with`](spg_convnet::Trainer):
     /// every `retune_every` epochs, re-plans each conv layer's *backward*
     /// executor using that layer's measured gradient sparsity from the
@@ -225,6 +291,20 @@ impl Framework {
             conv.set_backward_executor(plan.backward.executor(self.cores));
             conv_idx += 1;
         }
+    }
+}
+
+impl spg_convnet::NetworkPlanner for Framework {
+    fn plan(&self, net: &mut Network, sparsity: f64) {
+        self.plan_network(net, sparsity);
+    }
+
+    fn plan_forward(&self, net: &mut Network) {
+        self.plan_network_forward(net);
+    }
+
+    fn retune(&self, net: &mut Network, stats: &EpochStats) {
+        Framework::retune(self, net, stats);
     }
 }
 

@@ -31,6 +31,7 @@ use crate::stencil::{
 /// # Example
 ///
 /// ```
+/// use spg_convnet::workspace::ConvScratch;
 /// use spg_convnet::ConvSpec;
 /// use spg_core::compiled::CompiledConv;
 /// use spg_core::schedule::recommended_plan;
@@ -42,7 +43,8 @@ use crate::stencil::{
 ///
 /// let input = vec![1.0; spec.input_shape().len()];
 /// let mut output = vec![0.0; spec.output_shape().len()];
-/// kernel.forward(&input, &mut output);
+/// let mut scratch = ConvScratch::new();
+/// kernel.forward_scratch(&input, &mut output, &mut scratch);
 /// assert!(output.iter().any(|v| *v != 0.0));
 /// # Ok::<(), spg_core::SpgError>(())
 /// ```
@@ -144,18 +146,26 @@ impl CompiledConv {
         self.cache_schedule
     }
 
-    /// Forward propagation for one sample. `output` is overwritten.
+    /// Forward propagation allocating a throwaway [`ConvScratch`] per
+    /// call.
     ///
     /// # Panics
     ///
     /// Panics if buffer lengths do not match the spec.
+    #[cfg(feature = "legacy-alloc-path")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates scratch per call; use `forward_scratch` with \
+                                          a reused `ConvScratch`"
+    )]
     pub fn forward(&self, input: &[f32], output: &mut [f32]) {
         self.forward_scratch(input, output, &mut ConvScratch::new());
     }
 
-    /// [`forward`](CompiledConv::forward) running out of a caller-provided
-    /// [`ConvScratch`]: with a reused scratch the per-sample path performs
-    /// no heap allocation.
+    /// Forward propagation for one sample running out of a
+    /// caller-provided [`ConvScratch`]: with a reused scratch the
+    /// per-sample path performs no heap allocation. `output` is
+    /// overwritten.
     ///
     /// # Panics
     ///
@@ -200,18 +210,24 @@ impl CompiledConv {
         }
     }
 
-    /// Backward error propagation for one sample. `grad_in` is
-    /// overwritten.
+    /// Backward error propagation allocating a throwaway [`ConvScratch`]
+    /// per call.
     ///
     /// # Panics
     ///
     /// Panics if buffer lengths do not match the spec.
+    #[cfg(feature = "legacy-alloc-path")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates scratch per call; use \
+                                          `backward_data_scratch` with a reused `ConvScratch`"
+    )]
     pub fn backward_data(&self, grad_out: &[f32], grad_in: &mut [f32]) {
         self.backward_data_scratch(grad_out, grad_in, &mut ConvScratch::new());
     }
 
-    /// [`backward_data`](CompiledConv::backward_data) running out of a
-    /// caller-provided [`ConvScratch`].
+    /// Backward error propagation for one sample running out of a
+    /// caller-provided [`ConvScratch`]. `grad_in` is overwritten.
     ///
     /// # Panics
     ///
@@ -252,18 +268,24 @@ impl CompiledConv {
         }
     }
 
-    /// Delta-weight computation for one sample. `grad_weights` is
-    /// overwritten.
+    /// Delta-weight computation allocating a throwaway [`ConvScratch`]
+    /// per call.
     ///
     /// # Panics
     ///
     /// Panics if buffer lengths do not match the spec.
+    #[cfg(feature = "legacy-alloc-path")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates scratch per call; use \
+                                          `backward_weights_scratch` with a reused `ConvScratch`"
+    )]
     pub fn backward_weights(&self, input: &[f32], grad_out: &[f32], grad_weights: &mut [f32]) {
         self.backward_weights_scratch(input, grad_out, grad_weights, &mut ConvScratch::new());
     }
 
-    /// [`backward_weights`](CompiledConv::backward_weights) running out of
-    /// a caller-provided [`ConvScratch`].
+    /// Delta-weight computation for one sample running out of a
+    /// caller-provided [`ConvScratch`]. `grad_weights` is overwritten.
     ///
     /// # Panics
     ///
@@ -351,23 +373,24 @@ mod tests {
         let input = pseudo(spec.input_shape().len(), 2);
         let grad_out = sparse_grad(spec.output_shape().len(), 4);
 
+        let mut scratch = ConvScratch::new();
         let mut out = vec![0.0; spec.output_shape().len()];
         let mut oracle = vec![0.0; spec.output_shape().len()];
-        kernel.forward(&input, &mut out);
+        kernel.forward_scratch(&input, &mut out, &mut scratch);
         reference::forward(&spec, &input, &weights, &mut oracle);
         let d = out.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(d < 1e-3, "{spec} fwd ({plan}): {d}");
 
         let mut gin = vec![0.0; spec.input_shape().len()];
         let mut gin_oracle = vec![0.0; spec.input_shape().len()];
-        kernel.backward_data(&grad_out, &mut gin);
+        kernel.backward_data_scratch(&grad_out, &mut gin, &mut scratch);
         reference::backward_data(&spec, &weights, &grad_out, &mut gin_oracle);
         let d = gin.iter().zip(&gin_oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(d < 1e-3, "{spec} bwd-data ({plan}): {d}");
 
         let mut gw = vec![0.0; spec.weight_shape().len()];
         let mut gw_oracle = vec![0.0; spec.weight_shape().len()];
-        kernel.backward_weights(&input, &grad_out, &mut gw);
+        kernel.backward_weights_scratch(&input, &grad_out, &mut gw, &mut scratch);
         reference::backward_weights(&spec, &input, &grad_out, &mut gw_oracle);
         let d = gw.iter().zip(&gw_oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(d < 1e-3, "{spec} bwd-w ({plan}): {d}");
@@ -389,7 +412,7 @@ mod tests {
     #[test]
     fn scratch_reuse_matches_fresh_scratch() {
         // One ConvScratch carried across every phase and plan combination
-        // must not change results relative to per-call scratch.
+        // must not change results relative to a fresh per-call scratch.
         let spec = ConvSpec::square(14, 5, 3, 3, 1);
         let weights = pseudo(spec.weight_shape().len(), 6);
         let input = pseudo(spec.input_shape().len(), 7);
@@ -404,17 +427,22 @@ mod tests {
                 let mut a = vec![0f32; olen];
                 let mut b = vec![0f32; olen];
                 kernel.forward_scratch(&input, &mut a, &mut scratch);
-                kernel.forward(&input, &mut b);
+                kernel.forward_scratch(&input, &mut b, &mut ConvScratch::new());
                 assert_eq!(a, b, "{plan} fwd");
                 let mut ga = vec![0f32; ilen];
                 let mut gb = vec![0f32; ilen];
                 kernel.backward_data_scratch(&grad_out, &mut ga, &mut scratch);
-                kernel.backward_data(&grad_out, &mut gb);
+                kernel.backward_data_scratch(&grad_out, &mut gb, &mut ConvScratch::new());
                 assert_eq!(ga, gb, "{plan} bwd-data");
                 let mut wa = vec![0f32; wlen];
                 let mut wb = vec![0f32; wlen];
                 kernel.backward_weights_scratch(&input, &grad_out, &mut wa, &mut scratch);
-                kernel.backward_weights(&input, &grad_out, &mut wb);
+                kernel.backward_weights_scratch(
+                    &input,
+                    &grad_out,
+                    &mut wb,
+                    &mut ConvScratch::new(),
+                );
                 assert_eq!(wa, wb, "{plan} bwd-w");
             }
         }
@@ -429,13 +457,14 @@ mod tests {
 
         let input = pseudo(spec.input_shape().len(), 4);
         let grad_out = sparse_grad(spec.output_shape().len(), 3);
+        let mut scratch = ConvScratch::new();
         let mut before = vec![0.0; spec.input_shape().len()];
-        kernel.backward_data(&grad_out, &mut before);
+        kernel.backward_data_scratch(&grad_out, &mut before, &mut scratch);
 
         let w2: Vec<f32> = w1.iter().map(|v| v * 2.0).collect();
         kernel.set_weights(&w2);
         let mut after = vec![0.0; spec.input_shape().len()];
-        kernel.backward_data(&grad_out, &mut after);
+        kernel.backward_data_scratch(&grad_out, &mut after, &mut scratch);
         for (b, a) in before.iter().zip(&after) {
             assert!((b * 2.0 - a).abs() < 1e-4, "cache not refreshed: {b} vs {a}");
         }

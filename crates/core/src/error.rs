@@ -33,6 +33,17 @@ impl fmt::Display for SpgError {
 
 impl Error for SpgError {}
 
+impl From<SpgError> for spg_error::Error {
+    fn from(e: SpgError) -> Self {
+        let kind = match e {
+            SpgError::Parse { .. } => spg_error::ErrorKind::Parse,
+            SpgError::InvalidNetwork { .. } => spg_error::ErrorKind::InvalidNetwork,
+            SpgError::NoCandidates => spg_error::ErrorKind::Tuning,
+        };
+        spg_error::Error::with_source(kind, e.to_string(), e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

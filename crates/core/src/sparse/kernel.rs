@@ -6,19 +6,18 @@ use spg_tensor::Shape3;
 use spg_convnet::workspace::{zeroed_slice, ConvScratch};
 use spg_convnet::ConvSpec;
 
-/// Backward error propagation exploiting gradient sparsity (Eq. 11–15).
-///
-/// Semantically identical to
-/// [`reference::backward_data`](spg_convnet::reference::backward_data):
-/// computes `E_I` from `E_O` and the weights, but touches only the
-/// non-zero gradient elements. The layout transforms and CT-CSR
-/// construction are performed (and paid for) inside this call.
-///
-/// `tile_width` is the CT-CSR column-tile width in features.
+/// Sparse backward error propagation allocating a throwaway
+/// [`ConvScratch`] per call.
 ///
 /// # Panics
 ///
 /// Panics if buffer lengths do not match the spec or `tile_width == 0`.
+#[cfg(feature = "legacy-alloc-path")]
+#[deprecated(
+    since = "0.1.0",
+    note = "allocates scratch per call; use `backward_data_scratch` \
+                                      with a reused `ConvScratch`"
+)]
 pub fn backward_data(
     spec: &ConvSpec,
     weights: &[f32],
@@ -29,9 +28,17 @@ pub fn backward_data(
     backward_data_scratch(spec, weights, grad_out, grad_in, tile_width, &mut ConvScratch::new());
 }
 
-/// [`backward_data`] staging the weight permutation, layout transforms,
-/// and CT-CSR build in a caller-provided [`ConvScratch`]: the per-sample
-/// path performs no heap allocation once the scratch has warmed up.
+/// Backward error propagation exploiting gradient sparsity (Eq. 11–15),
+/// staging the weight permutation, layout transforms, and CT-CSR build in
+/// a caller-provided [`ConvScratch`]: the per-sample path performs no
+/// heap allocation once the scratch has warmed up.
+///
+/// Semantically identical to
+/// [`reference::backward_data`](spg_convnet::reference::backward_data):
+/// computes `E_I` from `E_O` and the weights, but touches only the
+/// non-zero gradient elements.
+///
+/// `tile_width` is the CT-CSR column-tile width in features.
 ///
 /// # Panics
 ///
@@ -58,18 +65,19 @@ pub fn backward_data_scratch(
     scratch.wperm = w_kkfc;
 }
 
-/// [`backward_data`] with the weight tensor already permuted to
-/// `[ky, kx, f, c]` order (see
-/// [`spg_tensor::layout::fckk_to_kkfc`]).
-///
-/// Weights change once per parameter update but the kernel runs once per
-/// *sample*; pre-transforming them amortizes the layout cost across a
-/// batch, which is how the paper's generated code uses it. The
-/// per-sample gradient transform and CT-CSR build still happen here.
+/// The pretransformed sparse backward-data path allocating a throwaway
+/// [`ConvScratch`] per call.
 ///
 /// # Panics
 ///
 /// Panics if buffer lengths do not match the spec or `tile_width == 0`.
+#[cfg(feature = "legacy-alloc-path")]
+#[deprecated(
+    since = "0.1.0",
+    note = "allocates scratch per call; use \
+                                      `backward_data_pretransformed_scratch` with a reused \
+                                      `ConvScratch`"
+)]
 pub fn backward_data_pretransformed(
     spec: &ConvSpec,
     w_kkfc: &[f32],
@@ -87,9 +95,16 @@ pub fn backward_data_pretransformed(
     );
 }
 
-/// [`backward_data_pretransformed`] staging the gradient transform and
-/// CT-CSR build in a caller-provided [`ConvScratch`] (the permuted weight
-/// tensor is the caller's own buffer, e.g. a compiled plan's).
+/// Sparse backward-data with the weight tensor already permuted to
+/// `[ky, kx, f, c]` order (see [`spg_tensor::layout::fckk_to_kkfc`]),
+/// staging the gradient transform and CT-CSR build in a caller-provided
+/// [`ConvScratch`] (the permuted weight tensor is the caller's own
+/// buffer, e.g. a compiled plan's).
+///
+/// Weights change once per parameter update but the kernel runs once per
+/// *sample*; pre-transforming them amortizes the layout cost across a
+/// batch, which is how the paper's generated code uses it. The
+/// per-sample gradient transform and CT-CSR build still happen here.
 ///
 /// # Panics
 ///
@@ -163,13 +178,18 @@ pub fn backward_data_pretransformed_scratch(
     layout::hwc_to_chw_into(ei_hwc, Shape3::new(nc, in_h, in_w), grad_in);
 }
 
-/// Delta-weight computation exploiting gradient sparsity (Eq. 4, executed
-/// sparsely): `dW[f, c, ky, kx] = sum_{y,x} E_O[f, y, x] * I[c, y*sy+ky, x*sx+kx]`
-/// with the sum restricted to non-zero gradients.
+/// Sparse delta-weight computation allocating a throwaway
+/// [`ConvScratch`] per call.
 ///
 /// # Panics
 ///
 /// Panics if buffer lengths do not match the spec or `tile_width == 0`.
+#[cfg(feature = "legacy-alloc-path")]
+#[deprecated(
+    since = "0.1.0",
+    note = "allocates scratch per call; use \
+                                      `backward_weights_scratch` with a reused `ConvScratch`"
+)]
 pub fn backward_weights(
     spec: &ConvSpec,
     input: &[f32],
@@ -187,9 +207,11 @@ pub fn backward_weights(
     );
 }
 
-/// [`backward_weights`] staging the layout transforms, CT-CSR build, and
-/// the permuted-order gradient accumulator in a caller-provided
-/// [`ConvScratch`].
+/// Delta-weight computation exploiting gradient sparsity (Eq. 4, executed
+/// sparsely): `dW[f, c, ky, kx] = sum_{y,x} E_O[f, y, x] * I[c, y*sy+ky, x*sx+kx]`
+/// with the sum restricted to non-zero gradients, staging the layout
+/// transforms, CT-CSR build, and the permuted-order gradient accumulator
+/// in a caller-provided [`ConvScratch`].
 ///
 /// # Panics
 ///
@@ -298,7 +320,14 @@ mod tests {
             let mut ours = vec![0f32; spec.input_shape().len()];
             let mut oracle = vec![0f32; spec.input_shape().len()];
             for tw in [1, 2, 64] {
-                backward_data(&spec, &weights, &grad_out, &mut ours, tw);
+                backward_data_scratch(
+                    &spec,
+                    &weights,
+                    &grad_out,
+                    &mut ours,
+                    tw,
+                    &mut ConvScratch::new(),
+                );
                 reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
                 let diff =
                     ours.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
@@ -315,7 +344,14 @@ mod tests {
             let mut ours = vec![0f32; spec.weight_shape().len()];
             let mut oracle = vec![0f32; spec.weight_shape().len()];
             for tw in [1, 3, 64] {
-                backward_weights(&spec, &input, &grad_out, &mut ours, tw);
+                backward_weights_scratch(
+                    &spec,
+                    &input,
+                    &grad_out,
+                    &mut ours,
+                    tw,
+                    &mut ConvScratch::new(),
+                );
                 reference::backward_weights(&spec, &input, &grad_out, &mut oracle);
                 let diff =
                     ours.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
@@ -330,11 +366,11 @@ mod tests {
         let weights = pseudo(spec.weight_shape().len(), 9);
         let zeros = vec![0f32; spec.output_shape().len()];
         let mut gin = vec![1.0; spec.input_shape().len()];
-        backward_data(&spec, &weights, &zeros, &mut gin, 64);
+        backward_data_scratch(&spec, &weights, &zeros, &mut gin, 64, &mut ConvScratch::new());
         assert!(gin.iter().all(|v| *v == 0.0));
         let input = pseudo(spec.input_shape().len(), 10);
         let mut dw = vec![1.0; spec.weight_shape().len()];
-        backward_weights(&spec, &input, &zeros, &mut dw, 64);
+        backward_weights_scratch(&spec, &input, &zeros, &mut dw, 64, &mut ConvScratch::new());
         assert!(dw.iter().all(|v| *v == 0.0));
     }
 
@@ -346,7 +382,7 @@ mod tests {
         let grad_out = pseudo(spec.output_shape().len(), 5);
         let mut ours = vec![0f32; spec.input_shape().len()];
         let mut oracle = vec![0f32; spec.input_shape().len()];
-        backward_data(&spec, &weights, &grad_out, &mut ours, 64);
+        backward_data_scratch(&spec, &weights, &grad_out, &mut ours, 64, &mut ConvScratch::new());
         reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
         let diff = ours.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(diff < 1e-4, "diff {diff}");
@@ -357,6 +393,6 @@ mod tests {
     fn zero_tile_width_panics() {
         let spec = ConvSpec::new(1, 4, 4, 1, 2, 2, 1, 1).unwrap();
         let mut gin = vec![0f32; 16];
-        backward_data(&spec, &[0.0; 4], &[0.0; 9], &mut gin, 0);
+        backward_data_scratch(&spec, &[0.0; 4], &[0.0; 9], &mut gin, 0, &mut ConvScratch::new());
     }
 }

@@ -33,24 +33,32 @@ const TILE_ROWS: usize = 6;
 /// f32 lanes per vector.
 const LANES: usize = 8;
 
-/// Forward propagation by direct (stencil-style) convolution.
+/// Stencil forward propagation allocating a throwaway [`ConvScratch`]
+/// per call.
+///
+/// # Panics
+///
+/// Panics if any buffer length does not match the spec.
+#[cfg(feature = "legacy-alloc-path")]
+#[deprecated(
+    since = "0.1.0",
+    note = "allocates scratch per call; use `forward_scratch` with a \
+                                      reused `ConvScratch`"
+)]
+pub fn forward(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
+    forward_scratch(spec, input, weights, output, &mut ConvScratch::new());
+}
+
+/// Forward propagation by direct (stencil-style) convolution, staging its
+/// layout transforms and gathered patch blocks in a caller-provided
+/// [`ConvScratch`]: the per-sample hot path performs no heap allocation
+/// once the scratch has warmed up to this geometry.
 ///
 /// Semantically identical to
 /// [`reference::forward`](spg_convnet::reference::forward); layout
 /// transforms for strided convolutions are performed internally and their
 /// cost is part of this call (the paper includes transform time in its
 /// stencil measurements, Sec. 4.3).
-///
-/// # Panics
-///
-/// Panics if any buffer length does not match the spec.
-pub fn forward(spec: &ConvSpec, input: &[f32], weights: &[f32], output: &mut [f32]) {
-    forward_scratch(spec, input, weights, output, &mut ConvScratch::new());
-}
-
-/// [`forward`] staging its layout transforms and gathered patch blocks in
-/// a caller-provided [`ConvScratch`]: the per-sample hot path performs no
-/// heap allocation once the scratch has warmed up to this geometry.
 ///
 /// # Panics
 ///
@@ -157,14 +165,19 @@ pub fn narrow_weights_into(spec: &ConvSpec, weights: &[f32], w_kkcf: &mut [f32])
     }
 }
 
-/// The narrow-output forward path with weights already permuted by
-/// [`narrow_weights`]. Used directly by
-/// [`CompiledConv`](crate::compiled::CompiledConv); prefer
-/// [`forward`] unless you are amortizing the weight transform yourself.
+/// The pretransformed narrow-output forward path allocating a throwaway
+/// [`ConvScratch`] per call.
 ///
 /// # Panics
 ///
 /// Panics if buffer lengths do not match the spec.
+#[cfg(feature = "legacy-alloc-path")]
+#[deprecated(
+    since = "0.1.0",
+    note = "allocates scratch per call; use \
+                                      `forward_narrow_pretransformed_scratch` with a reused \
+                                      `ConvScratch`"
+)]
 pub fn forward_narrow_pretransformed(
     spec: &ConvSpec,
     input: &[f32],
@@ -174,8 +187,12 @@ pub fn forward_narrow_pretransformed(
     forward_narrow_pretransformed_scratch(spec, input, w_kkcf, output, &mut ConvScratch::new());
 }
 
-/// [`forward_narrow_pretransformed`] staging the HWC views and the
-/// gathered patch block in a caller-provided [`ConvScratch`].
+/// The narrow-output forward path with weights already permuted by
+/// [`narrow_weights`], staging the HWC views and the gathered patch block
+/// in a caller-provided [`ConvScratch`]. Used directly by
+/// [`CompiledConv`](crate::compiled::CompiledConv); prefer
+/// [`forward_scratch`] unless you are amortizing the weight transform
+/// yourself.
 ///
 /// # Panics
 ///
@@ -558,7 +575,7 @@ mod tests {
         let olen = spec.output_shape().len();
         let mut stencil = vec![0f32; olen];
         let mut oracle = vec![0f32; olen];
-        forward(&spec, &input, &weights, &mut stencil);
+        forward_scratch(&spec, &input, &weights, &mut stencil, &mut ConvScratch::new());
         reference::forward(&spec, &input, &weights, &mut oracle);
         // Accumulation order differs from the reference; tolerance scales
         // with the reduction length (Nc * Fy * Fx).
@@ -619,7 +636,7 @@ mod tests {
         weights[9] = 0.0;
         let mut stencil = vec![0f32; spec.output_shape().len()];
         let mut oracle = vec![0f32; spec.output_shape().len()];
-        forward(&spec, &input, &weights, &mut stencil);
+        forward_scratch(&spec, &input, &weights, &mut stencil, &mut ConvScratch::new());
         reference::forward(&spec, &input, &weights, &mut oracle);
         let diff = stencil.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(diff < 5e-4, "diff {diff}");
@@ -629,6 +646,6 @@ mod tests {
     #[should_panic(expected = "output length")]
     fn validates_output_buffer() {
         let spec = ConvSpec::new(1, 4, 4, 1, 2, 2, 1, 1).unwrap();
-        forward(&spec, &[0.0; 16], &[0.0; 4], &mut [0.0; 3]);
+        forward_scratch(&spec, &[0.0; 16], &[0.0; 4], &mut [0.0; 3], &mut ConvScratch::new());
     }
 }

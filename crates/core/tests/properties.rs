@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 
+use spg_convnet::workspace::ConvScratch;
 use spg_convnet::{reference, ConvSpec};
 use spg_core::ait::{mm_ait, mm_ait_per_core, mm_ait_per_core_best, mm_ait_per_core_cols};
 use spg_core::compiled::CompiledConv;
@@ -53,7 +54,7 @@ proptest! {
         let olen = spec.output_shape().len();
         let mut ours = vec![0.0; olen];
         let mut oracle = vec![0.0; olen];
-        stencil_kernel::forward(&spec, &input, &weights, &mut ours);
+        stencil_kernel::forward_scratch(&spec, &input, &weights, &mut ours, &mut ConvScratch::new());
         reference::forward(&spec, &input, &weights, &mut oracle);
         prop_assert!(max_diff(&ours, &oracle) < 1e-3);
     }
@@ -71,7 +72,7 @@ proptest! {
         let ilen = spec.input_shape().len();
         let mut ours = vec![0.0; ilen];
         let mut oracle = vec![0.0; ilen];
-        sparse_kernel::backward_data(&spec, &weights, &grad_out, &mut ours, tile_width);
+        sparse_kernel::backward_data_scratch(&spec, &weights, &grad_out, &mut ours, tile_width, &mut ConvScratch::new());
         reference::backward_data(&spec, &weights, &grad_out, &mut oracle);
         prop_assert!(max_diff(&ours, &oracle) < 1e-3);
     }
@@ -89,7 +90,7 @@ proptest! {
         let wlen = spec.weight_shape().len();
         let mut ours = vec![0.0; wlen];
         let mut oracle = vec![0.0; wlen];
-        sparse_kernel::backward_weights(&spec, &input, &grad_out, &mut ours, tile_width);
+        sparse_kernel::backward_weights_scratch(&spec, &input, &grad_out, &mut ours, tile_width, &mut ConvScratch::new());
         reference::backward_weights(&spec, &input, &grad_out, &mut oracle);
         prop_assert!(max_diff(&ours, &oracle) < 1e-3);
     }
@@ -183,13 +184,13 @@ proptest! {
 
         let mut out = vec![0.0; spec.output_shape().len()];
         let mut oracle = vec![0.0; spec.output_shape().len()];
-        kernel.forward(&input, &mut out);
+        kernel.forward_scratch(&input, &mut out, &mut ConvScratch::new());
         reference::forward(&spec, &input, &weights, &mut oracle);
         prop_assert!(max_diff(&out, &oracle) < 1e-3);
 
         let mut gin = vec![0.0; spec.input_shape().len()];
         let mut gin_oracle = vec![0.0; spec.input_shape().len()];
-        kernel.backward_data(&grad_out, &mut gin);
+        kernel.backward_data_scratch(&grad_out, &mut gin, &mut ConvScratch::new());
         reference::backward_data(&spec, &weights, &grad_out, &mut gin_oracle);
         prop_assert!(max_diff(&gin, &gin_oracle) < 1e-3);
     }

@@ -112,7 +112,13 @@ fn stencil_counters_match_arithmetic_ops() {
         let weights = pseudo(spec.weight_shape().len(), 8);
         let mut output = vec![0.0; spec.output_shape().len()];
         let got = record_under(label, Phase::Forward, || {
-            stencil_kernel::forward(&spec, &input, &weights, &mut output);
+            stencil_kernel::forward_scratch(
+                &spec,
+                &input,
+                &weights,
+                &mut output,
+                &mut ConvScratch::new(),
+            );
         });
         let ops = spec.arithmetic_ops();
         assert_eq!(got, (ops, ops, 0, 0), "{label}");
@@ -186,12 +192,26 @@ proptest! {
         let mut grad_w = vec![0.0; spec.weight_shape().len()];
 
         let data = record_under("tel_sparse", Phase::BackwardData, || {
-            sparse_kernel::backward_data(&spec, &weights, &grad_out, &mut grad_in, tile_width);
+            sparse_kernel::backward_data_scratch(
+                &spec,
+                &weights,
+                &grad_out,
+                &mut grad_in,
+                tile_width,
+                &mut ConvScratch::new(),
+            );
         });
         prop_assert_eq!(data, expect);
 
         let wts = record_under("tel_sparse", Phase::BackwardWeights, || {
-            sparse_kernel::backward_weights(&spec, &input, &grad_out, &mut grad_w, tile_width);
+            sparse_kernel::backward_weights_scratch(
+                &spec,
+                &input,
+                &grad_out,
+                &mut grad_w,
+                tile_width,
+                &mut ConvScratch::new(),
+            );
         });
         prop_assert_eq!(wts, expect);
     }

@@ -54,6 +54,12 @@ impl fmt::Display for GemmError {
 
 impl Error for GemmError {}
 
+impl From<GemmError> for spg_error::Error {
+    fn from(e: GemmError) -> Self {
+        spg_error::Error::with_source(spg_error::ErrorKind::Gemm, e.to_string(), e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,274 @@
+//! A bounded MPMC queue with backpressure, built on `Mutex` + `Condvar`.
+//!
+//! The serving front end pushes single-sample requests; worker threads
+//! pop them, batching greedily up to a deadline. The queue is *bounded*:
+//! a full queue rejects (or times out) instead of buffering unbounded
+//! work, which is what turns overload into fast, typed feedback rather
+//! than silently growing latency.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Outcome of a non-blocking or deadline-bounded push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue was at capacity.
+    Full,
+    /// The queue was closed for new work (shutdown in progress).
+    Closed,
+    /// The deadline passed while waiting for space.
+    TimedOut,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push: errors immediately when full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Push that waits for space until `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::TimedOut`] when the deadline passes while the queue
+    /// is still full, [`PushError::Closed`] if it closes while waiting.
+    pub fn push_deadline(&self, item: T, deadline: Instant) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(PushError::Closed);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return Err(PushError::TimedOut);
+            };
+            let (guard, timeout) =
+                self.not_full.wait_timeout(state, remaining).expect("queue poisoned");
+            state = guard;
+            if timeout.timed_out() && state.items.len() >= self.capacity {
+                return Err(PushError::TimedOut);
+            }
+        }
+    }
+
+    /// Blocking pop. Returns `None` only once the queue is closed *and*
+    /// drained — in-flight work is always completed before shutdown.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Non-blocking pop of one item, if any is immediately available.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let item = state.items.pop_front();
+        if item.is_some() {
+            drop(state);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Pops one item, waiting at most until `deadline`. Returns `None` on
+    /// deadline expiry or on closed-and-drained.
+    pub fn pop_deadline(&self, deadline: Instant) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            let remaining = deadline.checked_duration_since(now).filter(|d| !d.is_zero())?;
+            let (guard, _) = self.not_empty.wait_timeout(state, remaining).expect("queue poisoned");
+            state = guard;
+        }
+    }
+
+    /// Closes the queue: new pushes fail, pops drain what remains and
+    /// then return `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.try_pop(), Some(3));
+        assert!(q.try_pop().is_none());
+    }
+
+    #[test]
+    fn full_queue_rejects_not_blocks() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        let start = Instant::now();
+        let deadline = start + Duration::from_millis(20);
+        assert_eq!(q.push_deadline(3, deadline), Err(PushError::TimedOut));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert!(start.elapsed() < Duration::from_secs(5), "push must not block indefinitely");
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(7)); // in-flight item still served
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_deadline_times_out_when_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert_eq!(q.pop_deadline(Instant::now() + Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_everything() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let item = p * 1000 + i;
+                        loop {
+                            if q.push_deadline(item, Instant::now() + Duration::from_secs(5))
+                                .is_ok()
+                            {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 200);
+        all.dedup();
+        assert_eq!(all.len(), 200, "no item delivered twice");
+    }
+}

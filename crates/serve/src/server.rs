@@ -1,0 +1,383 @@
+//! The micro-batching serving engine.
+//!
+//! Requests enter on a bounded MPMC queue; each of `workers` persistent
+//! threads pops a request, gathers more until `max_batch` or `max_delay`
+//! elapses, then runs the whole micro-batch through its own warm
+//! single-threaded kernels — the serving analogue of GEMM-in-Parallel:
+//! instead of one multi-threaded kernel per request, many independent
+//! single-threaded pipelines preserve per-core arithmetic intensity.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spg_convnet::workspace::ConvScratch;
+use spg_convnet::Network;
+use spg_core::compiled::CompiledConv;
+use spg_core::schedule::{recommended_plan, LayerPlan};
+
+use crate::queue::{BoundedQueue, PushError};
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each owning warm per-layer kernels and scratch.
+    pub workers: usize,
+    /// Maximum requests per micro-batch.
+    pub max_batch: usize,
+    /// How long a worker waits to fill a micro-batch after its first
+    /// request arrives.
+    pub max_delay: Duration,
+    /// Bounded request-queue capacity; pushes beyond it are rejected.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Typed failure modes of the serving front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The bounded queue was full: backpressure, try again later.
+    Rejected {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The submission deadline passed while the queue stayed full.
+    Timeout {
+        /// How long the submitter waited.
+        waited: Duration,
+    },
+    /// The server is shutting down and accepts no new requests.
+    ShuttingDown,
+    /// The request input has the wrong length for the model.
+    BadInput {
+        /// Expected input activation count.
+        expected: usize,
+        /// Provided input activation count.
+        actual: usize,
+    },
+    /// The worker processing the request disappeared (server dropped
+    /// while the request was in flight).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected { capacity } => {
+                write!(f, "request rejected: queue at capacity {capacity}")
+            }
+            ServeError::Timeout { waited } => {
+                write!(f, "request timed out after {waited:?} of backpressure")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadInput { expected, actual } => {
+                write!(f, "input has {actual} values, model expects {expected}")
+            }
+            ServeError::Disconnected => write!(f, "serving worker disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ServeError> for spg_error::Error {
+    fn from(e: ServeError) -> Self {
+        spg_error::Error::with_source(spg_error::ErrorKind::Serving, e.to_string(), e)
+    }
+}
+
+/// A completed classification.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Raw network outputs.
+    pub logits: Vec<f32>,
+    /// Argmax of the logits (same tie-breaking as
+    /// [`Network::predict`](spg_convnet::Network::predict)).
+    pub class: usize,
+    /// Submit-to-completion wall time.
+    pub latency: Duration,
+    /// Index of the worker that served the request.
+    pub worker: usize,
+    /// Size of the micro-batch the request rode in.
+    pub batch_size: usize,
+}
+
+/// One queued request.
+struct Request {
+    input: Vec<f32>,
+    submitted: Instant,
+    reply: mpsc::SyncSender<Response>,
+}
+
+/// Handle to a submitted request; redeem with [`wait`](Self::wait).
+#[derive(Debug)]
+pub struct PendingResponse {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl PendingResponse {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disconnected`] if the server was torn down before
+    /// the request completed.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+}
+
+/// The batched inference server: a bounded request queue feeding a pool
+/// of persistent workers, each owning one warm [`ConvScratch`] and one
+/// compiled kernel per convolution layer.
+///
+/// Dropping the server performs the same graceful shutdown as
+/// [`shutdown`](Self::shutdown): the queue closes, in-flight and queued
+/// requests drain, then the workers exit.
+pub struct Server {
+    queue: Arc<BoundedQueue<Request>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    input_len: usize,
+}
+
+impl Server {
+    /// Starts `config.workers` worker threads serving `net`.
+    ///
+    /// `plans` maps convolution-layer indices to their autotuned
+    /// [`LayerPlan`]s (as returned by
+    /// `Framework::plan_network_forward`); conv layers without an entry
+    /// fall back to the paper's heuristic plan. Every worker compiles its
+    /// own single-threaded [`CompiledConv`] per conv layer — weight
+    /// transforms are paid once per worker at startup, never per request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`spg_error::ErrorKind::InvalidNetwork`] if a conv layer's
+    /// weights cannot be compiled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers`, `config.max_batch`, or
+    /// `config.queue_capacity` is zero.
+    pub fn start(
+        net: Arc<Network>,
+        plans: &[(usize, LayerPlan)],
+        config: ServeConfig,
+    ) -> Result<Self, spg_error::Error> {
+        assert!(config.workers > 0, "worker count must be positive");
+        assert!(config.max_batch > 0, "max batch must be positive");
+        let plan_by_layer: HashMap<usize, LayerPlan> = plans.iter().copied().collect();
+        // Compile once up front to surface errors before spawning, then
+        // once per worker so each owns private warm state.
+        compile_kernels(&net, &plan_by_layer)?;
+
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let input_len = net.input_len();
+        let workers = (0..config.workers)
+            .map(|w| {
+                let net = Arc::clone(&net);
+                let queue = Arc::clone(&queue);
+                let plan_by_layer = plan_by_layer.clone();
+                let max_batch = config.max_batch;
+                let max_delay = config.max_delay;
+                std::thread::spawn(move || {
+                    let kernels = compile_kernels(&net, &plan_by_layer)
+                        .expect("compile succeeded in Server::start");
+                    worker_loop(w, &net, kernels, &queue, max_batch, max_delay);
+                })
+            })
+            .collect();
+        Ok(Server { queue, workers, input_len })
+    }
+
+    /// Non-blocking submission: full queues reject immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] on a wrong-length input,
+    /// [`ServeError::Rejected`] when the queue is at capacity,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn try_submit(&self, input: Vec<f32>) -> Result<PendingResponse, ServeError> {
+        let request = self.make_request(input)?;
+        match self.queue.try_push(request.0) {
+            Ok(()) => Ok(request.1),
+            Err(PushError::Full) => Err(ServeError::Rejected { capacity: self.queue.capacity() }),
+            Err(PushError::Closed | PushError::TimedOut) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submission that tolerates backpressure for up to `patience`, then
+    /// times out rather than blocking indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`], [`ServeError::Timeout`], or
+    /// [`ServeError::ShuttingDown`].
+    pub fn submit_timeout(
+        &self,
+        input: Vec<f32>,
+        patience: Duration,
+    ) -> Result<PendingResponse, ServeError> {
+        let request = self.make_request(input)?;
+        let start = Instant::now();
+        match self.queue.push_deadline(request.0, start + patience) {
+            Ok(()) => Ok(request.1),
+            Err(PushError::TimedOut | PushError::Full) => {
+                Err(ServeError::Timeout { waited: start.elapsed() })
+            }
+            Err(PushError::Closed) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    fn make_request(&self, input: Vec<f32>) -> Result<(Request, PendingResponse), ServeError> {
+        if input.len() != self.input_len {
+            return Err(ServeError::BadInput { expected: self.input_len, actual: input.len() });
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        Ok((Request { input, submitted: Instant::now(), reply: tx }, PendingResponse { rx }))
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Graceful shutdown: closes the queue to new work, drains every
+    /// queued request through the workers, and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Compiles one single-threaded kernel per convolution layer, indexed by
+/// layer position (`None` for non-conv layers).
+fn compile_kernels(
+    net: &Network,
+    plan_by_layer: &HashMap<usize, LayerPlan>,
+) -> Result<Vec<Option<CompiledConv>>, spg_error::Error> {
+    net.layers()
+        .iter()
+        .enumerate()
+        .map(|(i, layer)| {
+            let Some(spec) = layer.conv_spec() else { return Ok(None) };
+            let plan =
+                plan_by_layer.get(&i).copied().unwrap_or_else(|| recommended_plan(spec, 0.0, 1));
+            let weights = layer.params().expect("conv layers expose parameters");
+            // cores = 1: each serving worker is one independent
+            // single-threaded pipeline (the GEMM-in-Parallel analogue).
+            let compiled = CompiledConv::compile(*spec, plan, weights, 1)?;
+            Ok(Some(compiled))
+        })
+        .collect()
+}
+
+/// The persistent worker: pop one request, gather a micro-batch until
+/// `max_batch` or `max_delay`, run it, reply, repeat until the queue is
+/// closed and drained.
+fn worker_loop(
+    worker: usize,
+    net: &Network,
+    kernels: Vec<Option<CompiledConv>>,
+    queue: &BoundedQueue<Request>,
+    max_batch: usize,
+    max_delay: Duration,
+) {
+    let label = format!("serve-worker{worker}");
+    let mut scratch = ConvScratch::new();
+    // Ping-pong activation buffers sized for the widest layer boundary.
+    let buf_len = net
+        .layers()
+        .iter()
+        .flat_map(|l| [l.input_len(), l.output_len()])
+        .max()
+        .unwrap_or(net.input_len());
+    let mut cur = vec![0.0f32; buf_len];
+    let mut next = vec![0.0f32; buf_len];
+    let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
+
+    while let Some(first) = queue.pop() {
+        batch.push(first);
+        let deadline = Instant::now() + max_delay;
+        while batch.len() < max_batch {
+            match queue.pop_deadline(deadline) {
+                Some(request) => batch.push(request),
+                None => break,
+            }
+        }
+
+        // One telemetry scope per micro-batch: kernels attribute their
+        // flops to the innermost scope, so this bucket accumulates the
+        // worker's goodput for the whole run.
+        let _scope = spg_telemetry::scope(&label, spg_telemetry::Phase::Forward);
+        let batch_start = Instant::now();
+        let batch_size = batch.len();
+        for request in batch.drain(..) {
+            let class =
+                forward_sample(net, &kernels, &request.input, &mut cur, &mut next, &mut scratch);
+            let latency = request.submitted.elapsed();
+            spg_telemetry::record_latency_ns("serve.request", latency.as_nanos() as u64);
+            let logits = cur[..net.output_len()].to_vec();
+            // A dropped PendingResponse just means the caller stopped
+            // caring; the worker carries on.
+            let _ = request.reply.send(Response { logits, class, latency, worker, batch_size });
+        }
+        spg_telemetry::record_latency_ns("serve.batch", batch_start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Runs one sample through the layer chain, leaving the logits in
+/// `cur[..net.output_len()]` and returning the argmax class (identical
+/// tie-breaking to `Network::predict`: first maximum wins).
+fn forward_sample(
+    net: &Network,
+    kernels: &[Option<CompiledConv>],
+    input: &[f32],
+    cur: &mut Vec<f32>,
+    next: &mut Vec<f32>,
+    scratch: &mut ConvScratch,
+) -> usize {
+    cur[..input.len()].copy_from_slice(input);
+    for (layer, kernel) in net.layers().iter().zip(kernels) {
+        let (in_len, out_len) = (layer.input_len(), layer.output_len());
+        match kernel {
+            Some(compiled) => {
+                compiled.forward_scratch(&cur[..in_len], &mut next[..out_len], scratch)
+            }
+            None => layer.forward(&cur[..in_len], &mut next[..out_len], scratch),
+        }
+        std::mem::swap(cur, next);
+    }
+    let logits = &cur[..net.output_len()];
+    let mut best = 0;
+    for i in 1..logits.len() {
+        if logits[i] > logits[best] {
+            best = i;
+        }
+    }
+    best
+}

@@ -1,0 +1,192 @@
+//! Tier-1 behavioural guarantees of the serving engine: batched serving
+//! is bit-identical to the unbatched forward path for any worker count
+//! and batch size, and a full queue rejects instead of blocking.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spg_convnet::layer::{ConvLayer, FcLayer, ReluLayer};
+use spg_convnet::workspace::Workspace;
+use spg_convnet::{ConvSpec, Network};
+use spg_core::autotune::{Framework, TuningMode};
+use spg_serve::{ServeConfig, ServeError, Server};
+
+/// conv -> relu -> fc classifier over 8x8x2 inputs.
+fn build_network(seed: u64) -> Network {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let spec = ConvSpec::new(2, 8, 8, 4, 3, 3, 1, 1).unwrap();
+    let conv_out = spec.output_shape().len();
+    Network::new(vec![
+        Box::new(ConvLayer::new(spec, &mut rng)),
+        Box::new(ReluLayer::new(conv_out)),
+        Box::new(FcLayer::new(conv_out, 5, &mut rng)),
+    ])
+    .unwrap()
+}
+
+fn sample_input(len: usize, salt: usize) -> Vec<f32> {
+    (0..len).map(|i| (((i * 31 + salt * 17) % 23) as f32 - 11.0) / 7.0).collect()
+}
+
+/// The acceptance-criteria core: for every worker count and batch size,
+/// per-request logits from the batched server are bit-identical to the
+/// single-sample forward pass on the same (tuned) network.
+#[test]
+fn batched_serving_is_bit_identical_to_unbatched_forward() {
+    let mut net = build_network(42);
+    // Plan forward executors exactly as the serving CLI does: cores = 1,
+    // the single-threaded-kernel-per-worker schedule.
+    let framework = Framework::new(1, TuningMode::Heuristic, 1);
+    let plans = framework.plan_network_forward(&mut net);
+    let net = Arc::new(net);
+
+    // Reference logits from the unbatched path.
+    let mut ws = Workspace::for_network(&net);
+    let inputs: Vec<Vec<f32>> = (0..24).map(|s| sample_input(net.input_len(), s)).collect();
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|input| {
+            net.forward_into(input, &mut ws);
+            ws.trace.logits().as_slice().to_vec()
+        })
+        .collect();
+
+    for workers in [1, 2, 4] {
+        for max_batch in [1, 3, 8] {
+            let config = ServeConfig {
+                workers,
+                max_batch,
+                max_delay: Duration::from_millis(1),
+                queue_capacity: 64,
+            };
+            let server = Server::start(Arc::clone(&net), &plans, config).unwrap();
+            let pending: Vec<_> = inputs
+                .iter()
+                .map(|input| {
+                    server
+                        .submit_timeout(input.clone(), Duration::from_secs(10))
+                        .expect("capacity 64 covers 24 requests")
+                })
+                .collect();
+            for (i, p) in pending.into_iter().enumerate() {
+                let response = p.wait().expect("worker alive");
+                assert_eq!(
+                    response.logits, expected[i],
+                    "workers={workers} max_batch={max_batch} request {i}: logits diverged"
+                );
+                assert!(response.batch_size >= 1 && response.batch_size <= max_batch);
+                assert!(response.worker < workers);
+            }
+            server.shutdown();
+        }
+    }
+}
+
+/// Backpressure: a full queue must reject immediately (`try_submit`) and
+/// time out within the deadline (`submit_timeout`) — never block past it.
+#[test]
+fn full_queue_rejects_rather_than_blocking() {
+    let net = Arc::new(build_network(7));
+    // One worker, long batch delay, tiny queue: the worker blocks its
+    // batch window while the queue fills behind it.
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 64,
+        max_delay: Duration::from_secs(2),
+        queue_capacity: 2,
+    };
+    let server = Server::start(Arc::clone(&net), &[], config).unwrap();
+
+    // First request wakes the worker and starts its 2 s gather window;
+    // the rest land in the queue until it is full.
+    let mut pending = Vec::new();
+    let mut rejected = 0;
+    for s in 0..16 {
+        match server.try_submit(sample_input(net.input_len(), s)) {
+            Ok(p) => pending.push(p),
+            Err(ServeError::Rejected { capacity }) => {
+                assert_eq!(capacity, 2);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejected > 0, "16 instant submissions must overflow a 2-slot queue");
+
+    // A deadline-bounded submit on the still-full queue must return
+    // within (roughly) its deadline, not block for the 2 s batch window.
+    let start = Instant::now();
+    let result =
+        server.submit_timeout(sample_input(net.input_len(), 99), Duration::from_millis(50));
+    match result {
+        Err(ServeError::Timeout { waited }) => {
+            assert!(waited >= Duration::from_millis(50));
+            assert!(
+                start.elapsed() < Duration::from_millis(1500),
+                "timed-out submit blocked for {:?}",
+                start.elapsed()
+            );
+        }
+        // The worker may have drained the queue between fills; accepting
+        // is legal — the guarantee under test is only "never block past
+        // the deadline".
+        Ok(p) => drop(p),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+
+    // Graceful shutdown still answers every accepted request.
+    let accepted = pending.len();
+    let answered = pending.into_iter().filter_map(|p| p.wait().ok()).count();
+    assert_eq!(answered, accepted, "accepted requests must be served, not dropped");
+    server.shutdown();
+}
+
+/// Bad inputs fail fast with a typed error instead of reaching a worker.
+#[test]
+fn wrong_length_input_is_rejected_up_front() {
+    let net = Arc::new(build_network(3));
+    let server = Server::start(Arc::clone(&net), &[], ServeConfig::default()).unwrap();
+    match server.try_submit(vec![1.0; 3]) {
+        Err(ServeError::BadInput { expected, actual }) => {
+            assert_eq!(expected, net.input_len());
+            assert_eq!(actual, 3);
+        }
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+}
+
+/// Shutdown drains queued work: every request accepted before shutdown
+/// receives a response.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let net = Arc::new(build_network(5));
+    let config = ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        max_delay: Duration::from_millis(1),
+        queue_capacity: 32,
+    };
+    let server = Server::start(Arc::clone(&net), &[], config).unwrap();
+    let pending: Vec<_> = (0..20)
+        .map(|s| {
+            server
+                .submit_timeout(sample_input(net.input_len(), s), Duration::from_secs(10))
+                .expect("queue has room")
+        })
+        .collect();
+    server.shutdown();
+    for p in pending {
+        p.wait().expect("accepted request served before shutdown completed");
+    }
+}
+
+/// ServeError converts into the unified error type with kind `Serving`
+/// and a walkable source chain.
+#[test]
+fn serve_errors_convert_to_unified_error() {
+    let e: spg_error::Error = ServeError::ShuttingDown.into();
+    assert_eq!(e.kind(), spg_error::ErrorKind::Serving);
+    assert!(std::error::Error::source(&e).is_some());
+}

@@ -36,7 +36,10 @@ mod machine;
 mod predict;
 mod sparse;
 
-pub use endtoend::{cifar10_throughput, training_throughput, Config as EndToEndConfig, LayerCost};
+pub use endtoend::{
+    cifar10_layers, cifar10_throughput, serving_throughput, training_throughput,
+    Config as EndToEndConfig, LayerCost,
+};
 pub use machine::Machine;
 pub use predict::{
     gemm_in_parallel_gflops_per_core, parallel_gemm_gflops_per_core, stencil_gflops_per_core,

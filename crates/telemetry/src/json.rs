@@ -368,6 +368,33 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
             require_number(candidate, &owner, "wall_ns")?;
         }
     }
+
+    // Added in schema minor 2; older documents legitimately omit it.
+    if let Some(latencies) = doc.get("latencies") {
+        let latencies = latencies
+            .as_array()
+            .ok_or_else(|| "document: field `latencies` is not an array".to_string())?;
+        for (i, entry) in latencies.iter().enumerate() {
+            let owner = format!("latencies[{i}]");
+            require_string(entry, &owner, "label")?;
+            for field in ["count", "sum_ns", "min_ns", "max_ns", "p50_ns", "p95_ns", "p99_ns"] {
+                let n = require_number(entry, &owner, field)?;
+                if n < 0.0 {
+                    return Err(format!("{owner}: field `{field}` = {n} is negative"));
+                }
+            }
+            let buckets = entry
+                .get("buckets")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("{owner}: missing array field `buckets`"))?;
+            for (j, bucket) in buckets.iter().enumerate() {
+                match bucket.as_number() {
+                    Some(n) if n >= 0.0 => {}
+                    _ => return Err(format!("{owner}: buckets[{j}] is not a non-negative number")),
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -428,6 +455,24 @@ mod tests {
                             "wall_ns": 5, "useful_flops": 1, "goodput": null,
                             "tile_nnz": 0, "tile_capacity": 0, "tile_occupancy": null}],
                 "decisions": []}"#
+        )
+        .is_err());
+        // Latency entry with a negative count.
+        assert!(validate_metrics(
+            r#"{"schema": "spgcnn-metrics", "schema_version": 1, "meta": {},
+                "scopes": [], "decisions": [],
+                "latencies": [{"label": "serve.request", "count": -1, "sum_ns": 0,
+                               "min_ns": 0, "max_ns": 0, "p50_ns": 0, "p95_ns": 0,
+                               "p99_ns": 0, "buckets": [0]}]}"#
+        )
+        .is_err());
+        // Latency entry missing `buckets`.
+        assert!(validate_metrics(
+            r#"{"schema": "spgcnn-metrics", "schema_version": 1, "meta": {},
+                "scopes": [], "decisions": [],
+                "latencies": [{"label": "serve.request", "count": 1, "sum_ns": 9,
+                               "min_ns": 9, "max_ns": 9, "p50_ns": 9, "p95_ns": 9,
+                               "p99_ns": 9}]}"#
         )
         .is_err());
         // Goodput outside [0, 1].

@@ -49,8 +49,10 @@ pub const SCHEMA_VERSION: u64 = 1;
 
 /// Minor schema version. Bumped when backwards-compatible fields are
 /// added (consumers ignore unknown fields, so older readers keep
-/// working). Minor 1 added the per-scope `workspace_bytes` gauge.
-pub const SCHEMA_VERSION_MINOR: u64 = 1;
+/// working). Minor 1 added the per-scope `workspace_bytes` gauge; minor 2
+/// added the top-level `latencies` histogram array for the serving
+/// engine's per-request latency and per-worker goodput reporting.
+pub const SCHEMA_VERSION_MINOR: u64 = 2;
 
 /// Identifies the JSON document family in the `schema` field.
 pub const SCHEMA_NAME: &str = "spgcnn-metrics";
@@ -126,9 +128,36 @@ pub struct Decision {
     pub candidates: Vec<CandidateTiming>,
 }
 
+/// Number of power-of-two histogram buckets kept per latency label.
+/// Bucket `i` counts samples with `ns` in `[2^i, 2^(i+1))` (bucket 0 also
+/// absorbs 0 ns); 40 buckets span sub-microsecond to ~18 minutes.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Atomic histogram block for one latency label.
+struct LatencyCounters {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyCounters {
+    fn default() -> Self {
+        LatencyCounters {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static REGISTRY: Mutex<BTreeMap<(String, Phase), Arc<PhaseCounters>>> = Mutex::new(BTreeMap::new());
 static DECISIONS: Mutex<Vec<Decision>> = Mutex::new(Vec::new());
+static LATENCIES: Mutex<BTreeMap<String, Arc<LatencyCounters>>> = Mutex::new(BTreeMap::new());
 
 thread_local! {
     /// Innermost-last stack of active scopes on this thread.
@@ -152,6 +181,7 @@ pub fn enabled() -> bool {
 pub fn reset() {
     REGISTRY.lock().expect("telemetry registry poisoned").clear();
     DECISIONS.lock().expect("telemetry decisions poisoned").clear();
+    LATENCIES.lock().expect("telemetry latencies poisoned").clear();
 }
 
 fn counters_for(label: &str, phase: Phase) -> Arc<PhaseCounters> {
@@ -257,6 +287,37 @@ pub fn record_workspace_bytes(bytes: u64) {
     counters.workspace_bytes.fetch_max(bytes, Ordering::Relaxed);
 }
 
+fn latency_counters_for(label: &str) -> Arc<LatencyCounters> {
+    let mut registry = LATENCIES.lock().expect("telemetry latencies poisoned");
+    if let Some(existing) = registry.get(label) {
+        return Arc::clone(existing);
+    }
+    let fresh = Arc::new(LatencyCounters::default());
+    registry.insert(label.to_string(), Arc::clone(&fresh));
+    fresh
+}
+
+/// Index of the power-of-two bucket holding `ns`.
+fn latency_bucket(ns: u64) -> usize {
+    let bits = 64 - ns.leading_zeros() as usize;
+    bits.saturating_sub(1).min(LATENCY_BUCKETS - 1)
+}
+
+/// Records one latency observation (in nanoseconds) into the histogram
+/// for `label` — e.g. `serve.request` for request turnaround or
+/// `serve.batch` for micro-batch processing time. No-op while disabled.
+pub fn record_latency_ns(label: &str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let counters = latency_counters_for(label);
+    counters.count.fetch_add(1, Ordering::Relaxed);
+    counters.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    counters.min_ns.fetch_min(ns, Ordering::Relaxed);
+    counters.max_ns.fetch_max(ns, Ordering::Relaxed);
+    counters.buckets[latency_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+}
+
 /// Logs one autotune decision (no-op while disabled).
 pub fn record_decision(decision: Decision) {
     if !enabled() {
@@ -311,6 +372,59 @@ impl ScopeMetrics {
     }
 }
 
+/// Point-in-time copy of one latency histogram.
+#[derive(Debug, Clone)]
+pub struct LatencyMetrics {
+    /// Histogram label (e.g. `serve.request`).
+    pub label: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, in nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest observation (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Largest observation.
+    pub max_ns: u64,
+    /// Power-of-two bucket counts: bucket `i` holds observations in
+    /// `[2^i, 2^(i+1))` nanoseconds.
+    pub buckets: Vec<u64>,
+}
+
+impl LatencyMetrics {
+    /// Mean observation in nanoseconds, or `None` when empty.
+    pub fn mean_ns(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_ns as f64 / self.count as f64)
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from the histogram: the upper
+    /// bound of the bucket containing the `q`-th observation, clamped to
+    /// the observed maximum. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return Some(upper.min(self.max_ns));
+            }
+        }
+        Some(self.max_ns)
+    }
+}
+
 /// Point-in-time copy of the whole telemetry state.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
@@ -318,12 +432,19 @@ pub struct MetricsSnapshot {
     pub scopes: Vec<ScopeMetrics>,
     /// All autotune decisions, in the order they were taken.
     pub decisions: Vec<Decision>,
+    /// All latency histograms, ordered by label (schema minor 2).
+    pub latencies: Vec<LatencyMetrics>,
 }
 
 impl MetricsSnapshot {
     /// Looks up one bucket by label and phase.
     pub fn scope(&self, label: &str, phase: Phase) -> Option<&ScopeMetrics> {
         self.scopes.iter().find(|s| s.label == label && s.phase == phase)
+    }
+
+    /// Looks up one latency histogram by label.
+    pub fn latency(&self, label: &str) -> Option<&LatencyMetrics> {
+        self.latencies.iter().find(|l| l.label == label)
     }
 
     /// Serializes to the versioned metrics JSON document (see
@@ -403,6 +524,31 @@ impl MetricsSnapshot {
         if !self.decisions.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n");
+        out.push_str("  \"latencies\": [");
+        for (i, lat) in self.latencies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = lat.buckets.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "\n    {{\"label\": {}, \"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+                 \"buckets\": [{}]}}",
+                json::string(&lat.label),
+                lat.count,
+                lat.sum_ns,
+                if lat.count == 0 { 0 } else { lat.min_ns },
+                lat.max_ns,
+                lat.quantile_ns(0.50).unwrap_or(0),
+                lat.quantile_ns(0.95).unwrap_or(0),
+                lat.quantile_ns(0.99).unwrap_or(0),
+                buckets.join(", "),
+            ));
+        }
+        if !self.latencies.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("]\n}\n");
         out
     }
@@ -427,7 +573,23 @@ pub fn snapshot() -> MetricsSnapshot {
         .collect();
     drop(registry);
     let decisions = DECISIONS.lock().expect("telemetry decisions poisoned").clone();
-    MetricsSnapshot { scopes, decisions }
+    let latencies = LATENCIES
+        .lock()
+        .expect("telemetry latencies poisoned")
+        .iter()
+        .map(|(label, counters)| {
+            let count = counters.count.load(Ordering::Relaxed);
+            LatencyMetrics {
+                label: label.clone(),
+                count,
+                sum_ns: counters.sum_ns.load(Ordering::Relaxed),
+                min_ns: if count == 0 { 0 } else { counters.min_ns.load(Ordering::Relaxed) },
+                max_ns: counters.max_ns.load(Ordering::Relaxed),
+                buckets: counters.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            }
+        })
+        .collect();
+    MetricsSnapshot { scopes, decisions, latencies }
 }
 
 #[cfg(test)]
@@ -528,6 +690,52 @@ mod tests {
         let snap = snapshot();
         let metrics = snap.scope("conv1", Phase::Forward).expect("bucket");
         assert_eq!(metrics.workspace_bytes, 16384);
+    }
+
+    #[test]
+    fn latency_histogram_tracks_quantiles() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        // 90 fast observations and 10 slow ones: p50 lands in the fast
+        // bucket, p99 in the slow one.
+        for _ in 0..90 {
+            record_latency_ns("serve.request", 1_000);
+        }
+        for _ in 0..10 {
+            record_latency_ns("serve.request", 1_000_000);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let lat = snap.latency("serve.request").expect("histogram exists");
+        assert_eq!(lat.count, 100);
+        assert_eq!(lat.min_ns, 1_000);
+        assert_eq!(lat.max_ns, 1_000_000);
+        assert_eq!(lat.mean_ns(), Some((90.0 * 1_000.0 + 10.0 * 1_000_000.0) / 100.0));
+        let p50 = lat.quantile_ns(0.50).unwrap();
+        let p99 = lat.quantile_ns(0.99).unwrap();
+        assert!(p50 < 2_048, "p50 {p50} should sit in the 1 us bucket");
+        assert!(p99 >= 524_288, "p99 {p99} should sit in the 1 ms bucket");
+        assert_eq!(lat.buckets.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn latency_disabled_records_nothing() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(false);
+        record_latency_ns("off", 42);
+        assert!(snapshot().latency("off").is_none());
+    }
+
+    #[test]
+    fn latency_bucket_indexing_is_monotone() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 1);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Quickstart: declare a CNN in the text format, let the spg-CNN
-//! framework plan each convolution layer, and train it on a synthetic
-//! dataset while watching the error-gradient sparsity the sparse kernels
-//! exploit.
+//! Quickstart: declare a CNN in the text format, hand it to the unified
+//! [`Engine`] facade, and train it on a synthetic dataset while watching
+//! the error-gradient sparsity the sparse kernels exploit. The Engine
+//! owns the planner/trainer/workspace plumbing; application code never
+//! touches executors or scratch buffers.
 //!
 //! Run with:
 //!
@@ -9,11 +10,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use std::sync::Arc;
+
 use spg_cnn::convnet::data::Dataset;
-use spg_cnn::convnet::{Trainer, TrainerConfig};
+use spg_cnn::convnet::{Engine, TrainerConfig};
 use spg_cnn::core::autotune::{Framework, TuningMode};
 use spg_cnn::core::config::NetworkDescription;
-use spg_cnn::tensor::Shape3;
+use spg_cnn::tensor::{Shape3, Tensor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the network (the paper ingests an equivalent Protocol
@@ -28,31 +31,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fc    { outputs: 4 }
         "#,
     )?;
-    let mut net = description.build(42)?;
+    let net = description.build(42)?;
     println!("built `{}`: {net:?}", description.name);
 
-    // 2. Let the framework pick a technique per layer and phase. With 8
-    //    output features this lands in Region 4/5: stencil forward, and
-    //    sparse backward once gradients sparsify.
-    let framework = Framework::new(16, TuningMode::Heuristic, 2);
-    for (layer, plan) in framework.plan_network(&mut net, 0.85) {
-        println!("layer {layer}: {plan}");
-    }
+    // 2. Build the Engine: the autotuner Framework is injected as the
+    //    planner, so executor planning (and the Sec. 4.4 sparsity-drift
+    //    retuning between epochs) happens inside `Engine::train`.
+    let planner = Arc::new(Framework::new(16, TuningMode::Heuristic, 2));
+    let mut engine = Engine::builder()
+        .network(net)
+        .planner(planner)
+        .trainer(TrainerConfig {
+            epochs: 6,
+            learning_rate: 0.08,
+            batch_size: 8,
+            sample_threads: 1,
+            momentum: 0.0,
+            shuffle_seed: 1,
+        })
+        .build()?;
 
-    // 3. Train on a synthetic dataset, re-tuning backward plans as the
-    //    measured gradient sparsity drifts (Sec. 4.4).
+    // 3. Train on a synthetic dataset.
     let mut data = Dataset::synthetic(Shape3::new(1, 16, 16), 4, 64, 0.15, 7);
-    let trainer = Trainer::new(TrainerConfig {
-        epochs: 6,
-        learning_rate: 0.08,
-        batch_size: 8,
-        sample_threads: 1,
-        momentum: 0.0,
-        shuffle_seed: 1,
-    });
-    let stats = trainer.train_with(&mut net, &mut data, |net, epoch| {
-        framework.retune(net, epoch);
-    });
+    let stats = engine.train(&mut data);
 
     println!("\nepoch  loss    accuracy  conv-grad sparsity");
     for s in &stats {
@@ -65,5 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let last = stats.last().expect("at least one epoch");
     assert!(last.mean_loss < stats[0].mean_loss, "training should reduce the loss");
     println!("\ntrained: loss {:.3} -> {:.3}", stats[0].mean_loss, last.mean_loss);
+
+    // 4. Classify with the same Engine (whole samples per worker —
+    //    inference under GEMM-in-Parallel).
+    let inputs: Vec<Tensor> = (0..data.len()).map(|i| data.image(i).clone()).collect();
+    let classes = engine.infer(&inputs);
+    let correct = classes.iter().enumerate().filter(|&(i, &c)| c == data.label(i)).count();
+    println!("inference on the training set: {correct}/{} correct", data.len());
     Ok(())
 }

@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use spg_cnn::convnet::workspace::ConvScratch;
 use spg_cnn::convnet::{gemm_exec, reference, ConvSpec};
 use spg_cnn::core::sparse::kernel as sparse;
 use spg_cnn::core::sparse::DEFAULT_TILE_WIDTH;
@@ -36,41 +37,48 @@ fn main() {
         "{:>8}  {:>12} {:>12} {:>9}  {:>10} {:>10}",
         "sparsity", "dense (ms)", "sparse (ms)", "speedup", "thru GF", "goodput GF"
     );
+    // One warm scratch reused across every timed call, exactly like the
+    // training and serving loops (the allocation-free path).
+    let mut scratch = ConvScratch::new();
     for sparsity in [0.0, 0.5, 0.75, 0.9, 0.97] {
         let ops = conv_operands(&spec, sparsity, 0xabc);
         let mut grad_in = vec![0.0f32; spec.input_shape().len()];
         let mut grad_w = vec![0.0f32; spec.weight_shape().len()];
 
         let dense_secs = time(3, || {
-            gemm_exec::backward_data(
+            gemm_exec::backward_data_scratch(
                 &spec,
                 ops.weights.as_slice(),
                 ops.grad_out.as_slice(),
                 &mut grad_in,
                 1,
+                &mut scratch,
             );
-            gemm_exec::backward_weights(
+            gemm_exec::backward_weights_scratch(
                 &spec,
                 ops.input.as_slice(),
                 ops.grad_out.as_slice(),
                 &mut grad_w,
                 1,
+                &mut scratch,
             );
         });
         let sparse_secs = time(3, || {
-            sparse::backward_data(
+            sparse::backward_data_scratch(
                 &spec,
                 ops.weights.as_slice(),
                 ops.grad_out.as_slice(),
                 &mut grad_in,
                 DEFAULT_TILE_WIDTH,
+                &mut scratch,
             );
-            sparse::backward_weights(
+            sparse::backward_weights_scratch(
                 &spec,
                 ops.input.as_slice(),
                 ops.grad_out.as_slice(),
                 &mut grad_w,
                 DEFAULT_TILE_WIDTH,
+                &mut scratch,
             );
         });
 

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Regenerate api-surface.txt, the checked-in snapshot of the workspace's
+# public API surface that tests/api_surface.rs diffs against (and CI
+# enforces). Run after an intentional API change and commit the result.
+set -eu
+cd "$(dirname "$0")/.."
+BLESS=1 cargo test -q --test api_surface
+echo "api-surface.txt regenerated"
