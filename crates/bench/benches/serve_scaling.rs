@@ -56,6 +56,7 @@ fn main() {
             max_batch: 8,
             max_delay: Duration::from_millis(1),
             queue_capacity: requests,
+            ..ServeConfig::default()
         };
         let server = Server::start(Arc::clone(&net), &plans, config).expect("valid network");
         let started = Instant::now();

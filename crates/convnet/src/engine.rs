@@ -141,6 +141,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Arms a deterministic fault-injection plan for the training pool
+    /// (testing/ops drills). Inert unless the workspace is built with the
+    /// `fault-injection` feature.
+    pub fn fault_plan(mut self, plan: spg_sync::FaultPlan) -> Self {
+        self.trainer.fault_plan = Some(plan);
+        self
+    }
+
     /// Seed for weight initialization when building from a spec.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -271,15 +279,38 @@ impl Engine {
 
     /// Trains on `data` with the configured trainer, planning executors
     /// first and retuning between epochs when a planner is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker crashes and its restart budget is
+    /// exhausted; use [`Engine::try_train`] to receive that fault as a
+    /// typed error instead.
     pub fn train(&mut self, data: &mut Dataset) -> Vec<EpochStats> {
+        match self.try_train(data) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Engine::train`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::Training`] when a pool worker panicked and the
+    /// supervisor's restart budget was already spent, so the run could not
+    /// complete. The trained epochs before the fault are discarded — the
+    /// network weights reflect every batch applied before the failing one.
+    pub fn try_train(&mut self, data: &mut Dataset) -> Result<Vec<EpochStats>, Error> {
         self.tune(0.0);
         let trainer = Trainer::new(self.trainer.clone());
         let planner = self.planner.clone();
-        trainer.train_with(&mut self.net, data, |net, stats| {
-            if let Some(planner) = &planner {
-                planner.retune(net, stats);
-            }
-        })
+        trainer
+            .try_train_with(&mut self.net, data, |net, stats| {
+                if let Some(planner) = &planner {
+                    planner.retune(net, stats);
+                }
+            })
+            .map_err(Error::from)
     }
 
     /// Classifies a batch of samples across the configured worker count

@@ -60,6 +60,44 @@ impl fmt::Display for ConvError {
 
 impl Error for ConvError {}
 
+/// Error type for a supervised training run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// A pool worker panicked and the supervisor's restart budget was
+    /// already spent, so the epoch could not complete.
+    WorkerFault {
+        /// Index of the worker that crashed.
+        worker: usize,
+        /// 1-based epoch the fault occurred in.
+        epoch: usize,
+        /// 0-based batch within the epoch.
+        batch: usize,
+        /// The panic message, best effort.
+        message: String,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::WorkerFault { worker, epoch, batch, message } => write!(
+                f,
+                "training worker {worker} crashed in epoch {epoch}, batch {batch}, \
+                 with restart budget exhausted: {message}"
+            ),
+        }
+    }
+}
+
+impl Error for TrainError {}
+
+impl From<TrainError> for spg_error::Error {
+    fn from(e: TrainError) -> Self {
+        spg_error::Error::with_source(spg_error::ErrorKind::Training, e.to_string(), e)
+    }
+}
+
 impl From<ConvError> for spg_error::Error {
     fn from(e: ConvError) -> Self {
         let kind = match e {
@@ -88,5 +126,16 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ConvError>();
+        assert_send_sync::<TrainError>();
+    }
+
+    #[test]
+    fn train_error_converts_to_unified_error() {
+        let e =
+            TrainError::WorkerFault { worker: 2, epoch: 1, batch: 4, message: "boom".to_string() };
+        assert!(e.to_string().contains("worker 2"));
+        let unified: spg_error::Error = e.into();
+        assert_eq!(unified.kind(), spg_error::ErrorKind::Training);
+        assert!(std::error::Error::source(&unified).is_some());
     }
 }

@@ -50,7 +50,7 @@ pub mod unfold;
 pub mod workspace;
 
 pub use engine::{Engine, EngineBuilder, NetworkPlanner};
-pub use error::ConvError;
+pub use error::{ConvError, TrainError};
 pub use net::{scope_label, LayerGradients, Network, SampleTrace};
 pub use sgd::{EpochStats, Trainer, TrainerConfig};
 pub use spec::ConvSpec;

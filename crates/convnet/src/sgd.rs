@@ -11,14 +11,25 @@
 //! ever processes. Sample `j` of a batch always goes to worker
 //! `j % workers` and results are merged in exact sample order, so the
 //! f32 gradient accumulation is bit-identical for every worker count.
+//!
+//! The pool is *supervised*: each worker runs every sample inside
+//! [`std::panic::catch_unwind`], so a panicking kernel reports a fault
+//! instead of poisoning the shared locks. The main thread respawns the
+//! crashed worker with a fresh [`Workspace`], replays the lost samples in
+//! order (preserving bit-identical merges), and only fails the run with a
+//! typed [`TrainError::WorkerFault`] once
+//! [`TrainerConfig::restart_budget`] is spent.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::RwLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use spg_sync::{FaultInjector, FaultPlan};
 use spg_tensor::Tensor;
 
 use crate::data::Dataset;
+use crate::error::TrainError;
 use crate::net::Network;
 use crate::workspace::Workspace;
 
@@ -39,6 +50,17 @@ pub struct TrainerConfig {
     pub sample_threads: usize,
     /// Seed for per-epoch dataset shuffling.
     pub shuffle_seed: u64,
+    /// How many times a crashed pool worker is respawned (with a fresh
+    /// [`Workspace`]) before the run fails with
+    /// [`TrainError::WorkerFault`]. Per worker slot, not global.
+    pub restart_budget: usize,
+    /// Base delay before the first respawn; doubles per consecutive
+    /// restart of the same worker (capped at one second).
+    pub restart_backoff: Duration,
+    /// Deterministic fault to inject for supervision testing. Inert
+    /// unless the `fault-injection` cargo feature is enabled; forces the
+    /// pooled path even when `sample_threads == 1`.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for TrainerConfig {
@@ -50,6 +72,9 @@ impl Default for TrainerConfig {
             batch_size: 8,
             sample_threads: 1,
             shuffle_seed: 0x5b9c,
+            restart_budget: 2,
+            restart_backoff: Duration::from_millis(1),
+            fault_plan: None,
         }
     }
 }
@@ -118,12 +143,38 @@ impl Trainer {
     }
 
     /// Trains the network, returning one [`EpochStats`] per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker crashes past its restart budget; use
+    /// [`try_train`](Self::try_train) for a typed error instead.
     pub fn train(&self, net: &mut Network, data: &mut Dataset) -> Vec<EpochStats> {
         self.train_with(net, data, |_, _| {})
     }
 
+    /// Fallible [`train`](Self::train): a pool worker crashing past the
+    /// restart budget surfaces as [`TrainError::WorkerFault`] instead of
+    /// a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::WorkerFault`] when a worker panicked and the
+    /// supervisor's restart budget was already spent.
+    pub fn try_train(
+        &self,
+        net: &mut Network,
+        data: &mut Dataset,
+    ) -> Result<Vec<EpochStats>, TrainError> {
+        self.try_train_with(net, data, |_, _| {})
+    }
+
     /// Trains with a per-epoch callback (used by the autotuner to re-plan
     /// backward executors as gradient sparsity drifts, Sec. 4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker crashes past its restart budget; use
+    /// [`try_train_with`](Self::try_train_with) for a typed error.
     pub fn train_with<F>(
         &self,
         net: &mut Network,
@@ -133,8 +184,32 @@ impl Trainer {
     where
         F: FnMut(&mut Network, &EpochStats),
     {
-        if self.config.sample_threads == 1 {
-            self.train_inline(net, data, after_epoch)
+        match self.try_train_with(net, data, after_epoch) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`train_with`](Self::train_with).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::WorkerFault`] when a worker panicked and the
+    /// supervisor's restart budget was already spent.
+    pub fn try_train_with<F>(
+        &self,
+        net: &mut Network,
+        data: &mut Dataset,
+        after_epoch: F,
+    ) -> Result<Vec<EpochStats>, TrainError>
+    where
+        F: FnMut(&mut Network, &EpochStats),
+    {
+        // The supervision machinery (and with it fault injection) lives
+        // in the pooled path; a configured fault plan forces it so that
+        // `--inject-fault` is never a silent no-op at one thread.
+        if self.config.sample_threads == 1 && self.config.fault_plan.is_none() {
+            Ok(self.train_inline(net, data, after_epoch))
         } else {
             self.train_pooled(net, data, after_epoch)
         }
@@ -187,12 +262,18 @@ impl Trainer {
     /// each owning one [`Workspace`]. Jobs carry recycled [`SampleResult`]
     /// buffers out and back, so the steady-state loop is allocation-free
     /// end to end.
+    ///
+    /// The main thread is the supervisor: a worker that panics sends a
+    /// fault message (its sample's position in the in-order merge) and
+    /// exits; the supervisor respawns the slot with a fresh [`Workspace`],
+    /// replays the lost samples in order, and charges the slot's restart
+    /// budget.
     fn train_pooled<F>(
         &self,
         net: &mut Network,
         data: &mut Dataset,
         mut after_epoch: F,
-    ) -> Vec<EpochStats>
+    ) -> Result<Vec<EpochStats>, TrainError>
     where
         F: FnMut(&mut Network, &EpochStats),
     {
@@ -204,49 +285,78 @@ impl Trainer {
         let mut free: Vec<SampleResult> = (0..self.config.batch_size.max(workers))
             .map(|_| SampleResult::for_network(net))
             .collect();
+        let injector = FaultInjector::new(self.config.fault_plan);
 
         // Workers read the network and dataset through RwLocks; the main
         // thread takes the write side only between batches (applying
-        // updates / reshuffling), when no jobs are outstanding.
+        // updates / reshuffling), when no jobs are outstanding. All lock
+        // acquisition recovers from poisoning: a worker panic is confined
+        // by catch_unwind while only read guards are held, and read-side
+        // guards never leave the data mid-update.
         let net_lock = RwLock::new(net);
         let data_lock = RwLock::new(data);
 
         std::thread::scope(|scope| {
-            let mut job_txs = Vec::with_capacity(workers);
-            let mut result_rxs = Vec::with_capacity(workers);
-            for _ in 0..workers {
+            // Spawns one worker incarnation for slot `w`; re-invoked by
+            // the supervisor with a disarmed injector after a fault.
+            let spawn_worker = |w: usize, injector: FaultInjector| {
                 let (job_tx, job_rx) = mpsc::channel::<(usize, SampleResult)>();
-                let (result_tx, result_rx) = mpsc::channel::<SampleResult>();
-                job_txs.push(job_tx);
-                result_rxs.push(result_rx);
+                let (result_tx, result_rx) = mpsc::channel::<Result<SampleResult, String>>();
                 let net_lock = &net_lock;
                 let data_lock = &data_lock;
                 scope.spawn(move || {
                     let mut ws = {
-                        let net = net_lock.read().expect("network lock poisoned");
+                        let net = spg_sync::read(net_lock);
                         Workspace::for_network(&net)
                     };
+                    let mut jobs_done: u64 = 0;
                     // Blocked on recv the worker holds no locks; it exits
-                    // when the main thread drops its job sender.
+                    // when the main thread drops its job sender, or after
+                    // reporting a fault.
                     while let Ok((i, mut slot)) = job_rx.recv() {
-                        {
-                            let net = net_lock.read().expect("network lock poisoned");
-                            let data = data_lock.read().expect("dataset lock poisoned");
+                        jobs_done += 1;
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            injector.check(w, jobs_done);
+                            let net = spg_sync::read(net_lock);
+                            let data = spg_sync::read(data_lock);
                             let (loss, correct) = process_sample(&net, &data, i, &mut ws);
                             slot.capture(&ws, loss, correct);
-                        }
-                        if result_tx.send(slot).is_err() {
-                            break;
+                        }));
+                        match outcome {
+                            Ok(()) => {
+                                if result_tx.send(Ok(slot)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(payload) => {
+                                // The workspace may be mid-update: report
+                                // the fault (in order, as this sample's
+                                // result) and exit so the supervisor can
+                                // respawn a clean incarnation.
+                                let _ =
+                                    result_tx.send(Err(spg_sync::panic_message(payload.as_ref())));
+                                break;
+                            }
                         }
                     }
                 });
+                (job_tx, result_rx)
+            };
+
+            let mut job_txs = Vec::with_capacity(workers);
+            let mut result_rxs = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let (job_tx, result_rx) = spawn_worker(w, injector.clone());
+                job_txs.push(job_tx);
+                result_rxs.push(result_rx);
             }
+            let mut restarts_used = vec![0usize; workers];
 
             let mut all_stats = Vec::with_capacity(self.config.epochs);
             for epoch in 1..=self.config.epochs {
                 let _telemetry = spg_telemetry::scope("trainer", spg_telemetry::Phase::Other);
                 let data_len = {
-                    let mut data = data_lock.write().expect("dataset lock poisoned");
+                    let mut data = spg_sync::write(&data_lock);
                     data.shuffle(self.config.shuffle_seed.wrapping_add(epoch as u64));
                     data.len()
                 };
@@ -254,39 +364,101 @@ impl Trainer {
                 let mut epoch_acc = EpochAcc::new(conv_layers.len());
 
                 let indices: Vec<usize> = (0..data_len).collect();
-                for batch in indices.chunks(self.config.batch_size) {
+                for (batch_no, batch) in indices.chunks(self.config.batch_size).enumerate() {
                     acc.reset();
-                    // Sample j -> worker j % workers, round-robin.
+                    // Sample j -> worker j % workers, round-robin. A send
+                    // only fails when the worker already crashed; its
+                    // pending fault is handled (and the lost jobs are
+                    // replayed) in the merge loop below.
                     for (j, &i) in batch.iter().enumerate() {
                         let slot = free.pop().unwrap_or_else(|| {
-                            let net = net_lock.read().expect("network lock poisoned");
+                            let net = spg_sync::read(&net_lock);
                             SampleResult::for_network(&net)
                         });
-                        job_txs[j % workers].send((i, slot)).expect("worker died");
+                        let _ = job_txs[j % workers].send((i, slot));
                     }
                     // Receive in sample order: worker j % workers returns
                     // its results FIFO, so this merge order — and with it
                     // the f32 accumulation — is identical to the inline
-                    // path regardless of worker count.
-                    for j in 0..batch.len() {
-                        let r = result_rxs[j % workers].recv().expect("worker died");
-                        acc.absorb(
-                            r.loss,
-                            r.correct,
-                            &r.param_grads,
-                            &r.grad_sparsity,
-                            &conv_layers,
-                        );
-                        free.push(r);
+                    // path regardless of worker count, fault or no fault.
+                    let mut j = 0;
+                    while j < batch.len() {
+                        let w = j % workers;
+                        match result_rxs[w].recv() {
+                            Ok(Ok(r)) => {
+                                acc.absorb(
+                                    r.loss,
+                                    r.correct,
+                                    &r.param_grads,
+                                    &r.grad_sparsity,
+                                    &conv_layers,
+                                );
+                                free.push(r);
+                                j += 1;
+                            }
+                            fault => {
+                                // Worker w crashed on sample j (faults are
+                                // reported in-order as that sample's
+                                // result) or died without reporting.
+                                let message = match fault {
+                                    Ok(Err(message)) => message,
+                                    _ => "training worker disconnected".to_string(),
+                                };
+                                spg_telemetry::record_counter("train.faulted_samples", 1);
+                                if restarts_used[w] >= self.config.restart_budget {
+                                    // Returning drops the job senders, so
+                                    // the surviving workers exit before
+                                    // the scope joins them: no deadlock.
+                                    return Err(TrainError::WorkerFault {
+                                        worker: w,
+                                        epoch,
+                                        batch: batch_no,
+                                        message,
+                                    });
+                                }
+                                restarts_used[w] += 1;
+                                spg_telemetry::record_counter("train.worker_restarts", 1);
+                                let backoff = spg_sync::backoff_delay(
+                                    self.config.restart_backoff,
+                                    restarts_used[w],
+                                );
+                                if !backoff.is_zero() {
+                                    std::thread::sleep(backoff);
+                                }
+                                // Respawn with a disarmed injector: the
+                                // one-shot plan must not re-trip on the
+                                // replayed samples. Real deterministic
+                                // panics re-fire on replay and burn down
+                                // the budget to a typed error.
+                                let (job_tx, result_rx) =
+                                    spawn_worker(w, FaultInjector::disarmed());
+                                job_txs[w] = job_tx;
+                                result_rxs[w] = result_rx;
+                                // Replay the faulted sample and every
+                                // later sample of this batch owned by the
+                                // slot — those jobs died with the old
+                                // channel. Replay preserves order, so the
+                                // merge stays bit-identical.
+                                for (j2, &i2) in batch.iter().enumerate().skip(j) {
+                                    if j2 % workers == w {
+                                        let slot = free.pop().unwrap_or_else(|| {
+                                            let net = spg_sync::read(&net_lock);
+                                            SampleResult::for_network(&net)
+                                        });
+                                        let _ = job_txs[w].send((i2, slot));
+                                    }
+                                }
+                            }
+                        }
                     }
                     epoch_acc.absorb(&acc, batch.len());
-                    let mut net = net_lock.write().expect("network lock poisoned");
+                    let mut net = spg_sync::write(&net_lock);
                     self.apply_batch(&mut net, &mut velocity, &acc, batch.len());
                 }
 
                 let stats = epoch_acc.into_stats(epoch, data_len, start.elapsed().as_secs_f64());
                 {
-                    let mut net = net_lock.write().expect("network lock poisoned");
+                    let mut net = spg_sync::write(&net_lock);
                     after_epoch(&mut net, &stats);
                 }
                 all_stats.push(stats);
@@ -294,7 +466,7 @@ impl Trainer {
             // Dropping the job senders ends the workers before the scope
             // joins them.
             drop(job_txs);
-            all_stats
+            Ok(all_stats)
         })
     }
 

@@ -278,7 +278,10 @@ impl Framework {
     /// executor using that layer's measured gradient sparsity from the
     /// epoch statistics (forward plans do not depend on sparsity).
     pub fn retune(&self, net: &mut Network, stats: &EpochStats) {
-        if !stats.epoch.is_multiple_of(self.retune_every) {
+        // Epochs are 1-based; 0 is a synthetic "before training" value
+        // some callers pass, and `0.is_multiple_of(n)` holds for every n,
+        // which used to trigger a spurious re-plan before the first batch.
+        if stats.epoch == 0 || !stats.epoch.is_multiple_of(self.retune_every) {
             return;
         }
         let mut conv_idx = 0;
@@ -376,6 +379,39 @@ mod tests {
         fw.retune(&mut net, &stats(2, 0.95));
         let bwd = net.layers_mut()[0].as_conv_mut().unwrap().executor_names().1;
         assert_eq!(bwd, "sparse-bp");
+    }
+
+    #[test]
+    fn retune_ignores_synthetic_epoch_zero() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let spec = small_spec();
+        let conv = ConvLayer::new(spec, &mut rng);
+        let olen = spec.output_shape().len();
+        let mut net = Network::new(vec![Box::new(conv), Box::new(ReluLayer::new(olen))]).unwrap();
+        // Measured mode records a tuning decision per re-planned phase, so
+        // the decision log doubles as evidence of whether retune ran.
+        let fw = Framework::new(1, TuningMode::Measured { reps: 1 }, 2);
+        spg_telemetry::set_enabled(true);
+        let stats = |epoch| EpochStats {
+            epoch,
+            mean_loss: 1.0,
+            accuracy: 0.5,
+            conv_grad_sparsity: vec![0.95],
+            images_per_sec: 1.0,
+        };
+        // Retune scopes each layer, so its decisions carry the layer label.
+        let label = spg_convnet::scope_label(0, net.layers_mut()[0].name());
+        let logged = |label: &str| {
+            spg_telemetry::snapshot().decisions.iter().filter(|d| d.label == label).count()
+        };
+        let before = logged(&label);
+        // 0 is a multiple of every interval; before the guard this logged
+        // a spurious pre-training re-plan.
+        fw.retune(&mut net, &stats(0));
+        assert_eq!(logged(&label), before, "epoch 0 must not re-plan");
+        // Positive control: a real on-interval epoch does re-plan.
+        fw.retune(&mut net, &stats(2));
+        assert!(logged(&label) > before, "epoch 2 re-plans and logs its decision");
     }
 
     #[test]

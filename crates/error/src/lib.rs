@@ -48,6 +48,9 @@ pub enum ErrorKind {
     Tuning,
     /// The serving engine rejected or failed a request.
     Serving,
+    /// A training run failed (e.g. a worker crashed past its restart
+    /// budget).
+    Training,
     /// An I/O operation failed (weight files, metrics documents).
     Io,
     /// Anything not covered by a more specific kind.
@@ -64,6 +67,7 @@ impl ErrorKind {
             ErrorKind::Gemm => "gemm",
             ErrorKind::Tuning => "tuning",
             ErrorKind::Serving => "serving",
+            ErrorKind::Training => "training",
             ErrorKind::Io => "io",
             ErrorKind::Other => "other",
         }

@@ -117,7 +117,7 @@ pub fn gemm_in_parallel_into(
                 if i >= jobs.len() {
                     break;
                 }
-                let mut out = slots[i].lock().expect("result slot poisoned");
+                let mut out = spg_sync::lock(&slots[i]);
                 run_job(&jobs[i], &mut out);
             });
         }

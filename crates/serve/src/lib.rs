@@ -23,6 +23,14 @@
 //! worker's kernel flops accumulate under its `serve-worker{i}` scope,
 //! giving per-worker goodput in the metrics document.
 //!
+//! Workers are *supervised*: a panic inside a micro-batch fails only that
+//! batch (its requests get [`ServeError::WorkerFault`]) and the worker is
+//! respawned with fresh warm state up to a configurable restart budget —
+//! see the [`server`](ServeConfig) docs and the `fault-injection` cargo
+//! feature for the deterministic crash-testing harness. The
+//! `serve.worker_restarts` / `serve.faulted_batches` counters surface the
+//! pool's fault history in the metrics document.
+//!
 //! # Example
 //!
 //! ```
@@ -50,3 +58,4 @@ mod server;
 
 pub use queue::{BoundedQueue, PushError};
 pub use server::{PendingResponse, Response, ServeConfig, ServeError, Server};
+pub use spg_sync::{FaultInjector, FaultPlan, ANY_WORKER};

@@ -5,6 +5,14 @@
 //! a full queue rejects (or times out) instead of buffering unbounded
 //! work, which is what turns overload into fast, typed feedback rather
 //! than silently growing latency.
+//!
+//! All lock acquisition goes through [`spg_sync`]'s poison-recovering
+//! helpers: a worker that panics mid-batch (the supervisor catches it at
+//! the batch boundary) must not take the queue — and with it every other
+//! worker and submitter — down via `Mutex` poisoning. Queue state is
+//! updated atomically under the guard (a `VecDeque` push/pop either
+//! happened or it didn't), so a recovered guard always sees a consistent
+//! queue.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -60,12 +68,12 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        spg_sync::lock(&self.state).items.len()
     }
 
-    /// Whether the queue is currently empty.
+    /// Whether the queue is currently empty (single lock acquisition).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        spg_sync::lock(&self.state).items.is_empty()
     }
 
     /// Non-blocking push: errors immediately when full or closed.
@@ -75,7 +83,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`close`](Self::close).
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = spg_sync::lock(&self.state);
         if state.closed {
             return Err(PushError::Closed);
         }
@@ -95,7 +103,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::TimedOut`] when the deadline passes while the queue
     /// is still full, [`PushError::Closed`] if it closes while waiting.
     pub fn push_deadline(&self, item: T, deadline: Instant) -> Result<(), PushError> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = spg_sync::lock(&self.state);
         loop {
             if state.closed {
                 return Err(PushError::Closed);
@@ -111,10 +119,9 @@ impl<T> BoundedQueue<T> {
             else {
                 return Err(PushError::TimedOut);
             };
-            let (guard, timeout) =
-                self.not_full.wait_timeout(state, remaining).expect("queue poisoned");
+            let (guard, timed_out) = spg_sync::wait_timeout(&self.not_full, state, remaining);
             state = guard;
-            if timeout.timed_out() && state.items.len() >= self.capacity {
+            if timed_out && state.items.len() >= self.capacity {
                 return Err(PushError::TimedOut);
             }
         }
@@ -123,7 +130,7 @@ impl<T> BoundedQueue<T> {
     /// Blocking pop. Returns `None` only once the queue is closed *and*
     /// drained — in-flight work is always completed before shutdown.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = spg_sync::lock(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -133,13 +140,13 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = spg_sync::wait(&self.not_empty, state);
         }
     }
 
     /// Non-blocking pop of one item, if any is immediately available.
     pub fn try_pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = spg_sync::lock(&self.state);
         let item = state.items.pop_front();
         if item.is_some() {
             drop(state);
@@ -151,7 +158,7 @@ impl<T> BoundedQueue<T> {
     /// Pops one item, waiting at most until `deadline`. Returns `None` on
     /// deadline expiry or on closed-and-drained.
     pub fn pop_deadline(&self, deadline: Instant) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = spg_sync::lock(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -163,7 +170,7 @@ impl<T> BoundedQueue<T> {
             }
             let now = Instant::now();
             let remaining = deadline.checked_duration_since(now).filter(|d| !d.is_zero())?;
-            let (guard, _) = self.not_empty.wait_timeout(state, remaining).expect("queue poisoned");
+            let (guard, _) = spg_sync::wait_timeout(&self.not_empty, state, remaining);
             state = guard;
         }
     }
@@ -171,14 +178,14 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: new pushes fail, pops drain what remains and
     /// then return `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        spg_sync::lock(&self.state).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     /// Whether [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue poisoned").closed
+        spg_sync::lock(&self.state).closed
     }
 }
 

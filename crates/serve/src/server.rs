@@ -6,8 +6,22 @@
 //! single-threaded kernels — the serving analogue of GEMM-in-Parallel:
 //! instead of one multi-threaded kernel per request, many independent
 //! single-threaded pipelines preserve per-core arithmetic intensity.
+//!
+//! # Fault isolation & supervision
+//!
+//! Each worker thread is its own supervisor. The inner worker loop runs
+//! every micro-batch inside [`std::panic::catch_unwind`]: a panicking
+//! kernel fails only that batch — its requests get a typed
+//! [`ServeError::WorkerFault`] reply — and the supervisor respawns the
+//! worker with freshly compiled kernels and a fresh warm [`ConvScratch`],
+//! up to [`ServeConfig::restart_budget`] restarts with exponential
+//! backoff. Lock handling everywhere in this crate recovers from
+//! poisoning (see [`spg_sync`]), so one crash never cascades into
+//! process-wide aborts.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -16,6 +30,7 @@ use spg_convnet::workspace::ConvScratch;
 use spg_convnet::Network;
 use spg_core::compiled::CompiledConv;
 use spg_core::schedule::{recommended_plan, LayerPlan};
+use spg_sync::{FaultInjector, FaultPlan};
 
 use crate::queue::{BoundedQueue, PushError};
 
@@ -27,10 +42,19 @@ pub struct ServeConfig {
     /// Maximum requests per micro-batch.
     pub max_batch: usize,
     /// How long a worker waits to fill a micro-batch after its first
-    /// request arrives.
+    /// request arrives. `0` serves every request in its own batch.
     pub max_delay: Duration,
     /// Bounded request-queue capacity; pushes beyond it are rejected.
     pub queue_capacity: usize,
+    /// How many times a crashed worker is respawned before its thread
+    /// retires. The budget is per worker slot, not global.
+    pub restart_budget: usize,
+    /// Base delay before the first respawn; doubles per consecutive
+    /// restart of the same worker (capped at one second).
+    pub restart_backoff: Duration,
+    /// Deterministic fault to inject for supervision testing. Inert
+    /// unless the `fault-injection` cargo feature is enabled.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -40,6 +64,9 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_delay: Duration::from_millis(2),
             queue_capacity: 64,
+            restart_budget: 3,
+            restart_backoff: Duration::from_millis(5),
+            fault_plan: None,
         }
     }
 }
@@ -70,6 +97,17 @@ pub enum ServeError {
     /// The worker processing the request disappeared (server dropped
     /// while the request was in flight).
     Disconnected,
+    /// The worker panicked while executing this request's micro-batch.
+    /// Only the requests in that batch fail; the worker is respawned
+    /// (within its restart budget) and later requests are unaffected.
+    WorkerFault {
+        /// Index of the worker that crashed.
+        worker: usize,
+        /// 1-based micro-batch index within that worker's incarnation.
+        batch: u64,
+        /// The panic message, best effort.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -86,6 +124,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "input has {actual} values, model expects {expected}")
             }
             ServeError::Disconnected => write!(f, "serving worker disconnected"),
+            ServeError::WorkerFault { worker, batch, message } => {
+                write!(f, "worker {worker} panicked on micro-batch {batch}: {message}")
+            }
         }
     }
 }
@@ -118,13 +159,13 @@ pub struct Response {
 struct Request {
     input: Vec<f32>,
     submitted: Instant,
-    reply: mpsc::SyncSender<Response>,
+    reply: mpsc::SyncSender<Result<Response, ServeError>>,
 }
 
 /// Handle to a submitted request; redeem with [`wait`](Self::wait).
 #[derive(Debug)]
 pub struct PendingResponse {
-    rx: mpsc::Receiver<Response>,
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
 }
 
 impl PendingResponse {
@@ -132,11 +173,19 @@ impl PendingResponse {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Disconnected`] if the server was torn down before
-    /// the request completed.
+    /// [`ServeError::WorkerFault`] if the worker panicked while running
+    /// this request's micro-batch, [`ServeError::Disconnected`] if the
+    /// server was torn down before the request completed.
     pub fn wait(self) -> Result<Response, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Disconnected)
+        self.rx.recv().map_err(|_| ServeError::Disconnected)?
     }
+}
+
+/// Shared restart/fault counters for one server's worker pool.
+#[derive(Debug, Default)]
+struct PoolStats {
+    restarts: AtomicU64,
+    faulted_batches: AtomicU64,
 }
 
 /// The batched inference server: a bounded request queue feeding a pool
@@ -150,6 +199,7 @@ pub struct Server {
     queue: Arc<BoundedQueue<Request>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     input_len: usize,
+    stats: Arc<PoolStats>,
 }
 
 impl Server {
@@ -160,7 +210,8 @@ impl Server {
     /// `Framework::plan_network_forward`); conv layers without an entry
     /// fall back to the paper's heuristic plan. Every worker compiles its
     /// own single-threaded [`CompiledConv`] per conv layer — weight
-    /// transforms are paid once per worker at startup, never per request.
+    /// transforms are paid once per worker at startup (and once per
+    /// respawn), never per request.
     ///
     /// # Errors
     ///
@@ -185,21 +236,22 @@ impl Server {
 
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let input_len = net.input_len();
+        let stats = Arc::new(PoolStats::default());
+        let injector = FaultInjector::new(config.fault_plan);
         let workers = (0..config.workers)
             .map(|w| {
                 let net = Arc::clone(&net);
                 let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
                 let plan_by_layer = plan_by_layer.clone();
-                let max_batch = config.max_batch;
-                let max_delay = config.max_delay;
+                let injector = injector.clone();
+                let config = config.clone();
                 std::thread::spawn(move || {
-                    let kernels = compile_kernels(&net, &plan_by_layer)
-                        .expect("compile succeeded in Server::start");
-                    worker_loop(w, &net, kernels, &queue, max_batch, max_delay);
+                    supervise_worker(w, &net, &plan_by_layer, &queue, &config, &stats, injector)
                 })
             })
             .collect();
-        Ok(Server { queue, workers, input_len })
+        Ok(Server { queue, workers, input_len, stats })
     }
 
     /// Non-blocking submission: full queues reject immediately.
@@ -254,6 +306,16 @@ impl Server {
         self.queue.len()
     }
 
+    /// How many worker respawns the supervisor has performed so far.
+    pub fn restarts(&self) -> u64 {
+        self.stats.restarts.load(Ordering::Relaxed)
+    }
+
+    /// How many micro-batches have failed with a worker panic so far.
+    pub fn faulted_batches(&self) -> u64 {
+        self.stats.faulted_batches.load(Ordering::Relaxed)
+    }
+
     /// Graceful shutdown: closes the queue to new work, drains every
     /// queued request through the workers, and joins them.
     pub fn shutdown(mut self) {
@@ -296,17 +358,70 @@ fn compile_kernels(
         .collect()
 }
 
-/// The persistent worker: pop one request, gather a micro-batch until
-/// `max_batch` or `max_delay`, run it, reply, repeat until the queue is
-/// closed and drained.
+/// Why one incarnation of the inner worker loop returned.
+enum WorkerExit {
+    /// The queue closed and drained: normal shutdown.
+    Drained,
+    /// A micro-batch panicked; the batch's requests were failed with
+    /// [`ServeError::WorkerFault`] and the worker state is suspect.
+    Faulted,
+}
+
+/// The per-thread supervisor: runs worker incarnations, respawning after
+/// a fault with freshly compiled kernels and a fresh warm scratch until
+/// the restart budget is spent.
+fn supervise_worker(
+    worker: usize,
+    net: &Network,
+    plan_by_layer: &HashMap<usize, LayerPlan>,
+    queue: &BoundedQueue<Request>,
+    config: &ServeConfig,
+    stats: &PoolStats,
+    injector: FaultInjector,
+) {
+    let mut restarts_used = 0usize;
+    loop {
+        // Fresh warm state per incarnation: a panic may have left the
+        // previous kernels/scratch mid-update.
+        let Ok(kernels) = compile_kernels(net, plan_by_layer) else {
+            // Compilation succeeded in Server::start; a failure here means
+            // the network itself is unusable — retire the slot. Other
+            // workers keep draining the queue.
+            return;
+        };
+        match worker_loop(worker, net, kernels, queue, config, stats, &injector) {
+            WorkerExit::Drained => return,
+            WorkerExit::Faulted => {
+                if restarts_used >= config.restart_budget {
+                    // Budget spent: retire this slot. Remaining workers
+                    // keep serving; queued requests are never lost unless
+                    // every slot retires.
+                    return;
+                }
+                restarts_used += 1;
+                stats.restarts.fetch_add(1, Ordering::Relaxed);
+                spg_telemetry::record_counter("serve.worker_restarts", 1);
+                let backoff = spg_sync::backoff_delay(config.restart_backoff, restarts_used);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+/// One worker incarnation: pop one request, gather a micro-batch until
+/// `max_batch` or `max_delay`, run it inside a panic boundary, reply,
+/// repeat until the queue is closed and drained or a batch faults.
 fn worker_loop(
     worker: usize,
     net: &Network,
     kernels: Vec<Option<CompiledConv>>,
     queue: &BoundedQueue<Request>,
-    max_batch: usize,
-    max_delay: Duration,
-) {
+    config: &ServeConfig,
+    stats: &PoolStats,
+    injector: &FaultInjector,
+) -> WorkerExit {
     let label = format!("serve-worker{worker}");
     let mut scratch = ConvScratch::new();
     // Ping-pong activation buffers sized for the widest layer boundary.
@@ -318,36 +433,85 @@ fn worker_loop(
         .unwrap_or(net.input_len());
     let mut cur = vec![0.0f32; buf_len];
     let mut next = vec![0.0f32; buf_len];
-    let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
+    let mut batch: Vec<Request> = Vec::with_capacity(config.max_batch);
+    let mut batch_index: u64 = 0;
 
     while let Some(first) = queue.pop() {
         batch.push(first);
-        let deadline = Instant::now() + max_delay;
-        while batch.len() < max_batch {
+        // `checked_add` guards against pathological `max_delay` values;
+        // an unrepresentable deadline degrades to "no extra waiting".
+        let deadline = Instant::now().checked_add(config.max_delay).unwrap_or_else(Instant::now);
+        while batch.len() < config.max_batch {
             match queue.pop_deadline(deadline) {
                 Some(request) => batch.push(request),
                 None => break,
             }
         }
 
-        // One telemetry scope per micro-batch: kernels attribute their
-        // flops to the innermost scope, so this bucket accumulates the
-        // worker's goodput for the whole run.
-        let _scope = spg_telemetry::scope(&label, spg_telemetry::Phase::Forward);
+        batch_index += 1;
         let batch_start = Instant::now();
         let batch_size = batch.len();
-        for request in batch.drain(..) {
-            let class =
-                forward_sample(net, &kernels, &request.input, &mut cur, &mut next, &mut scratch);
-            let latency = request.submitted.elapsed();
-            spg_telemetry::record_latency_ns("serve.request", latency.as_nanos() as u64);
-            let logits = cur[..net.output_len()].to_vec();
-            // A dropped PendingResponse just means the caller stopped
-            // caring; the worker carries on.
-            let _ = request.reply.send(Response { logits, class, latency, worker, batch_size });
+        // The panic boundary: everything that can execute model code runs
+        // inside. Replies are sent only after the whole batch succeeded,
+        // so a request never observes both a response and a fault.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            injector.check(worker, batch_index);
+            // One telemetry scope per micro-batch: kernels attribute
+            // their flops to the innermost scope, so this bucket
+            // accumulates the worker's goodput for the whole run.
+            let _scope = spg_telemetry::scope(&label, spg_telemetry::Phase::Forward);
+            let mut replies = Vec::with_capacity(batch_size);
+            for request in batch.iter() {
+                let class = forward_sample(
+                    net,
+                    &kernels,
+                    &request.input,
+                    &mut cur,
+                    &mut next,
+                    &mut scratch,
+                );
+                let logits = cur[..net.output_len()].to_vec();
+                replies.push((logits, class));
+            }
+            replies
+        }));
+
+        match outcome {
+            Ok(replies) => {
+                for (request, (logits, class)) in batch.drain(..).zip(replies) {
+                    let latency = request.submitted.elapsed();
+                    spg_telemetry::record_latency_ns("serve.request", latency.as_nanos() as u64);
+                    // A dropped PendingResponse just means the caller
+                    // stopped caring; the worker carries on.
+                    let _ = request.reply.send(Ok(Response {
+                        logits,
+                        class,
+                        latency,
+                        worker,
+                        batch_size,
+                    }));
+                }
+                spg_telemetry::record_latency_ns(
+                    "serve.batch",
+                    batch_start.elapsed().as_nanos() as u64,
+                );
+            }
+            Err(payload) => {
+                stats.faulted_batches.fetch_add(1, Ordering::Relaxed);
+                spg_telemetry::record_counter("serve.faulted_batches", 1);
+                let message = spg_sync::panic_message(payload.as_ref());
+                for request in batch.drain(..) {
+                    let _ = request.reply.send(Err(ServeError::WorkerFault {
+                        worker,
+                        batch: batch_index,
+                        message: message.clone(),
+                    }));
+                }
+                return WorkerExit::Faulted;
+            }
         }
-        spg_telemetry::record_latency_ns("serve.batch", batch_start.elapsed().as_nanos() as u64);
     }
+    WorkerExit::Drained
 }
 
 /// Runs one sample through the layer chain, leaving the logits in

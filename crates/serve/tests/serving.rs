@@ -60,6 +60,7 @@ fn batched_serving_is_bit_identical_to_unbatched_forward() {
                 max_batch,
                 max_delay: Duration::from_millis(1),
                 queue_capacity: 64,
+                ..ServeConfig::default()
             };
             let server = Server::start(Arc::clone(&net), &plans, config).unwrap();
             let pending: Vec<_> = inputs
@@ -96,6 +97,7 @@ fn full_queue_rejects_rather_than_blocking() {
         max_batch: 64,
         max_delay: Duration::from_secs(2),
         queue_capacity: 2,
+        ..ServeConfig::default()
     };
     let server = Server::start(Arc::clone(&net), &[], config).unwrap();
 
@@ -167,6 +169,7 @@ fn shutdown_drains_in_flight_requests() {
         max_batch: 4,
         max_delay: Duration::from_millis(1),
         queue_capacity: 32,
+        ..ServeConfig::default()
     };
     let server = Server::start(Arc::clone(&net), &[], config).unwrap();
     let pending: Vec<_> = (0..20)
@@ -189,4 +192,162 @@ fn serve_errors_convert_to_unified_error() {
     let e: spg_error::Error = ServeError::ShuttingDown.into();
     assert_eq!(e.kind(), spg_error::ErrorKind::Serving);
     assert!(std::error::Error::source(&e).is_some());
+}
+
+/// `max_delay: 0` must serve every request in its own immediate batch —
+/// the deadline arithmetic (`now + 0`) must not underflow or stall.
+#[test]
+fn zero_max_delay_serves_every_request() {
+    let mut net = build_network(9);
+    let framework = Framework::new(1, TuningMode::Heuristic, 1);
+    let plans = framework.plan_network_forward(&mut net);
+    let net = Arc::new(net);
+    let mut ws = Workspace::for_network(&net);
+    let inputs: Vec<Vec<f32>> = (0..8).map(|s| sample_input(net.input_len(), s)).collect();
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|input| {
+            net.forward_into(input, &mut ws);
+            ws.trace.logits().as_slice().to_vec()
+        })
+        .collect();
+
+    let config = ServeConfig { workers: 2, max_delay: Duration::ZERO, ..ServeConfig::default() };
+    let server = Server::start(Arc::clone(&net), &plans, config).unwrap();
+    for (i, input) in inputs.iter().enumerate() {
+        let p = server.submit_timeout(input.clone(), Duration::from_secs(10)).unwrap();
+        let r = p.wait().expect("zero-delay batches still complete");
+        assert_eq!(r.logits, expected[i], "request {i}");
+    }
+    server.shutdown();
+}
+
+/// A layer that panics when its input starts with NaN — a deterministic
+/// stand-in for a kernel bug, usable without the `fault-injection`
+/// feature.
+#[derive(Debug)]
+struct PanickingLayer {
+    len: usize,
+}
+
+impl spg_convnet::layer::Layer for PanickingLayer {
+    fn name(&self) -> &str {
+        "nan-tripwire"
+    }
+
+    fn input_len(&self) -> usize {
+        self.len
+    }
+
+    fn output_len(&self) -> usize {
+        self.len
+    }
+
+    fn forward(
+        &self,
+        input: &[f32],
+        output: &mut [f32],
+        _scratch: &mut spg_convnet::workspace::ConvScratch,
+    ) {
+        assert!(!input[0].is_nan(), "NaN tripwire: simulated kernel crash");
+        output.copy_from_slice(input);
+    }
+
+    fn backward(
+        &self,
+        _input: &[f32],
+        _output: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+        _param_grads: &mut spg_tensor::Tensor,
+        _scratch: &mut spg_convnet::workspace::ConvScratch,
+    ) {
+        grad_in.copy_from_slice(grad_out);
+    }
+}
+
+fn tripwire_network(len: usize) -> Arc<Network> {
+    Arc::new(Network::new(vec![Box::new(PanickingLayer { len })]).unwrap())
+}
+
+/// The tentpole guarantee, no feature flags needed: a panicking batch
+/// fails with a typed `WorkerFault`, every other request still gets a
+/// correct response, and the supervisor respawns the crashed worker.
+#[test]
+fn panicking_batch_is_isolated_and_worker_respawns() {
+    let net = tripwire_network(4);
+    // max_batch 1 pins the blast radius to exactly the poisoned request.
+    let config = ServeConfig {
+        workers: 2,
+        max_batch: 1,
+        max_delay: Duration::ZERO,
+        restart_backoff: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Arc::clone(&net), &[], config).unwrap();
+
+    let good: Vec<_> = (0..6)
+        .map(|s| {
+            let input = sample_input(4, s);
+            let p = server.submit_timeout(input.clone(), Duration::from_secs(10)).unwrap();
+            (input, p)
+        })
+        .collect();
+    let poison =
+        server.submit_timeout(vec![f32::NAN, 0.0, 0.0, 0.0], Duration::from_secs(10)).unwrap();
+    // Submitted after the poison pill: proves the pool keeps serving.
+    let after: Vec<_> = (6..12)
+        .map(|s| {
+            let input = sample_input(4, s);
+            let p = server.submit_timeout(input.clone(), Duration::from_secs(10)).unwrap();
+            (input, p)
+        })
+        .collect();
+
+    for (input, p) in good.into_iter().chain(after) {
+        let r = p.wait().expect("healthy requests survive a neighbour's panic");
+        assert_eq!(r.logits, input, "identity layer must echo the input bit-for-bit");
+    }
+    match poison.wait() {
+        Err(ServeError::WorkerFault { worker, batch, message }) => {
+            assert!(worker < 2);
+            assert!(batch >= 1);
+            assert!(message.contains("NaN tripwire"), "panic message survives: {message}");
+        }
+        other => panic!("expected WorkerFault, got {other:?}"),
+    }
+    // The supervisor bumps the restart counter just before respawning,
+    // so the faulted reply can race a step ahead of it: poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.restarts() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(server.restarts(), 1, "one respawn");
+    assert_eq!(server.faulted_batches(), 1, "one faulted batch");
+    server.shutdown();
+}
+
+/// `restart_budget: 0` retires the slot instead of respawning: the fault
+/// still only fails its own batch, and the restart counter stays at zero.
+#[test]
+fn exhausted_restart_budget_retires_the_worker() {
+    let net = tripwire_network(4);
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        max_delay: Duration::ZERO,
+        restart_budget: 0,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Arc::clone(&net), &[], config).unwrap();
+    let poison =
+        server.submit_timeout(vec![f32::NAN, 0.0, 0.0, 0.0], Duration::from_secs(10)).unwrap();
+    assert!(matches!(poison.wait(), Err(ServeError::WorkerFault { .. })));
+    // The only slot is retired; an accepted request can no longer be
+    // served and must surface as Disconnected once the server goes away.
+    let orphan = server.try_submit(sample_input(4, 1)).unwrap();
+    assert_eq!(server.restarts(), 0);
+    assert_eq!(server.faulted_batches(), 1);
+    server.shutdown();
+    assert!(matches!(orphan.wait(), Err(ServeError::Disconnected)));
 }

@@ -1,0 +1,350 @@
+//! Synchronization support for the persistent worker pools: lock helpers
+//! that *recover* from poisoning instead of propagating it, and a
+//! deterministic fault-injection harness for supervision testing.
+//!
+//! # Poison recovery
+//!
+//! `std` poisons a `Mutex`/`RwLock` when a thread panics while holding the
+//! guard, and every later `lock()` returns `Err(PoisonError)`. The idiomatic
+//! `.expect("poisoned")` response turns one worker's panic into a
+//! process-wide cascade: every other worker that touches the same lock
+//! aborts too. The pools in spg-serve and spg-convnet instead confine a
+//! panic with `catch_unwind` at the worker-batch boundary and repair any
+//! invariants themselves, so for them poisoning carries no information —
+//! these helpers simply take the guard back with
+//! [`PoisonError::into_inner`].
+//!
+//! Callers that recover a poisoned guard must be able to tolerate the
+//! protected data being mid-update; every pool in this workspace only
+//! holds locks around operations that are atomic at the data level
+//! (queue push/pop, whole-buffer reads), which is what makes recovery
+//! sound here.
+//!
+//! # Fault injection
+//!
+//! [`FaultPlan`] describes one deterministic fault — "panic on the Nth
+//! batch of worker K" — and [`FaultInjector`] carries it into the pools.
+//! The panic site only exists when the `fault-injection` cargo feature is
+//! enabled; release builds without the feature compile the injector down
+//! to a no-op.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Duration;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires a read guard, recovering from poisoning.
+pub fn read<T>(rwlock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    rwlock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires a write guard, recovering from poisoning.
+pub fn write<T>(rwlock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    rwlock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on a condvar, recovering the reacquired guard from poisoning.
+pub fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on a condvar with a timeout, recovering the reacquired guard
+/// from poisoning. Returns the guard and whether the wait timed out.
+pub fn wait_timeout<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match condvar.wait_timeout(guard, dur) {
+        Ok((guard, timeout)) => (guard, timeout.timed_out()),
+        Err(poisoned) => {
+            let (guard, timeout) = poisoned.into_inner();
+            (guard, timeout.timed_out())
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message, for turning a
+/// caught worker panic into a typed error.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Supervisor backoff schedule: `base * 2^(n-1)` before the `n`-th
+/// restart of the same worker, capped at one second.
+pub fn backoff_delay(base: Duration, restart: usize) -> Duration {
+    let factor = 1u32 << restart.saturating_sub(1).min(10) as u32;
+    base.saturating_mul(factor).min(Duration::from_secs(1))
+}
+
+/// Sentinel for [`FaultPlan::worker`]: the fault fires on whichever worker
+/// first reaches the target batch. Useful when the MPMC queue makes the
+/// request-to-worker mapping nondeterministic.
+pub const ANY_WORKER: usize = usize::MAX;
+
+/// One deterministic injected fault: panic when worker `worker` starts its
+/// `batch`-th unit of work (1-based; a "unit" is a micro-batch for serving
+/// workers, a sample job for training workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Target worker index, or [`ANY_WORKER`] for the first worker to get
+    /// there.
+    pub worker: usize,
+    /// 1-based index of the work unit that panics.
+    pub batch: u64,
+    /// Free-form seed echoed in the panic message so a failure in CI can
+    /// be tied back to the exact plan that produced it.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that panics on worker `worker`'s `batch`-th work unit.
+    pub fn panic_on(worker: usize, batch: u64) -> Self {
+        FaultPlan { worker, batch, seed: 0 }
+    }
+
+    /// A plan that panics on the `batch`-th work unit of whichever worker
+    /// reaches it first.
+    pub fn any_worker(batch: u64) -> Self {
+        FaultPlan { worker: ANY_WORKER, batch, seed: 0 }
+    }
+
+    /// Replaces the seed, keeping worker/batch.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether the current build can actually fire injected faults (the
+    /// `fault-injection` cargo feature is enabled).
+    pub fn armed() -> bool {
+        cfg!(feature = "fault-injection")
+    }
+
+    /// Parses a CLI-style spec: `K:N` (worker K, batch N), `any:N`, with
+    /// an optional `:SEED` suffix, e.g. `0:3`, `any:2`, `1:4:99`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed specs.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() < 2 || parts.len() > 3 {
+            return Err(format!("fault spec '{spec}' is not K:N, any:N, or K:N:SEED"));
+        }
+        let worker = if parts[0].eq_ignore_ascii_case("any") {
+            ANY_WORKER
+        } else {
+            parts[0]
+                .parse::<usize>()
+                .map_err(|_| format!("fault spec '{spec}': worker must be an index or 'any'"))?
+        };
+        let batch = parts[1]
+            .parse::<u64>()
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or_else(|| format!("fault spec '{spec}': batch must be a positive integer"))?;
+        let seed = match parts.get(2) {
+            Some(s) => s
+                .parse::<u64>()
+                .map_err(|_| format!("fault spec '{spec}': seed must be an integer"))?,
+            None => 0,
+        };
+        Ok(FaultPlan { worker, batch, seed })
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.worker == ANY_WORKER {
+            write!(f, "any:{}", self.batch)?;
+        } else {
+            write!(f, "{}:{}", self.worker, self.batch)?;
+        }
+        if self.seed != 0 {
+            write!(f, ":{}", self.seed)?;
+        }
+        Ok(())
+    }
+}
+
+/// Carries a [`FaultPlan`] into a worker pool and fires it exactly once.
+///
+/// Clones share the one-shot flag, so a pool that hands each worker a
+/// clone still injects a single fault for the whole run — and a worker
+/// respawned by its supervisor does not re-trip the same plan.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: Option<FaultPlan>,
+    fired: Arc<AtomicBool>,
+}
+
+impl FaultInjector {
+    /// An injector for `plan`; `None` never fires.
+    pub fn new(plan: Option<FaultPlan>) -> Self {
+        FaultInjector { plan, fired: Arc::new(AtomicBool::new(false)) }
+    }
+
+    /// An injector that never fires.
+    pub fn disarmed() -> Self {
+        FaultInjector::new(None)
+    }
+
+    /// Whether the injected fault has already fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// The plan this injector carries, if any.
+    pub fn plan(&self) -> Option<FaultPlan> {
+        self.plan
+    }
+
+    /// Call at the top of each work unit. Panics iff the build has the
+    /// `fault-injection` feature, the plan targets this `(worker, batch)`,
+    /// and no clone of this injector has fired yet.
+    #[allow(unused_variables)]
+    pub fn check(&self, worker: usize, batch: u64) {
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = self.plan {
+            if (plan.worker == ANY_WORKER || plan.worker == worker)
+                && batch == plan.batch
+                && !self.fired.swap(true, Ordering::SeqCst)
+            {
+                panic!(
+                    "injected fault (plan {plan}): worker {worker} panicking on work unit {batch}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let mutex = Arc::new(Mutex::new(7u32));
+        let poisoner = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock(&mutex), 7);
+        *lock(&mutex) = 8;
+        assert_eq!(*lock(&mutex), 8);
+    }
+
+    #[test]
+    fn rwlock_recovers_from_poison() {
+        let rw = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let poisoner = Arc::clone(&rw);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write().unwrap();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(read(&rw).len(), 3);
+        write(&rw).push(4);
+        assert_eq!(read(&rw).len(), 4);
+    }
+
+    #[test]
+    fn wait_timeout_reports_expiry() {
+        let mutex = Mutex::new(());
+        let condvar = Condvar::new();
+        let guard = lock(&mutex);
+        let (_guard, timed_out) = wait_timeout(&condvar, guard, Duration::from_millis(5));
+        assert!(timed_out);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(5);
+        assert_eq!(backoff_delay(base, 1), Duration::from_millis(5));
+        assert_eq!(backoff_delay(base, 2), Duration::from_millis(10));
+        assert_eq!(backoff_delay(base, 3), Duration::from_millis(20));
+        assert_eq!(backoff_delay(Duration::from_millis(400), 9), Duration::from_secs(1));
+        assert_eq!(backoff_delay(Duration::ZERO, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(payload.as_ref()), "static str");
+        let payload: Box<dyn std::any::Any + Send> = Box::new("owned".to_string());
+        assert_eq!(panic_message(payload.as_ref()), "owned");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(panic_message(payload.as_ref()), "worker panicked");
+    }
+
+    #[test]
+    fn fault_plan_parses_cli_specs() {
+        assert_eq!(FaultPlan::parse("0:3").unwrap(), FaultPlan::panic_on(0, 3));
+        assert_eq!(FaultPlan::parse("any:2").unwrap(), FaultPlan::any_worker(2));
+        assert_eq!(FaultPlan::parse("1:4:99").unwrap(), FaultPlan::panic_on(1, 4).with_seed(99));
+        assert!(FaultPlan::parse("nope").is_err());
+        assert!(FaultPlan::parse("0:0").is_err(), "batch is 1-based");
+        assert!(FaultPlan::parse("a:b:c:d").is_err());
+    }
+
+    #[test]
+    fn fault_plan_display_round_trips() {
+        for spec in ["0:3", "any:2", "1:4:99"] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert_eq!(plan.to_string(), spec);
+            assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        }
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[test]
+    fn injector_is_inert_without_the_feature() {
+        let injector = FaultInjector::new(Some(FaultPlan::any_worker(1)));
+        injector.check(0, 1); // would panic if armed
+        assert!(!injector.fired());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod armed {
+        use super::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        #[test]
+        fn injector_fires_exactly_once_across_clones() {
+            let injector = FaultInjector::new(Some(FaultPlan::panic_on(1, 2)));
+            injector.check(0, 2); // wrong worker
+            injector.check(1, 1); // wrong batch
+            assert!(!injector.fired());
+            let clone = injector.clone();
+            assert!(catch_unwind(AssertUnwindSafe(|| clone.check(1, 2))).is_err());
+            assert!(injector.fired());
+            // A respawned worker re-running the same (worker, batch) must
+            // not re-trip the one-shot plan.
+            injector.check(1, 2);
+        }
+
+        #[test]
+        fn any_worker_plan_fires_for_first_arrival() {
+            let injector = FaultInjector::new(Some(FaultPlan::any_worker(3)));
+            injector.check(5, 2);
+            assert!(catch_unwind(AssertUnwindSafe(|| injector.check(5, 3))).is_err());
+            injector.check(0, 3); // already fired
+        }
+    }
+}

@@ -395,6 +395,21 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
             }
         }
     }
+
+    // Added in schema minor 3; older documents legitimately omit it.
+    if let Some(counters) = doc.get("counters") {
+        let counters = counters
+            .as_array()
+            .ok_or_else(|| "document: field `counters` is not an array".to_string())?;
+        for (i, entry) in counters.iter().enumerate() {
+            let owner = format!("counters[{i}]");
+            require_string(entry, &owner, "label")?;
+            let n = require_number(entry, &owner, "value")?;
+            if n < 0.0 {
+                return Err(format!("{owner}: field `value` = {n} is negative"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -473,6 +488,20 @@ mod tests {
                 "latencies": [{"label": "serve.request", "count": 1, "sum_ns": 9,
                                "min_ns": 9, "max_ns": 9, "p50_ns": 9, "p95_ns": 9,
                                "p99_ns": 9}]}"#
+        )
+        .is_err());
+        // Counter entry missing `value`.
+        assert!(validate_metrics(
+            r#"{"schema": "spgcnn-metrics", "schema_version": 1, "meta": {},
+                "scopes": [], "decisions": [],
+                "counters": [{"label": "serve.worker_restarts"}]}"#
+        )
+        .is_err());
+        // Counter entry with a negative value.
+        assert!(validate_metrics(
+            r#"{"schema": "spgcnn-metrics", "schema_version": 1, "meta": {},
+                "scopes": [], "decisions": [],
+                "counters": [{"label": "serve.worker_restarts", "value": -2}]}"#
         )
         .is_err());
         // Goodput outside [0, 1].

@@ -51,8 +51,11 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// added (consumers ignore unknown fields, so older readers keep
 /// working). Minor 1 added the per-scope `workspace_bytes` gauge; minor 2
 /// added the top-level `latencies` histogram array for the serving
-/// engine's per-request latency and per-worker goodput reporting.
-pub const SCHEMA_VERSION_MINOR: u64 = 2;
+/// engine's per-request latency and per-worker goodput reporting; minor 3
+/// added the top-level `counters` array carrying the worker-pool
+/// supervision counters (`serve.worker_restarts`, `serve.faulted_batches`,
+/// `train.worker_restarts`, `train.faulted_samples`).
+pub const SCHEMA_VERSION_MINOR: u64 = 3;
 
 /// Identifies the JSON document family in the `schema` field.
 pub const SCHEMA_NAME: &str = "spgcnn-metrics";
@@ -158,6 +161,7 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static REGISTRY: Mutex<BTreeMap<(String, Phase), Arc<PhaseCounters>>> = Mutex::new(BTreeMap::new());
 static DECISIONS: Mutex<Vec<Decision>> = Mutex::new(Vec::new());
 static LATENCIES: Mutex<BTreeMap<String, Arc<LatencyCounters>>> = Mutex::new(BTreeMap::new());
+static COUNTERS: Mutex<BTreeMap<String, Arc<AtomicU64>>> = Mutex::new(BTreeMap::new());
 
 thread_local! {
     /// Innermost-last stack of active scopes on this thread.
@@ -179,13 +183,14 @@ pub fn enabled() -> bool {
 /// Clears all recorded counters and decisions (scopes currently on any
 /// thread's stack keep recording into their detached counter blocks).
 pub fn reset() {
-    REGISTRY.lock().expect("telemetry registry poisoned").clear();
-    DECISIONS.lock().expect("telemetry decisions poisoned").clear();
-    LATENCIES.lock().expect("telemetry latencies poisoned").clear();
+    spg_sync::lock(&REGISTRY).clear();
+    spg_sync::lock(&DECISIONS).clear();
+    spg_sync::lock(&LATENCIES).clear();
+    spg_sync::lock(&COUNTERS).clear();
 }
 
 fn counters_for(label: &str, phase: Phase) -> Arc<PhaseCounters> {
-    let mut registry = REGISTRY.lock().expect("telemetry registry poisoned");
+    let mut registry = spg_sync::lock(&REGISTRY);
     if let Some(existing) = registry.get(&(label.to_string(), phase)) {
         return Arc::clone(existing);
     }
@@ -288,7 +293,7 @@ pub fn record_workspace_bytes(bytes: u64) {
 }
 
 fn latency_counters_for(label: &str) -> Arc<LatencyCounters> {
-    let mut registry = LATENCIES.lock().expect("telemetry latencies poisoned");
+    let mut registry = spg_sync::lock(&LATENCIES);
     if let Some(existing) = registry.get(label) {
         return Arc::clone(existing);
     }
@@ -323,7 +328,27 @@ pub fn record_decision(decision: Decision) {
     if !enabled() {
         return;
     }
-    DECISIONS.lock().expect("telemetry decisions poisoned").push(decision);
+    spg_sync::lock(&DECISIONS).push(decision);
+}
+
+/// Adds `delta` to the monotonic event counter named `label` — e.g.
+/// `serve.worker_restarts` when a supervisor respawns a crashed serving
+/// worker. No-op while disabled. Schema minor 3.
+pub fn record_counter(label: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let counter = {
+        let mut registry = spg_sync::lock(&COUNTERS);
+        if let Some(existing) = registry.get(label) {
+            Arc::clone(existing)
+        } else {
+            let fresh = Arc::new(AtomicU64::new(0));
+            registry.insert(label.to_string(), Arc::clone(&fresh));
+            fresh
+        }
+    };
+    counter.fetch_add(delta, Ordering::Relaxed);
 }
 
 /// Point-in-time copy of one `(label, phase)` bucket.
@@ -412,7 +437,11 @@ impl LatencyMetrics {
         if self.count == 0 {
             return None;
         }
-        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        // Clamp on both sides: q = 0 still needs the first observation
+        // (rank 1), and float rounding in `q * count` must never push the
+        // rank past `count` — on a 1-element histogram p100 would
+        // otherwise fall off the end of the occupied buckets.
+        let rank = ((q * self.count as f64).ceil().max(1.0) as u64).min(self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -425,6 +454,15 @@ impl LatencyMetrics {
     }
 }
 
+/// Point-in-time copy of one monotonic event counter.
+#[derive(Debug, Clone)]
+pub struct CounterMetrics {
+    /// Counter label (e.g. `serve.worker_restarts`).
+    pub label: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
 /// Point-in-time copy of the whole telemetry state.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
@@ -434,6 +472,8 @@ pub struct MetricsSnapshot {
     pub decisions: Vec<Decision>,
     /// All latency histograms, ordered by label (schema minor 2).
     pub latencies: Vec<LatencyMetrics>,
+    /// All event counters, ordered by label (schema minor 3).
+    pub counters: Vec<CounterMetrics>,
 }
 
 impl MetricsSnapshot {
@@ -445,6 +485,11 @@ impl MetricsSnapshot {
     /// Looks up one latency histogram by label.
     pub fn latency(&self, label: &str) -> Option<&LatencyMetrics> {
         self.latencies.iter().find(|l| l.label == label)
+    }
+
+    /// Looks up one event counter's value by label (0 when never bumped).
+    pub fn counter(&self, label: &str) -> u64 {
+        self.counters.iter().find(|c| c.label == label).map_or(0, |c| c.value)
     }
 
     /// Serializes to the versioned metrics JSON document (see
@@ -549,6 +594,21 @@ impl MetricsSnapshot {
         if !self.latencies.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n");
+        out.push_str("  \"counters\": [");
+        for (i, counter) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"label\": {}, \"value\": {}}}",
+                json::string(&counter.label),
+                counter.value,
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("]\n}\n");
         out
     }
@@ -556,7 +616,7 @@ impl MetricsSnapshot {
 
 /// Copies the current telemetry state out of the global registry.
 pub fn snapshot() -> MetricsSnapshot {
-    let registry = REGISTRY.lock().expect("telemetry registry poisoned");
+    let registry = spg_sync::lock(&REGISTRY);
     let scopes = registry
         .iter()
         .map(|((label, phase), counters)| ScopeMetrics {
@@ -572,10 +632,8 @@ pub fn snapshot() -> MetricsSnapshot {
         })
         .collect();
     drop(registry);
-    let decisions = DECISIONS.lock().expect("telemetry decisions poisoned").clone();
-    let latencies = LATENCIES
-        .lock()
-        .expect("telemetry latencies poisoned")
+    let decisions = spg_sync::lock(&DECISIONS).clone();
+    let latencies = spg_sync::lock(&LATENCIES)
         .iter()
         .map(|(label, counters)| {
             let count = counters.count.load(Ordering::Relaxed);
@@ -589,7 +647,14 @@ pub fn snapshot() -> MetricsSnapshot {
             }
         })
         .collect();
-    MetricsSnapshot { scopes, decisions, latencies }
+    let counters = spg_sync::lock(&COUNTERS)
+        .iter()
+        .map(|(label, value)| CounterMetrics {
+            label: label.clone(),
+            value: value.load(Ordering::Relaxed),
+        })
+        .collect();
+    MetricsSnapshot { scopes, decisions, latencies, counters }
 }
 
 #[cfg(test)]
@@ -784,5 +849,76 @@ mod tests {
             let metrics = snap.scope(&label, Phase::Forward).expect("per-thread bucket");
             assert_eq!((metrics.calls, metrics.useful_flops), (1, 100));
         }
+    }
+
+    #[test]
+    fn quantiles_pinned_on_known_inputs() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        // 100 observations spread over three well-separated buckets:
+        // 50 at ~1 us, 48 at ~16 us, 2 at ~1 ms.
+        for _ in 0..50 {
+            record_latency_ns("pinned", 1_000);
+        }
+        for _ in 0..48 {
+            record_latency_ns("pinned", 16_000);
+        }
+        for _ in 0..2 {
+            record_latency_ns("pinned", 1_000_000);
+        }
+        set_enabled(false);
+        let lat = snapshot().latency("pinned").cloned().expect("histogram exists");
+        // rank(0.50) = 50: last observation of the 1 us bucket [512, 1024).
+        assert_eq!(lat.quantile_ns(0.50), Some(1_023));
+        // rank(0.99) = 99: first of the two 1 ms observations; the bucket
+        // upper bound exceeds max_ns, so the clamp reports max_ns.
+        assert_eq!(lat.quantile_ns(0.99), Some(1_000_000));
+        // rank(1.00) = 100 = count: must not run past the histogram.
+        assert_eq!(lat.quantile_ns(1.0), Some(1_000_000));
+        assert_eq!(lat.quantile_ns(0.0), Some(1_023));
+    }
+
+    #[test]
+    fn one_element_histogram_has_sane_p0_and_p100() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        record_latency_ns("single", 5_000);
+        set_enabled(false);
+        let lat = snapshot().latency("single").cloned().expect("histogram exists");
+        // Every quantile of a single observation is that observation
+        // (clamped to max_ns); p100's rank must clamp to count = 1
+        // instead of scanning past the only occupied bucket.
+        assert_eq!(lat.quantile_ns(0.0), Some(5_000));
+        assert_eq!(lat.quantile_ns(0.5), Some(5_000));
+        assert_eq!(lat.quantile_ns(1.0), Some(5_000));
+    }
+
+    #[test]
+    fn counters_accumulate_and_appear_in_json() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(true);
+        record_counter("serve.worker_restarts", 1);
+        record_counter("serve.worker_restarts", 2);
+        record_counter("serve.faulted_batches", 1);
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.counter("serve.worker_restarts"), 3);
+        assert_eq!(snap.counter("serve.faulted_batches"), 1);
+        assert_eq!(snap.counter("never.bumped"), 0);
+        let text = snap.to_json(&[]);
+        assert!(text.contains("\"counters\""));
+        json::validate_metrics(&text).expect("counters validate against schema minor 3");
+    }
+
+    #[test]
+    fn counters_disabled_record_nothing() {
+        let _lock = TEST_GUARD.lock().unwrap();
+        reset();
+        set_enabled(false);
+        record_counter("off", 5);
+        assert!(snapshot().counters.is_empty());
     }
 }

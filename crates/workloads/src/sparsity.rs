@@ -102,6 +102,7 @@ pub fn measured_curve(epochs: usize, seed: u64) -> Vec<f64> {
         sample_threads: 1,
         momentum: 0.0,
         shuffle_seed: seed,
+        ..TrainerConfig::default()
     });
     let stats = trainer.train(&mut net, &mut data);
     stats.iter().map(|s| s.conv_grad_sparsity[0]).collect()

@@ -45,6 +45,7 @@ fn train(net: &mut Network, label: &str) -> f64 {
         sample_threads: 1,
         momentum: 0.0,
         shuffle_seed: 3,
+        ..TrainerConfig::default()
     });
     let start = Instant::now();
     let stats = trainer.train(net, &mut data);

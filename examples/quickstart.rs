@@ -48,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sample_threads: 1,
             momentum: 0.0,
             shuffle_seed: 1,
+            ..TrainerConfig::default()
         })
         .build()?;
 

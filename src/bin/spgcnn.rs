@@ -24,7 +24,7 @@ use spg_cnn::core::compiled::CompiledConv;
 use spg_cnn::core::config::NetworkDescription;
 use spg_cnn::core::region::classify;
 use spg_cnn::core::schedule::recommended_plan;
-use spg_cnn::serve::{ServeConfig, Server};
+use spg_cnn::serve::{FaultPlan, ServeConfig, ServeError, Server};
 use spg_cnn::simcpu::{cifar10_layers, serving_throughput, EndToEndConfig, Machine};
 use spg_cnn::tensor::{Shape3, Tensor};
 
@@ -38,7 +38,7 @@ usage:
   spgcnn render <net.cfg> [--cores N] [--sparsity S]
       Print the generated kernel listings for every conv layer.
   spgcnn train <net.cfg> [--epochs N] [--classes N] [--samples N] [--threads N]
-               [--save weights.spgw] [--metrics-json FILE]
+               [--save weights.spgw] [--metrics-json FILE] [--inject-fault SPEC]
       Train the network on a seeded synthetic dataset and report per-epoch
       loss, accuracy, and gradient sparsity; optionally save the weights
       and/or write goodput telemetry as spgcnn-metrics JSON.
@@ -49,12 +49,15 @@ usage:
       report the timings and winners (the paper's measure-and-pick step).
       With --json, emit the decisions as spgcnn-metrics JSON on stdout.
   spgcnn serve <net.cfg>|--smoke [--workers N] [--requests N] [--max-batch N]
-               [--max-delay-ms MS] [--metrics-json FILE]
+               [--max-delay-ms MS] [--metrics-json FILE] [--inject-fault SPEC]
       Run the batched serving engine over a synthetic request stream,
       check every response is bit-identical to the single-sample forward
       pass, and report throughput plus request-latency percentiles.
       With --smoke a tiny built-in network is served and the collected
-      telemetry is emitted as spgcnn-metrics JSON.
+      telemetry is emitted as spgcnn-metrics JSON. --inject-fault panics
+      one worker on purpose (SPEC is `worker:batch` or `any:batch`,
+      1-based batch) and checks the pool supervisor isolates the fault;
+      it needs a build with the `fault-injection` cargo feature.
   spgcnn bench-serve [--requests N] [--max-batch N] [--max-delay-ms MS]
       Measure serving throughput at 1/2/4 workers on this machine, then
       print the analytical multicore model's serving-scaling table
@@ -114,6 +117,19 @@ fn opt_flag(args: &[String], key: &str) -> Result<Option<String>, String> {
             args.get(i + 1).cloned().map(Some).ok_or_else(|| format!("missing value after {key}"))
         }
     }
+}
+
+/// Parses `--inject-fault SPEC` into a [`FaultPlan`], rejecting the flag
+/// outright when the binary was built without the `fault-injection`
+/// feature (an inert drill would silently prove nothing).
+fn fault_flag(args: &[String]) -> Result<Option<FaultPlan>, String> {
+    let Some(spec) = opt_flag(args, "--inject-fault")? else { return Ok(None) };
+    if !FaultPlan::armed() {
+        return Err("--inject-fault requires a build with the `fault-injection` cargo feature \
+             (cargo build --features fault-injection)"
+            .into());
+    }
+    FaultPlan::parse(&spec).map(Some)
 }
 
 /// Serializes the collected telemetry as spgcnn-metrics JSON, validates it
@@ -194,6 +210,7 @@ fn train(args: &[String]) -> Result<(), String> {
     let samples = flag(args, "--samples", 64usize)?;
     let threads = flag(args, "--threads", 1usize)?.max(1);
     let metrics_path = opt_flag(args, "--metrics-json")?;
+    let fault_plan = fault_flag(args)?;
     if metrics_path.is_some() {
         spg_cnn::telemetry::reset();
         spg_cnn::telemetry::set_enabled(true);
@@ -212,7 +229,12 @@ fn train(args: &[String]) -> Result<(), String> {
         .network(net)
         .planner(planner)
         .workers(threads)
-        .trainer(TrainerConfig { epochs, sample_threads: threads, ..TrainerConfig::default() })
+        .trainer(TrainerConfig {
+            epochs,
+            sample_threads: threads,
+            fault_plan,
+            ..TrainerConfig::default()
+        })
         .build()
         .map_err(|e| e.to_string())?;
 
@@ -220,7 +242,10 @@ fn train(args: &[String]) -> Result<(), String> {
     let mut data = Dataset::synthetic(shape, classes, samples, 0.15, 7);
     println!("training `{}` on {} synthetic samples, {} classes", desc.name, samples, classes);
     println!("epoch  loss     accuracy  grad-sparsity  images/s");
-    let stats = engine.train(&mut data);
+    let stats = engine.try_train(&mut data).map_err(|e| e.to_string())?;
+    if fault_plan.is_some() {
+        println!("fault drill passed: the training pool survived the injected panic");
+    }
     for s in &stats {
         let sparsity = s.conv_grad_sparsity.first().copied().unwrap_or(0.0);
         println!(
@@ -340,6 +365,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let max_batch = flag(args, "--max-batch", 8usize)?.max(1);
     let max_delay_ms = flag(args, "--max-delay-ms", 2u64)?;
     let metrics_path = opt_flag(args, "--metrics-json")?;
+    let fault_plan = fault_flag(args)?;
 
     spg_cnn::telemetry::reset();
     spg_cnn::telemetry::set_enabled(true);
@@ -370,6 +396,8 @@ fn serve(args: &[String]) -> Result<(), String> {
         max_batch,
         max_delay: Duration::from_millis(max_delay_ms),
         queue_capacity: requests.max(8),
+        fault_plan,
+        ..ServeConfig::default()
     };
     let server = Server::start(engine.into_shared(), &plans, config).map_err(|e| e.to_string())?;
     let started = Instant::now();
@@ -380,22 +408,48 @@ fn serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let mut divergent = 0usize;
     let mut batch_total = 0usize;
+    let mut answered = 0usize;
+    let mut faulted = 0usize;
     for (i, p) in pending.into_iter().enumerate() {
-        let r = p.wait().map_err(|e| e.to_string())?;
-        batch_total += r.batch_size;
-        if r.logits != expected[i] {
-            divergent += 1;
+        match p.wait() {
+            Ok(r) => {
+                answered += 1;
+                batch_total += r.batch_size;
+                if r.logits != expected[i] {
+                    divergent += 1;
+                }
+            }
+            // A WorkerFault fails only the in-flight micro-batch; the
+            // supervisor respawns the worker and the stream continues.
+            Err(ServeError::WorkerFault { .. }) if fault_plan.is_some() => faulted += 1,
+            Err(e) => return Err(e.to_string()),
         }
     }
     let elapsed = started.elapsed();
+    if fault_plan.is_some() && faulted > 0 {
+        // The supervisor bumps the restart counter just after failing the
+        // batch, so the replies can race a step ahead of it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.restarts() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let restarts = server.restarts();
+    let faulted_batches = server.faulted_batches();
     server.shutdown();
     spg_cnn::telemetry::set_enabled(false);
 
     println!(
         "served {requests} request(s) on {workers} worker(s): {:.0} requests/s, mean batch {:.2}",
         requests as f64 / elapsed.as_secs_f64(),
-        batch_total as f64 / requests as f64
+        batch_total as f64 / answered.max(1) as f64
     );
+    if fault_plan.is_some() || restarts > 0 {
+        println!(
+            "supervision: {faulted} request(s) failed as WorkerFault across \
+             {faulted_batches} faulted micro-batch(es), {restarts} worker restart(s)"
+        );
+    }
     let snap = spg_cnn::telemetry::snapshot();
     if let Some(lat) = snap.latency("serve.request") {
         println!(
@@ -410,7 +464,18 @@ fn serve(args: &[String]) -> Result<(), String> {
             "{divergent}/{requests} responses diverged from the single-sample forward path"
         ));
     }
-    println!("all responses bit-identical to the single-sample forward path");
+    println!("all completed responses bit-identical to the single-sample forward path");
+    if fault_plan.is_some() {
+        // The drill only proves isolation if the fault actually fired and
+        // the supervisor actually recovered the worker.
+        if faulted == 0 || restarts == 0 {
+            return Err(format!(
+                "fault injection requested but the pool reported {faulted} faulted \
+                 request(s) and {restarts} restart(s); the drill did not exercise recovery"
+            ));
+        }
+        println!("fault drill passed: the pool survived the injected panic");
+    }
     if smoke_mode || metrics_path.is_some() {
         let meta = [
             ("command", "serve".to_string()),
@@ -456,6 +521,7 @@ fn bench_serve(args: &[String]) -> Result<(), String> {
             max_batch,
             max_delay: Duration::from_millis(max_delay_ms),
             queue_capacity: requests.max(8),
+            ..ServeConfig::default()
         };
         let server = Server::start(Arc::clone(&net), &plans, config).map_err(|e| e.to_string())?;
         let started = Instant::now();

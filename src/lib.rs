@@ -25,6 +25,7 @@ pub use spg_error as error;
 pub use spg_gemm as gemm;
 pub use spg_serve as serve;
 pub use spg_simcpu as simcpu;
+pub use spg_sync as sync;
 pub use spg_telemetry as telemetry;
 pub use spg_tensor as tensor;
 pub use spg_workloads as workloads;

@@ -111,6 +111,60 @@ fn missing_file_is_a_clean_error() {
     assert!(stderr.contains("error"));
 }
 
+/// Without the `fault-injection` feature, `--inject-fault` must refuse
+/// loudly instead of running an inert drill that proves nothing.
+#[cfg(not(feature = "fault-injection"))]
+#[test]
+fn inject_fault_flag_requires_the_feature() {
+    let (_, stderr, ok) = spgcnn(&["serve", "--smoke", "--inject-fault", "any:2"]);
+    assert!(!ok);
+    assert!(stderr.contains("fault-injection"), "stderr: {stderr}");
+}
+
+/// The CI smoke drill: a 4-worker serve run with an injected panic must
+/// finish, report the fault and the respawn, and exit zero.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn serve_smoke_survives_injected_fault() {
+    let (stdout, stderr, ok) = spgcnn(&[
+        "serve",
+        "--smoke",
+        "--workers",
+        "4",
+        "--requests",
+        "32",
+        "--max-batch",
+        "1",
+        "--inject-fault",
+        "any:2",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("fault drill passed"), "stdout: {stdout}");
+    assert!(stdout.contains("1 worker restart(s)"), "stdout: {stdout}");
+}
+
+/// The training pool drill through the CLI: an injected panic inside the
+/// SGD pool is absorbed by the supervisor and training still completes.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn train_survives_injected_fault() {
+    let path = write_net("spgcnn_train_fault_test.cfg");
+    let (stdout, stderr, ok) = spgcnn(&[
+        "train",
+        path.to_str().expect("utf-8 path"),
+        "--epochs",
+        "2",
+        "--samples",
+        "12",
+        "--threads",
+        "2",
+        "--inject-fault",
+        "0:2",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("fault drill passed"), "stdout: {stdout}");
+}
+
 #[test]
 fn tune_measures_all_techniques() {
     let path = write_net("spgcnn_tune_test.cfg");

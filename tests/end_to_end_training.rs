@@ -30,6 +30,7 @@ fn train(net: &mut Network, threads: usize) -> Vec<spg_cnn::convnet::EpochStats>
         sample_threads: threads,
         momentum: 0.0,
         shuffle_seed: 7,
+        ..TrainerConfig::default()
     });
     trainer.train(net, &mut dataset())
 }
@@ -97,6 +98,7 @@ fn framework_retunes_to_sparse_backward_during_training() {
         sample_threads: 1,
         momentum: 0.0,
         shuffle_seed: 7,
+        ..TrainerConfig::default()
     });
     let mut data = dataset();
     trainer.train_with(&mut net, &mut data, |net, stats| framework.retune(net, stats));

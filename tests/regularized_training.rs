@@ -34,6 +34,7 @@ fn regularized_network_trains_with_optimized_kernels() {
         batch_size: 6,
         sample_threads: 2,
         shuffle_seed: 5,
+        ..TrainerConfig::default()
     });
     let stats = trainer.train(&mut net, &mut data);
     let (first, last) = (&stats[0], stats.last().expect("epochs ran"));
