@@ -1,0 +1,122 @@
+//! CT-CSR pointer-shift backward checks (Eq. 11–15).
+//!
+//! The sparse backward kernels walk a column-tiled CSR of the output gradient
+//! and scatter `nc`-wide weight rows into the input-gradient (backward-data)
+//! or weight-gradient (backward-weights) accumulators. The pointer-shift
+//! composition means every store address is an affine function of the patch
+//! position and the kernel tap — exactly what the interval domain evaluates.
+
+use crate::error::{Buf, CheckError};
+use crate::interval::Span;
+use crate::Interp;
+use spg_convnet::ConvSpec;
+
+/// Verifies the CT-CSR pointer-shift backward plan: staging capacities for
+/// both HWC gradients and the permuted weight accumulator, the Eq. 15 scatter
+/// ranges, and the `kkfc` weight-block reads.
+pub(crate) fn check_backward_sparse(
+    interp: &mut Interp,
+    spec: &ConvSpec,
+    tile_width: usize,
+    cap: &crate::ScratchCapacity,
+) -> Result<(), CheckError> {
+    if tile_width == 0 {
+        return Err(CheckError::PlanShapeMismatch {
+            context: "CT-CSR feature-tile width must be positive",
+            expected: 1,
+            found: 0,
+        });
+    }
+    let (nc, in_w) = (spec.in_c(), spec.in_w());
+    let (fy, fx, nf) = (spec.ky(), spec.kx(), spec.features());
+    let in_len = spec.input_shape().len();
+    let out_len = spec.output_shape().len();
+    let w_len = spec.weight_shape().len();
+
+    // Staging: E_O in HWC (CT-CSR source), E_I accumulator in HWC, dW in kkfc.
+    interp.capacity(Buf::HwcOut, "CT-CSR E_O HWC staging", out_len, cap.hwc_out)?;
+    interp.capacity(Buf::HwcIn, "pointer-shift E_I accumulator", in_len, cap.hwc_in)?;
+    interp.capacity(Buf::Wperm, "kkfc weight-gradient accumulator", w_len, cap.wperm)?;
+
+    // Column tiles cover the nf features: tile t holds columns
+    // [t*tile_width, min((t+1)*tile_width, nf)) — in-bounds by construction,
+    // proved here so a mutated tiling cannot smuggle a wider tile through.
+    let tiles = nf.div_ceil(tile_width);
+    let last_lo = (tiles - 1) * tile_width;
+    if last_lo >= nf {
+        return Err(CheckError::PlanShapeMismatch {
+            context: "CT-CSR column tiling exceeds the feature count",
+            expected: nf,
+            found: last_lo,
+        });
+    }
+    interp.access(Buf::HwcOut, "CT-CSR column-tile features", Span::iter(nf), nf)?;
+
+    // Eq. 15 scatter: dst = ((yp*sy + ky)*in_w + xp*sx + kx)*nc + 0..nc,
+    // shared by the backward-data store and the backward-weights gather.
+    let shift = Span::iter(spec.out_h())
+        .scale(spec.sy())
+        .plus(Span::iter(fy))
+        .scale(in_w)
+        .plus(Span::iter(spec.out_w()).scale(spec.sx()).plus(Span::iter(fx)))
+        .scale(nc)
+        .block(nc);
+    interp.access(Buf::HwcIn, "Eq. 15 pointer-shift scatter", shift, in_len)?;
+
+    // kkfc weight rows: base = ((ky*fx + kx)*nf + f)*nc, read/accumulated
+    // nc wide. Covers both the backward-data weight read and the
+    // backward-weights gradient store (same permuted layout).
+    let w_rows = Span::iter(fy)
+        .scale(fx)
+        .plus(Span::iter(fx))
+        .scale(nf)
+        .plus(Span::iter(nf))
+        .scale(nc)
+        .block(nc);
+    interp.access(Buf::Weights, "kkfc pointer-shift weight rows", w_rows, w_len)?;
+    interp.access(Buf::Wperm, "kkfc weight-gradient rows", w_rows, w_len)?;
+
+    // Final transforms back to the caller's layouts.
+    interp.access(Buf::GradIn, "E_I HWC-to-CHW store", Span::iter(in_len), in_len)?;
+    interp.access(Buf::GradWeights, "dW kkfc-to-fckk store", Span::iter(w_len), w_len)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScratchCapacity;
+
+    #[test]
+    fn pointer_shift_plan_verifies() {
+        for spec in [
+            ConvSpec::square(32, 16, 8, 5, 1),
+            ConvSpec::square(31, 7, 3, 3, 2),
+            ConvSpec::new(3, 13, 27, 5, 2, 4, 1, 3).unwrap(),
+        ] {
+            let cap = ScratchCapacity::reserved_for(&spec);
+            let mut interp = Interp::default();
+            check_backward_sparse(&mut interp, &spec, 8, &cap)
+                .unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn zero_tile_width_rejected() {
+        let spec = ConvSpec::square(32, 16, 8, 5, 1);
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let mut interp = Interp::default();
+        let err = check_backward_sparse(&mut interp, &spec, 0, &cap).unwrap_err();
+        assert!(matches!(err, CheckError::PlanShapeMismatch { found: 0, .. }));
+    }
+
+    #[test]
+    fn undersized_accumulator_rejected() {
+        let spec = ConvSpec::square(32, 16, 8, 5, 1);
+        let mut cap = ScratchCapacity::reserved_for(&spec);
+        cap.hwc_in = spec.input_shape().len() - 1;
+        let mut interp = Interp::default();
+        let err = check_backward_sparse(&mut interp, &spec, 8, &cap).unwrap_err();
+        assert!(matches!(err, CheckError::ScratchOverflow { buffer: Buf::HwcIn, .. }));
+    }
+}

@@ -1,0 +1,254 @@
+//! Property tests for the plan verifier: known-good plans verify clean, and
+//! every seeded mutation — off-by-one tile bounds, overlapping worker splits,
+//! gapped row coverage, undersized scratch — is rejected with the matching
+//! [`CheckError`] variant. The verifier's value is exactly this asymmetry:
+//! real plans pass, every corrupted neighbour of a real plan fails loudly.
+
+use proptest::prelude::*;
+
+use spg_check::{
+    gemm, verify_forward, BackwardPlan, Buf, CheckError, ConvPlan, ForwardPlan, RegisterTile,
+    ScheduleTile, ScratchCapacity, XTile, VECTOR_WIDTH,
+};
+use spg_convnet::ConvSpec;
+
+/// Specs wide enough for the tiled stencil path (`out_w >= VECTOR_WIDTH`).
+fn wide_spec() -> impl Strategy<Value = ConvSpec> {
+    (1usize..4, 10usize..24, 1usize..6, 1usize..5, 1usize..3).prop_filter_map(
+        "tiled stencil needs a full vector of output columns",
+        |(c, n, f, k, s)| {
+            let spec = ConvSpec::new(c, n, n, f, k, k, s, s).ok()?;
+            (spec.out_w() >= VECTOR_WIDTH).then_some(spec)
+        },
+    )
+}
+
+/// Any valid spec, narrow outputs included.
+fn any_spec() -> impl Strategy<Value = ConvSpec> {
+    (1usize..4, 4usize..18, 1usize..6, 1usize..5, 1usize..3)
+        .prop_filter_map("kernel fits input", |(c, n, f, k, s)| {
+            ConvSpec::new(c, n, n, f, k, k, s, s).ok()
+        })
+}
+
+/// Mirrors the stencil kernel's x-plan segmentation (16-wide greedy, then
+/// 8-wide, then an overlapping 8-wide remainder anchored at the row end).
+fn x_tiles(out_w: usize) -> Vec<XTile> {
+    let lanes = VECTOR_WIDTH;
+    let mut tiles = Vec::new();
+    let mut x = 0;
+    while x + 2 * lanes <= out_w {
+        tiles.push(XTile { x, vectors: 2 });
+        x += 2 * lanes;
+    }
+    while x + lanes <= out_w {
+        tiles.push(XTile { x, vectors: 1 });
+        x += lanes;
+    }
+    if x < out_w {
+        tiles.push(XTile { x: out_w - lanes, vectors: 1 });
+    }
+    tiles
+}
+
+/// The known-good tiled stencil plan for a wide spec.
+fn good_tiled(spec: &ConvSpec) -> ForwardPlan {
+    ForwardPlan::StencilTiled {
+        lanes: VECTOR_WIDTH,
+        tile_rows: 2,
+        cache_rows: 2,
+        x_tiles: x_tiles(spec.out_w()),
+        phased: spec.sx() > 1,
+    }
+}
+
+/// A register/schedule tile pair that is always admissible (the generators'
+/// unconditional 1x1 / single-row fallbacks).
+fn good_tiles(spec: &ConvSpec) -> (RegisterTile, ScheduleTile) {
+    (RegisterTile { rx: 1, ry: 1 }, ScheduleTile { y_tile: 1, x_tile: spec.out_w() })
+}
+
+fn verify(spec: &ConvSpec, fwd: &ForwardPlan, cap: &ScratchCapacity) -> Result<(), CheckError> {
+    let (rt, st) = good_tiles(spec);
+    verify_forward(spec, fwd, rt, st, cap).map(|_| ())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Baseline: the mirrored-from-the-kernel plan always verifies.
+    #[test]
+    fn good_tiled_plan_verifies(spec in wide_spec()) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        prop_assert!(verify(&spec, &good_tiled(&spec), &cap).is_ok());
+    }
+
+    /// Off-by-one tile bound: shifting any x-tile one column right must be
+    /// rejected — either the segment escapes the row (OutOfBounds) or it
+    /// opens a one-column gap at its old position (IncompleteCover).
+    #[test]
+    fn shifted_x_tile_rejected(spec in wide_spec(), pick in 0usize..64) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let mut tiles = x_tiles(spec.out_w());
+        let i = pick % tiles.len();
+        tiles[i].x += 1;
+        let mutated = ForwardPlan::StencilTiled {
+            lanes: VECTOR_WIDTH,
+            tile_rows: 2,
+            cache_rows: 2,
+            x_tiles: tiles,
+            phased: spec.sx() > 1,
+        };
+        let err = verify(&spec, &mutated, &cap).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                CheckError::OutOfBounds { buffer: Buf::Output, .. }
+                    | CheckError::IncompleteCover { buffer: Buf::Output, .. }
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    /// Dropping an x-tile leaves uncovered output columns: IncompleteCover.
+    /// (No tile is redundant: coverage below the remainder is tight, and the
+    /// remainder is the only segment reaching the row end.)
+    #[test]
+    fn dropped_x_tile_rejected(spec in wide_spec(), pick in 0usize..64) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let mut tiles = x_tiles(spec.out_w());
+        let i = pick % tiles.len();
+        tiles.remove(i);
+        let mutated = ForwardPlan::StencilTiled {
+            lanes: VECTOR_WIDTH,
+            tile_rows: 2,
+            cache_rows: 2,
+            x_tiles: tiles,
+            phased: spec.sx() > 1,
+        };
+        let err = verify(&spec, &mutated, &cap).unwrap_err();
+        prop_assert!(
+            matches!(err, CheckError::IncompleteCover { buffer: Buf::Output, .. }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    /// Claiming the phase transform on a unit-stride layer (or omitting it
+    /// on a strided one) contradicts the kernel dispatch: PlanShapeMismatch.
+    #[test]
+    fn wrong_phase_claim_rejected(spec in wide_spec()) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let mutated = ForwardPlan::StencilTiled {
+            lanes: VECTOR_WIDTH,
+            tile_rows: 2,
+            cache_rows: 2,
+            x_tiles: x_tiles(spec.out_w()),
+            phased: spec.sx() == 1, // inverted
+        };
+        let err = verify(&spec, &mutated, &cap).unwrap_err();
+        prop_assert!(matches!(err, CheckError::PlanShapeMismatch { .. }));
+    }
+
+    /// Undersized scratch: shrinking a required staging capacity below the
+    /// plan's high-water footprint is a ScratchOverflow. The narrow stencil
+    /// stages the whole input in hwc_in, so zeroing that reservation must
+    /// overflow on every spec.
+    #[test]
+    fn undersized_scratch_rejected(spec in any_spec()) {
+        let mut cap = ScratchCapacity::reserved_for(&spec);
+        cap.hwc_in = 0;
+        let err = verify(&spec, &ForwardPlan::StencilNarrow, &cap).unwrap_err();
+        prop_assert!(
+            matches!(err, CheckError::ScratchOverflow { buffer: Buf::HwcIn, .. }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    /// The phased tiled path stages the phase-transformed input in hwc_in;
+    /// one element short of its footprint is likewise a ScratchOverflow.
+    #[test]
+    fn undersized_phased_scratch_rejected(spec in wide_spec()) {
+        let mut cap = ScratchCapacity::reserved_for(&spec);
+        if spec.sx() > 1 {
+            cap.hwc_in -= 1;
+            let err = verify(&spec, &good_tiled(&spec), &cap).unwrap_err();
+            prop_assert!(
+                matches!(err, CheckError::ScratchOverflow { buffer: Buf::HwcIn, .. }),
+                "unexpected error {err:?}"
+            );
+        }
+    }
+
+    /// Overlapping worker splits: merging two adjacent GEMM row bands into
+    /// overlapping ranges is an OverlappingWorkers rejection.
+    #[test]
+    fn overlapping_worker_bands_rejected(m in 2usize..64, threads in 2usize..8) {
+        let mut bands = gemm::row_bands(m, threads);
+        prop_assert!(bands.len() >= 2); // min(threads, m) >= 2 workers
+        // Stretch band 0 one row into band 1's territory.
+        bands[0].1 += 1;
+        let err = gemm::verify_row_bands(Buf::Output, "mutated bands", m, 4, &bands).unwrap_err();
+        prop_assert!(
+            matches!(err, CheckError::OverlappingWorkers { worker_a: 0, worker_b: 1, .. }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    /// Gapped worker splits: a skipped output row is an IncompleteCover.
+    /// `m >= 2 * threads` keeps every band at least two rows tall, so the
+    /// shrunken band stays non-empty and the gap is a genuine hole.
+    #[test]
+    fn gapped_worker_bands_rejected(m in 16usize..64, threads in 2usize..8) {
+        let mut bands = gemm::row_bands(m, threads);
+        prop_assert!(bands.len() >= 2 && bands[0].1 - bands[0].0 >= 2);
+        bands[0].1 -= 1;
+        let err = gemm::verify_row_bands(Buf::Output, "mutated bands", m, 4, &bands).unwrap_err();
+        prop_assert!(
+            matches!(err, CheckError::IncompleteCover { .. }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    /// Escaping worker splits: extending the last band past `m` rows is an
+    /// OutOfBounds on the output operand.
+    #[test]
+    fn escaping_worker_band_rejected(m in 2usize..64, threads in 1usize..8) {
+        let mut bands = gemm::row_bands(m, threads);
+        let last = bands.len() - 1;
+        bands[last].1 += 1;
+        let err = gemm::verify_row_bands(Buf::Output, "mutated bands", m, 4, &bands).unwrap_err();
+        prop_assert!(
+            matches!(err, CheckError::OutOfBounds { buffer: Buf::Output, .. }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    /// Oversized register tiles (accumulator budget) and zero-sized tiles
+    /// are rejected as BudgetExceeded / PlanShapeMismatch respectively.
+    #[test]
+    fn bad_register_tiles_rejected(spec in wide_spec()) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let st = ScheduleTile { y_tile: 1, x_tile: spec.out_w() };
+        let over = RegisterTile { rx: 4, ry: 4 };
+        let err = verify_forward(&spec, &good_tiled(&spec), over, st, &cap).unwrap_err();
+        prop_assert!(matches!(err, CheckError::BudgetExceeded { .. }));
+        let zero = RegisterTile { rx: 0, ry: 1 };
+        let err = verify_forward(&spec, &good_tiled(&spec), zero, st, &cap).unwrap_err();
+        prop_assert!(matches!(err, CheckError::PlanShapeMismatch { .. }));
+    }
+
+    /// The full-plan entry point rejects a corrupted backward tile width.
+    #[test]
+    fn zero_sparse_tile_width_rejected(spec in any_spec()) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let (rt, _) = good_tiles(&spec);
+        let plan = ConvPlan {
+            forward: ForwardPlan::UnfoldGemm { threads: 1 },
+            backward: BackwardPlan::SparsePointerShift { tile_width: 0 },
+            register_tile: rt,
+            schedule: ScheduleTile { y_tile: 1, x_tile: spec.out_w().max(1) },
+        };
+        let err = spg_check::verify_conv_plan(&spec, &plan, &cap).unwrap_err();
+        prop_assert!(matches!(err, CheckError::PlanShapeMismatch { .. }));
+    }
+}

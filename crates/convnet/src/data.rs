@@ -132,6 +132,7 @@ fn smooth_prototype<R: Rng>(shape: Shape3, rng: &mut R) -> Tensor {
             for x in 0..shape.w {
                 let fy = y as f32 / shape.h.max(1) as f32 * (GRID - 1) as f32;
                 let fx = x as f32 / shape.w.max(1) as f32 * (GRID - 1) as f32;
+                #[allow(clippy::cast_possible_truncation)] // fy, fx lie in [0, GRID-1]
                 let (y0, x0) = (fy as usize, fx as usize);
                 let (y1, x1) = ((y0 + 1).min(GRID - 1), (x0 + 1).min(GRID - 1));
                 let (ty, tx) = (fy - y0 as f32, fx - x0 as f32);

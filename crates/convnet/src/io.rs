@@ -46,7 +46,8 @@ const VERSION: u32 = 1;
 pub fn save_weights<W: Write>(net: &Network, mut writer: W) -> std::io::Result<()> {
     writer.write_all(&MAGIC)?;
     writer.write_all(&VERSION.to_le_bytes())?;
-    writer.write_all(&(net.layers().len() as u32).to_le_bytes())?;
+    let layer_count = u32::try_from(net.layers().len()).expect("layer count fits the format's u32");
+    writer.write_all(&layer_count.to_le_bytes())?;
     for layer in net.layers() {
         let params = layer.params().unwrap_or(&[]);
         writer.write_all(&(params.len() as u64).to_le_bytes())?;
@@ -83,7 +84,9 @@ pub fn load_weights<R: Read>(net: &mut Network, mut reader: R) -> Result<(), Loa
     for (i, layer) in net.layers_mut().iter_mut().enumerate() {
         let mut count_bytes = [0u8; 8];
         reader.read_exact(&mut count_bytes)?;
-        let count = u64::from_le_bytes(count_bytes) as usize;
+        let count = usize::try_from(u64::from_le_bytes(count_bytes)).map_err(|_| {
+            LoadError::Format(format!("layer {i}: parameter count overflows usize"))
+        })?;
         if count != layer.param_count() {
             return Err(LoadError::Format(format!(
                 "layer {i}: file has {count} parameters, layer has {}",

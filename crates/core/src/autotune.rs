@@ -51,6 +51,8 @@ pub fn measure_technique(
     let weights: Vec<f32> =
         (0..spec.weight_shape().len()).map(|i| ((i % 19) as f32 - 9.0) / 5.0).collect();
     let olen = spec.output_shape().len();
+    // Clamped sparsity bounds the ratio to [1, 1000], so the cast is exact.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let keep_every = (1.0 / (1.0 - sparsity.clamp(0.0, 0.999)).max(1e-3)).round() as usize;
     let grad_out: Vec<f32> = (0..olen)
         .map(|i| if i % keep_every.max(1) == 0 { ((i % 13) as f32 - 6.0) / 4.0 } else { 0.0 })
@@ -76,7 +78,9 @@ pub fn measure_technique(
     for _ in 0..reps {
         run(&mut scratch);
     }
-    start.elapsed() / reps as u32
+    // Repetition counts are single digits in practice; saturate rather than
+    // truncate on a pathological caller.
+    start.elapsed() / u32::try_from(reps).unwrap_or(u32::MAX)
 }
 
 /// Measures every applicable technique for both phases and returns the
@@ -87,7 +91,10 @@ pub fn measure_technique(
 /// Panics if `reps == 0`.
 pub fn tune_layer(spec: &ConvSpec, sparsity: f64, cores: usize, reps: usize) -> LayerPlan {
     let pick = |phase: Phase, candidates: &[Technique]| {
-        let timed: Vec<(Technique, Duration)> = candidates
+        // Plan-time gate: every candidate is verified before it is measured
+        // or deployed; rejections are logged, never run.
+        let (safe, rejected) = split_verified(spec, candidates, phase, cores);
+        let timed: Vec<(Technique, Duration)> = safe
             .iter()
             .map(|&t| (t, measure_technique(spec, t, phase, sparsity, cores, reps)))
             .collect();
@@ -95,7 +102,9 @@ pub fn tune_layer(spec: &ConvSpec, sparsity: f64, cores: usize, reps: usize) -> 
             .iter()
             .min_by_key(|&&(_, d)| d)
             .map(|&(t, _)| t)
-            .expect("candidate lists are non-empty");
+            // GEMM-in-Parallel is the always-applicable serial baseline; it
+            // only backstops the (unreachable) all-candidates-rejected case.
+            .unwrap_or(Technique::GemmInParallel);
         // Log the measure-and-pick evidence so `spgcnn tune --json` can
         // report not just the winner but why it won.
         if spg_telemetry::enabled() {
@@ -112,9 +121,10 @@ pub fn tune_layer(spec: &ConvSpec, sparsity: f64, cores: usize, reps: usize) -> 
                     .iter()
                     .map(|&(t, d)| spg_telemetry::CandidateTiming {
                         technique: t.id().to_string(),
-                        wall_ns: d.as_nanos() as u64,
+                        wall_ns: duration_ns(d),
                     })
                     .collect(),
+                rejected,
             });
         }
         chosen
@@ -123,6 +133,33 @@ pub fn tune_layer(spec: &ConvSpec, sparsity: f64, cores: usize, reps: usize) -> 
         forward: pick(Phase::Forward, Technique::forward_candidates()),
         backward: pick(Phase::Backward, Technique::backward_candidates()),
     }
+}
+
+/// Partitions candidates into verifier-approved techniques and logged
+/// rejections (the plan-time gate in front of every measurement).
+fn split_verified(
+    spec: &ConvSpec,
+    candidates: &[Technique],
+    phase: Phase,
+    cores: usize,
+) -> (Vec<Technique>, Vec<spg_telemetry::RejectedCandidate>) {
+    let mut safe = Vec::with_capacity(candidates.len());
+    let mut rejected = Vec::new();
+    for &t in candidates {
+        match crate::verify::verify_technique(spec, t, phase, cores) {
+            Ok(_) => safe.push(t),
+            Err(e) => rejected.push(spg_telemetry::RejectedCandidate {
+                technique: t.id().to_string(),
+                reason: e.to_string(),
+            }),
+        }
+    }
+    (safe, rejected)
+}
+
+/// Saturating nanosecond count for telemetry (u64 holds ~584 years).
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Measures only the forward-phase candidates and returns the fastest —
@@ -134,15 +171,14 @@ pub fn tune_layer(spec: &ConvSpec, sparsity: f64, cores: usize, reps: usize) -> 
 ///
 /// Panics if `reps == 0`.
 pub fn tune_layer_forward(spec: &ConvSpec, cores: usize, reps: usize) -> Technique {
-    let timed: Vec<(Technique, Duration)> = Technique::forward_candidates()
+    let (safe, rejected) =
+        split_verified(spec, Technique::forward_candidates(), Phase::Forward, cores);
+    let timed: Vec<(Technique, Duration)> = safe
         .iter()
         .map(|&t| (t, measure_technique(spec, t, Phase::Forward, 0.0, cores, reps)))
         .collect();
-    let chosen = timed
-        .iter()
-        .min_by_key(|&&(_, d)| d)
-        .map(|&(t, _)| t)
-        .expect("candidate list is non-empty");
+    let chosen =
+        timed.iter().min_by_key(|&&(_, d)| d).map(|&(t, _)| t).unwrap_or(Technique::GemmInParallel);
     if spg_telemetry::enabled() {
         spg_telemetry::record_decision(spg_telemetry::Decision {
             label: spg_telemetry::current_label().unwrap_or_else(|| "unscoped".to_string()),
@@ -154,9 +190,10 @@ pub fn tune_layer_forward(spec: &ConvSpec, cores: usize, reps: usize) -> Techniq
                 .iter()
                 .map(|&(t, d)| spg_telemetry::CandidateTiming {
                     technique: t.id().to_string(),
-                    wall_ns: d.as_nanos() as u64,
+                    wall_ns: duration_ns(d),
                 })
                 .collect(),
+            rejected,
         });
     }
     chosen

@@ -70,7 +70,9 @@ impl CompiledConv {
     /// # Errors
     ///
     /// Returns [`SpgError::InvalidNetwork`](crate::SpgError::InvalidNetwork)
-    /// if the weight buffer length does not match the spec.
+    /// if the weight buffer length does not match the spec, or
+    /// [`SpgError::PlanRejected`](crate::SpgError::PlanRejected) if the
+    /// static verifier cannot prove the lowered plan safe.
     pub fn compile(
         spec: ConvSpec,
         plan: LayerPlan,
@@ -86,6 +88,10 @@ impl CompiledConv {
                 ),
             });
         }
+        // Plan-time gate: prove every access range of the lowered plan
+        // in-bounds, disjoint across workers, and within scratch capacity
+        // before constructing anything that will execute it.
+        crate::verify::verify_plan(&spec, plan, cores.max(1))?;
         let mut compiled = CompiledConv {
             spec,
             plan,
@@ -111,10 +117,10 @@ impl CompiledConv {
         assert_eq!(weights.len(), self.spec.weight_shape().len(), "weights length");
         self.weights = Tensor::from_vec(weights.to_vec());
         self.w_kkfc = if self.plan.backward == Technique::SparseBp {
-            Some(
-                layout::fckk_to_kkfc(&self.weights, self.spec.weight_shape())
-                    .expect("length validated above"),
-            )
+            match layout::fckk_to_kkfc(&self.weights, self.spec.weight_shape()) {
+                Ok(kkfc) => Some(kkfc),
+                Err(_) => unreachable!("weight length asserted at entry"),
+            }
         } else {
             None
         };

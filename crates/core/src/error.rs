@@ -19,6 +19,13 @@ pub enum SpgError {
     },
     /// A tuning run was requested with no candidate techniques.
     NoCandidates,
+    /// The plan-time verifier rejected a candidate execution plan.
+    PlanRejected {
+        /// Technique id of the rejected candidate.
+        technique: &'static str,
+        /// The verifier's proof obligation that failed.
+        check: spg_check::CheckError,
+    },
 }
 
 impl fmt::Display for SpgError {
@@ -27,6 +34,9 @@ impl fmt::Display for SpgError {
             SpgError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
             SpgError::InvalidNetwork { message } => write!(f, "invalid network: {message}"),
             SpgError::NoCandidates => write!(f, "no candidate techniques to tune over"),
+            SpgError::PlanRejected { technique, check } => {
+                write!(f, "plan rejected by static verifier: {technique}: {check}")
+            }
         }
     }
 }
@@ -38,7 +48,7 @@ impl From<SpgError> for spg_error::Error {
         let kind = match e {
             SpgError::Parse { .. } => spg_error::ErrorKind::Parse,
             SpgError::InvalidNetwork { .. } => spg_error::ErrorKind::InvalidNetwork,
-            SpgError::NoCandidates => spg_error::ErrorKind::Tuning,
+            SpgError::NoCandidates | SpgError::PlanRejected { .. } => spg_error::ErrorKind::Tuning,
         };
         spg_error::Error::with_source(kind, e.to_string(), e)
     }

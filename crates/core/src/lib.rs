@@ -33,6 +33,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod ait;
 pub mod autotune;
@@ -43,5 +44,6 @@ pub mod region;
 pub mod schedule;
 pub mod sparse;
 pub mod stencil;
+pub mod verify;
 
 pub use error::SpgError;

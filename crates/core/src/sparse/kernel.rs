@@ -136,9 +136,9 @@ pub fn backward_data_pretransformed_scratch(
 
     // Column-tiled CSR over (spatial positions x features), rebuilt in
     // place over the previous sample's tile storage.
-    ctcsr
-        .assign_from_slice(out_h * out_w, nf, eo_hwc, tile_width)
-        .expect("tile width validated above");
+    if ctcsr.assign_from_slice(out_h * out_w, nf, eo_hwc, tile_width).is_err() {
+        unreachable!("tile width asserted positive above");
+    }
     let eo_sparse = &*ctcsr;
 
     // Goodput accounting (Sec. 3.3): each stored gradient value touches
@@ -241,9 +241,9 @@ pub fn backward_weights_scratch(
     layout::chw_to_hwc_into(input, spec.input_shape(), in_hwc);
     let eo_hwc = zeroed_slice(hwc_out, nf * out_h * out_w);
     layout::chw_to_hwc_into(grad_out, Shape3::new(nf, out_h, out_w), eo_hwc);
-    ctcsr
-        .assign_from_slice(out_h * out_w, nf, eo_hwc, tile_width)
-        .expect("tile width validated above");
+    if ctcsr.assign_from_slice(out_h * out_w, nf, eo_hwc, tile_width).is_err() {
+        unreachable!("tile width asserted positive above");
+    }
     let eo_sparse = &*ctcsr;
 
     // Same goodput accounting as `backward_data_pretransformed`: the

@@ -28,10 +28,49 @@ use spg_gemm::gemm_slice;
 
 /// Output rows held in the AVX register tile. Six accumulators mirror the
 /// GEMM micro-kernel's register budget and give `6*Fy / (Fy + 5)` input
-/// reuse.
-const TILE_ROWS: usize = 6;
-/// f32 lanes per vector.
-const LANES: usize = 8;
+/// reuse. Public so the plan verifier lowers the exact tile the kernel runs.
+pub const TILE_ROWS: usize = 6;
+/// f32 lanes per vector. Public for the same reason as [`TILE_ROWS`].
+pub const LANES: usize = 8;
+
+/// `x` tile plan covering `0..out_w`: 16-wide tiles while they fit, then
+/// 8-wide, then one overlapping 8-wide tail for ragged widths. Returns
+/// `(x, wide)` pairs; `wide` means two vectors (16 columns).
+///
+/// This is the segmentation the AVX basic block executes; it is portable
+/// pure arithmetic, public so the plan verifier proves bounds for the very
+/// tile list the kernel will iterate, not a reconstruction of it.
+///
+/// # Panics
+///
+/// Debug-asserts `out_w >= LANES` (narrower outputs take the shifted-GEMM
+/// path and have no x plan).
+pub fn x_plan(out_w: usize) -> Vec<(usize, bool)> {
+    debug_assert!(out_w >= LANES);
+    let mut plan = Vec::new();
+    let mut x = 0;
+    while x + 2 * LANES <= out_w {
+        plan.push((x, true));
+        x += 2 * LANES;
+    }
+    while x + LANES <= out_w {
+        plan.push((x, false));
+        x += LANES;
+    }
+    if x < out_w {
+        plan.push((out_w - LANES, false));
+    }
+    plan
+}
+
+/// Builds the Eq. 21 phase layout for `spec`'s x stride.
+fn phase_layout(spec: &ConvSpec) -> StridedLayout {
+    match StridedLayout::new(spec.input_shape(), spec.sx()) {
+        Ok(lay) => lay,
+        // ConvSpec validation rejects zero strides.
+        Err(_) => unreachable!("positive stride by spec validation"),
+    }
+}
 
 /// Stencil forward propagation allocating a throwaway [`ConvScratch`]
 /// per call.
@@ -92,8 +131,7 @@ pub fn forward_scratch(
                 // validated at function entry.
                 unsafe { avx::forward_tiled(spec, input, weights, output) };
             } else {
-                let lay = StridedLayout::new(spec.input_shape(), spec.sx())
-                    .expect("positive stride by spec validation");
+                let lay = phase_layout(spec);
                 let phased = zeroed_slice(&mut scratch.hwc_in, lay.transformed_len());
                 lay.apply_into(input, phased);
                 // SAFETY: as above; the phased buffer geometry comes from
@@ -255,8 +293,7 @@ fn forward_scalar(
     if spec.sx() == 1 {
         scalar_unit_stride(spec, input, weights, output);
     } else {
-        let lay = StridedLayout::new(spec.input_shape(), spec.sx())
-            .expect("positive stride by spec validation");
+        let lay = phase_layout(spec);
         let phased = zeroed_slice(&mut scratch.hwc_in, lay.transformed_len());
         lay.apply_into(input, phased);
         scalar_phased(spec, &lay, phased, weights, output);
@@ -394,11 +431,19 @@ mod avx {
                     let off = kx_offset(kx);
                     let mut ivec = [_mm256_setzero_ps(); RX];
                     for (rx, v) in ivec.iter_mut().enumerate() {
-                        *v = _mm256_loadu_ps(base.add(off + rx * LANES));
+                        // SAFETY: the caller contract (verified at plan time
+                        // by spg-check's x-tile and row-range proofs)
+                        // guarantees in_row(c, iy) + kx_offset(kx) +
+                        // RX * LANES stays inside the input buffer.
+                        *v = unsafe { _mm256_loadu_ps(base.add(off + rx * LANES)) };
                     }
                     for ty in ty_lo..=ty_hi {
                         let ky = iy - ty * sy;
-                        let w = _mm256_broadcast_ss(&*w_fc.add(ky * fx + kx));
+                        // SAFETY: ky < fy and kx < fx by the loop bounds, and
+                        // the caller contract guarantees weights(c) points to
+                        // fy * fx readable floats (the verifier's weight-
+                        // broadcast range proof).
+                        let w = unsafe { _mm256_broadcast_ss(&*w_fc.add(ky * fx + kx)) };
                         for rx in 0..RX {
                             acc[ty][rx] = _mm256_fmadd_ps(ivec[rx], w, acc[ty][rx]);
                         }
@@ -408,31 +453,15 @@ mod avx {
         }
         for (r, row) in acc.iter().enumerate().take(rows) {
             for (rx, a) in row.iter().enumerate() {
-                _mm256_storeu_ps(out.add(r * out_stride + rx * LANES), *a);
+                // SAFETY: r < rows and the caller contract guarantees `out`
+                // has `rows` rows of RX * LANES writable elements at stride
+                // `out_stride` (the verifier's output-store range proof).
+                unsafe { _mm256_storeu_ps(out.add(r * out_stride + rx * LANES), *a) };
             }
         }
     }
 
-    /// `x` tile plan covering `0..out_w`: 16-wide tiles while they fit,
-    /// then 8-wide, then one overlapping 8-wide tail for ragged widths.
-    /// Requires `out_w >= LANES`. Returns `(x, wide)` pairs.
-    fn x_plan(out_w: usize) -> Vec<(usize, bool)> {
-        debug_assert!(out_w >= LANES);
-        let mut plan = Vec::new();
-        let mut x = 0;
-        while x + 2 * LANES <= out_w {
-            plan.push((x, true));
-            x += 2 * LANES;
-        }
-        while x + LANES <= out_w {
-            plan.push((x, false));
-            x += LANES;
-        }
-        if x < out_w {
-            plan.push((out_w - LANES, false));
-        }
-        plan
-    }
+    use super::x_plan;
 
     /// Unit-`x`-stride register-tiled forward pass.
     ///
@@ -456,7 +485,9 @@ mod avx {
         let cache_tile = crate::stencil::plan_cache_schedule(spec).y_tile.max(TILE_ROWS);
         let xs = x_plan(out_w);
         for f in 0..nf {
-            let out_plane = output.as_mut_ptr().add(f * out_h * out_w);
+            // SAFETY: f < nf, so the plane offset stays inside the output
+            // buffer whose length the caller validated against the spec.
+            let out_plane = unsafe { output.as_mut_ptr().add(f * out_h * out_w) };
             // Cache schedule: sweep one block of output rows completely
             // (all channels reduced inside the register tiles) before
             // moving down the image.
@@ -467,36 +498,50 @@ mod avx {
                 while y < y1 {
                     let rows = TILE_ROWS.min(y1 - y);
                     for &(x, wide) in &xs {
-                        let in_row =
-                            |c: usize, iy: usize| in_ptr.add((c * in_h + y * sy + iy) * in_w + x);
-                        let w_fc = |c: usize| w_ptr.add((f * nc + c) * fy * fx);
-                        let dst = out_plane.add(y * out_w + x);
-                        if wide {
-                            tile_block::<2>(
-                                rows,
-                                fy,
-                                fx,
-                                sy,
-                                nc,
-                                in_row,
-                                w_fc,
-                                |kx| kx,
-                                dst,
-                                out_w,
-                            );
-                        } else {
-                            tile_block::<1>(
-                                rows,
-                                fy,
-                                fx,
-                                sy,
-                                nc,
-                                in_row,
-                                w_fc,
-                                |kx| kx,
-                                dst,
-                                out_w,
-                            );
+                        // SAFETY: c < nc, y*sy + iy <= (out_h-1)*sy + fy - 1
+                        // < in_h and x + kx + 2*LANES <= in_w for every tile
+                        // of the x plan — the exact ranges spg-check proves
+                        // in-bounds for this plan at compile (plan) time.
+                        let in_row = |c: usize, iy: usize| unsafe {
+                            in_ptr.add((c * in_h + y * sy + iy) * in_w + x)
+                        };
+                        // SAFETY: f < nf and c < nc index whole fy*fx blocks
+                        // of the validated weight buffer.
+                        let w_fc = |c: usize| unsafe { w_ptr.add((f * nc + c) * fy * fx) };
+                        // SAFETY: y < out_h and x + tile width <= out_w
+                        // (x-plan segment proof), inside the f-th plane.
+                        let dst = unsafe { out_plane.add(y * out_w + x) };
+                        // SAFETY: AVX2+FMA guaranteed by the caller; the
+                        // closure contracts above bound every access the
+                        // block performs.
+                        unsafe {
+                            if wide {
+                                tile_block::<2>(
+                                    rows,
+                                    fy,
+                                    fx,
+                                    sy,
+                                    nc,
+                                    in_row,
+                                    w_fc,
+                                    |kx| kx,
+                                    dst,
+                                    out_w,
+                                );
+                            } else {
+                                tile_block::<1>(
+                                    rows,
+                                    fy,
+                                    fx,
+                                    sy,
+                                    nc,
+                                    in_row,
+                                    w_fc,
+                                    |kx| kx,
+                                    dst,
+                                    out_w,
+                                );
+                            }
                         }
                     }
                     y += rows;
@@ -530,7 +575,9 @@ mod avx {
         let cache_tile = crate::stencil::plan_cache_schedule(spec).y_tile.max(TILE_ROWS);
         let xs = x_plan(out_w);
         for f in 0..nf {
-            let out_plane = output.as_mut_ptr().add(f * out_h * out_w);
+            // SAFETY: f < nf keeps the plane offset inside the validated
+            // output buffer.
+            let out_plane = unsafe { output.as_mut_ptr().add(f * out_h * out_w) };
             let mut y0 = 0;
             while y0 < out_h {
                 let y1 = (y0 + cache_tile).min(out_h);
@@ -541,15 +588,32 @@ mod avx {
                         // Base of row (y*sy + iy) at phase 0, column 0; the
                         // kx offset selects phase kx % sx at column
                         // kx / sx + x (the Eq. 21 access pattern).
-                        let in_row =
-                            |c: usize, iy: usize| in_ptr.add(lay.index(c, y * sy + iy, 0, 0));
-                        let w_fc = |c: usize| w_ptr.add((f * nc + c) * fy * fx);
+                        // SAFETY: the phased loads stay inside the (c, h)
+                        // phase group — spg-check's phased row-group
+                        // containment proof — within the staged buffer of
+                        // lay.transformed_len() elements.
+                        let in_row = |c: usize, iy: usize| unsafe {
+                            in_ptr.add(lay.index(c, y * sy + iy, 0, 0))
+                        };
+                        // SAFETY: f < nf and c < nc index whole fy*fx blocks
+                        // of the validated weight buffer.
+                        let w_fc = |c: usize| unsafe { w_ptr.add((f * nc + c) * fy * fx) };
                         let koff = |kx: usize| (kx % sx) * pw + kx / sx + x;
-                        let dst = out_plane.add(y * out_w + x);
-                        if wide {
-                            tile_block::<2>(rows, fy, fx, sy, nc, in_row, w_fc, koff, dst, out_w);
-                        } else {
-                            tile_block::<1>(rows, fy, fx, sy, nc, in_row, w_fc, koff, dst, out_w);
+                        // SAFETY: y < out_h and x + tile width <= out_w,
+                        // inside the f-th plane.
+                        let dst = unsafe { out_plane.add(y * out_w + x) };
+                        // SAFETY: AVX2+FMA guaranteed by the caller; closure
+                        // contracts above bound every access in the block.
+                        unsafe {
+                            if wide {
+                                tile_block::<2>(
+                                    rows, fy, fx, sy, nc, in_row, w_fc, koff, dst, out_w,
+                                );
+                            } else {
+                                tile_block::<1>(
+                                    rows, fy, fx, sy, nc, in_row, w_fc, koff, dst, out_w,
+                                );
+                            }
                         }
                     }
                     y += rows;

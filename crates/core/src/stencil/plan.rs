@@ -79,7 +79,11 @@ impl fmt::Display for RegisterTilePlan {
 pub fn plan_register_tile(spec: &ConvSpec) -> RegisterTilePlan {
     let fy = spec.ky();
     let fx = spec.kx();
-    let mut best: Option<RegisterTilePlan> = None;
+    // The 1x1 tile is always admissible, so the search below can only
+    // improve on this seed; `best` is never left at a worse candidate.
+    let mut best =
+        RegisterTilePlan { rx: 1, ry: 1, loads_per_block: fy * fx, fmas_per_block: fy * fx };
+    let mut seeded = true;
     for ry in 1..=ACCUMULATOR_BUDGET {
         for rx in 1..=ACCUMULATOR_BUDGET {
             if rx * ry > ACCUMULATOR_BUDGET {
@@ -95,23 +99,23 @@ pub fn plan_register_tile(spec: &ConvSpec) -> RegisterTilePlan {
                 loads_per_block: (ry + fy - 1) * fx * rx,
                 fmas_per_block: rx * ry * fy * fx,
             };
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    let (c, bb) = (candidate.loads_per_fma(), b.loads_per_fma());
-                    c < bb - 1e-12
-                        || ((c - bb).abs() <= 1e-12
-                            && (candidate.rx * candidate.ry > b.rx * b.ry
-                                || (candidate.rx * candidate.ry == b.rx * b.ry
-                                    && candidate.rx > b.rx)))
-                }
+            let better = if seeded {
+                true
+            } else {
+                let b = &best;
+                let (c, bb) = (candidate.loads_per_fma(), b.loads_per_fma());
+                c < bb - 1e-12
+                    || ((c - bb).abs() <= 1e-12
+                        && (candidate.rx * candidate.ry > b.rx * b.ry
+                            || (candidate.rx * candidate.ry == b.rx * b.ry && candidate.rx > b.rx)))
             };
             if better {
-                best = Some(candidate);
+                best = candidate;
+                seeded = false;
             }
         }
     }
-    best.expect("the 1x1 tile is always admissible")
+    best
 }
 
 #[cfg(test)]

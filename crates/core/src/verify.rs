@@ -1,0 +1,233 @@
+//! Plan-time static verification: lowers a [`LayerPlan`] into `spg-check`'s
+//! plan IR and proves it safe before it is measured or deployed.
+//!
+//! The lowering mirrors the executors' dispatch logic exactly — the same
+//! narrow-output cutoff, phase-transform condition, x-tile segmentation, and
+//! worker count the kernels use at run time — so the proof is about the code
+//! that runs. [`CompiledConv::compile`](crate::compiled::CompiledConv::compile)
+//! and the autotuner both call [`verify_plan`] / [`verify_technique`]; a
+//! rejected plan surfaces as [`SpgError::PlanRejected`] naming the offending
+//! access instead of executing.
+
+use spg_check::{
+    BackwardPlan, CheckReport, ConvPlan, ForwardPlan, RegisterTile, ScheduleTile, ScratchCapacity,
+    XTile,
+};
+use spg_convnet::ConvSpec;
+
+use crate::autotune::Phase;
+use crate::schedule::{LayerPlan, Technique};
+use crate::sparse::DEFAULT_TILE_WIDTH;
+use crate::stencil::kernel::{x_plan, LANES, TILE_ROWS};
+use crate::stencil::{plan_cache_schedule, plan_register_tile};
+use crate::SpgError;
+
+/// Lowers a forward technique to the verifier's IR, reproducing the
+/// executors' dispatch: the narrow-output shifted-GEMM cutoff
+/// (`out_w < LANES`), the Eq. 21 phase transform condition (`sx > 1`), the
+/// kernel's x-tile segmentation, and the GEMM worker count.
+pub fn lower_forward(spec: &ConvSpec, technique: Technique, cores: usize) -> ForwardPlan {
+    match technique {
+        Technique::StencilFp => {
+            if spec.out_w() < LANES {
+                ForwardPlan::StencilNarrow
+            } else {
+                ForwardPlan::StencilTiled {
+                    lanes: LANES,
+                    tile_rows: TILE_ROWS,
+                    cache_rows: plan_cache_schedule(spec).y_tile.max(TILE_ROWS),
+                    x_tiles: x_plan(spec.out_w())
+                        .into_iter()
+                        .map(|(x, wide)| XTile { x, vectors: if wide { 2 } else { 1 } })
+                        .collect(),
+                    phased: spec.sx() > 1,
+                }
+            }
+        }
+        Technique::ParallelGemm => ForwardPlan::UnfoldGemm { threads: cores.max(1) },
+        // GEMM-in-Parallel runs one serial GEMM per training input; the
+        // sparse technique has no forward kernel and falls back likewise.
+        Technique::GemmInParallel | Technique::SparseBp => ForwardPlan::UnfoldGemm { threads: 1 },
+    }
+}
+
+/// Lowers a backward technique to the verifier's IR.
+pub fn lower_backward(spec: &ConvSpec, technique: Technique, cores: usize) -> BackwardPlan {
+    let _ = spec;
+    match technique {
+        Technique::SparseBp => BackwardPlan::SparsePointerShift { tile_width: DEFAULT_TILE_WIDTH },
+        Technique::ParallelGemm => BackwardPlan::UnfoldGemm { threads: cores.max(1) },
+        Technique::GemmInParallel | Technique::StencilFp => BackwardPlan::UnfoldGemm { threads: 1 },
+    }
+}
+
+/// Lowers a complete [`LayerPlan`] — both techniques plus the generators'
+/// register tile and cache schedule for `spec` — to the verifier's IR.
+pub fn lower_plan(spec: &ConvSpec, plan: LayerPlan, cores: usize) -> ConvPlan {
+    let tile = plan_register_tile(spec);
+    let schedule = plan_cache_schedule(spec);
+    ConvPlan {
+        forward: lower_forward(spec, plan.forward, cores),
+        backward: lower_backward(spec, plan.backward, cores),
+        register_tile: RegisterTile { rx: tile.rx, ry: tile.ry },
+        schedule: ScheduleTile { y_tile: schedule.y_tile, x_tile: schedule.x_tile },
+    }
+}
+
+/// Scratch capacities the verifier judges staging footprints against: what
+/// [`ConvScratch::reserve`](spg_convnet::workspace::ConvScratch::reserve)
+/// provides for this spec, which every `_scratch` entry point establishes.
+fn capacities(spec: &ConvSpec) -> ScratchCapacity {
+    ScratchCapacity::reserved_for(spec)
+}
+
+/// Verifies one technique for one phase of `spec` — the autotuner's
+/// per-candidate gate.
+///
+/// # Errors
+///
+/// Returns [`SpgError::PlanRejected`] with the verifier's typed
+/// [`CheckError`](spg_check::CheckError) if any symbolic access range
+/// escapes its buffer, worker regions overlap, staging overflows the
+/// reserved scratch, or the tile shapes contradict the spec.
+pub fn verify_technique(
+    spec: &ConvSpec,
+    technique: Technique,
+    phase: Phase,
+    cores: usize,
+) -> Result<CheckReport, SpgError> {
+    let cap = capacities(spec);
+    let tile = plan_register_tile(spec);
+    let schedule = plan_cache_schedule(spec);
+    let result = match phase {
+        Phase::Forward => spg_check::verify_forward(
+            spec,
+            &lower_forward(spec, technique, cores),
+            RegisterTile { rx: tile.rx, ry: tile.ry },
+            ScheduleTile { y_tile: schedule.y_tile, x_tile: schedule.x_tile },
+            &cap,
+        ),
+        Phase::Backward => {
+            spg_check::verify_backward(spec, &lower_backward(spec, technique, cores), &cap)
+        }
+    };
+    result.map_err(|check| SpgError::PlanRejected { technique: technique.id(), check })
+}
+
+/// Verifies a complete layer plan against `spec` — the gate
+/// [`CompiledConv::compile`](crate::compiled::CompiledConv::compile) runs
+/// before constructing the kernel.
+///
+/// # Errors
+///
+/// Returns [`SpgError::PlanRejected`] naming the offending access if either
+/// phase of the lowered plan fails verification.
+///
+/// # Example
+///
+/// ```
+/// use spg_convnet::ConvSpec;
+/// use spg_core::schedule::recommended_plan;
+/// use spg_core::verify::verify_plan;
+///
+/// let spec = ConvSpec::square(12, 16, 4, 3, 1);
+/// let plan = recommended_plan(&spec, 0.9, 16);
+/// let report = verify_plan(&spec, plan, 16)?;
+/// assert!(report.accesses_proved > 0);
+/// # Ok::<(), spg_core::SpgError>(())
+/// ```
+pub fn verify_plan(
+    spec: &ConvSpec,
+    plan: LayerPlan,
+    cores: usize,
+) -> Result<CheckReport, SpgError> {
+    let lowered = lower_plan(spec, plan, cores);
+    spg_check::verify_conv_plan(spec, &lowered, &capacities(spec)).map_err(|check| {
+        let technique = match check {
+            // Attribute the rejection to the phase whose kernel faulted;
+            // tile-shape errors precede the phase dispatch and blame forward.
+            spg_check::CheckError::OutOfBounds { buffer, .. }
+            | spg_check::CheckError::ScratchOverflow { buffer, .. }
+                if matches!(
+                    buffer,
+                    spg_check::Buf::GradIn | spg_check::Buf::GradOut | spg_check::Buf::GradWeights
+                ) =>
+            {
+                plan.backward.id()
+            }
+            _ => plan.forward.id(),
+        };
+        SpgError::PlanRejected { technique, check }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every technique pair the scheduler can emit verifies clean on both a
+    /// wide (tiled stencil) and a narrow (shifted-GEMM) layer.
+    #[test]
+    fn all_technique_pairs_verify_on_representative_specs() {
+        let wide = ConvSpec::square(14, 5, 3, 3, 1);
+        let narrow = ConvSpec::square(7, 6, 4, 3, 1); // 5-wide output
+        let strided = ConvSpec::square(28, 8, 3, 5, 2);
+        for spec in [wide, narrow, strided] {
+            for &fwd in Technique::forward_candidates() {
+                for &bwd in Technique::backward_candidates() {
+                    let plan = LayerPlan { forward: fwd, backward: bwd };
+                    let report = verify_plan(&spec, plan, 4).unwrap();
+                    assert!(report.accesses_proved > 0, "{spec} {plan}");
+                }
+            }
+        }
+    }
+
+    /// The lowering reproduces the executor's narrow-output cutoff.
+    #[test]
+    fn narrow_output_lowers_to_shifted_gemm() {
+        let narrow = ConvSpec::square(7, 6, 4, 3, 1);
+        assert_eq!(lower_forward(&narrow, Technique::StencilFp, 1), ForwardPlan::StencilNarrow);
+        let wide = ConvSpec::square(14, 5, 3, 3, 1);
+        assert!(matches!(
+            lower_forward(&wide, Technique::StencilFp, 1),
+            ForwardPlan::StencilTiled { phased: false, .. }
+        ));
+    }
+
+    /// Strided layers lower with the phase transform, mirroring the kernel's
+    /// `sx > 1` dispatch.
+    #[test]
+    fn strided_layer_lowers_phased() {
+        let strided = ConvSpec::square(28, 8, 3, 5, 2);
+        assert!(matches!(
+            lower_forward(&strided, Technique::StencilFp, 1),
+            ForwardPlan::StencilTiled { phased: true, .. }
+        ));
+    }
+
+    /// The spg-check budget constants must stay equal to the generators'.
+    /// (The verifier re-derives admissibility; divergence would let it
+    /// reject plans the generator legitimately emits or vice versa.)
+    #[test]
+    fn verifier_constants_match_generators() {
+        assert_eq!(spg_check::VECTOR_WIDTH, crate::stencil::VECTOR_WIDTH);
+        assert_eq!(spg_check::ACCUMULATOR_BUDGET, crate::stencil::ACCUMULATOR_BUDGET);
+        assert_eq!(spg_check::L1_BUDGET_ELEMS, crate::stencil::L1_BUDGET_ELEMS);
+        assert_eq!(spg_check::PAGE_ELEMS, crate::stencil::PAGE_ELEMS);
+        assert_eq!(spg_check::TLB_BUDGET_PAGES, crate::stencil::TLB_BUDGET_PAGES);
+        assert_eq!(spg_check::VECTOR_WIDTH, LANES);
+    }
+
+    /// Per-phase verification covers each candidate list end to end.
+    #[test]
+    fn per_phase_candidates_verify() {
+        let spec = ConvSpec::square(12, 16, 4, 3, 1);
+        for &t in Technique::forward_candidates() {
+            verify_technique(&spec, t, Phase::Forward, 8).unwrap();
+        }
+        for &t in Technique::backward_candidates() {
+            verify_technique(&spec, t, Phase::Backward, 8).unwrap();
+        }
+    }
+}

@@ -100,45 +100,56 @@ mod avx {
         let mut a = ap;
         let mut b = bp;
         for _ in 0..kc {
-            let b0 = _mm256_loadu_ps(b);
-            let b1 = _mm256_loadu_ps(b.add(8));
+            // SAFETY: at step p the cursors sit at a = ap + p*MR and
+            // b = bp + p*NR with p < kc, so every load below reads within
+            // the kc*MR / kc*NR panels the caller guarantees (the packing
+            // routines build exactly these panel lengths — the invariant
+            // spg-check's GEMM operand proof covers at plan time).
+            unsafe {
+                let b0 = _mm256_loadu_ps(b);
+                let b1 = _mm256_loadu_ps(b.add(8));
 
-            let a0 = _mm256_broadcast_ss(&*a);
-            c00 = _mm256_fmadd_ps(a0, b0, c00);
-            c01 = _mm256_fmadd_ps(a0, b1, c01);
-            let a1 = _mm256_broadcast_ss(&*a.add(1));
-            c10 = _mm256_fmadd_ps(a1, b0, c10);
-            c11 = _mm256_fmadd_ps(a1, b1, c11);
-            let a2 = _mm256_broadcast_ss(&*a.add(2));
-            c20 = _mm256_fmadd_ps(a2, b0, c20);
-            c21 = _mm256_fmadd_ps(a2, b1, c21);
-            let a3 = _mm256_broadcast_ss(&*a.add(3));
-            c30 = _mm256_fmadd_ps(a3, b0, c30);
-            c31 = _mm256_fmadd_ps(a3, b1, c31);
-            let a4 = _mm256_broadcast_ss(&*a.add(4));
-            c40 = _mm256_fmadd_ps(a4, b0, c40);
-            c41 = _mm256_fmadd_ps(a4, b1, c41);
-            let a5 = _mm256_broadcast_ss(&*a.add(5));
-            c50 = _mm256_fmadd_ps(a5, b0, c50);
-            c51 = _mm256_fmadd_ps(a5, b1, c51);
+                let a0 = _mm256_broadcast_ss(&*a);
+                c00 = _mm256_fmadd_ps(a0, b0, c00);
+                c01 = _mm256_fmadd_ps(a0, b1, c01);
+                let a1 = _mm256_broadcast_ss(&*a.add(1));
+                c10 = _mm256_fmadd_ps(a1, b0, c10);
+                c11 = _mm256_fmadd_ps(a1, b1, c11);
+                let a2 = _mm256_broadcast_ss(&*a.add(2));
+                c20 = _mm256_fmadd_ps(a2, b0, c20);
+                c21 = _mm256_fmadd_ps(a2, b1, c21);
+                let a3 = _mm256_broadcast_ss(&*a.add(3));
+                c30 = _mm256_fmadd_ps(a3, b0, c30);
+                c31 = _mm256_fmadd_ps(a3, b1, c31);
+                let a4 = _mm256_broadcast_ss(&*a.add(4));
+                c40 = _mm256_fmadd_ps(a4, b0, c40);
+                c41 = _mm256_fmadd_ps(a4, b1, c41);
+                let a5 = _mm256_broadcast_ss(&*a.add(5));
+                c50 = _mm256_fmadd_ps(a5, b0, c50);
+                c51 = _mm256_fmadd_ps(a5, b1, c51);
 
-            a = a.add(MR);
-            b = b.add(NR);
+                a = a.add(MR);
+                b = b.add(NR);
+            }
         }
 
         let out = acc.as_mut_ptr();
-        _mm256_storeu_ps(out, c00);
-        _mm256_storeu_ps(out.add(8), c01);
-        _mm256_storeu_ps(out.add(16), c10);
-        _mm256_storeu_ps(out.add(24), c11);
-        _mm256_storeu_ps(out.add(32), c20);
-        _mm256_storeu_ps(out.add(40), c21);
-        _mm256_storeu_ps(out.add(48), c30);
-        _mm256_storeu_ps(out.add(56), c31);
-        _mm256_storeu_ps(out.add(64), c40);
-        _mm256_storeu_ps(out.add(72), c41);
-        _mm256_storeu_ps(out.add(80), c50);
-        _mm256_storeu_ps(out.add(88), c51);
+        // SAFETY: `acc` is exactly MR*NR = 96 floats, so the twelve 8-lane
+        // stores at offsets 0..=88 cover it without escaping it.
+        unsafe {
+            _mm256_storeu_ps(out, c00);
+            _mm256_storeu_ps(out.add(8), c01);
+            _mm256_storeu_ps(out.add(16), c10);
+            _mm256_storeu_ps(out.add(24), c11);
+            _mm256_storeu_ps(out.add(32), c20);
+            _mm256_storeu_ps(out.add(40), c21);
+            _mm256_storeu_ps(out.add(48), c30);
+            _mm256_storeu_ps(out.add(56), c31);
+            _mm256_storeu_ps(out.add(64), c40);
+            _mm256_storeu_ps(out.add(72), c41);
+            _mm256_storeu_ps(out.add(80), c50);
+            _mm256_storeu_ps(out.add(88), c51);
+        }
     }
 }
 

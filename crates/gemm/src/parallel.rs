@@ -150,7 +150,14 @@ pub fn parallel_gemm_cols(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matr
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("gemm worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                // Re-raise the worker's own panic payload on the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     });
     // The stitch runs strictly after the scope joins, so the result slice
     // needs no lock: write each band straight into `c`.

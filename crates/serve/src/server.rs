@@ -480,7 +480,10 @@ fn worker_loop(
             Ok(replies) => {
                 for (request, (logits, class)) in batch.drain(..).zip(replies) {
                     let latency = request.submitted.elapsed();
-                    spg_telemetry::record_latency_ns("serve.request", latency.as_nanos() as u64);
+                    spg_telemetry::record_latency_ns(
+                        "serve.request",
+                        spg_telemetry::saturating_nanos(latency),
+                    );
                     // A dropped PendingResponse just means the caller
                     // stopped caring; the worker carries on.
                     let _ = request.reply.send(Ok(Response {
@@ -493,7 +496,7 @@ fn worker_loop(
                 }
                 spg_telemetry::record_latency_ns(
                     "serve.batch",
-                    batch_start.elapsed().as_nanos() as u64,
+                    spg_telemetry::saturating_nanos(batch_start.elapsed()),
                 );
             }
             Err(payload) => {

@@ -85,7 +85,7 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Supervisor backoff schedule: `base * 2^(n-1)` before the `n`-th
 /// restart of the same worker, capped at one second.
 pub fn backoff_delay(base: Duration, restart: usize) -> Duration {
-    let factor = 1u32 << restart.saturating_sub(1).min(10) as u32;
+    let factor = 1u32 << restart.saturating_sub(1).min(10);
     base.saturating_mul(factor).min(Duration::from_secs(1))
 }
 

@@ -367,6 +367,17 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
             require_string(candidate, &owner, "technique")?;
             require_number(candidate, &owner, "wall_ns")?;
         }
+        // Added in schema minor 4; older documents legitimately omit it.
+        if let Some(rejected) = decision.get("rejected") {
+            let rejected = rejected
+                .as_array()
+                .ok_or_else(|| format!("{owner}: field `rejected` is not an array"))?;
+            for (j, entry) in rejected.iter().enumerate() {
+                let owner = format!("{owner}.rejected[{j}]");
+                require_string(entry, &owner, "technique")?;
+                require_string(entry, &owner, "reason")?;
+            }
+        }
     }
 
     // Added in schema minor 2; older documents legitimately omit it.

@@ -39,7 +39,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 pub mod json;
 
@@ -54,8 +54,10 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// engine's per-request latency and per-worker goodput reporting; minor 3
 /// added the top-level `counters` array carrying the worker-pool
 /// supervision counters (`serve.worker_restarts`, `serve.faulted_batches`,
-/// `train.worker_restarts`, `train.faulted_samples`).
-pub const SCHEMA_VERSION_MINOR: u64 = 3;
+/// `train.worker_restarts`, `train.faulted_samples`); minor 4 added the
+/// per-decision `rejected` array listing autotune candidates the static
+/// plan verifier refused before measurement, with the refusal reason.
+pub const SCHEMA_VERSION_MINOR: u64 = 4;
 
 /// Identifies the JSON document family in the `schema` field.
 pub const SCHEMA_NAME: &str = "spgcnn-metrics";
@@ -114,6 +116,15 @@ pub struct CandidateTiming {
     pub wall_ns: u64,
 }
 
+/// One candidate the plan-time static verifier refused before measurement.
+#[derive(Debug, Clone)]
+pub struct RejectedCandidate {
+    /// Executor / technique name of the refused candidate.
+    pub technique: String,
+    /// The verifier's typed refusal, rendered (e.g. the offending access).
+    pub reason: String,
+}
+
 /// One autotune measure-and-pick decision.
 #[derive(Debug, Clone)]
 pub struct Decision {
@@ -129,6 +140,9 @@ pub struct Decision {
     pub cores: usize,
     /// Every measured candidate with its timing.
     pub candidates: Vec<CandidateTiming>,
+    /// Candidates the static verifier refused before measurement
+    /// (schema minor 4; empty in the common all-candidates-safe case).
+    pub rejected: Vec<RejectedCandidate>,
 }
 
 /// Number of power-of-two histogram buckets kept per latency label.
@@ -209,7 +223,7 @@ pub struct ScopeGuard {
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
         if let Some((start, counters)) = self.active.take() {
-            let ns = start.elapsed().as_nanos() as u64;
+            let ns = saturating_nanos(start.elapsed());
             counters.wall_ns.fetch_add(ns, Ordering::Relaxed);
             counters.calls.fetch_add(1, Ordering::Relaxed);
             SCOPES.with(|stack| {
@@ -306,6 +320,13 @@ fn latency_counters_for(label: &str) -> Arc<LatencyCounters> {
 fn latency_bucket(ns: u64) -> usize {
     let bits = 64 - ns.leading_zeros() as usize;
     bits.saturating_sub(1).min(LATENCY_BUCKETS - 1)
+}
+
+/// A duration in nanoseconds, saturating at `u64::MAX` (~584 years) so
+/// instrumentation sites never need a fallible narrowing cast.
+#[must_use]
+pub fn saturating_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Records one latency observation (in nanoseconds) into the histogram
@@ -441,6 +462,7 @@ impl LatencyMetrics {
         // (rank 1), and float rounding in `q * count` must never push the
         // rank past `count` — on a 1-element histogram p100 would
         // otherwise fall off the end of the occupied buckets.
+        #[allow(clippy::cast_possible_truncation)] // ceil().max(1.0) is a small positive integer
         let rank = ((q * self.count as f64).ceil().max(1.0) as u64).min(self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -555,15 +577,27 @@ impl MetricsSnapshot {
                     )
                 })
                 .collect();
+            let rejected: Vec<String> = decision
+                .rejected
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"technique\": {}, \"reason\": {}}}",
+                        json::string(&r.technique),
+                        json::string(&r.reason)
+                    )
+                })
+                .collect();
             out.push_str(&format!(
                 "\n    {{\"label\": {}, \"phase\": {}, \"chosen\": {}, \"sparsity\": {}, \
-                 \"cores\": {}, \"candidates\": [{}]}}",
+                 \"cores\": {}, \"candidates\": [{}], \"rejected\": [{}]}}",
                 json::string(&decision.label),
                 json::string(decision.phase.as_str()),
                 json::string(&decision.chosen),
                 json::number(decision.sparsity),
                 decision.cores,
                 candidates.join(", "),
+                rejected.join(", "),
             ));
         }
         if !self.decisions.is_empty() {
@@ -822,6 +856,10 @@ mod tests {
                 CandidateTiming { technique: "sparse-bp".to_string(), wall_ns: 10 },
                 CandidateTiming { technique: "unfold+gemm".to_string(), wall_ns: 25 },
             ],
+            rejected: vec![RejectedCandidate {
+                technique: "bad-plan".to_string(),
+                reason: "out-of-bounds read of output".to_string(),
+            }],
         });
         set_enabled(false);
         let text = snapshot().to_json(&[("command", "test".to_string())]);

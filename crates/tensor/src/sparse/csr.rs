@@ -29,6 +29,12 @@ pub struct Csr {
     row_ptr: Vec<u32>,
 }
 
+/// Narrows a column index or nnz count to the stored `u32` width.
+#[inline]
+fn idx32(i: usize) -> u32 {
+    u32::try_from(i).expect("CSR index fits u32")
+}
+
 impl Csr {
     /// Builds a CSR matrix from a dense row-major matrix, dropping zeros.
     pub fn from_dense(dense: &Matrix) -> Self {
@@ -41,10 +47,10 @@ impl Csr {
             for (c, &v) in dense.row(r).iter().enumerate() {
                 if v != 0.0 {
                     values.push(v);
-                    col_indices.push(c as u32);
+                    col_indices.push(idx32(c));
                 }
             }
-            row_ptr.push(values.len() as u32);
+            row_ptr.push(idx32(values.len()));
         }
         Csr { rows, cols, values, col_indices, row_ptr }
     }
@@ -93,10 +99,10 @@ impl Csr {
             for (c, &v) in row.iter().enumerate() {
                 if v != 0.0 {
                     self.values.push(v);
-                    self.col_indices.push(c as u32);
+                    self.col_indices.push(idx32(c));
                 }
             }
-            self.row_ptr.push(self.values.len() as u32);
+            self.row_ptr.push(idx32(self.values.len()));
         }
     }
 

@@ -12,6 +12,7 @@ fn sparse_matrix() -> impl Strategy<Value = Matrix> {
         proptest::collection::vec(prop_oneof![3 => Just(0.0f32), 1 => -10.0f32..10.0], r * c)
             .prop_map(move |mut v| {
                 // Push towards the requested sparsity deterministically.
+                #[allow(clippy::cast_possible_truncation)] // sp in [0, 1): fits
                 let target_zeros = (sp * (r * c) as f64) as usize;
                 for x in v.iter_mut().take(target_zeros) {
                     *x = 0.0;

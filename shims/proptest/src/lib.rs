@@ -225,6 +225,7 @@ pub mod strategy {
         type Value = T;
 
         fn sample(&self, rng: &mut TestRng) -> T {
+            #[allow(clippy::cast_possible_truncation)] // total is a sum of u32 weights
             let mut pick = rng.gen_range(0..self.total as u64) as u32;
             for (w, s) in &self.arms {
                 if pick < *w {

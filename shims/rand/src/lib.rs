@@ -86,6 +86,7 @@ pub trait SampleRange<T> {
 macro_rules! int_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
+            #[allow(clippy::cast_possible_truncation)] // value reduced mod span
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "gen_range: empty range");
                 let span = (self.end - self.start) as u128;
@@ -93,6 +94,7 @@ macro_rules! int_sample_range {
             }
         }
         impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation)] // value reduced mod span
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "gen_range: empty range");
@@ -108,6 +110,7 @@ int_sample_range!(usize, u32, u64, i32, i64);
 macro_rules! float_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
+            #[allow(clippy::cast_possible_truncation)] // unit interval narrowing
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "gen_range: empty range");
                 self.start + (unit_f64(rng.next_u64()) as $t) * (self.end - self.start)
@@ -188,6 +191,7 @@ pub mod distributions {
     macro_rules! float_sample_uniform {
         ($($t:ty),*) => {$(
             impl SampleUniform for $t {
+                #[allow(clippy::cast_possible_truncation)] // unit interval narrowing
                 fn lerp(low: $t, high: $t, u: f64) -> $t {
                     low + (u as $t) * (high - low)
                 }

@@ -48,6 +48,11 @@ usage:
       Measure every technique on every conv layer of this machine and
       report the timings and winners (the paper's measure-and-pick step).
       With --json, emit the decisions as spgcnn-metrics JSON on stdout.
+  spgcnn check <net.cfg>|--smoke [--cores N]
+      Statically verify every candidate execution plan for every conv
+      layer: prove all kernel access ranges in-bounds, parallel worker
+      regions disjoint, and scratch capacities sufficient — without
+      running anything. Exits non-zero if any plan is rejected.
   spgcnn serve <net.cfg>|--smoke [--workers N] [--requests N] [--max-batch N]
                [--max-delay-ms MS] [--metrics-json FILE] [--inject-fault SPEC]
       Run the batched serving engine over a synthetic request stream,
@@ -79,6 +84,7 @@ fn main() -> ExitCode {
         Some("train") => train(&args[1..]),
         Some("eval") => eval(&args[1..]),
         Some("tune") => tune(&args[1..]),
+        Some("check") => check(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("bench-serve") => bench_serve(&args[1..]),
         Some("smoke") => smoke(&args[1..]),
@@ -338,6 +344,67 @@ layer {i}: {spec}"
             }
         }
     }
+    Ok(())
+}
+
+/// Audits a whole network config with the plan-time verifier: every
+/// candidate technique for every conv layer, both phases, plus the
+/// recommended plan — proving all access ranges safe without running any
+/// kernel. The serving/training paths run the same verification inside
+/// `CompiledConv::compile` and the autotuner; this command surfaces it.
+fn check(args: &[String]) -> Result<(), String> {
+    use spg_cnn::core::autotune::Phase;
+    use spg_cnn::core::schedule::Technique;
+    use spg_cnn::core::verify::verify_technique;
+
+    let desc = if args.iter().any(|a| a == "--smoke") {
+        NetworkDescription::parse(SMOKE_NETWORK).map_err(|e| e.to_string())?
+    } else {
+        load(args)?
+    };
+    let cores = flag(args, "--cores", 16usize)?.max(1);
+    let net = desc.build(42).map_err(|e| e.to_string())?;
+    println!(
+        "checking `{}` ({cores} core(s)): plan-time verification of every candidate",
+        desc.name
+    );
+    let mut rejections = 0usize;
+    let mut proved = 0usize;
+    let mut regions = 0usize;
+    for (i, layer) in net.layers().iter().enumerate() {
+        let Some(spec) = layer.conv_spec() else { continue };
+        println!("\nlayer {i}: {spec}");
+        for (phase, label, candidates) in [
+            (Phase::Forward, "FP", Technique::forward_candidates()),
+            (Phase::Backward, "BP", Technique::backward_candidates()),
+        ] {
+            for &t in candidates {
+                match verify_technique(spec, t, phase, cores) {
+                    Ok(report) => {
+                        proved += report.accesses_proved;
+                        regions += report.worker_regions;
+                        println!(
+                            "  {label} {:<24} ok: {} access range(s), {} worker region(s)",
+                            t.to_string(),
+                            report.accesses_proved,
+                            report.worker_regions
+                        );
+                    }
+                    Err(e) => {
+                        rejections += 1;
+                        println!("  {label} {:<24} REJECTED: {e}", t.to_string());
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "\n{proved} access range(s) proved in-bounds, {regions} worker region(s) proved disjoint"
+    );
+    if rejections > 0 {
+        return Err(format!("{rejections} candidate plan(s) rejected by the static verifier"));
+    }
+    println!("all candidate plans verified safe");
     Ok(())
 }
 

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub use spg_check as check;
 pub use spg_convnet as convnet;
 pub use spg_core as core;
 pub use spg_error as error;

@@ -1,0 +1,184 @@
+//! Workspace hygiene lint, run by CI.
+//!
+//! Two passes over the workspace sources (no external parser — the build
+//! environment is offline, so this is a deliberately conservative line
+//! scanner rather than a `syn` AST walk):
+//!
+//! 1. **SAFETY comments** — every `unsafe` block in `crates/*/src` and
+//!    `src/` must be preceded by a `// SAFETY:` comment, and every
+//!    `unsafe fn` by a doc comment with a `# Safety` section, stating the
+//!    invariant (now proved at plan time by `spg-check`) that makes it sound.
+//! 2. **No raw `.unwrap()` / `.expect(`** in non-test code of the kernel
+//!    crates (`spg-core`, `spg-gemm`): plan problems must surface as typed
+//!    errors through the verifier, not as panics inside a worker.
+//!
+//! Test code is exempt: files under `tests/` or `benches/`, and everything
+//! from a line containing `#[cfg(test)]` to the end of the file (the
+//! workspace convention keeps test modules trailing).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose non-test code must be free of raw `.unwrap()` / `.expect(`.
+const KERNEL_CRATES: &[&str] = &["crates/core/src", "crates/gemm/src"];
+
+/// Source roots scanned for undocumented `unsafe`.
+const UNSAFE_ROOTS: &[&str] = &["crates", "src"];
+
+/// How many preceding comment lines may separate a `// SAFETY:` comment
+/// from its `unsafe` block, and a `# Safety` doc section from its `unsafe fn`.
+const LOOKBACK: usize = 25;
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut findings = Vec::new();
+    for rel in UNSAFE_ROOTS {
+        for file in rust_files(&root.join(rel)) {
+            scan_unsafe(&root, &file, &mut findings);
+        }
+    }
+    for rel in KERNEL_CRATES {
+        for file in rust_files(&root.join(rel)) {
+            scan_unwrap(&root, &file, &mut findings);
+        }
+    }
+    if findings.is_empty() {
+        println!("spg-lint: ok");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    eprintln!("spg-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}
+
+/// The workspace root: the directory holding the top-level Cargo.toml, found
+/// by walking up from this binary's manifest directory.
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    while !dir.join("Cargo.lock").exists() {
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+    dir
+}
+
+/// All `.rs` files under `dir`, recursively, excluding test-only trees.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "tests" || name == "benches" || name == "target" {
+                continue;
+            }
+            out.extend(rust_files(&path));
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The code portion of a line: strips `//` comments (except inside strings,
+/// approximated by requiring the `//` not be preceded by `"` on the line —
+/// good enough for this workspace, which is rustfmt-formatted).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) if !line[..idx].contains('"') => &line[..idx],
+        _ => line,
+    }
+}
+
+/// Whether any of the `LOOKBACK` lines before `idx` carries the marker,
+/// stopping at the first blank line outside a comment/attribute run.
+fn lookback_contains(lines: &[&str], idx: usize, markers: &[&str]) -> bool {
+    lines[..idx].iter().rev().take(LOOKBACK).any(|l| markers.iter().any(|m| l.contains(m)))
+}
+
+fn scan_unsafe(root: &Path, file: &Path, findings: &mut Vec<String>) {
+    let Ok(text) = std::fs::read_to_string(file) else {
+        return;
+    };
+    let rel = file.strip_prefix(root).unwrap_or(file).display().to_string();
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        let code = code_part(line);
+        if in_test_region(&lines, i) {
+            break;
+        }
+        // `unsafe fn` declarations need a `# Safety` doc section.
+        if code.contains("unsafe fn") {
+            if !lookback_contains(&lines, i, &["# Safety", "// SAFETY:"]) {
+                findings
+                    .push(format!("{rel}:{}: `unsafe fn` without a `# Safety` doc section", i + 1));
+            }
+            continue;
+        }
+        // `unsafe` block openers need a `// SAFETY:` comment just above
+        // (or trailing on the same line).
+        if code.contains("unsafe {") || code.trim_end().ends_with("unsafe") {
+            let same_line = line.contains("// SAFETY:");
+            if !same_line && !lookback_contains(&lines, i, &["// SAFETY:"]) {
+                findings.push(format!(
+                    "{rel}:{}: `unsafe` block without a `// SAFETY:` comment",
+                    i + 1
+                ));
+            }
+        }
+    }
+}
+
+fn scan_unwrap(root: &Path, file: &Path, findings: &mut Vec<String>) {
+    let Ok(text) = std::fs::read_to_string(file) else {
+        return;
+    };
+    let rel = file.strip_prefix(root).unwrap_or(file).display().to_string();
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if in_test_region(&lines, i) {
+            break;
+        }
+        let code = code_part(line);
+        for needle in [".unwrap()", ".expect("] {
+            if code.contains(needle) {
+                findings.push(format!(
+                    "{rel}:{}: raw `{needle}` in kernel crate non-test code \
+                     (return a typed error or use an infallible construction)",
+                    i + 1
+                ));
+            }
+        }
+    }
+}
+
+/// Whether line `idx` is at or past the file's trailing `#[cfg(test)]` module.
+fn in_test_region(lines: &[&str], idx: usize) -> bool {
+    lines[..=idx].iter().any(|l| l.trim_start().starts_with("#[cfg(test)]"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_part_strips_comments() {
+        assert_eq!(code_part("let x = 1; // .unwrap()"), "let x = 1; ");
+        assert_eq!(code_part("// all comment"), "");
+    }
+
+    #[test]
+    fn lookback_finds_marker() {
+        let lines = vec!["// SAFETY: fine", "unsafe {"];
+        assert!(lookback_contains(&lines, 1, &["// SAFETY:"]));
+        assert!(!lookback_contains(&lines, 0, &["// SAFETY:"]));
+    }
+}
