@@ -267,6 +267,32 @@ mod tests {
         check_forward_tiled(&mut interp, &spec, 8, 6, 6, &tiles, true, &cap).unwrap();
     }
 
+    /// The AVX-512 registry instances in `spg-codegen` run 16-lane
+    /// x-tiles; the verifier's symbolic model is lane-width-parametric, so
+    /// the same plan shape proves at `lanes = 16`, including the
+    /// overlapping 16-wide tail tile the x-plan emits for ragged rows.
+    #[test]
+    fn sixteen_lane_plan_verifies() {
+        let spec = ConvSpec::square(40, 16, 8, 5, 1); // out_w = 36: 2x16 + overlap tail
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let tiles = tiles_for(spec.out_w(), 16);
+        assert!(tiles.iter().any(|t| t.x + t.vectors * 16 > 32), "tail must overlap");
+        let mut interp = Interp::default();
+        check_forward_tiled(&mut interp, &spec, 16, 6, 6, &tiles, false, &cap).unwrap();
+        assert!(interp.report.accesses_proved > 0);
+    }
+
+    /// Same at stride 2 with the Eq. 21 phase transform — the geometry the
+    /// registry's phased AVX-512 instances (e.g. 5x5/s2, 7x7/s2) execute.
+    #[test]
+    fn sixteen_lane_phased_plan_verifies() {
+        let spec = ConvSpec::square(79, 4, 2, 3, 2); // out_w = 39
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let tiles = tiles_for(spec.out_w(), 16);
+        let mut interp = Interp::default();
+        check_forward_tiled(&mut interp, &spec, 16, 6, 6, &tiles, true, &cap).unwrap();
+    }
+
     #[test]
     fn escaping_x_tile_rejected() {
         let spec = spec();

@@ -1,0 +1,348 @@
+//! Monomorphized stencil forward kernels (JIT-lite specialization).
+//!
+//! One `define_simd_forward!` expansion per instruction set generates the
+//! register-tiled basic block and its driver with the kernel geometry —
+//! `Fy`, `Fx`, `sy`, `sx` — as **const generic parameters**: the `(ky, kx)`
+//! reduction loops have compile-time-constant trip counts, so LLVM fully
+//! unrolls them and folds every weight index `ky*Fx + kx` and every
+//! kernel-offset address to a constant. This is the Georganas et al.
+//! per-(tile, stride, layout) specialization, realized through Rust
+//! monomorphization instead of a run-time JIT.
+//!
+//! The loop structure — and therefore the per-output-element reduction
+//! order `(c, ky, kx)` with single-rounded FMA throughout — is copied from
+//! the generic `spg-core` stencil kernel, so every specialized instance is
+//! **bit-identical** to the generic AVX path on any geometry both execute
+//! (the golden Table 2 suite asserts this). Lane width does not change the
+//! per-element chain: each output column is one SIMD lane, and a 16-lane
+//! FMA rounds each lane exactly like an 8-lane FMA.
+
+use spg_convnet::workspace::ConvScratch;
+use spg_convnet::ConvSpec;
+use spg_tensor::transform::StridedLayout;
+
+/// Signature of a monomorphized forward instance. `cache_rows` is the
+/// cache-schedule row block (already clamped to at least [`TILE_ROWS`] by
+/// the caller) — the schedule itself stays single-sourced in `spg-core`.
+///
+/// # Safety
+///
+/// Callers of a `ForwardFn` must guarantee the module's target features
+/// are available on the running CPU, the spec's geometry matches the
+/// instance's const parameters, and `out_w >= LANES` — exactly the checks
+/// [`crate::SpecializedKernel::forward`] performs before dispatching.
+pub(crate) type ForwardFn =
+    unsafe fn(&ConvSpec, &[f32], &[f32], &mut [f32], &mut ConvScratch, usize);
+
+/// Builds the Eq. 21 phase layout for a compile-time `x` stride.
+fn phase_layout(spec: &ConvSpec, sx: usize) -> StridedLayout {
+    match StridedLayout::new(spec.input_shape(), sx) {
+        Ok(lay) => lay,
+        // Registry keys carry strictly positive strides.
+        Err(_) => unreachable!("positive stride by registry key construction"),
+    }
+}
+
+macro_rules! define_simd_forward {
+    (
+        module: $mod_:ident,
+        feature: $feat:literal,
+        lanes: $lanes:literal,
+        vec: $vec:ty,
+        setzero: $setzero:ident,
+        loadu: $loadu:ident,
+        set1: $set1:ident,
+        fmadd: $fmadd:ident,
+        storeu: $storeu:ident
+    ) => {
+        pub(crate) mod $mod_ {
+            use std::arch::x86_64::*;
+
+            use spg_convnet::workspace::zeroed_slice;
+            use spg_convnet::ConvSpec;
+
+            use super::{phase_layout, ConvScratch};
+            use crate::xplan::x_plan_lanes;
+            use crate::TILE_ROWS;
+
+            /// f32 lanes per vector for this instruction set.
+            pub(crate) const LANES: usize = $lanes;
+
+            /// Register-tiled basic block over a `rows x (RX*LANES)` output
+            /// tile with compile-time kernel geometry: the complete
+            /// `(c, ky, kx)` reduction runs before a single store, `FY`/`FX`
+            /// trip counts unroll at compile time, and `koff[kx]` holds the
+            /// per-tap input column offset (unit-stride: `x + kx`; phased:
+            /// `(kx % sx)*pw + kx/sx + x`), loop-invariant across the whole
+            /// block. The reduction order per output element matches the
+            /// generic kernel exactly — channels, then `ky` (via `iy`),
+            /// then `kx`, all single-rounded FMA — which is what makes the
+            /// instance bit-identical to the generic path.
+            ///
+            /// # Safety
+            ///
+            /// Caller guarantees the target features of this module; that
+            /// for every `c < nc` and `iy < (rows-1)*SY + FY`,
+            /// `in_tile + c*c_stride + iy*row_stride + koff[kx] + RX*LANES`
+            /// stays within the input buffer (spg-check's x-tile, row-range
+            /// and phase-group proofs for this instance's lowered plan);
+            /// that `w_f` points to `nc * FY * FX` readable floats; and
+            /// that `out` has `rows` rows of `RX*LANES` writable elements
+            /// at stride `out_stride`.
+            #[target_feature(enable = $feat)]
+            #[inline]
+            #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+            unsafe fn tile_block<
+                const RX: usize,
+                const FY: usize,
+                const FX: usize,
+                const SY: usize,
+            >(
+                rows: usize,
+                nc: usize,
+                in_tile: *const f32,
+                c_stride: usize,
+                row_stride: usize,
+                koff: &[usize; FX],
+                w_f: *const f32,
+                out: *mut f32,
+                out_stride: usize,
+            ) {
+                debug_assert!((1..=TILE_ROWS).contains(&rows) && SY >= 1);
+                debug_assert!(RX == 1 || RX == 2);
+                let mut acc = [[$setzero(); RX]; TILE_ROWS];
+                for c in 0..nc {
+                    // SAFETY: c < nc; the caller contract bounds
+                    // in_tile + c*c_stride and w_f + c*FY*FX.
+                    let (in_c, w_fc) = unsafe { (in_tile.add(c * c_stride), w_f.add(c * FY * FX)) };
+                    for iy in 0..(rows - 1) * SY + FY {
+                        // Output rows served by input row iy: ty with
+                        // 0 <= iy - ty*SY < FY.
+                        let ty_lo = (iy + 1).saturating_sub(FY).div_ceil(SY);
+                        let ty_hi = (iy / SY).min(rows - 1);
+                        if ty_lo > ty_hi {
+                            continue;
+                        }
+                        // SAFETY: iy stays below the caller-proved row bound.
+                        let base = unsafe { in_c.add(iy * row_stride) };
+                        for kx in 0..FX {
+                            let mut ivec = [$setzero(); RX];
+                            for (rx, v) in ivec.iter_mut().enumerate() {
+                                // SAFETY: the caller contract (proved at plan
+                                // time by spg-check for this instance's exact
+                                // x-tile list) keeps koff[kx] + RX*LANES
+                                // inside the input buffer.
+                                *v = unsafe { $loadu(base.add(koff[kx] + rx * LANES)) };
+                            }
+                            for ty in ty_lo..=ty_hi {
+                                let ky = iy - ty * SY;
+                                // SAFETY: ky < FY and kx < FX by loop bounds;
+                                // w_fc points to FY*FX readable floats (the
+                                // verifier's weight-broadcast range proof).
+                                let w = unsafe { $set1(*w_fc.add(ky * FX + kx)) };
+                                for rx in 0..RX {
+                                    acc[ty][rx] = $fmadd(ivec[rx], w, acc[ty][rx]);
+                                }
+                            }
+                        }
+                    }
+                }
+                for (r, row) in acc.iter().enumerate().take(rows) {
+                    for (rx, a) in row.iter().enumerate() {
+                        // SAFETY: r < rows; the caller contract guarantees
+                        // `out` has rows rows of RX*LANES writable elements
+                        // at stride out_stride (output-store range proof).
+                        unsafe { $storeu(out.add(r * out_stride + rx * LANES), *a) };
+                    }
+                }
+            }
+
+            /// Drives [`tile_block`] over the cache schedule and the
+            /// lane-width x-tile plan, mirroring the generic kernel's loop
+            /// nest (feature plane, cache row block, register tile, x tile).
+            ///
+            /// # Safety
+            ///
+            /// Caller guarantees the target features of this module and
+            /// that `in_ptr`/`c_stride`/`row_stride`/`koff0` describe a
+            /// staging buffer in which every access the tile blocks perform
+            /// is in-bounds — exactly the ranges spg-check proves for this
+            /// instance's lowered `StencilTiled` plan. `weights` and
+            /// `output` must match `spec`.
+            #[target_feature(enable = $feat)]
+            #[allow(clippy::too_many_arguments)]
+            unsafe fn forward_tiled<const FY: usize, const FX: usize, const SY: usize>(
+                spec: &ConvSpec,
+                in_ptr: *const f32,
+                c_stride: usize,
+                row_stride: usize,
+                koff0: [usize; FX],
+                weights: *const f32,
+                output: *mut f32,
+                cache_rows: usize,
+            ) {
+                let (out_h, out_w) = (spec.out_h(), spec.out_w());
+                let (nc, nf) = (spec.in_c(), spec.features());
+                // Per-tile kernel-offset tables, hoisted out of the loop
+                // nest: tap offsets are loop-invariant for a whole tile.
+                let tiles: Vec<(usize, bool, [usize; FX])> = x_plan_lanes(out_w, LANES)
+                    .into_iter()
+                    .map(|(x, wide)| {
+                        let mut koff = koff0;
+                        for o in koff.iter_mut() {
+                            *o += x;
+                        }
+                        (x, wide, koff)
+                    })
+                    .collect();
+                for f in 0..nf {
+                    // SAFETY: f < nf keeps the plane offset inside the
+                    // validated output buffer.
+                    let out_plane = unsafe { output.add(f * out_h * out_w) };
+                    // SAFETY: f < nf keeps the weight block offset inside
+                    // the validated weight buffer.
+                    let w_f = unsafe { weights.add(f * nc * FY * FX) };
+                    let mut y0 = 0;
+                    while y0 < out_h {
+                        let y1 = (y0 + cache_rows).min(out_h);
+                        let mut y = y0;
+                        while y < y1 {
+                            let rows = TILE_ROWS.min(y1 - y);
+                            for &(x, wide, ref koff) in &tiles {
+                                // SAFETY: row y*SY is the first input row the
+                                // tile reads; the caller-proved row-range
+                                // bound covers y*SY + iy for every in-tile iy.
+                                let in_tile = unsafe { in_ptr.add(y * SY * row_stride) };
+                                // SAFETY: y < out_h and x + tile width <=
+                                // out_w (x-plan segment proof), inside the
+                                // f-th plane.
+                                let dst = unsafe { out_plane.add(y * out_w + x) };
+                                // SAFETY: target features guaranteed by the
+                                // caller; the pointer arguments satisfy the
+                                // tile-block contract per the caller-proved
+                                // plan (spg-check gates every instance).
+                                unsafe {
+                                    if wide {
+                                        tile_block::<2, FY, FX, SY>(
+                                            rows, nc, in_tile, c_stride, row_stride, koff, w_f,
+                                            dst, out_w,
+                                        );
+                                    } else {
+                                        tile_block::<1, FY, FX, SY>(
+                                            rows, nc, in_tile, c_stride, row_stride, koff, w_f,
+                                            dst, out_w,
+                                        );
+                                    }
+                                }
+                            }
+                            y += rows;
+                        }
+                        y0 = y1;
+                    }
+                }
+            }
+
+            /// The registry entry point for one `(Fy, Fx, sy, sx)` key:
+            /// validates buffer lengths, applies the Eq. 21 phase transform
+            /// when `SX > 1` (a compile-time branch), and runs the
+            /// monomorphized tiled driver.
+            ///
+            /// # Safety
+            ///
+            /// Caller guarantees the CPU supports this module's target
+            /// features and that the instance's lowered plan verified clean
+            /// under spg-check for `spec` (the registry wrapper enforces
+            /// both).
+            pub(crate) unsafe fn forward_entry<
+                const FY: usize,
+                const FX: usize,
+                const SY: usize,
+                const SX: usize,
+            >(
+                spec: &ConvSpec,
+                input: &[f32],
+                weights: &[f32],
+                output: &mut [f32],
+                scratch: &mut ConvScratch,
+                cache_rows: usize,
+            ) {
+                assert_eq!(input.len(), spec.input_shape().len(), "input length");
+                assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
+                assert_eq!(output.len(), spec.output_shape().len(), "output length");
+                assert!(
+                    (spec.ky(), spec.kx(), spec.sy(), spec.sx()) == (FY, FX, SY, SX),
+                    "spec geometry does not match the monomorphized instance"
+                );
+                let (in_h, in_w) = (spec.in_h(), spec.in_w());
+                let cache_rows = cache_rows.max(TILE_ROWS);
+                if SX == 1 {
+                    let koff0: [usize; FX] = std::array::from_fn(|kx| kx);
+                    // SAFETY: target features guaranteed by the caller; the
+                    // unit-stride strides (channel plane in_h*in_w, row in_w)
+                    // describe the validated input buffer, matching the
+                    // accesses spg-check proved for this instance's plan.
+                    unsafe {
+                        forward_tiled::<FY, FX, SY>(
+                            spec,
+                            input.as_ptr(),
+                            in_h * in_w,
+                            in_w,
+                            koff0,
+                            weights.as_ptr(),
+                            output.as_mut_ptr(),
+                            cache_rows,
+                        );
+                    }
+                } else {
+                    let lay = phase_layout(spec, SX);
+                    let phased = zeroed_slice(&mut scratch.hwc_in, lay.transformed_len());
+                    lay.apply_into(input, phased);
+                    let pw = lay.phase_width();
+                    let group = SX * pw;
+                    let koff0: [usize; FX] = std::array::from_fn(|kx| (kx % SX) * pw + kx / SX);
+                    // SAFETY: target features guaranteed by the caller; the
+                    // phased strides (channel plane in_h*group, row group)
+                    // describe the freshly staged buffer of
+                    // lay.transformed_len() elements, and spg-check's phased
+                    // row-group containment proof bounds every koff access.
+                    unsafe {
+                        forward_tiled::<FY, FX, SY>(
+                            spec,
+                            phased.as_ptr(),
+                            in_h * group,
+                            group,
+                            koff0,
+                            weights.as_ptr(),
+                            output.as_mut_ptr(),
+                            cache_rows,
+                        );
+                    }
+                }
+            }
+        }
+    };
+}
+
+define_simd_forward! {
+    module: avx2,
+    feature: "avx2,fma",
+    lanes: 8,
+    vec: __m256,
+    setzero: _mm256_setzero_ps,
+    loadu: _mm256_loadu_ps,
+    set1: _mm256_set1_ps,
+    fmadd: _mm256_fmadd_ps,
+    storeu: _mm256_storeu_ps
+}
+
+define_simd_forward! {
+    module: avx512,
+    feature: "avx512f,fma",
+    lanes: 16,
+    vec: __m512,
+    setzero: _mm512_setzero_ps,
+    loadu: _mm512_loadu_ps,
+    set1: _mm512_set1_ps,
+    fmadd: _mm512_fmadd_ps,
+    storeu: _mm512_storeu_ps
+}

@@ -1,0 +1,218 @@
+//! Specialized-kernel codegen (JIT-lite) for the spg-CNN stencil forward
+//! pass.
+//!
+//! The paper's basic-block generator chooses a register tile; this crate
+//! finishes the job the way Georganas et al. describe for SIMD
+//! convolutions: **specialize the kernel per (tile, stride, layout)
+//! tuple** so the inner loops are branch-free with compile-time-constant
+//! trip counts. Rust const generics play the role of the JIT — each
+//! registry entry is a monomorphized instance of the tiled basic block
+//! with `Fy`, `Fx`, `sy`, `sx` baked in — and the registry covers the
+//! kernel geometries of the paper's Table 2 benchmarks in both AVX2+FMA
+//! (8-lane) and AVX-512F+FMA (16-lane) variants.
+//!
+//! Contracts:
+//!
+//! * **Verified before run.** Every instance lowers to the same
+//!   `spg-check` `StencilTiled` plan IR as the generic kernel
+//!   ([`SpecializedKernel::plan`]); `spg-core` verifies that plan before
+//!   dispatching to the instance, so the bounds proofs are about the
+//!   exact tile list the monomorphized code executes.
+//! * **Bit-identical.** Instances reproduce the generic kernel's
+//!   per-output-element reduction order (channels, `ky`, `kx`,
+//!   single-rounded FMA), so their outputs are bit-identical to the
+//!   generic AVX path — asserted over the full golden Table 2 suite.
+//! * **Guaranteed fallback.** [`lookup`] returns `None` for unlisted
+//!   geometries, narrow outputs, missing CPU features, or when
+//!   `SPG_FORCE_GENERIC` is set; callers then run the generic
+//!   runtime-parameterized loops. Dispatch never fails loudly.
+
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+mod kernels;
+mod registry;
+pub mod xplan;
+
+pub use registry::{all_instances, lookup, lookup_for_plan, Isa, KernelKey, SpecializedKernel};
+
+/// Output rows held in the register tile — must equal the generic
+/// kernel's `TILE_ROWS` (a coupling test in `spg-core` pins this): six
+/// rows of up to two vectors fill the verifier's accumulator budget at
+/// either lane width.
+pub const TILE_ROWS: usize = 6;
+
+/// Which stencil forward kernel a caller wants deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelChoice {
+    /// Use the specialized instance when one exists, verifies clean, and
+    /// the CPU can run it; otherwise the generic loops (the default).
+    #[default]
+    Auto,
+    /// Always run the generic runtime-parameterized loops (what the
+    /// autotuner deploys when measurement favours them, and what
+    /// `SPG_FORCE_GENERIC=1` forces process-wide).
+    Generic,
+}
+
+impl KernelChoice {
+    /// The decision-log spelling (`specialized` is recorded only for a
+    /// resolved instance, never for the `Auto` intent itself).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelChoice::Auto => "auto",
+            KernelChoice::Generic => "generic",
+        }
+    }
+}
+
+/// Whether `SPG_FORCE_GENERIC` disables every specialized instance.
+///
+/// Read once per process (the CI fallback leg sets it for whole test
+/// runs; per-call reads would put a syscall on the dispatch path). Any
+/// non-empty value other than `0` forces the generic loops.
+pub fn force_generic() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var_os("SPG_FORCE_GENERIC").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_convnet::workspace::ConvScratch;
+    use spg_convnet::{reference, ConvSpec};
+    use spg_gemm::SimdLevel;
+
+    fn pseudo(n: usize, salt: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 29 + salt * 13) % 19) as f32 - 9.0) / 5.0).collect()
+    }
+
+    /// Every instance the host can run matches the reference oracle on a
+    /// spec of its key (tolerance: reduction order differs from the
+    /// reference's).
+    #[test]
+    fn runnable_instances_match_reference() {
+        let level = spg_gemm::detect_simd_level();
+        for inst in all_instances() {
+            if !inst.isa().runnable_at(level) {
+                continue;
+            }
+            let k = inst.key();
+            // An input tall/wide enough for at least `lanes` output
+            // columns and a couple of register tiles of rows.
+            let n = k.sx * (inst.lanes() + 3) + k.fx;
+            let spec = match ConvSpec::new(2, n, n, 3, k.fy, k.fx, k.sy, k.sx) {
+                Ok(s) => s,
+                Err(e) => panic!("spec for {k}: {e:?}"),
+            };
+            assert!(spec.out_w() >= inst.lanes());
+            let input = pseudo(spec.input_shape().len(), 1);
+            let weights = pseudo(spec.weight_shape().len(), 2);
+            let mut out = vec![0f32; spec.output_shape().len()];
+            let mut oracle = out.clone();
+            inst.forward(&spec, &input, &weights, &mut out, &mut ConvScratch::new(), 12);
+            reference::forward(&spec, &input, &weights, &mut oracle);
+            let diff = out.iter().zip(&oracle).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+            assert!(diff < 5e-4, "{inst:?} on {spec}: diff {diff}");
+        }
+    }
+
+    /// Unlisted geometries resolve to no instance — the silent generic
+    /// fallback.
+    #[test]
+    fn unlisted_shape_falls_back() {
+        // 4x4 kernel at stride 3 is in no registry key.
+        let spec = ConvSpec::new(2, 40, 40, 3, 4, 4, 3, 3).map_err(|e| format!("{e:?}")).unwrap();
+        assert!(lookup(&spec).is_none());
+        // 3x3 s1 *is* a key, but a 4-wide output row is narrower than any
+        // instance's vector.
+        let narrow = ConvSpec::square(6, 3, 2, 3, 1);
+        assert!(lookup(&narrow).is_none());
+    }
+
+    /// Dispatch prefers the widest runnable ISA and respects the output
+    /// width floor per instance.
+    #[test]
+    fn dispatch_prefers_widest_runnable_isa() {
+        if force_generic() {
+            // The CI fallback leg (SPG_FORCE_GENERIC=1) disables every
+            // instance; dispatch order is unobservable there.
+            assert!(lookup(&ConvSpec::square(20, 4, 2, 3, 1)).is_none());
+            return;
+        }
+        let level = spg_gemm::detect_simd_level();
+        let wide = ConvSpec::square(20, 4, 2, 3, 1); // 18-wide output
+        let mid = ConvSpec::square(12, 4, 2, 3, 1); // 10-wide output
+        match level {
+            SimdLevel::Scalar => {
+                assert!(lookup(&wide).is_none());
+            }
+            SimdLevel::Avx2Fma => {
+                assert_eq!(lookup(&wide).map(|k| k.isa()), Some(Isa::Avx2));
+            }
+            SimdLevel::Avx512Fma => {
+                assert_eq!(lookup(&wide).map(|k| k.isa()), Some(Isa::Avx512));
+                // 10 < 16 lanes: AVX-512 instance inapplicable, AVX2 runs.
+                assert_eq!(lookup(&mid).map(|k| k.isa()), Some(Isa::Avx2));
+            }
+        }
+    }
+
+    /// The plan lowering matches what the instance executes: lane width,
+    /// tile rows, phase flag, and a covering x-tile list.
+    #[test]
+    fn lowered_plan_reflects_instance() {
+        let spec = ConvSpec::square(64, 4, 3, 5, 2);
+        let Some(inst) = lookup(&spec) else { return };
+        match inst.plan(&spec, 1) {
+            spg_check::ForwardPlan::StencilTiled {
+                lanes,
+                tile_rows,
+                cache_rows,
+                x_tiles,
+                phased,
+            } => {
+                assert_eq!(lanes, inst.lanes());
+                assert_eq!(tile_rows, TILE_ROWS);
+                assert_eq!(cache_rows, TILE_ROWS, "cache_rows clamps up to the tile");
+                assert!(phased);
+                assert!(!x_tiles.is_empty());
+            }
+            other => panic!("unexpected lowering: {other:?}"),
+        }
+    }
+
+    /// `lookup_for_plan` only resolves for tiled stencil plans.
+    #[test]
+    fn plan_keyed_lookup_requires_tiled_stencil() {
+        let spec = ConvSpec::square(20, 4, 2, 3, 1);
+        let gemm = spg_check::ForwardPlan::UnfoldGemm { threads: 1 };
+        assert!(lookup_for_plan(&spec, &gemm).is_none());
+        let narrow = spg_check::ForwardPlan::StencilNarrow;
+        assert!(lookup_for_plan(&spec, &narrow).is_none());
+        if let Some(inst) = lookup(&spec) {
+            let tiled = inst.plan(&spec, 6);
+            assert!(lookup_for_plan(&spec, &tiled).is_some());
+        }
+    }
+
+    #[test]
+    fn registry_covers_table2_geometries() {
+        for key in [(3, 3, 1, 1), (5, 5, 1, 1), (5, 5, 2, 2), (7, 7, 2, 2), (11, 11, 4, 4)] {
+            let (fy, fx, sy, sx) = key;
+            let hits =
+                all_instances().iter().filter(|k| k.key() == KernelKey { fy, fx, sy, sx }).count();
+            assert_eq!(hits, 2, "expected avx2+avx512 instances for {key:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_choice_strings() {
+        assert_eq!(KernelChoice::Auto.as_str(), "auto");
+        assert_eq!(KernelChoice::Generic.as_str(), "generic");
+        assert_eq!(KernelChoice::default(), KernelChoice::Auto);
+    }
+}

@@ -1,0 +1,234 @@
+//! The specialized-kernel registry: monomorphized instances keyed by
+//! kernel geometry, dispatched by runtime CPU features, gated by the
+//! caller through `spg-check`.
+
+use spg_check::ForwardPlan;
+use spg_convnet::workspace::ConvScratch;
+use spg_convnet::ConvSpec;
+use spg_gemm::SimdLevel;
+
+use crate::kernels::ForwardFn;
+use crate::xplan::x_tiles;
+use crate::TILE_ROWS;
+
+/// The geometry tuple a specialized instance is monomorphized for —
+/// the registry key, derived from a `ConvSpec` or from the `spg-check`
+/// plan IR via [`lookup_for_plan`](crate::lookup_for_plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    /// Kernel rows (`Fy`).
+    pub fy: usize,
+    /// Kernel columns (`Fx`).
+    pub fx: usize,
+    /// Vertical stride (`sy`).
+    pub sy: usize,
+    /// Horizontal stride (`sx`).
+    pub sx: usize,
+}
+
+impl KernelKey {
+    /// The key for a convolution's kernel geometry.
+    pub fn of(spec: &ConvSpec) -> KernelKey {
+        KernelKey { fy: spec.ky(), fx: spec.kx(), sy: spec.sy(), sx: spec.sx() }
+    }
+
+    /// Whether instances for this key run the Eq. 21 phase transform —
+    /// exactly the `phased` flag of the lowered `StencilTiled` plan.
+    pub fn phased(&self) -> bool {
+        self.sx > 1
+    }
+}
+
+impl std::fmt::Display for KernelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}s{}", self.fy, self.fx, self.sx)
+    }
+}
+
+/// Instruction set a specialized instance was compiled for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// AVX2 + FMA, 8 f32 lanes.
+    Avx2,
+    /// AVX-512F + FMA, 16 f32 lanes.
+    Avx512,
+}
+
+impl Isa {
+    /// Whether a detected [`SimdLevel`] can run this instance.
+    pub fn runnable_at(self, level: SimdLevel) -> bool {
+        match self {
+            Isa::Avx2 => level >= SimdLevel::Avx2Fma,
+            Isa::Avx512 => level >= SimdLevel::Avx512Fma,
+        }
+    }
+
+    /// Short name for telemetry and benchmark documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+}
+
+/// One monomorphized kernel instance: a `(geometry, ISA)` pair bound to
+/// the const-generic function the compiler emitted for it.
+pub struct SpecializedKernel {
+    pub(crate) key: KernelKey,
+    pub(crate) isa: Isa,
+    pub(crate) lanes: usize,
+    pub(crate) forward: ForwardFn,
+}
+
+impl SpecializedKernel {
+    /// The geometry key this instance was monomorphized for.
+    pub fn key(&self) -> KernelKey {
+        self.key
+    }
+
+    /// The instruction set this instance requires.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// f32 lanes per vector (8 for AVX2, 16 for AVX-512).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lowers this instance to the verifier's IR for `spec`: the exact
+    /// lane width, tile rows, cache block, and x-tile list the instance
+    /// executes. Callers MUST pass this through `spg_check::verify_forward`
+    /// (spg-core's `verify_specialized` does) before running the instance;
+    /// `cache_rows` is the cache-schedule row block and is clamped to
+    /// [`TILE_ROWS`] exactly as the kernel clamps it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.out_w() < self.lanes()` (such specs never resolve
+    /// to this instance through [`lookup`](crate::lookup)).
+    pub fn plan(&self, spec: &ConvSpec, cache_rows: usize) -> ForwardPlan {
+        ForwardPlan::StencilTiled {
+            lanes: self.lanes,
+            tile_rows: TILE_ROWS,
+            cache_rows: cache_rows.max(TILE_ROWS),
+            x_tiles: x_tiles(spec.out_w(), self.lanes),
+            phased: self.key.phased(),
+        }
+    }
+
+    /// Runs the monomorphized forward kernel for one sample, staging the
+    /// phase transform (strided keys) in `scratch`. `cache_rows` is the
+    /// cache-schedule row block from the generator (clamped to
+    /// [`TILE_ROWS`]).
+    ///
+    /// The flop traffic is recorded against telemetry exactly like the
+    /// generic kernel (full dense convolution: goodput 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the spec, if the spec's
+    /// geometry does not match this instance's key, if `spec.out_w()` is
+    /// narrower than one vector, or if the running CPU lacks this
+    /// instance's instruction set.
+    pub fn forward(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+        scratch: &mut ConvScratch,
+        cache_rows: usize,
+    ) {
+        assert_eq!(KernelKey::of(spec), self.key, "spec geometry vs instance key");
+        assert!(spec.out_w() >= self.lanes, "output row narrower than one vector");
+        assert!(
+            self.isa.runnable_at(spg_gemm::detect_simd_level()),
+            "CPU lacks the {} features this instance requires",
+            self.isa.name()
+        );
+        let ops = spec.arithmetic_ops();
+        spg_telemetry::record_flops(ops, ops);
+        // SAFETY: the ISA assertion above guarantees the instance's target
+        // features; the entry validates buffer lengths against the spec,
+        // and the caller ran this instance's lowered plan (self.plan)
+        // through spg-check before dispatching here.
+        unsafe { (self.forward)(spec, input, weights, output, scratch, cache_rows) };
+    }
+}
+
+impl std::fmt::Debug for SpecializedKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SpecializedKernel({}, {}, {} lanes)", self.key, self.isa.name(), self.lanes)
+    }
+}
+
+/// Expands to the registry entries for one geometry key: an AVX-512
+/// instance (preferred when the host has it) and an AVX2 instance.
+#[cfg(target_arch = "x86_64")]
+macro_rules! instances {
+    ($( ($fy:literal, $fx:literal, $sy:literal, $sx:literal) ),* $(,)?) => {
+        &[
+            $(
+                SpecializedKernel {
+                    key: KernelKey { fy: $fy, fx: $fx, sy: $sy, sx: $sx },
+                    isa: Isa::Avx512,
+                    lanes: crate::kernels::avx512::LANES,
+                    forward: crate::kernels::avx512::forward_entry::<$fy, $fx, $sy, $sx>,
+                },
+                SpecializedKernel {
+                    key: KernelKey { fy: $fy, fx: $fx, sy: $sy, sx: $sx },
+                    isa: Isa::Avx2,
+                    lanes: crate::kernels::avx2::LANES,
+                    forward: crate::kernels::avx2::forward_entry::<$fy, $fx, $sy, $sx>,
+                },
+            )*
+        ]
+    };
+}
+
+/// Every monomorphized instance, in dispatch-preference order per key.
+/// The key set covers the kernel geometries of the paper's Table 2
+/// benchmarks — (7x7, s2), (5x5, s2), (3x3, s1), (5x5, s1), (11x11, s4) —
+/// which is where the autotuner spends its forward time; anything else
+/// falls back to the generic runtime-parameterized loops.
+#[cfg(target_arch = "x86_64")]
+static REGISTRY: &[SpecializedKernel] =
+    instances![(3, 3, 1, 1), (5, 5, 1, 1), (5, 5, 2, 2), (7, 7, 2, 2), (11, 11, 4, 4),];
+
+/// Non-x86 hosts have no specialized instances: every shape takes the
+/// generic path, which is the guaranteed-fallback contract.
+#[cfg(not(target_arch = "x86_64"))]
+static REGISTRY: &[SpecializedKernel] = &[];
+
+/// All registry instances (dispatch-preference order). Exposed so tests
+/// and the golden suite can enumerate every instance; use
+/// [`lookup`](crate::lookup) for dispatch.
+pub fn all_instances() -> &'static [SpecializedKernel] {
+    REGISTRY
+}
+
+/// Resolves the specialized instance for `spec`, or `None` when the
+/// generic path must run: unlisted geometry, output rows narrower than
+/// the instance's vector, missing CPU features, or the
+/// `SPG_FORCE_GENERIC` escape hatch. Wider ISAs win ties.
+pub fn lookup(spec: &ConvSpec) -> Option<&'static SpecializedKernel> {
+    if crate::force_generic() {
+        return None;
+    }
+    let key = KernelKey::of(spec);
+    let level = spg_gemm::detect_simd_level();
+    REGISTRY.iter().find(|k| k.key == key && k.isa.runnable_at(level) && spec.out_w() >= k.lanes)
+}
+
+/// [`lookup`] keyed by the `spg-check` plan IR: resolves only for
+/// `StencilTiled` plans whose `phased` flag matches the key (narrow and
+/// GEMM plans never specialize), so the registry consult composes with
+/// `verify_plan` on the plan that actually passed.
+pub fn lookup_for_plan(spec: &ConvSpec, plan: &ForwardPlan) -> Option<&'static SpecializedKernel> {
+    match plan {
+        ForwardPlan::StencilTiled { phased, .. } if *phased == (spec.sx() > 1) => lookup(spec),
+        _ => None,
+    }
+}

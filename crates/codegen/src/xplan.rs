@@ -1,0 +1,96 @@
+//! Lane-parameterized `x` tile segmentation.
+//!
+//! The generic kernel's `x_plan` is hard-wired to 8 lanes (AVX2). The
+//! specialized registry carries 16-lane (AVX-512) instances too, so the
+//! segmentation is generalized over the lane count here: double-width
+//! tiles while they fit, then single vectors, then one overlapping
+//! single-vector tail for ragged widths. A coupling test in `spg-core`
+//! pins the 8-lane case to the generic kernel's plan.
+
+use spg_check::XTile;
+
+/// `x` tile plan covering `0..out_w` with `lanes`-wide vectors: `2*lanes`
+/// tiles while they fit, then `lanes`-wide, then one overlapping
+/// `lanes`-wide tail. Returns `(x, wide)` pairs; `wide` means two vectors.
+///
+/// # Panics
+///
+/// Panics if `lanes == 0` or `out_w < lanes` (narrower outputs take the
+/// shifted-GEMM path and have no x plan).
+pub fn x_plan_lanes(out_w: usize, lanes: usize) -> Vec<(usize, bool)> {
+    assert!(lanes > 0, "lane count must be positive");
+    assert!(out_w >= lanes, "output row narrower than one vector");
+    let mut plan = Vec::new();
+    let mut x = 0;
+    while x + 2 * lanes <= out_w {
+        plan.push((x, true));
+        x += 2 * lanes;
+    }
+    while x + lanes <= out_w {
+        plan.push((x, false));
+        x += lanes;
+    }
+    if x < out_w {
+        plan.push((out_w - lanes, false));
+    }
+    plan
+}
+
+/// [`x_plan_lanes`] in the verifier's IR: the exact tile list a
+/// specialized instance iterates, handed to `spg-check` so the proof is
+/// about the code that runs.
+///
+/// # Panics
+///
+/// Panics if `lanes == 0` or `out_w < lanes`.
+pub fn x_tiles(out_w: usize, lanes: usize) -> Vec<XTile> {
+    x_plan_lanes(out_w, lanes)
+        .into_iter()
+        .map(|(x, wide)| XTile { x, vectors: if wide { 2 } else { 1 } })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly_with_overlapping_tail() {
+        for lanes in [8usize, 16] {
+            for out_w in lanes..5 * lanes {
+                let plan = x_plan_lanes(out_w, lanes);
+                let mut covered = vec![false; out_w];
+                for &(x, wide) in &plan {
+                    let w = if wide { 2 * lanes } else { lanes };
+                    assert!(x + w <= out_w, "tile escapes: x={x} w={w} out_w={out_w}");
+                    for c in covered.iter_mut().skip(x).take(w) {
+                        *c = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "gap at out_w={out_w} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_multiples_have_no_tail_overlap() {
+        let plan = x_plan_lanes(32, 8);
+        assert_eq!(plan, vec![(0, true), (16, true)]);
+        let plan = x_plan_lanes(32, 16);
+        assert_eq!(plan, vec![(0, true)]);
+    }
+
+    #[test]
+    fn tiles_translate_to_ir() {
+        let tiles = x_tiles(24, 16);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!((tiles[0].x, tiles[0].vectors), (0, 1));
+        assert_eq!((tiles[1].x, tiles[1].vectors), (8, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "narrower")]
+    fn narrow_rows_rejected() {
+        x_plan_lanes(7, 8);
+    }
+}

@@ -11,6 +11,19 @@
 //! and [`UnfoldGemmExecutor`]); the `spg-core` crate plugs its stencil
 //! forward kernel and sparse backward kernel in through this trait, and the
 //! paper's scheduler swaps executors per layer and per phase (Sec. 4.4).
+//!
+//! # Kernel dispatch layers beneath this seam
+//!
+//! Specialized-kernel selection does **not** go through the executor
+//! seam: `spg-core`'s `StencilExecutor` consults the `spg-codegen`
+//! registry of monomorphized instances inside its own `forward` and falls
+//! back to the generic runtime-parameterized loops for unlisted shapes.
+//! Executor choice answers *which algorithm* runs a phase (unfold-GEMM vs
+//! stencil vs reference); instance choice answers *which compiled body*
+//! runs that algorithm, and the two stay orthogonal. Callers swapping
+//! executors never observe the difference — specialized and generic
+//! stencil bodies are bit-identical by contract, enforced by `spg-check`
+//! verification and the golden Table 2 suite.
 
 use std::fmt;
 use std::sync::Arc;

@@ -10,12 +10,16 @@
 //! [`tune_layer`] is the measurement primitive; [`Framework`] applies
 //! plans to whole networks and re-tunes between epochs.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use spg_codegen::KernelChoice;
+use spg_convnet::exec::{ConvExecutor, SharedExecutor};
 use spg_convnet::workspace::ConvScratch;
 use spg_convnet::{ConvSpec, EpochStats, Network};
 
 use crate::schedule::{recommended_plan, LayerPlan, Technique};
+use crate::stencil::StencilExecutor;
 
 /// Which phase of a convolution layer a measurement exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,8 +48,24 @@ pub fn measure_technique(
     cores: usize,
     reps: usize,
 ) -> Duration {
+    measure_executor(spec, &*technique.executor(cores), phase, sparsity, reps)
+}
+
+/// Times one concrete executor on one phase — the primitive behind
+/// [`measure_technique`], also used to race the generic stencil loops
+/// against a specialized registry instance for the same technique.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+fn measure_executor(
+    spec: &ConvSpec,
+    exec: &dyn ConvExecutor,
+    phase: Phase,
+    sparsity: f64,
+    reps: usize,
+) -> Duration {
     assert!(reps > 0, "repetition count must be positive");
-    let exec = technique.executor(cores);
     let input: Vec<f32> =
         (0..spec.input_shape().len()).map(|i| ((i % 23) as f32 - 11.0) / 7.0).collect();
     let weights: Vec<f32> =
@@ -90,48 +110,140 @@ pub fn measure_technique(
 ///
 /// Panics if `reps == 0`.
 pub fn tune_layer(spec: &ConvSpec, sparsity: f64, cores: usize, reps: usize) -> LayerPlan {
-    let pick = |phase: Phase, candidates: &[Technique]| {
-        // Plan-time gate: every candidate is verified before it is measured
-        // or deployed; rejections are logged, never run.
-        let (safe, rejected) = split_verified(spec, candidates, phase, cores);
-        let timed: Vec<(Technique, Duration)> = safe
-            .iter()
-            .map(|&t| (t, measure_technique(spec, t, phase, sparsity, cores, reps)))
-            .collect();
-        let chosen = timed
-            .iter()
-            .min_by_key(|&&(_, d)| d)
-            .map(|&(t, _)| t)
-            // GEMM-in-Parallel is the always-applicable serial baseline; it
-            // only backstops the (unreachable) all-candidates-rejected case.
-            .unwrap_or(Technique::GemmInParallel);
-        // Log the measure-and-pick evidence so `spgcnn tune --json` can
-        // report not just the winner but why it won.
-        if spg_telemetry::enabled() {
-            spg_telemetry::record_decision(spg_telemetry::Decision {
-                label: spg_telemetry::current_label().unwrap_or_else(|| "unscoped".to_string()),
-                phase: match phase {
-                    Phase::Forward => spg_telemetry::Phase::Forward,
-                    Phase::Backward => spg_telemetry::Phase::Backward,
-                },
-                chosen: chosen.id().to_string(),
-                sparsity,
-                cores,
-                candidates: timed
-                    .iter()
-                    .map(|&(t, d)| spg_telemetry::CandidateTiming {
-                        technique: t.id().to_string(),
-                        wall_ns: duration_ns(d),
-                    })
-                    .collect(),
-                rejected,
-            });
+    tune_layer_with_kernels(spec, sparsity, cores, reps).plan
+}
+
+/// What tuning one layer produced: the technique pair plus which stencil
+/// forward kernel — specialized registry instance or generic loops — the
+/// per-layer measurement favoured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunedLayer {
+    /// The fastest technique pair.
+    pub plan: LayerPlan,
+    /// Forward stencil kernel choice: [`KernelChoice::Generic`] when the
+    /// generic loops measured faster than the specialized instance (or
+    /// the caller should pin them), [`KernelChoice::Auto`] otherwise.
+    pub fp_kernel: KernelChoice,
+}
+
+/// [`tune_layer`] returning the forward kernel choice alongside the
+/// technique pair. When the stencil forward technique is applicable and
+/// a verified specialized instance exists for the shape, the instance is
+/// raced against the generic loops and the winner is recorded in the
+/// decision log (schema minor 5, `kernel` field).
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn tune_layer_with_kernels(
+    spec: &ConvSpec,
+    sparsity: f64,
+    cores: usize,
+    reps: usize,
+) -> TunedLayer {
+    let (forward, fp_kernel) =
+        pick(spec, Phase::Forward, Technique::forward_candidates(), sparsity, cores, reps);
+    let (backward, _) =
+        pick(spec, Phase::Backward, Technique::backward_candidates(), sparsity, cores, reps);
+    TunedLayer { plan: LayerPlan { forward, backward }, fp_kernel }
+}
+
+/// Verifies, measures, and picks the fastest technique for one phase,
+/// recording the decision (with the forward stencil kernel choice) when
+/// telemetry is enabled.
+fn pick(
+    spec: &ConvSpec,
+    phase: Phase,
+    candidates: &[Technique],
+    sparsity: f64,
+    cores: usize,
+    reps: usize,
+) -> (Technique, KernelChoice) {
+    // Plan-time gate: every candidate is verified before it is measured
+    // or deployed; rejections are logged, never run.
+    let (safe, rejected) = split_verified(spec, candidates, phase, cores);
+    let timed: Vec<(Technique, Duration)> = safe
+        .iter()
+        .map(|&t| (t, measure_technique(spec, t, phase, sparsity, cores, reps)))
+        .collect();
+    let chosen = timed
+        .iter()
+        .min_by_key(|&&(_, d)| d)
+        .map(|&(t, _)| t)
+        // GEMM-in-Parallel is the always-applicable serial baseline; it
+        // only backstops the (unreachable) all-candidates-rejected case.
+        .unwrap_or(Technique::GemmInParallel);
+    // Generic-vs-specialized race for the stencil forward kernel — only
+    // when the verifier admitted the stencil technique (a rejected plan
+    // must never run, not even for measurement).
+    let kernel = match phase {
+        Phase::Forward if safe.contains(&Technique::StencilFp) => {
+            Some(tune_forward_kernel(spec, sparsity, reps))
         }
-        chosen
+        _ => None,
     };
-    LayerPlan {
-        forward: pick(Phase::Forward, Technique::forward_candidates()),
-        backward: pick(Phase::Backward, Technique::backward_candidates()),
+    // Log the measure-and-pick evidence so `spgcnn tune --json` can
+    // report not just the winner but why it won.
+    if spg_telemetry::enabled() {
+        spg_telemetry::record_decision(spg_telemetry::Decision {
+            label: spg_telemetry::current_label().unwrap_or_else(|| "unscoped".to_string()),
+            phase: match phase {
+                Phase::Forward => spg_telemetry::Phase::Forward,
+                Phase::Backward => spg_telemetry::Phase::Backward,
+            },
+            chosen: chosen.id().to_string(),
+            sparsity,
+            cores,
+            candidates: timed
+                .iter()
+                .map(|&(t, d)| spg_telemetry::CandidateTiming {
+                    technique: t.id().to_string(),
+                    wall_ns: duration_ns(d),
+                })
+                .collect(),
+            rejected,
+            kernel: kernel.map(|(_, name)| name.to_string()),
+        });
+    }
+    (chosen, kernel.map_or(KernelChoice::Auto, |(choice, _)| choice))
+}
+
+/// Races the verified specialized instance (when one resolves) against
+/// the generic loops for the stencil forward kernel, returning the
+/// deployment choice and its decision-log spelling. Shapes with no
+/// runnable instance skip the measurement: `Auto` dispatch already falls
+/// back to the generic loops there.
+fn tune_forward_kernel(
+    spec: &ConvSpec,
+    sparsity: f64,
+    reps: usize,
+) -> (KernelChoice, &'static str) {
+    if crate::specialized::select_kernel(spec).is_none() {
+        return (KernelChoice::Auto, "generic");
+    }
+    let specialized =
+        measure_executor(spec, &StencilExecutor::new(), Phase::Forward, sparsity, reps);
+    let generic =
+        measure_executor(spec, &StencilExecutor::generic(), Phase::Forward, sparsity, reps);
+    if specialized <= generic {
+        (KernelChoice::Auto, "specialized")
+    } else {
+        (KernelChoice::Generic, "generic")
+    }
+}
+
+/// The forward executor a tuned plan deploys: the stencil executor
+/// pinned to the generic loops when measurement favoured them, the
+/// technique's default executor otherwise.
+fn forward_executor_for(
+    technique: Technique,
+    kernel: KernelChoice,
+    cores: usize,
+) -> SharedExecutor {
+    if technique == Technique::StencilFp && kernel == KernelChoice::Generic {
+        Arc::new(StencilExecutor::generic())
+    } else {
+        technique.executor(cores)
     }
 }
 
@@ -171,32 +283,22 @@ fn duration_ns(d: Duration) -> u64 {
 ///
 /// Panics if `reps == 0`.
 pub fn tune_layer_forward(spec: &ConvSpec, cores: usize, reps: usize) -> Technique {
-    let (safe, rejected) =
-        split_verified(spec, Technique::forward_candidates(), Phase::Forward, cores);
-    let timed: Vec<(Technique, Duration)> = safe
-        .iter()
-        .map(|&t| (t, measure_technique(spec, t, Phase::Forward, 0.0, cores, reps)))
-        .collect();
-    let chosen =
-        timed.iter().min_by_key(|&&(_, d)| d).map(|&(t, _)| t).unwrap_or(Technique::GemmInParallel);
-    if spg_telemetry::enabled() {
-        spg_telemetry::record_decision(spg_telemetry::Decision {
-            label: spg_telemetry::current_label().unwrap_or_else(|| "unscoped".to_string()),
-            phase: spg_telemetry::Phase::Forward,
-            chosen: chosen.id().to_string(),
-            sparsity: 0.0,
-            cores,
-            candidates: timed
-                .iter()
-                .map(|&(t, d)| spg_telemetry::CandidateTiming {
-                    technique: t.id().to_string(),
-                    wall_ns: duration_ns(d),
-                })
-                .collect(),
-            rejected,
-        });
-    }
-    chosen
+    tune_layer_forward_with_kernels(spec, cores, reps).0
+}
+
+/// [`tune_layer_forward`] returning the stencil kernel choice alongside
+/// the technique — the serving path's analogue of
+/// [`tune_layer_with_kernels`].
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn tune_layer_forward_with_kernels(
+    spec: &ConvSpec,
+    cores: usize,
+    reps: usize,
+) -> (Technique, KernelChoice) {
+    pick(spec, Phase::Forward, Technique::forward_candidates(), 0.0, cores, reps)
 }
 
 /// How the framework chooses techniques.
@@ -256,15 +358,29 @@ impl Framework {
 
     /// Plans one layer at the given gradient sparsity.
     pub fn plan_layer(&self, spec: &ConvSpec, sparsity: f64) -> LayerPlan {
+        self.plan_layer_with_kernels(spec, sparsity).plan
+    }
+
+    /// Plans one layer and reports the forward stencil kernel choice
+    /// alongside the technique pair. Heuristic mode never measures, so it
+    /// keeps [`KernelChoice::Auto`] (specialized where available).
+    pub fn plan_layer_with_kernels(&self, spec: &ConvSpec, sparsity: f64) -> TunedLayer {
         match self.mode {
-            TuningMode::Heuristic => recommended_plan(spec, sparsity, self.cores),
-            TuningMode::Measured { reps } => tune_layer(spec, sparsity, self.cores, reps),
+            TuningMode::Heuristic => TunedLayer {
+                plan: recommended_plan(spec, sparsity, self.cores),
+                fp_kernel: KernelChoice::Auto,
+            },
+            TuningMode::Measured { reps } => {
+                tune_layer_with_kernels(spec, sparsity, self.cores, reps)
+            }
         }
     }
 
     /// Plans every convolution layer of a network assuming `sparsity`
-    /// backward-gradient sparsity, installs the executors, and returns
-    /// `(layer index, plan)` pairs for reporting.
+    /// backward-gradient sparsity, installs the executors (with the
+    /// stencil forward kernel pinned to the generic loops where
+    /// measurement favoured them), and returns `(layer index, plan)`
+    /// pairs for reporting.
     pub fn plan_network(&self, net: &mut Network, sparsity: f64) -> Vec<(usize, LayerPlan)> {
         let mut plans = Vec::new();
         for (i, layer) in net.layers_mut().iter_mut().enumerate() {
@@ -273,8 +389,13 @@ impl Framework {
             // Tuning traffic records under the layer's label, Tune phase,
             // keeping measurement flops out of the training buckets.
             let _tune = spg_telemetry::scope(&label, spg_telemetry::Phase::Tune);
-            let plan = self.plan_layer(&conv.spec().clone(), sparsity);
-            conv.set_forward_executor(plan.forward.executor(self.cores));
+            let tuned = self.plan_layer_with_kernels(&conv.spec().clone(), sparsity);
+            let plan = tuned.plan;
+            conv.set_forward_executor(forward_executor_for(
+                plan.forward,
+                tuned.fp_kernel,
+                self.cores,
+            ));
             conv.set_backward_executor(plan.backward.executor(self.cores));
             plans.push((i, plan));
         }
@@ -283,9 +404,19 @@ impl Framework {
 
     /// Plans one layer's forward technique only (the serving path).
     pub fn plan_layer_forward(&self, spec: &ConvSpec) -> Technique {
+        self.plan_layer_forward_with_kernels(spec).0
+    }
+
+    /// [`plan_layer_forward`](Framework::plan_layer_forward) reporting the
+    /// stencil kernel choice alongside the technique.
+    pub fn plan_layer_forward_with_kernels(&self, spec: &ConvSpec) -> (Technique, KernelChoice) {
         match self.mode {
-            TuningMode::Heuristic => recommended_plan(spec, 0.0, self.cores).forward,
-            TuningMode::Measured { reps } => tune_layer_forward(spec, self.cores, reps),
+            TuningMode::Heuristic => {
+                (recommended_plan(spec, 0.0, self.cores).forward, KernelChoice::Auto)
+            }
+            TuningMode::Measured { reps } => {
+                tune_layer_forward_with_kernels(spec, self.cores, reps)
+            }
         }
     }
 
@@ -300,8 +431,8 @@ impl Framework {
             let Some(conv) = layer.as_conv_mut() else { continue };
             let _tune = spg_telemetry::scope(&label, spg_telemetry::Phase::Tune);
             let spec = *conv.spec();
-            let forward = self.plan_layer_forward(&spec);
-            conv.set_forward_executor(forward.executor(self.cores));
+            let (forward, fp_kernel) = self.plan_layer_forward_with_kernels(&spec);
+            conv.set_forward_executor(forward_executor_for(forward, fp_kernel, self.cores));
             plans.push((
                 i,
                 LayerPlan { forward, backward: recommended_plan(&spec, 0.0, self.cores).backward },
@@ -449,6 +580,46 @@ mod tests {
         // Positive control: a real on-interval epoch does re-plan.
         fw.retune(&mut net, &stats(2));
         assert!(logged(&label) > before, "epoch 2 re-plans and logs its decision");
+    }
+
+    /// Forward decisions carry the minor-5 `kernel` field whenever the
+    /// stencil technique was measured; backward decisions never do.
+    #[test]
+    fn forward_decisions_record_kernel_choice() {
+        spg_telemetry::set_enabled(true);
+        // Registry shape (3x3 s1) with an 18-wide output: stencil-fp
+        // verifies, so the generic-vs-specialized race runs.
+        let spec = ConvSpec::new(2, 20, 20, 3, 3, 3, 1, 1).unwrap();
+        {
+            let _scope = spg_telemetry::scope("kernel-decision-layer", spg_telemetry::Phase::Tune);
+            let tuned = tune_layer_with_kernels(&spec, 0.5, 1, 1);
+            assert!(matches!(tuned.fp_kernel, KernelChoice::Auto | KernelChoice::Generic));
+        }
+        let snap = spg_telemetry::snapshot();
+        let mine: Vec<_> =
+            snap.decisions.iter().filter(|d| d.label == "kernel-decision-layer").collect();
+        let forward: Vec<_> =
+            mine.iter().filter(|d| d.phase == spg_telemetry::Phase::Forward).collect();
+        assert!(!forward.is_empty(), "forward decision logged");
+        for d in &forward {
+            let kernel = d.kernel.as_deref().expect("forward decision records kernel");
+            assert!(kernel == "specialized" || kernel == "generic", "kernel = {kernel}");
+        }
+        for d in mine.iter().filter(|d| d.phase == spg_telemetry::Phase::Backward) {
+            assert!(d.kernel.is_none(), "backward decisions carry no kernel field");
+        }
+    }
+
+    /// The deployment helper pins the generic stencil executor only for
+    /// a measured-generic stencil plan.
+    #[test]
+    fn forward_executor_honours_kernel_choice() {
+        let pinned = forward_executor_for(Technique::StencilFp, KernelChoice::Generic, 1);
+        assert_eq!(pinned.name(), "stencil-fp");
+        let auto = forward_executor_for(Technique::StencilFp, KernelChoice::Auto, 1);
+        assert_eq!(auto.name(), "stencil-fp");
+        let gemm = forward_executor_for(Technique::GemmInParallel, KernelChoice::Generic, 1);
+        assert_ne!(gemm.name(), "stencil-fp");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use std::fmt;
 
+use spg_codegen::{KernelChoice, SpecializedKernel};
 use spg_tensor::{layout, Tensor};
 
 use spg_convnet::workspace::ConvScratch;
@@ -19,6 +20,7 @@ use spg_convnet::{gemm_exec, ConvSpec};
 
 use crate::schedule::{LayerPlan, Technique};
 use crate::sparse::{kernel as sparse_kernel, DEFAULT_TILE_WIDTH};
+use crate::specialized::select_kernel;
 use crate::stencil::{
     kernel as stencil_kernel, plan_cache_schedule, plan_register_tile, render_basic_block,
     CacheSchedule, RegisterTilePlan, VECTOR_WIDTH,
@@ -59,6 +61,9 @@ pub struct CompiledConv {
     w_kkfc: Option<Tensor>,
     /// Cached `[ky][kx] (Nc x Nf)` weights for the narrow stencil path.
     w_kkcf: Option<Vec<f32>>,
+    /// Verified `spg-codegen` instance for the forward stencil, when one
+    /// resolved (stencil plans compiled with [`KernelChoice::Auto`] only).
+    specialized: Option<&'static SpecializedKernel>,
     register_tile: RegisterTilePlan,
     cache_schedule: CacheSchedule,
 }
@@ -79,6 +84,30 @@ impl CompiledConv {
         weights: &[f32],
         cores: usize,
     ) -> Result<Self, crate::SpgError> {
+        Self::compile_with_kernel(spec, plan, weights, cores, KernelChoice::Auto)
+    }
+
+    /// [`compile`](CompiledConv::compile) with an explicit forward-kernel
+    /// choice: [`KernelChoice::Auto`] consults the `spg-codegen` registry
+    /// after the plan verifies (a resolved instance is itself re-verified
+    /// against its own lowered plan before it is kept);
+    /// [`KernelChoice::Generic`] pins the generic runtime-parameterized
+    /// loops — what the autotuner passes when per-layer measurement
+    /// favours them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpgError::InvalidNetwork`](crate::SpgError::InvalidNetwork)
+    /// if the weight buffer length does not match the spec, or
+    /// [`SpgError::PlanRejected`](crate::SpgError::PlanRejected) if the
+    /// static verifier cannot prove the lowered plan safe.
+    pub fn compile_with_kernel(
+        spec: ConvSpec,
+        plan: LayerPlan,
+        weights: &[f32],
+        cores: usize,
+        kernel_choice: KernelChoice,
+    ) -> Result<Self, crate::SpgError> {
         if weights.len() != spec.weight_shape().len() {
             return Err(crate::SpgError::InvalidNetwork {
                 message: format!(
@@ -92,6 +121,13 @@ impl CompiledConv {
         // in-bounds, disjoint across workers, and within scratch capacity
         // before constructing anything that will execute it.
         crate::verify::verify_plan(&spec, plan, cores.max(1))?;
+        // Registry consult, after the generic plan passed: a specialized
+        // instance is kept only if its own lowered plan also verifies
+        // (select_kernel gates through verify_specialized).
+        let specialized = match (plan.forward, kernel_choice) {
+            (Technique::StencilFp, KernelChoice::Auto) => select_kernel(&spec),
+            _ => None,
+        };
         let mut compiled = CompiledConv {
             spec,
             plan,
@@ -100,6 +136,7 @@ impl CompiledConv {
             weights: Tensor::zeros(weights.len()),
             w_kkfc: None,
             w_kkcf: None,
+            specialized,
             register_tile: plan_register_tile(&spec),
             cache_schedule: plan_cache_schedule(&spec),
         };
@@ -152,6 +189,22 @@ impl CompiledConv {
         self.cache_schedule
     }
 
+    /// Which forward kernel this layer runs: `"specialized"` when a
+    /// verified `spg-codegen` instance was bound at compile time,
+    /// `"generic"` otherwise.
+    pub fn kernel_kind(&self) -> &'static str {
+        if self.specialized.is_some() {
+            "specialized"
+        } else {
+            "generic"
+        }
+    }
+
+    /// The bound specialized instance, if any.
+    pub fn specialized_kernel(&self) -> Option<&'static SpecializedKernel> {
+        self.specialized
+    }
+
     /// Forward propagation allocating a throwaway [`ConvScratch`] per
     /// call.
     ///
@@ -182,6 +235,15 @@ impl CompiledConv {
                 if let Some(w_kkcf) = &self.w_kkcf {
                     stencil_kernel::forward_narrow_pretransformed_scratch(
                         &self.spec, input, w_kkcf, output, scratch,
+                    );
+                } else if let Some(inst) = self.specialized {
+                    inst.forward(
+                        &self.spec,
+                        input,
+                        self.weights.as_slice(),
+                        output,
+                        scratch,
+                        self.cache_schedule.y_tile,
                     );
                 } else {
                     stencil_kernel::forward_scratch(
@@ -335,9 +397,20 @@ impl CompiledConv {
     /// basic block for stencil forward plans, and the pointer-shifting
     /// sparse kernel for sparse backward plans.
     pub fn render(&self) -> String {
+        let kernel = match self.specialized {
+            Some(inst) => {
+                format!(
+                    "specialized ({}, {}, {} lanes)",
+                    inst.key(),
+                    inst.isa().name(),
+                    inst.lanes()
+                )
+            }
+            None => "generic".to_string(),
+        };
         let mut out = format!(
-            "/* compiled conv: {}\n   plan: {}\n   cache schedule: {} */\n",
-            self.spec, self.plan, self.cache_schedule
+            "/* compiled conv: {}\n   plan: {}\n   cache schedule: {}\n   forward kernel: {} */\n",
+            self.spec, self.plan, self.cache_schedule, kernel
         );
         if self.plan.forward == Technique::StencilFp && self.spec.out_w() >= VECTOR_WIDTH {
             out.push_str(&render_basic_block(&self.spec, Some(self.register_tile)));
@@ -494,6 +567,52 @@ mod tests {
         assert!(listing.contains("Stencil-Kernel"));
         assert!(listing.contains("_mm256_fmadd_ps"));
         assert!(listing.contains("output tile"));
+    }
+
+    /// A pinned-generic compile never binds an instance, and its output is
+    /// bit-identical to the auto compile's (the specialized instance
+    /// preserves the generic reduction order exactly).
+    #[test]
+    fn kernel_choice_generic_pins_generic_and_matches_auto() {
+        let spec = ConvSpec::square(24, 4, 3, 3, 1); // 22-wide output, 3x3 s1
+        let plan = LayerPlan { forward: Technique::StencilFp, backward: Technique::SparseBp };
+        let weights = pseudo(spec.weight_shape().len(), 8);
+        let auto = CompiledConv::compile(spec, plan, &weights, 1).expect("valid weights");
+        let generic = CompiledConv::compile_with_kernel(
+            spec,
+            plan,
+            &weights,
+            1,
+            spg_codegen::KernelChoice::Generic,
+        )
+        .expect("valid weights");
+        assert_eq!(generic.kernel_kind(), "generic");
+        assert!(generic.specialized_kernel().is_none());
+        if spg_gemm::detect_simd_level() >= spg_gemm::SimdLevel::Avx2Fma
+            && !spg_codegen::force_generic()
+        {
+            assert_eq!(auto.kernel_kind(), "specialized");
+            assert!(auto.render().contains("forward kernel: specialized"));
+        }
+        let input = pseudo(spec.input_shape().len(), 9);
+        let mut scratch = ConvScratch::new();
+        let mut a = vec![0f32; spec.output_shape().len()];
+        let mut b = vec![0f32; spec.output_shape().len()];
+        auto.forward_scratch(&input, &mut a, &mut scratch);
+        generic.forward_scratch(&input, &mut b, &mut scratch);
+        assert_eq!(a, b);
+    }
+
+    /// Shapes outside the registry compile to the generic kernel even
+    /// under `KernelChoice::Auto` — the silent fallback.
+    #[test]
+    fn unlisted_shape_compiles_generic() {
+        let spec = ConvSpec::square(14, 5, 3, 4, 1); // 4x4 kernel: no key
+        let plan = LayerPlan { forward: Technique::StencilFp, backward: Technique::SparseBp };
+        let weights = pseudo(spec.weight_shape().len(), 5);
+        let kernel = CompiledConv::compile(spec, plan, &weights, 1).expect("valid weights");
+        assert_eq!(kernel.kernel_kind(), "generic");
+        assert!(kernel.render().contains("forward kernel: generic"));
     }
 
     #[test]

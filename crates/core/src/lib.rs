@@ -43,6 +43,7 @@ mod error;
 pub mod region;
 pub mod schedule;
 pub mod sparse;
+pub mod specialized;
 pub mod stencil;
 pub mod verify;
 

@@ -1,0 +1,78 @@
+//! Verified dispatch into the `spg-codegen` specialized-kernel registry.
+//!
+//! `spg-codegen` resolves a monomorphized instance for a shape
+//! ([`spg_codegen::lookup`]); this module is the *gate* in front of it:
+//! no instance runs until its lowered `StencilTiled` plan — the exact
+//! lane width, register-tile rows, cache block, and x-tile list the
+//! monomorphized code executes — has passed `spg-check`. Verification
+//! verdicts are memoized per `(spec, ISA)` so the per-sample dispatch
+//! path stays allocation- and proof-free after the first call.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use spg_codegen::{Isa, SpecializedKernel};
+use spg_convnet::ConvSpec;
+
+/// Memoized `spg-check` verdicts for specialized instances. Keyed by the
+/// full spec (not just the kernel geometry): the x-tile list and phase
+/// containment proof depend on the input dimensions.
+static VERIFIED: OnceLock<Mutex<HashMap<(ConvSpec, Isa), bool>>> = OnceLock::new();
+
+/// Resolves the specialized instance for `spec` **and proves it safe**:
+/// returns `Some` only when the registry has a runnable instance for the
+/// shape ([`spg_codegen::lookup`]) *and* that instance's lowered plan
+/// passes [`verify_specialized`](crate::verify::verify_specialized).
+/// Every other case — unlisted geometry, narrow output, missing CPU
+/// features, `SPG_FORCE_GENERIC`, or a rejected plan — yields `None` and
+/// the caller runs the generic runtime-parameterized loops.
+pub fn select_kernel(spec: &ConvSpec) -> Option<&'static SpecializedKernel> {
+    let inst = spg_codegen::lookup(spec)?;
+    let memo = VERIFIED.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = match memo.lock() {
+        Ok(guard) => guard,
+        // A panic while holding the lock cannot corrupt the map (verdicts
+        // are inserted atomically), so keep serving memoized results.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let ok = *map
+        .entry((*spec, inst.isa()))
+        .or_insert_with(|| crate::verify::verify_specialized(spec, inst).is_ok());
+    if ok {
+        Some(inst)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_gemm::SimdLevel;
+
+    /// Shapes the registry covers resolve iff the host can run SIMD; the
+    /// verdict is stable across calls (memo hit).
+    #[test]
+    fn selection_is_gated_and_stable() {
+        let spec = ConvSpec::square(20, 4, 2, 3, 1); // 18-wide output, 3x3 s1
+        let first = select_kernel(&spec);
+        if spg_codegen::force_generic() {
+            // CI's SPG_FORCE_GENERIC=1 leg: nothing may resolve.
+            assert!(first.is_none());
+        } else if spg_gemm::detect_simd_level() >= SimdLevel::Avx2Fma {
+            let inst = first.expect("registry shape on a SIMD host");
+            assert_eq!(inst.key(), spg_codegen::KernelKey::of(&spec));
+        } else {
+            assert!(first.is_none());
+        }
+        let second = select_kernel(&spec);
+        assert_eq!(first.map(|k| k.isa()), second.map(|k| k.isa()));
+    }
+
+    /// Unlisted geometries never resolve, regardless of host features.
+    #[test]
+    fn unlisted_geometry_stays_generic() {
+        let spec = ConvSpec::new(1, 40, 40, 3, 4, 4, 3, 3).expect("valid spec");
+        assert!(select_kernel(&spec).is_none());
+    }
+}

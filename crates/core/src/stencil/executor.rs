@@ -2,12 +2,20 @@ use spg_convnet::exec::ConvExecutor;
 use spg_convnet::workspace::ConvScratch;
 use spg_convnet::{gemm_exec, ConvSpec};
 
-use crate::stencil::kernel;
+use crate::specialized::select_kernel;
+use crate::stencil::{kernel, plan_cache_schedule};
 
 /// [`ConvExecutor`] running the stencil direct-convolution kernel for the
 /// forward phase. Backward phases fall back to single-threaded
 /// Unfold+GEMM: the paper deploys Stencil-Kernel for FP only, pairing it
 /// with Sparse-Kernel or GEMM-in-Parallel for BP (Sec. 4.4, Sec. 5.1).
+///
+/// Forward dispatch consults the `spg-codegen` specialized-kernel
+/// registry first: shapes with a verified monomorphized instance run it
+/// (bit-identical to the generic tiled loops), everything else — and
+/// every shape when constructed with [`generic`](StencilExecutor::generic)
+/// or under `SPG_FORCE_GENERIC` — runs the generic
+/// runtime-parameterized kernel.
 ///
 /// # Example
 ///
@@ -18,12 +26,28 @@ use crate::stencil::kernel;
 /// assert_eq!(StencilExecutor::new().name(), "stencil-fp");
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
-pub struct StencilExecutor;
+pub struct StencilExecutor {
+    force_generic: bool,
+}
 
 impl StencilExecutor {
-    /// Creates a stencil forward executor.
+    /// Creates a stencil forward executor with automatic kernel
+    /// selection: specialized where the registry has a verified instance,
+    /// generic otherwise.
     pub fn new() -> Self {
-        StencilExecutor
+        StencilExecutor { force_generic: false }
+    }
+
+    /// Creates a stencil forward executor pinned to the generic
+    /// runtime-parameterized loops — what the autotuner deploys when
+    /// per-layer measurement favours them.
+    pub fn generic() -> Self {
+        StencilExecutor { force_generic: true }
+    }
+
+    /// Whether this executor skips the specialized-kernel registry.
+    pub fn is_generic(&self) -> bool {
+        self.force_generic
     }
 }
 
@@ -40,6 +64,19 @@ impl ConvExecutor for StencilExecutor {
         output: &mut [f32],
         scratch: &mut ConvScratch,
     ) {
+        if !self.force_generic {
+            if let Some(inst) = select_kernel(spec) {
+                inst.forward(
+                    spec,
+                    input,
+                    weights,
+                    output,
+                    scratch,
+                    plan_cache_schedule(spec).y_tile,
+                );
+                return;
+            }
+        }
         kernel::forward_scratch(spec, input, weights, output, scratch);
     }
 
@@ -102,5 +139,25 @@ mod tests {
         stencil.backward_weights(&spec, &input, &grad_out, &mut wa, &mut scratch);
         oracle.backward_weights(&spec, &input, &grad_out, &mut wb, &mut scratch);
         assert!(wa.iter().zip(&wb).all(|(x, y)| (x - y).abs() < 1e-4));
+    }
+
+    /// Auto and pinned-generic executors produce bit-identical output on
+    /// a registry shape: the specialized instance preserves the generic
+    /// kernel's reduction order exactly.
+    #[test]
+    fn specialized_dispatch_is_bit_identical_to_generic() {
+        let spec = ConvSpec::square(24, 4, 3, 3, 1); // 22-wide output, 3x3 s1
+        let input: Vec<f32> =
+            (0..spec.input_shape().len()).map(|i| (i as f32 * 0.23).sin()).collect();
+        let weights: Vec<f32> =
+            (0..spec.weight_shape().len()).map(|i| (i as f32 * 0.19).cos()).collect();
+        let mut scratch = ConvScratch::new();
+        let mut auto = vec![0f32; spec.output_shape().len()];
+        let mut generic = vec![0f32; spec.output_shape().len()];
+        StencilExecutor::new().forward(&spec, &input, &weights, &mut auto, &mut scratch);
+        StencilExecutor::generic().forward(&spec, &input, &weights, &mut generic, &mut scratch);
+        assert_eq!(auto, generic);
+        assert!(!StencilExecutor::new().is_generic());
+        assert!(StencilExecutor::generic().is_generic());
     }
 }

@@ -114,6 +114,38 @@ pub fn verify_technique(
     result.map_err(|check| SpgError::PlanRejected { technique: technique.id(), check })
 }
 
+/// Verifies a specialized registry instance for `spec`: lowers the
+/// instance's own plan — its lane width, tile rows, cache block, and
+/// x-tile list, which may differ from the generic kernel's (AVX-512
+/// instances run 16 lanes) — and proves it through `spg-check` with the
+/// generators' register tile and cache schedule.
+/// [`select_kernel`](crate::specialized::select_kernel) calls this before
+/// any instance is dispatched; a rejection silently routes the layer to
+/// the generic loops.
+///
+/// # Errors
+///
+/// Returns [`SpgError::PlanRejected`] (technique
+/// `"stencil-fp-specialized"`) with the verifier's typed
+/// [`CheckError`](spg_check::CheckError) if any access range of the
+/// instance's lowered plan escapes its buffer or overflows scratch.
+pub fn verify_specialized(
+    spec: &ConvSpec,
+    inst: &spg_codegen::SpecializedKernel,
+) -> Result<CheckReport, SpgError> {
+    let cap = capacities(spec);
+    let tile = plan_register_tile(spec);
+    let schedule = plan_cache_schedule(spec);
+    spg_check::verify_forward(
+        spec,
+        &inst.plan(spec, schedule.y_tile.max(TILE_ROWS)),
+        RegisterTile { rx: tile.rx, ry: tile.ry },
+        ScheduleTile { y_tile: schedule.y_tile, x_tile: schedule.x_tile },
+        &cap,
+    )
+    .map_err(|check| SpgError::PlanRejected { technique: "stencil-fp-specialized", check })
+}
+
 /// Verifies a complete layer plan against `spec` — the gate
 /// [`CompiledConv::compile`](crate::compiled::CompiledConv::compile) runs
 /// before constructing the kernel.
@@ -217,6 +249,36 @@ mod tests {
         assert_eq!(spg_check::PAGE_ELEMS, crate::stencil::PAGE_ELEMS);
         assert_eq!(spg_check::TLB_BUDGET_PAGES, crate::stencil::TLB_BUDGET_PAGES);
         assert_eq!(spg_check::VECTOR_WIDTH, LANES);
+    }
+
+    /// Every specialized registry instance's lowered plan verifies clean
+    /// on a shape of its key wide enough for its lanes — including the
+    /// 16-lane AVX-512 plans, which exercise the verifier at a lane width
+    /// the generic kernel never lowers to. (Static proof: independent of
+    /// host CPU features.)
+    #[test]
+    fn specialized_instances_verify() {
+        for inst in spg_codegen::all_instances() {
+            let k = inst.key();
+            let n = k.sx * (inst.lanes() + 5) + k.fx;
+            let spec = match ConvSpec::new(3, n, n, 2, k.fy, k.fx, k.sy, k.sx) {
+                Ok(s) => s,
+                Err(e) => panic!("spec for {k}: {e:?}"),
+            };
+            let report = verify_specialized(&spec, inst).unwrap();
+            assert!(report.accesses_proved > 0, "{inst:?} on {spec}");
+        }
+    }
+
+    /// The codegen crate's lane-parameterized x segmentation and tile
+    /// height must reproduce the generic kernel's at 8 lanes — the
+    /// bit-identity and plan-equivalence arguments both rest on it.
+    #[test]
+    fn codegen_plan_constants_match_generic_kernel() {
+        assert_eq!(spg_codegen::TILE_ROWS, TILE_ROWS);
+        for w in LANES..6 * LANES {
+            assert_eq!(spg_codegen::xplan::x_plan_lanes(w, LANES), x_plan(w), "out_w={w}");
+        }
     }
 
     /// Per-phase verification covers each candidate list end to end.

@@ -11,10 +11,55 @@ pub(crate) const MR: usize = 6;
 /// Columns of the register tile (two 8-lane AVX vectors).
 pub(crate) const NR: usize = 16;
 
+/// Instruction-set tiers the runtime kernels dispatch across, in
+/// increasing f32 vector width.
+///
+/// Detection lives here so every kernel crate (the GEMM micro-kernel and
+/// the `spg-codegen` specialized stencil registry) agrees on what the
+/// host offers; the ordering lets callers write `level >= Avx2Fma`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// No usable SIMD: portable scalar kernels run.
+    Scalar,
+    /// AVX2 + FMA: 8-lane f32 vectors.
+    Avx2Fma,
+    /// AVX-512F + FMA: 16-lane f32 vectors (on every shipping part this
+    /// implies AVX2+FMA, and detection requires both).
+    Avx512Fma,
+}
+
+/// Detects the widest [`SimdLevel`] the running CPU supports.
+///
+/// # Example
+///
+/// ```
+/// use spg_gemm::SimdLevel;
+/// let level = spg_gemm::detect_simd_level();
+/// assert!(level >= SimdLevel::Scalar);
+/// ```
+pub fn detect_simd_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdLevel::Avx512Fma;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdLevel::Avx2Fma;
+        }
+    }
+    SimdLevel::Scalar
+}
+
 /// Name of the micro-kernel backend selected at runtime.
 ///
 /// Useful in benchmark output to record whether results were produced by
-/// the vectorized or portable kernel.
+/// the vectorized or portable kernel. The GEMM micro-kernel itself tops
+/// out at AVX2+FMA (its 6x16 tile already saturates the port budget);
+/// AVX-512 dispatch is used by the specialized stencil kernels.
 ///
 /// # Example
 ///
@@ -23,14 +68,11 @@ pub(crate) const NR: usize = 16;
 /// assert!(name == "avx2+fma" || name == "scalar");
 /// ```
 pub fn simd_backend_name() -> &'static str {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
-        {
-            return "avx2+fma";
-        }
+    if detect_simd_level() >= SimdLevel::Avx2Fma {
+        "avx2+fma"
+    } else {
+        "scalar"
     }
-    "scalar"
 }
 
 /// Computes `acc[mr][nr] = sum_k ap[k*MR + mr] * bp[k*NR + nr]` over packed

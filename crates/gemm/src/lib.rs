@@ -50,7 +50,7 @@ mod transposed;
 pub use batch::{gemm_in_parallel, gemm_in_parallel_into, BatchJob};
 pub use blocked::{gemm, gemm_into, gemm_slice};
 pub use error::GemmError;
-pub use kernels::simd_backend_name;
+pub use kernels::{detect_simd_level, simd_backend_name, SimdLevel};
 pub use naive::{gemm_naive, gemm_naive_into};
 pub use parallel::{parallel_gemm, parallel_gemm_cols, parallel_gemm_slice};
 pub use sparse_dense::{spmm_csr_dense, spmm_ctcsr_dense, spmm_ctcsr_dense_into};

@@ -378,6 +378,15 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
                 require_string(entry, &owner, "reason")?;
             }
         }
+        // Added in schema minor 5; older documents legitimately omit it.
+        if let Some(kernel) = decision.get("kernel") {
+            let kernel = kernel
+                .as_str()
+                .ok_or_else(|| format!("{owner}: field `kernel` is not a string"))?;
+            if kernel != "specialized" && kernel != "generic" {
+                return Err(format!("{owner}: unknown kernel `{kernel}`"));
+            }
+        }
     }
 
     // Added in schema minor 2; older documents legitimately omit it.

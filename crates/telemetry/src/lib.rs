@@ -56,8 +56,12 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// supervision counters (`serve.worker_restarts`, `serve.faulted_batches`,
 /// `train.worker_restarts`, `train.faulted_samples`); minor 4 added the
 /// per-decision `rejected` array listing autotune candidates the static
-/// plan verifier refused before measurement, with the refusal reason.
-pub const SCHEMA_VERSION_MINOR: u64 = 4;
+/// plan verifier refused before measurement, with the refusal reason;
+/// minor 5 added the optional per-decision `kernel` field recording which
+/// stencil forward kernel the autotuner measured fastest for the layer
+/// (`"specialized"` for a codegen registry instance, `"generic"` for the
+/// runtime-parameterized loops; absent on backward decisions).
+pub const SCHEMA_VERSION_MINOR: u64 = 5;
 
 /// Identifies the JSON document family in the `schema` field.
 pub const SCHEMA_NAME: &str = "spgcnn-metrics";
@@ -143,6 +147,11 @@ pub struct Decision {
     /// Candidates the static verifier refused before measurement
     /// (schema minor 4; empty in the common all-candidates-safe case).
     pub rejected: Vec<RejectedCandidate>,
+    /// Which stencil forward kernel measurement favoured for the layer:
+    /// `"specialized"` (codegen registry instance) or `"generic"`
+    /// (runtime-parameterized loops). Schema minor 5; `None` on backward
+    /// decisions and when the stencil technique was not measured.
+    pub kernel: Option<String>,
 }
 
 /// Number of power-of-two histogram buckets kept per latency label.
@@ -588,9 +597,16 @@ impl MetricsSnapshot {
                     )
                 })
                 .collect();
+            // `kernel` is a minor-5 optional field: emitted only when the
+            // decision carries a stencil kernel choice, so minor-4
+            // documents stay byte-identical.
+            let kernel = match &decision.kernel {
+                Some(k) => format!(", \"kernel\": {}", json::string(k)),
+                None => String::new(),
+            };
             out.push_str(&format!(
                 "\n    {{\"label\": {}, \"phase\": {}, \"chosen\": {}, \"sparsity\": {}, \
-                 \"cores\": {}, \"candidates\": [{}], \"rejected\": [{}]}}",
+                 \"cores\": {}, \"candidates\": [{}], \"rejected\": [{}]{}}}",
                 json::string(&decision.label),
                 json::string(decision.phase.as_str()),
                 json::string(&decision.chosen),
@@ -598,6 +614,7 @@ impl MetricsSnapshot {
                 decision.cores,
                 candidates.join(", "),
                 rejected.join(", "),
+                kernel,
             ));
         }
         if !self.decisions.is_empty() {
@@ -860,10 +877,22 @@ mod tests {
                 technique: "bad-plan".to_string(),
                 reason: "out-of-bounds read of output".to_string(),
             }],
+            kernel: None,
+        });
+        record_decision(Decision {
+            label: "conv0".to_string(),
+            phase: Phase::Forward,
+            chosen: "stencil-fp".to_string(),
+            sparsity: 0.0,
+            cores: 4,
+            candidates: vec![CandidateTiming { technique: "stencil-fp".to_string(), wall_ns: 7 }],
+            rejected: vec![],
+            kernel: Some("specialized".to_string()),
         });
         set_enabled(false);
         let text = snapshot().to_json(&[("command", "test".to_string())]);
         json::validate_metrics(&text).expect("snapshot JSON validates against the schema");
+        assert!(text.contains("\"kernel\": \"specialized\""), "minor-5 field emitted");
     }
 
     #[test]

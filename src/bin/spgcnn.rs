@@ -67,6 +67,12 @@ usage:
       Measure serving throughput at 1/2/4 workers on this machine, then
       print the analytical multicore model's serving-scaling table
       (forward-only Sec. 4.1: one single-threaded kernel per worker).
+  spgcnn bench-kernels [--json FILE] [--reps N]
+      Race the generic stencil forward loops against the specialized
+      codegen registry instance on every Table 2 layer, single-core,
+      median-of-N with pinned iteration counts. With --json, write the
+      spgcnn-bench-kernels document CI's bench gate diffs against the
+      committed BENCH_kernels.json baseline.
   spgcnn smoke [--metrics-json FILE]
       Train a tiny built-in network for two epochs with telemetry enabled
       and emit spgcnn-metrics JSON (to stdout, or FILE if given). Exits
@@ -87,6 +93,7 @@ fn main() -> ExitCode {
         Some("check") => check(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("bench-serve") => bench_serve(&args[1..]),
+        Some("bench-kernels") => bench_kernels(&args[1..]),
         Some("smoke") => smoke(&args[1..]),
         Some("validate-metrics") => validate_metrics(&args[1..]),
         _ => {
@@ -644,6 +651,26 @@ fn bench_serve(args: &[String]) -> Result<(), String> {
         return Err(format!(
             "modeled serving scaling at 4 workers is {scaling:.2}x, below the 3x target"
         ));
+    }
+    Ok(())
+}
+
+fn bench_kernels(args: &[String]) -> Result<(), String> {
+    let reps = flag(args, "--reps", spg_cnn::bench_kernels::DEFAULT_REPS)?.max(1);
+    let json_path = opt_flag(args, "--json")?;
+    let report = spg_cnn::bench_kernels::run(reps);
+    print!("{}", report.render_table());
+    let specialized: Vec<_> = report.layers.iter().filter(|l| l.kernel == "specialized").collect();
+    if specialized.is_empty() {
+        println!("\nno specialized instances runnable on this host (simd {})", report.simd_level);
+    } else {
+        let hot_wins =
+            specialized.iter().filter(|l| l.hot && l.speedup.is_some_and(|s| s >= 1.15)).count();
+        println!("\nhot layers at >= 1.15x specialized speedup: {hot_wins}");
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("report written to {path}");
     }
     Ok(())
 }

@@ -19,7 +19,10 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_kernels;
+
 pub use spg_check as check;
+pub use spg_codegen as codegen;
 pub use spg_convnet as convnet;
 pub use spg_core as core;
 pub use spg_error as error;

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# CI perf-trajectory gate for the specialized-kernel benchmark.
+#
+# Usage: tools/bench_gate.sh <baseline.json> <current.json>
+#
+# Both files are `spgcnn bench-kernels --json` documents
+# (schema spgcnn-bench-kernels). The gate enforces, per Table 2 hot layer:
+#
+#   current_speedup >= 0.9 * baseline_speedup
+#
+# i.e. fails on a >10% regression in the specialized-vs-generic speedup
+# ratio. The *ratio* is compared, not absolute GFLOP/s: both kernels run
+# on the same machine in the same process, so the ratio cancels host
+# speed and stays comparable between the committed baseline and any CI
+# runner. Layers are skipped (with a note) when the current host cannot
+# run the instance the baseline measured (e.g. an AVX2-only runner
+# against an AVX-512 baseline entry) — the AVX2 legs still gate the
+# AVX2-resolved layers.
+#
+# The baseline itself is also integrity-checked: it must show >= 3 hot
+# layers at >= 1.15x, the win condition the registry exists to hold.
+#
+# Merge mode: tools/bench_gate.sh --merge-baseline <out.json> <run.json>...
+# combines several bench runs into a conservative baseline by keeping the
+# per-layer MINIMUM speedup (and throughputs) across runs — the committed
+# floor then reflects worst-case allocation/alignment luck, not one lucky
+# run, which is what keeps the 10% gate non-flaky.
+#
+# Baseline refresh procedure: see DESIGN.md, "Refreshing the perf
+# baseline".
+set -euo pipefail
+
+if [ "${1:-}" = "--merge-baseline" ]; then
+    shift
+    if [ "$#" -lt 2 ]; then
+        echo "usage: $0 --merge-baseline <out.json> <run.json>..." >&2
+        exit 2
+    fi
+    OUT="$1"
+    shift
+    OUT="$OUT" python3 - "$@" <<'PY'
+import json, os, sys
+
+runs = []
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "spgcnn-bench-kernels":
+        sys.exit(f"{path}: not a spgcnn-bench-kernels document")
+    runs.append(doc)
+
+merged = runs[0]
+for doc in runs[1:]:
+    if len(doc["layers"]) != len(merged["layers"]):
+        sys.exit("runs cover different layer sets")
+    for tgt, src in zip(merged["layers"], doc["layers"]):
+        if (tgt["benchmark"], tgt["layer"]) != (src["benchmark"], src["layer"]):
+            sys.exit("runs cover different layer sets")
+        for field in ("generic_gflops", "specialized_gflops", "speedup"):
+            if tgt.get(field) is not None and src.get(field) is not None:
+                tgt[field] = round(min(tgt[field], src[field]), 4)
+
+with open(os.environ["OUT"], "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"merged {len(sys.argv) - 1} runs into {os.environ['OUT']} (per-layer minima)")
+PY
+    exit 0
+fi
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 <baseline.json> <current.json>" >&2
+    echo "       $0 --merge-baseline <out.json> <run.json>..." >&2
+    exit 2
+fi
+
+BASELINE="$1" CURRENT="$2" python3 - <<'PY'
+import json, os, sys
+
+REGRESSION_TOLERANCE = 0.9   # current must keep >= 90% of baseline speedup
+BASELINE_MIN_WINS = 3        # hot layers at >= WIN_SPEEDUP in the baseline
+WIN_SPEEDUP = 1.15
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "spgcnn-bench-kernels":
+        sys.exit(f"{path}: not a spgcnn-bench-kernels document")
+    return {(l["benchmark"], l["layer"]): l for l in doc["layers"]}
+
+baseline = load(os.environ["BASELINE"])
+current = load(os.environ["CURRENT"])
+
+wins = sum(
+    1
+    for l in baseline.values()
+    if l["hot"] and l["speedup"] is not None and l["speedup"] >= WIN_SPEEDUP
+)
+if wins < BASELINE_MIN_WINS:
+    sys.exit(
+        f"baseline integrity: only {wins} hot layers at >= {WIN_SPEEDUP}x "
+        f"(need {BASELINE_MIN_WINS}) — regenerate the baseline per DESIGN.md"
+    )
+print(f"baseline: {wins} hot layers at >= {WIN_SPEEDUP}x specialized speedup")
+
+failures, skipped, compared = [], 0, 0
+for key, base in sorted(baseline.items()):
+    if not base["hot"] or base["speedup"] is None:
+        continue
+    cur = current.get(key)
+    if cur is None:
+        failures.append(f"{key[0]} L{key[1]}: missing from current run")
+        continue
+    if cur["speedup"] is None:
+        # Current host cannot run any instance for this layer; the SIMD
+        # matrix legs cover the ISAs they do support.
+        print(f"skip {key[0]} L{key[1]}: no specialized instance on this host")
+        skipped += 1
+        continue
+    compared += 1
+    floor = REGRESSION_TOLERANCE * base["speedup"]
+    status = "ok" if cur["speedup"] >= floor else "REGRESSED"
+    print(
+        f"{status:>9}  {key[0]} L{key[1]}: speedup {cur['speedup']:.3f}x "
+        f"(baseline {base['speedup']:.3f}x, floor {floor:.3f}x)"
+    )
+    if cur["speedup"] < floor:
+        failures.append(
+            f"{key[0]} L{key[1]}: {cur['speedup']:.3f}x < {floor:.3f}x "
+            f"(>10% below baseline {base['speedup']:.3f}x)"
+        )
+
+if compared == 0 and skipped == 0:
+    sys.exit("no hot layers compared — baseline has no specialized entries?")
+if failures:
+    print("\nbench gate FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"\nbench gate passed: {compared} hot layers within tolerance, {skipped} skipped")
+PY

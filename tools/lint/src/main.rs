@@ -9,8 +9,9 @@
 //!    `unsafe fn` by a doc comment with a `# Safety` section, stating the
 //!    invariant (now proved at plan time by `spg-check`) that makes it sound.
 //! 2. **No raw `.unwrap()` / `.expect(`** in non-test code of the kernel
-//!    crates (`spg-core`, `spg-gemm`): plan problems must surface as typed
-//!    errors through the verifier, not as panics inside a worker.
+//!    crates (`spg-core`, `spg-gemm`, `spg-codegen`): plan problems must
+//!    surface as typed errors through the verifier, not as panics inside
+//!    a worker.
 //!
 //! Test code is exempt: files under `tests/` or `benches/`, and everything
 //! from a line containing `#[cfg(test)]` to the end of the file (the
@@ -20,7 +21,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose non-test code must be free of raw `.unwrap()` / `.expect(`.
-const KERNEL_CRATES: &[&str] = &["crates/core/src", "crates/gemm/src"];
+const KERNEL_CRATES: &[&str] = &["crates/codegen/src", "crates/core/src", "crates/gemm/src"];
 
 /// Source roots scanned for undocumented `unsafe`.
 const UNSAFE_ROOTS: &[&str] = &["crates", "src"];
