@@ -52,6 +52,54 @@ pub trait NetworkPlanner: Send + Sync {
     /// Re-plans after an epoch using its observed statistics (Sec. 4.4's
     /// sparsity-drift retuning). Implementations may be a no-op.
     fn retune(&self, net: &mut Network, stats: &EpochStats);
+
+    /// Fallible variant of [`plan`](NetworkPlanner::plan): planners whose
+    /// chosen plans can be rejected (e.g. by a plan-time verifier) report
+    /// that as an error instead of panicking, and install nothing on
+    /// failure. The default delegates to the infallible `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; the `spg-core` autotuner returns
+    /// [`ErrorKind::Tuning`] when a chosen plan fails verification.
+    fn try_plan(&self, net: &mut Network, sparsity: f64) -> Result<(), Error> {
+        self.plan(net, sparsity);
+        Ok(())
+    }
+
+    /// Fallible variant of [`plan_forward`](NetworkPlanner::plan_forward);
+    /// see [`try_plan`](NetworkPlanner::try_plan).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; the default delegates to the infallible
+    /// `plan_forward` and never fails.
+    fn try_plan_forward(&self, net: &mut Network) -> Result<(), Error> {
+        self.plan_forward(net);
+        Ok(())
+    }
+}
+
+/// A per-layer algorithm choice installable on a [`ConvLayer`].
+///
+/// This is the seam through which backend algorithm enumeration (the
+/// `spg-core` `AlgoChoice`) reaches the [`Engine`] without `spg-convnet`
+/// depending on the backend crate: [`Engine::algo_override`] accepts any
+/// `LayerAlgo` and re-installs it after every planner pass so an explicit
+/// choice survives tuning and epoch retunes.
+pub trait LayerAlgo: Send + Sync {
+    /// Stable machine-readable identifier for logs and telemetry
+    /// (e.g. `"stencil-fp+sparse-bp/generic"`).
+    fn id(&self) -> String;
+
+    /// Installs the executors implementing this algorithm on `conv`,
+    /// with `cores` workers available to parallel techniques.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; the `spg-core` backend rejects algorithms
+    /// whose lowered plans fail verification for the layer's geometry.
+    fn install(&self, conv: &mut ConvLayer, cores: usize) -> Result<(), Error>;
 }
 
 /// How initial weights are supplied to [`EngineBuilder::build`].
@@ -184,7 +232,13 @@ impl EngineBuilder {
                     .map_err(|e| Error::with_source(ErrorKind::Io, e.to_string(), e))?;
             }
         }
-        Ok(Engine { net, workers: self.workers, planner: self.planner, trainer: self.trainer })
+        Ok(Engine {
+            net,
+            workers: self.workers,
+            planner: self.planner,
+            trainer: self.trainer,
+            overrides: Vec::new(),
+        })
     }
 }
 
@@ -208,6 +262,18 @@ fn apply_flat_weights(net: &mut Network, params: &[f32]) -> Result<(), Error> {
     Ok(())
 }
 
+/// Re-installs pinned per-layer algorithms after a planner pass. Install
+/// errors are ignored: every override was validated eagerly when
+/// [`Engine::algo_override`] accepted it, and installation against the
+/// same immutable layer geometry is deterministic.
+fn apply_overrides(net: &mut Network, overrides: &[(usize, Arc<dyn LayerAlgo>)], cores: usize) {
+    for (layer, algo) in overrides {
+        if let Some(conv) = net.layers_mut().get_mut(*layer).and_then(|l| l.as_conv_mut()) {
+            let _ = algo.install(conv, cores);
+        }
+    }
+}
+
 /// The unified facade over training, inference, and tuning.
 ///
 /// Construct with [`Engine::builder`]; the module-level docs at the top of
@@ -217,6 +283,9 @@ pub struct Engine {
     workers: usize,
     planner: Option<Arc<dyn NetworkPlanner>>,
     trainer: TrainerConfig,
+    /// Explicit per-layer algorithm pins, re-applied after every planner
+    /// pass so they win over autotune and epoch retunes.
+    overrides: Vec<(usize, Arc<dyn LayerAlgo>)>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -225,6 +294,7 @@ impl std::fmt::Debug for Engine {
             .field("net", &self.net)
             .field("workers", &self.workers)
             .field("has_planner", &self.planner.is_some())
+            .field("overrides", &self.overrides.len())
             .finish_non_exhaustive()
     }
 }
@@ -263,18 +333,93 @@ impl Engine {
 
     /// Installs forward-and-backward executor plans for training at the
     /// given expected gradient sparsity. No-op without a planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planner rejects a chosen plan; use
+    /// [`Engine::try_tune`] to receive that as a typed error instead.
     pub fn tune(&mut self, sparsity: f64) {
-        if let Some(planner) = &self.planner {
-            planner.plan(&mut self.net, sparsity);
+        if let Err(e) = self.try_tune(sparsity) {
+            panic!("{e}")
         }
     }
 
     /// Installs forward-only executor plans (the serving path). No-op
     /// without a planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planner rejects a chosen plan; use
+    /// [`Engine::try_tune_forward`] to receive that as a typed error
+    /// instead.
     pub fn tune_forward(&mut self) {
-        if let Some(planner) = &self.planner {
-            planner.plan_forward(&mut self.net);
+        if let Err(e) = self.try_tune_forward() {
+            panic!("{e}")
         }
+    }
+
+    /// Fallible variant of [`Engine::tune`]: plans executors through the
+    /// injected [`NetworkPlanner`] and re-applies any
+    /// [`algo_override`](Engine::algo_override) pins on top.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the planner's [`NetworkPlanner::try_plan`] error; on
+    /// failure no executors have been replaced.
+    pub fn try_tune(&mut self, sparsity: f64) -> Result<(), Error> {
+        if let Some(planner) = &self.planner {
+            planner.try_plan(&mut self.net, sparsity)?;
+        }
+        apply_overrides(&mut self.net, &self.overrides, self.workers);
+        Ok(())
+    }
+
+    /// Fallible variant of [`Engine::tune_forward`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the planner's [`NetworkPlanner::try_plan_forward`]
+    /// error; on failure no executors have been replaced.
+    pub fn try_tune_forward(&mut self) -> Result<(), Error> {
+        if let Some(planner) = &self.planner {
+            planner.try_plan_forward(&mut self.net)?;
+        }
+        apply_overrides(&mut self.net, &self.overrides, self.workers);
+        Ok(())
+    }
+
+    /// Pins an explicit per-layer algorithm (a backend
+    /// [`AlgoChoice`](LayerAlgo)), installing its executors immediately
+    /// and re-installing them after every subsequent planner pass — the
+    /// cuDNN-style escape hatch from autotuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::InvalidNetwork`] if `layer` is out of range or
+    /// not a convolution layer, or the algorithm's own install error if
+    /// its plan does not verify for the layer's geometry.
+    pub fn algo_override(
+        &mut self,
+        layer: usize,
+        algo: impl LayerAlgo + 'static,
+    ) -> Result<(), Error> {
+        let workers = self.workers;
+        let Some(boxed) = self.net.layers_mut().get_mut(layer) else {
+            return Err(Error::new(
+                ErrorKind::InvalidNetwork,
+                format!("algo_override: layer {layer} out of range"),
+            ));
+        };
+        let Some(conv) = boxed.as_conv_mut() else {
+            return Err(Error::new(
+                ErrorKind::InvalidNetwork,
+                format!("algo_override: layer {layer} is not a convolution"),
+            ));
+        };
+        algo.install(conv, workers)?;
+        self.overrides.retain(|(i, _)| *i != layer);
+        self.overrides.push((layer, Arc::new(algo)));
+        Ok(())
     }
 
     /// Trains on `data` with the configured trainer, planning executors
@@ -301,14 +446,17 @@ impl Engine {
     /// complete. The trained epochs before the fault are discarded — the
     /// network weights reflect every batch applied before the failing one.
     pub fn try_train(&mut self, data: &mut Dataset) -> Result<Vec<EpochStats>, Error> {
-        self.tune(0.0);
+        self.try_tune(0.0)?;
         let trainer = Trainer::new(self.trainer.clone());
         let planner = self.planner.clone();
+        let overrides = self.overrides.clone();
+        let workers = self.workers;
         trainer
-            .try_train_with(&mut self.net, data, |net, stats| {
+            .try_train_with(&mut self.net, data, move |net, stats| {
                 if let Some(planner) = &planner {
                     planner.retune(net, stats);
                 }
+                apply_overrides(net, &overrides, workers);
             })
             .map_err(Error::from)
     }

@@ -49,7 +49,7 @@ mod spec;
 pub mod unfold;
 pub mod workspace;
 
-pub use engine::{Engine, EngineBuilder, NetworkPlanner};
+pub use engine::{Engine, EngineBuilder, LayerAlgo, NetworkPlanner};
 pub use error::{ConvError, TrainError};
 pub use net::{scope_label, LayerGradients, Network, SampleTrace};
 pub use sgd::{EpochStats, Trainer, TrainerConfig};

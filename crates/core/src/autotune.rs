@@ -18,6 +18,7 @@ use spg_convnet::exec::{ConvExecutor, SharedExecutor};
 use spg_convnet::workspace::ConvScratch;
 use spg_convnet::{ConvSpec, EpochStats, Network};
 
+use crate::backend::{AlgoChoice, Backend, ConvDescriptor, CpuBackend};
 use crate::schedule::{recommended_plan, LayerPlan, Technique};
 use crate::stencil::StencilExecutor;
 
@@ -127,10 +128,14 @@ pub struct TunedLayer {
 }
 
 /// [`tune_layer`] returning the forward kernel choice alongside the
-/// technique pair. When the stencil forward technique is applicable and
-/// a verified specialized instance exists for the shape, the instance is
-/// raced against the generic loops and the winner is recorded in the
-/// decision log (schema minor 5, `kernel` field).
+/// technique pair. The candidate space is the CPU backend's
+/// [`get_algos`](Backend::get_algos) enumeration — the generic search the
+/// backend abstraction makes possible — so the autotuner measures exactly
+/// the algorithms any other backend consumer can compile. When the
+/// stencil forward technique is enumerated with a verified specialized
+/// instance, the instance is raced against the generic loops and the
+/// winner is recorded in the decision log (schema minor 5, `kernel`
+/// field; the chosen backend/algo ids land in the minor-6 fields).
 ///
 /// # Panics
 ///
@@ -141,27 +146,61 @@ pub fn tune_layer_with_kernels(
     cores: usize,
     reps: usize,
 ) -> TunedLayer {
-    let (forward, fp_kernel) =
-        pick(spec, Phase::Forward, Technique::forward_candidates(), sparsity, cores, reps);
-    let (backward, _) =
-        pick(spec, Phase::Backward, Technique::backward_candidates(), sparsity, cores, reps);
+    let desc = ConvDescriptor::new(*spec, cores);
+    let algos: Vec<AlgoChoice> = CpuBackend::new().get_algos(&desc).collect();
+    let (forward, fp_kernel) = pick(spec, Phase::Forward, &algos, sparsity, cores, reps);
+    let (backward, _) = pick(spec, Phase::Backward, &algos, sparsity, cores, reps);
     TunedLayer { plan: LayerPlan { forward, backward }, fp_kernel }
 }
 
-/// Verifies, measures, and picks the fastest technique for one phase,
-/// recording the decision (with the forward stencil kernel choice) when
-/// telemetry is enabled.
+/// The techniques the backend enumeration admits for one phase, in
+/// [`Technique`] candidate order, plus the rejection evidence for the
+/// candidates it filtered out (re-deriving the verifier's reason, since
+/// [`Backend::get_algos`] yields only survivors).
+fn phase_candidates(
+    spec: &ConvSpec,
+    phase: Phase,
+    algos: &[AlgoChoice],
+    cores: usize,
+) -> (Vec<Technique>, Vec<spg_telemetry::RejectedCandidate>) {
+    let candidates = match phase {
+        Phase::Forward => Technique::forward_candidates(),
+        Phase::Backward => Technique::backward_candidates(),
+    };
+    let of_phase = |a: &AlgoChoice| match phase {
+        Phase::Forward => a.forward,
+        Phase::Backward => a.backward,
+    };
+    let mut safe = Vec::with_capacity(candidates.len());
+    let mut rejected = Vec::new();
+    for &t in candidates {
+        if algos.iter().any(|a| of_phase(a) == t) {
+            safe.push(t);
+        } else if let Err(e) = crate::verify::verify_technique(spec, t, phase, cores) {
+            rejected.push(spg_telemetry::RejectedCandidate {
+                technique: t.id().to_string(),
+                reason: e.to_string(),
+            });
+        }
+    }
+    (safe, rejected)
+}
+
+/// Measures the backend-enumerated techniques for one phase and picks the
+/// fastest, recording the decision (with the forward stencil kernel
+/// choice and the chosen backend/algo ids) when telemetry is enabled.
 fn pick(
     spec: &ConvSpec,
     phase: Phase,
-    candidates: &[Technique],
+    algos: &[AlgoChoice],
     sparsity: f64,
     cores: usize,
     reps: usize,
 ) -> (Technique, KernelChoice) {
-    // Plan-time gate: every candidate is verified before it is measured
-    // or deployed; rejections are logged, never run.
-    let (safe, rejected) = split_verified(spec, candidates, phase, cores);
+    // Plan-time gate: the backend enumerates only verifier-approved
+    // algorithms, so everything measured below is deployable; rejections
+    // are logged, never run.
+    let (safe, rejected) = phase_candidates(spec, phase, algos, cores);
     let timed: Vec<(Technique, Duration)> = safe
         .iter()
         .map(|&t| (t, measure_technique(spec, t, phase, sparsity, cores, reps)))
@@ -185,6 +224,15 @@ fn pick(
     // Log the measure-and-pick evidence so `spgcnn tune --json` can
     // report not just the winner but why it won.
     if spg_telemetry::enabled() {
+        // Per-phase algo spelling: `<technique>/<kernel>`, where the
+        // kernel leg is the race winner for a chosen stencil forward and
+        // `generic` everywhere else (only the stencil forward has a
+        // specialized binding to choose).
+        let algo_kernel = if chosen == Technique::StencilFp {
+            kernel.map_or("generic", |(_, name)| name)
+        } else {
+            "generic"
+        };
         spg_telemetry::record_decision(spg_telemetry::Decision {
             label: spg_telemetry::current_label().unwrap_or_else(|| "unscoped".to_string()),
             phase: match phase {
@@ -203,6 +251,8 @@ fn pick(
                 .collect(),
             rejected,
             kernel: kernel.map(|(_, name)| name.to_string()),
+            backend: Some("cpu".to_string()),
+            algo: Some(format!("{}/{algo_kernel}", chosen.id())),
         });
     }
     (chosen, kernel.map_or(KernelChoice::Auto, |(choice, _)| choice))
@@ -247,28 +297,6 @@ fn forward_executor_for(
     }
 }
 
-/// Partitions candidates into verifier-approved techniques and logged
-/// rejections (the plan-time gate in front of every measurement).
-fn split_verified(
-    spec: &ConvSpec,
-    candidates: &[Technique],
-    phase: Phase,
-    cores: usize,
-) -> (Vec<Technique>, Vec<spg_telemetry::RejectedCandidate>) {
-    let mut safe = Vec::with_capacity(candidates.len());
-    let mut rejected = Vec::new();
-    for &t in candidates {
-        match crate::verify::verify_technique(spec, t, phase, cores) {
-            Ok(_) => safe.push(t),
-            Err(e) => rejected.push(spg_telemetry::RejectedCandidate {
-                technique: t.id().to_string(),
-                reason: e.to_string(),
-            }),
-        }
-    }
-    (safe, rejected)
-}
-
 /// Saturating nanosecond count for telemetry (u64 holds ~584 years).
 fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
@@ -298,7 +326,9 @@ pub fn tune_layer_forward_with_kernels(
     cores: usize,
     reps: usize,
 ) -> (Technique, KernelChoice) {
-    pick(spec, Phase::Forward, Technique::forward_candidates(), 0.0, cores, reps)
+    let desc = ConvDescriptor::new(*spec, cores);
+    let algos: Vec<AlgoChoice> = CpuBackend::new().get_algos(&desc).collect();
+    pick(spec, Phase::Forward, &algos, 0.0, cores, reps)
 }
 
 /// How the framework chooses techniques.
@@ -441,6 +471,86 @@ impl Framework {
         plans
     }
 
+    /// Verifying variant of [`plan_network`](Framework::plan_network):
+    /// measures/chooses every layer's plan first, proves each chosen plan
+    /// through the plan-time verifier, and only then installs executors —
+    /// so a rejection leaves the network's executors untouched (no
+    /// partial install). This is what [`Engine::try_tune`] reaches via
+    /// [`NetworkPlanner::try_plan`].
+    ///
+    /// [`Engine::try_tune`]: spg_convnet::Engine::try_tune
+    /// [`NetworkPlanner::try_plan`]: spg_convnet::NetworkPlanner::try_plan
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpgError::PlanRejected`](crate::SpgError::PlanRejected)
+    /// if any layer's chosen plan fails verification (possible in
+    /// heuristic mode, whose recommendations are not pre-filtered;
+    /// measured mode only picks from verified candidates).
+    pub fn try_plan_network(
+        &self,
+        net: &mut Network,
+        sparsity: f64,
+    ) -> Result<Vec<(usize, LayerPlan)>, crate::SpgError> {
+        let mut tuned_layers = Vec::new();
+        for (i, layer) in net.layers_mut().iter_mut().enumerate() {
+            let label = spg_convnet::scope_label(i, layer.name());
+            let Some(conv) = layer.as_conv_mut() else { continue };
+            let _tune = spg_telemetry::scope(&label, spg_telemetry::Phase::Tune);
+            let spec = *conv.spec();
+            let tuned = self.plan_layer_with_kernels(&spec, sparsity);
+            crate::verify::verify_plan(&spec, tuned.plan, self.cores)?;
+            tuned_layers.push((i, tuned));
+        }
+        let mut plans = Vec::new();
+        for (i, tuned) in tuned_layers {
+            let conv = net.layers_mut()[i].as_conv_mut().expect("verified pass saw a conv here");
+            conv.set_forward_executor(forward_executor_for(
+                tuned.plan.forward,
+                tuned.fp_kernel,
+                self.cores,
+            ));
+            conv.set_backward_executor(tuned.plan.backward.executor(self.cores));
+            plans.push((i, tuned.plan));
+        }
+        Ok(plans)
+    }
+
+    /// Verifying variant of
+    /// [`plan_network_forward`](Framework::plan_network_forward): chooses
+    /// and verifies every layer's forward technique before installing any
+    /// executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpgError::PlanRejected`](crate::SpgError::PlanRejected)
+    /// if any layer's chosen forward technique fails verification.
+    pub fn try_plan_network_forward(
+        &self,
+        net: &mut Network,
+    ) -> Result<Vec<(usize, LayerPlan)>, crate::SpgError> {
+        let mut chosen = Vec::new();
+        for (i, layer) in net.layers_mut().iter_mut().enumerate() {
+            let label = spg_convnet::scope_label(i, layer.name());
+            let Some(conv) = layer.as_conv_mut() else { continue };
+            let _tune = spg_telemetry::scope(&label, spg_telemetry::Phase::Tune);
+            let spec = *conv.spec();
+            let (forward, fp_kernel) = self.plan_layer_forward_with_kernels(&spec);
+            crate::verify::verify_technique(&spec, forward, Phase::Forward, self.cores)?;
+            chosen.push((i, spec, forward, fp_kernel));
+        }
+        let mut plans = Vec::new();
+        for (i, spec, forward, fp_kernel) in chosen {
+            let conv = net.layers_mut()[i].as_conv_mut().expect("verified pass saw a conv here");
+            conv.set_forward_executor(forward_executor_for(forward, fp_kernel, self.cores));
+            plans.push((
+                i,
+                LayerPlan { forward, backward: recommended_plan(&spec, 0.0, self.cores).backward },
+            ));
+        }
+        Ok(plans)
+    }
+
     /// Epoch callback for [`Trainer::train_with`](spg_convnet::Trainer):
     /// every `retune_every` epochs, re-plans each conv layer's *backward*
     /// executor using that layer's measured gradient sparsity from the
@@ -476,6 +586,14 @@ impl spg_convnet::NetworkPlanner for Framework {
 
     fn retune(&self, net: &mut Network, stats: &EpochStats) {
         Framework::retune(self, net, stats);
+    }
+
+    fn try_plan(&self, net: &mut Network, sparsity: f64) -> Result<(), spg_error::Error> {
+        self.try_plan_network(net, sparsity).map(|_| ()).map_err(spg_error::Error::from)
+    }
+
+    fn try_plan_forward(&self, net: &mut Network) -> Result<(), spg_error::Error> {
+        self.try_plan_network_forward(net).map(|_| ()).map_err(spg_error::Error::from)
     }
 }
 

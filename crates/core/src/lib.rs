@@ -37,6 +37,7 @@
 
 pub mod ait;
 pub mod autotune;
+pub mod backend;
 pub mod compiled;
 pub mod config;
 mod error;

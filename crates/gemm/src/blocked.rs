@@ -10,6 +10,28 @@ const MC: usize = 72;
 /// Cache block of the `n` dimension (columns of packed B per block).
 const NC: usize = 1024;
 
+/// High-water element counts of the operand pack buffers a blocked
+/// multiply of the given geometry fills: `(a_pack, b_pack)` lengths in
+/// `f32` elements for an `m x k` by `k x n` multiply (either `gemm_slice`
+/// or the transposed `gemm_at_b_slice`, which share the block sizes).
+///
+/// Callers that own the pack buffers — the workspace-sizing query in
+/// `spg-core`'s backend layer — use this to bound scratch growth without
+/// this crate exposing its cache-block constants.
+///
+/// # Example
+///
+/// ```
+/// let (a, b) = spg_gemm::pack_high_water(6, 256, 16);
+/// assert_eq!((a, b), (6 * 256, 16 * 256));
+/// ```
+pub fn pack_high_water(m: usize, k: usize, n: usize) -> (usize, usize) {
+    let kc = k.min(KC);
+    let a = m.min(MC).div_ceil(MR) * MR * kc;
+    let b = n.min(NC).div_ceil(NR) * NR * kc;
+    (a, b)
+}
+
 /// Blocked, packed, register-tiled matrix multiply: `C = A * B`.
 ///
 /// This is the workspace's stand-in for an optimized BLAS `sgemm`: a

@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use spg_convnet::workspace::ConvScratch;
 use spg_convnet::Network;
+use spg_core::backend::{Backend, ConvDescriptor, CpuBackend};
 use spg_core::compiled::CompiledConv;
 use spg_core::schedule::{recommended_plan, LayerPlan};
 use spg_sync::{FaultInjector, FaultPlan};
@@ -231,8 +232,11 @@ impl Server {
         assert!(config.max_batch > 0, "max batch must be positive");
         let plan_by_layer: HashMap<usize, LayerPlan> = plans.iter().copied().collect();
         // Compile once up front to surface errors before spawning, then
-        // once per worker so each owns private warm state.
+        // once per worker so each owns private warm state. The startup
+        // pass also records which backend algorithm each conv layer will
+        // serve with (a no-op when telemetry is disabled).
         compile_kernels(&net, &plan_by_layer)?;
+        record_compile_decisions(&net, &plan_by_layer);
 
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let input_len = net.input_len();
@@ -336,12 +340,29 @@ impl Drop for Server {
     }
 }
 
+/// The serving plan for one conv layer: its descriptor and the backend
+/// algorithm the worker pool compiles for it.
+///
+/// cores = 1 everywhere: each serving worker is one independent
+/// single-threaded pipeline (the GEMM-in-Parallel analogue).
+fn layer_algo(
+    spec: &spg_convnet::ConvSpec,
+    plan: LayerPlan,
+) -> (ConvDescriptor, spg_core::backend::AlgoChoice) {
+    let desc = ConvDescriptor::new(*spec, 1);
+    let algo = CpuBackend::new().algo_for(&desc, plan);
+    (desc, algo)
+}
+
 /// Compiles one single-threaded kernel per convolution layer, indexed by
-/// layer position (`None` for non-conv layers).
+/// layer position (`None` for non-conv layers), dispatching through the
+/// [`CpuBackend`] so serving runs exactly the algorithms the backend
+/// enumerates.
 fn compile_kernels(
     net: &Network,
     plan_by_layer: &HashMap<usize, LayerPlan>,
 ) -> Result<Vec<Option<CompiledConv>>, spg_error::Error> {
+    let backend = CpuBackend::new();
     net.layers()
         .iter()
         .enumerate()
@@ -350,12 +371,35 @@ fn compile_kernels(
             let plan =
                 plan_by_layer.get(&i).copied().unwrap_or_else(|| recommended_plan(spec, 0.0, 1));
             let weights = layer.params().expect("conv layers expose parameters");
-            // cores = 1: each serving worker is one independent
-            // single-threaded pipeline (the GEMM-in-Parallel analogue).
-            let compiled = CompiledConv::compile(*spec, plan, weights, 1)?;
+            let (desc, algo) = layer_algo(spec, plan);
+            let compiled = backend.compile(&desc, algo, weights)?;
             Ok(Some(compiled))
         })
         .collect()
+}
+
+/// Records one telemetry decision per conv layer naming the backend and
+/// algorithm the worker pool serves it with (schema minor 6). A no-op
+/// when telemetry is disabled.
+fn record_compile_decisions(net: &Network, plan_by_layer: &HashMap<usize, LayerPlan>) {
+    let backend = CpuBackend::new();
+    for (i, layer) in net.layers().iter().enumerate() {
+        let Some(spec) = layer.conv_spec() else { continue };
+        let plan = plan_by_layer.get(&i).copied().unwrap_or_else(|| recommended_plan(spec, 0.0, 1));
+        let (_, algo) = layer_algo(spec, plan);
+        spg_telemetry::record_decision(spg_telemetry::Decision {
+            label: format!("serve-conv{i}"),
+            phase: spg_telemetry::Phase::Forward,
+            chosen: plan.forward.id().to_string(),
+            sparsity: 0.0,
+            cores: 1,
+            candidates: Vec::new(),
+            rejected: Vec::new(),
+            kernel: None,
+            backend: Some(backend.name().to_string()),
+            algo: Some(algo.id()),
+        });
+    }
 }
 
 /// Why one incarnation of the inner worker loop returned.

@@ -31,11 +31,13 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod endtoend;
 mod machine;
 mod predict;
 mod sparse;
 
+pub use backend::{AlgoPrediction, SimBackend};
 pub use endtoend::{
     cifar10_layers, cifar10_throughput, serving_throughput, training_throughput,
     Config as EndToEndConfig, LayerCost,

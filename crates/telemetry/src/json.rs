@@ -387,6 +387,15 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
                 return Err(format!("{owner}: unknown kernel `{kernel}`"));
             }
         }
+        // Added in schema minor 6; older documents legitimately omit
+        // them. Values are open-ended identifiers (backends and algo ids
+        // grow over time), so only the type is checked.
+        if let Some(backend) = decision.get("backend") {
+            backend.as_str().ok_or_else(|| format!("{owner}: field `backend` is not a string"))?;
+        }
+        if let Some(algo) = decision.get("algo") {
+            algo.as_str().ok_or_else(|| format!("{owner}: field `algo` is not a string"))?;
+        }
     }
 
     // Added in schema minor 2; older documents legitimately omit it.
@@ -534,5 +543,25 @@ mod tests {
                 "decisions": []}"#
         )
         .is_err());
+    }
+
+    /// Minor-6 `backend`/`algo` decision fields: string values validate,
+    /// non-strings are rejected, and minor-5 documents (fields absent)
+    /// are still accepted.
+    #[test]
+    fn validator_handles_minor_six_decision_fields() {
+        let decision = |extra: &str| {
+            format!(
+                r#"{{"schema": "spgcnn-metrics", "schema_version": 1, "meta": {{}},
+                    "scopes": [], "decisions": [{{"label": "conv0", "phase": "forward",
+                    "chosen": "stencil-fp", "sparsity": 0.5, "cores": 4,
+                    "candidates": []{extra}}}]}}"#
+            )
+        };
+        validate_metrics(&decision("")).expect("minor-5 document still accepted");
+        validate_metrics(&decision(r#", "backend": "cpu", "algo": "stencil-fp/generic""#))
+            .expect("minor-6 fields accepted");
+        assert!(validate_metrics(&decision(r#", "backend": 7"#)).is_err());
+        assert!(validate_metrics(&decision(r#", "algo": ["x"]"#)).is_err());
     }
 }

@@ -60,8 +60,11 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// minor 5 added the optional per-decision `kernel` field recording which
 /// stencil forward kernel the autotuner measured fastest for the layer
 /// (`"specialized"` for a codegen registry instance, `"generic"` for the
-/// runtime-parameterized loops; absent on backward decisions).
-pub const SCHEMA_VERSION_MINOR: u64 = 5;
+/// runtime-parameterized loops; absent on backward decisions); minor 6
+/// added the optional per-decision `backend` and `algo` fields naming the
+/// execution backend (`"cpu"`, `"sim"`) and the backend algorithm
+/// identifier the decision chose or compiled.
+pub const SCHEMA_VERSION_MINOR: u64 = 6;
 
 /// Identifies the JSON document family in the `schema` field.
 pub const SCHEMA_NAME: &str = "spgcnn-metrics";
@@ -152,6 +155,15 @@ pub struct Decision {
     /// (runtime-parameterized loops). Schema minor 5; `None` on backward
     /// decisions and when the stencil technique was not measured.
     pub kernel: Option<String>,
+    /// Execution backend that produced the decision (`"cpu"` for the real
+    /// SIMD backend, `"sim"` for the analytical model). Schema minor 6;
+    /// `None` in documents from older writers.
+    pub backend: Option<String>,
+    /// Backend algorithm identifier the decision chose or compiled (e.g.
+    /// `"stencil-fp/specialized"` from the autotuner,
+    /// `"stencil-fp+sparse-bp/avx2"` from a serve kernel compile). Schema
+    /// minor 6; `None` in documents from older writers.
+    pub algo: Option<String>,
 }
 
 /// Number of power-of-two histogram buckets kept per latency label.
@@ -604,9 +616,19 @@ impl MetricsSnapshot {
                 Some(k) => format!(", \"kernel\": {}", json::string(k)),
                 None => String::new(),
             };
+            // `backend` / `algo` are minor-6 optional fields, emitted the
+            // same way so minor-5 documents stay byte-identical.
+            let backend = match &decision.backend {
+                Some(b) => format!(", \"backend\": {}", json::string(b)),
+                None => String::new(),
+            };
+            let algo = match &decision.algo {
+                Some(a) => format!(", \"algo\": {}", json::string(a)),
+                None => String::new(),
+            };
             out.push_str(&format!(
                 "\n    {{\"label\": {}, \"phase\": {}, \"chosen\": {}, \"sparsity\": {}, \
-                 \"cores\": {}, \"candidates\": [{}], \"rejected\": [{}]{}}}",
+                 \"cores\": {}, \"candidates\": [{}], \"rejected\": [{}]{}{}{}}}",
                 json::string(&decision.label),
                 json::string(decision.phase.as_str()),
                 json::string(&decision.chosen),
@@ -615,6 +637,8 @@ impl MetricsSnapshot {
                 candidates.join(", "),
                 rejected.join(", "),
                 kernel,
+                backend,
+                algo,
             ));
         }
         if !self.decisions.is_empty() {
@@ -878,6 +902,8 @@ mod tests {
                 reason: "out-of-bounds read of output".to_string(),
             }],
             kernel: None,
+            backend: None,
+            algo: None,
         });
         record_decision(Decision {
             label: "conv0".to_string(),
@@ -888,11 +914,18 @@ mod tests {
             candidates: vec![CandidateTiming { technique: "stencil-fp".to_string(), wall_ns: 7 }],
             rejected: vec![],
             kernel: Some("specialized".to_string()),
+            backend: Some("cpu".to_string()),
+            algo: Some("stencil-fp/specialized".to_string()),
         });
         set_enabled(false);
         let text = snapshot().to_json(&[("command", "test".to_string())]);
         json::validate_metrics(&text).expect("snapshot JSON validates against the schema");
         assert!(text.contains("\"kernel\": \"specialized\""), "minor-5 field emitted");
+        assert!(text.contains("\"backend\": \"cpu\""), "minor-6 backend field emitted");
+        assert!(
+            text.contains("\"algo\": \"stencil-fp/specialized\""),
+            "minor-6 algo field emitted"
+        );
     }
 
     #[test]

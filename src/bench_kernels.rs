@@ -82,7 +82,7 @@ pub struct BenchReport {
 }
 
 /// The pinned iteration count for a layer: enough forward calls to fill
-/// [`REP_FLOP_BUDGET`], clamped to `1..=`[`MAX_ITERS`]. Deterministic in
+/// `REP_FLOP_BUDGET`, clamped to `1..=MAX_ITERS`. Deterministic in
 /// the spec, so baseline and PR runs execute identical work.
 pub fn pinned_iters(flops: u64) -> usize {
     let per_budget = REP_FLOP_BUDGET.div_ceil(flops.max(1));

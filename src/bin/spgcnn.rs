@@ -53,6 +53,13 @@ usage:
       layer: prove all kernel access ranges in-bounds, parallel worker
       regions disjoint, and scratch capacities sufficient — without
       running anything. Exits non-zero if any plan is rejected.
+  spgcnn algos <net.cfg>|--smoke [--cores N] [--backend cpu|sim]
+      Enumerate every backend algorithm for every conv layer with its
+      closed-form workspace bound — the cuDNN-style get_algos /
+      workspace_size queries surfaced as a command. The default cpu
+      backend prints the full candidate space, marking verifier-rejected
+      pairs with the refusal reason; --backend sim ranks the runnable
+      algorithms by the analytical model's predicted GFlops/core.
   spgcnn serve <net.cfg>|--smoke [--workers N] [--requests N] [--max-batch N]
                [--max-delay-ms MS] [--metrics-json FILE] [--inject-fault SPEC]
       Run the batched serving engine over a synthetic request stream,
@@ -91,6 +98,7 @@ fn main() -> ExitCode {
         Some("eval") => eval(&args[1..]),
         Some("tune") => tune(&args[1..]),
         Some("check") => check(&args[1..]),
+        Some("algos") => algos(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("bench-serve") => bench_serve(&args[1..]),
         Some("bench-kernels") => bench_kernels(&args[1..]),
@@ -412,6 +420,99 @@ fn check(args: &[String]) -> Result<(), String> {
         return Err(format!("{rejections} candidate plan(s) rejected by the static verifier"));
     }
     println!("all candidate plans verified safe");
+    Ok(())
+}
+
+/// Enumerates every backend algorithm for every conv layer — the
+/// cuDNN-style `get_algos` / `workspace_size` queries surfaced as a
+/// command. The cpu backend prints the full candidate space, marking
+/// verifier-rejected pairs with the refusal reason; the sim backend ranks
+/// the runnable algorithms by the analytical model's predicted rates.
+fn algos(args: &[String]) -> Result<(), String> {
+    use spg_cnn::core::autotune::Phase;
+    use spg_cnn::core::backend::{Backend, ConvDescriptor, CpuBackend};
+    use spg_cnn::core::schedule::Technique;
+    use spg_cnn::core::verify::verify_technique;
+    use spg_cnn::simcpu::SimBackend;
+
+    let desc = if args.iter().any(|a| a == "--smoke") {
+        NetworkDescription::parse(SMOKE_NETWORK).map_err(|e| e.to_string())?
+    } else {
+        load(args)?
+    };
+    let cores = flag(args, "--cores", 16usize)?.max(1);
+    let backend_name = flag(args, "--backend", "cpu".to_string())?;
+    let net = desc.build(42).map_err(|e| e.to_string())?;
+    match backend_name.as_str() {
+        "cpu" => {
+            let backend = CpuBackend::new();
+            println!("`{}` ({cores} core(s)): cpu backend algorithm enumeration", desc.name);
+            let mut enumerated = 0usize;
+            let mut rejected = 0usize;
+            for (i, layer) in net.layers().iter().enumerate() {
+                let Some(spec) = layer.conv_spec() else { continue };
+                let d = ConvDescriptor::new(*spec, cores);
+                let algos: Vec<_> = backend.get_algos(&d).collect();
+                println!("\nlayer {i}: {spec}");
+                for fwd in Technique::forward_candidates() {
+                    for bwd in Technique::backward_candidates() {
+                        let matching: Vec<_> = algos
+                            .iter()
+                            .filter(|a| a.forward == *fwd && a.backward == *bwd)
+                            .collect();
+                        if matching.is_empty() {
+                            rejected += 1;
+                            let reason = verify_technique(spec, *fwd, Phase::Forward, cores)
+                                .err()
+                                .or_else(|| {
+                                    verify_technique(spec, *bwd, Phase::Backward, cores).err()
+                                })
+                                .map_or_else(|| "not enumerated".to_string(), |e| e.to_string());
+                            let pair = format!("{}+{}", fwd.id(), bwd.id());
+                            println!("  {pair:<36} REJECTED: {reason}");
+                        }
+                        for algo in matching {
+                            enumerated += 1;
+                            println!(
+                                "  {:<36} ok  workspace {:>12} B",
+                                algo.id(),
+                                backend.workspace_size(&d, *algo)
+                            );
+                        }
+                    }
+                }
+            }
+            println!("\n{enumerated} algorithm(s) enumerated, {rejected} pair(s) rejected");
+        }
+        "sim" => {
+            let machine = Machine::xeon_e5_2650();
+            let backend = SimBackend::new(machine);
+            println!(
+                "`{}` ({cores} core(s)): analytical backend ranking on the {}-core Xeon E5-2650",
+                desc.name,
+                backend.machine().cores
+            );
+            for (i, layer) in net.layers().iter().enumerate() {
+                let Some(spec) = layer.conv_spec() else { continue };
+                let d = ConvDescriptor::new(*spec, cores);
+                let weights = vec![0.0f32; spec.weight_shape().len()];
+                println!("\nlayer {i}: {spec}");
+                for (rank, algo) in backend.get_algos(&d).enumerate() {
+                    let p = backend.compile(&d, algo, &weights).map_err(|e| e.to_string())?;
+                    println!(
+                        "  {:>2}. {:<36} fwd {:>6.1}  bwd {:>6.1} GFlops/core  \
+                         workspace {:>12} B",
+                        rank + 1,
+                        algo.id(),
+                        p.fwd_gflops_per_core,
+                        p.bwd_gflops_per_core,
+                        p.workspace_bytes
+                    );
+                }
+            }
+        }
+        other => return Err(format!("unknown backend `{other}` (expected `cpu` or `sim`)")),
+    }
     Ok(())
 }
 
