@@ -1,0 +1,259 @@
+//! Property tests for the cluster wire protocol.
+//!
+//! Pins the contract documented on `decode_frame`: any encoded message
+//! round-trips bit-exactly, and any malformed input — truncated, bit-flipped,
+//! wrong version, or outright garbage — returns a typed [`WireError`]
+//! instead of panicking.
+
+use proptest::prelude::*;
+use spg_cluster::wire::{
+    crc32, decode_frame, encode_frame, read_frame, write_frame, Message, WireError, HEADER_LEN,
+    MAGIC, MAX_PAYLOAD, TRAILER_LEN, VERSION,
+};
+
+fn byte() -> impl Strategy<Value = u8> {
+    (0u32..256).prop_map(|v| u8::try_from(v).expect("in byte range"))
+}
+
+fn bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(byte(), 0..max_len)
+}
+
+fn small_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..26, 0..24).prop_map(|v| {
+        v.into_iter().map(|b| char::from(b'a' + u8::try_from(b).expect("below 26"))).collect()
+    })
+}
+
+fn floats() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-4.0f32..4.0, 0..48)
+}
+
+fn any_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (0u64..1 << 48, bytes(32), floats()).prop_map(|(id, key, input)| Message::InferRequest {
+            id,
+            key,
+            input
+        }),
+        (0u64..1 << 48, 0u32..1000, floats())
+            .prop_map(|(id, class, logits)| Message::InferResponse { id, class, logits }),
+        (0u64..1 << 48, small_string())
+            .prop_map(|(id, message)| Message::InferError { id, message }),
+        (0u32..64, 0u32..4096, 0u32..256, floats()).prop_map(|(epoch, batch, chunk, data)| {
+            Message::ReduceChunk { epoch, batch, chunk, data }
+        }),
+        (0u32..64, 0u32..4096, 0u32..256, floats()).prop_map(|(epoch, batch, chunk, data)| {
+            Message::BroadcastChunk { epoch, batch, chunk, data }
+        }),
+        (
+            0u32..64,
+            0u32..4096,
+            0u64..u64::MAX,
+            0u64..1 << 32,
+            proptest::collection::vec(0u64..u64::MAX, 0..8)
+        )
+            .prop_map(|(epoch, batch, loss_sum_bits, correct, sparsity_bits)| {
+                Message::AccMeta { epoch, batch, loss_sum_bits, correct, sparsity_bits }
+            }),
+        (0u32..64, 1u32..64).prop_map(|(rank, world)| Message::Hello { rank, world }),
+        Just(Message::Shutdown),
+    ]
+}
+
+/// A version byte that is never [`VERSION`].
+fn wrong_version() -> impl Strategy<Value = u8> {
+    (0u32..255).prop_map(|v| {
+        let v = u8::try_from(v).expect("below 255");
+        if v >= VERSION {
+            v + 1
+        } else {
+            v
+        }
+    })
+}
+
+/// Maps a fraction in `[0, 1)` onto an index into `len` bytes.
+fn index_for(frac: f64, len: usize) -> usize {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = ((len as f64) * frac) as usize;
+    idx.min(len.saturating_sub(1))
+}
+
+proptest! {
+    /// Every message decodes back to itself and consumes exactly the
+    /// bytes `encode_frame` produced — even with trailing garbage after
+    /// the frame.
+    #[test]
+    fn round_trip_is_exact(msg in any_message(), trailing in bytes(16)) {
+        let frame = encode_frame(&msg);
+        prop_assert!(frame.len() >= HEADER_LEN + TRAILER_LEN);
+        prop_assert_eq!(&frame[0..2], &MAGIC[..]);
+        prop_assert_eq!(frame[2], VERSION);
+
+        let (decoded, consumed) = decode_frame(&frame).expect("well-formed frame decodes");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(consumed, frame.len());
+
+        // Trailing bytes past the frame must not confuse the decoder.
+        let mut padded = frame.clone();
+        padded.extend_from_slice(&trailing);
+        let (decoded, consumed) = decode_frame(&padded).expect("frame with trailing bytes decodes");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(consumed, frame.len());
+    }
+
+    /// Every strict prefix of a valid frame is a typed `Truncated` error,
+    /// never a panic and never a bogus success.
+    #[test]
+    fn truncation_is_typed(msg in any_message(), frac in 0.0f64..1.0) {
+        let frame = encode_frame(&msg);
+        let cut = index_for(frac, frame.len());
+        match decode_frame(&frame[..cut]) {
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(needed > got);
+            }
+            other => prop_assert!(false, "prefix of {} bytes gave {:?}", cut, other),
+        }
+    }
+
+    /// Flipping any single byte of a frame yields a typed error: the CRC
+    /// covers version, type, length, and payload; the magic and trailer
+    /// bytes are checked directly against it.
+    #[test]
+    fn single_byte_corruption_is_typed(msg in any_message(), frac in 0.0f64..1.0, flip in 1u32..256) {
+        let mut frame = encode_frame(&msg);
+        let pos = index_for(frac, frame.len());
+        frame[pos] ^= u8::try_from(flip).expect("in byte range");
+        match decode_frame(&frame) {
+            Err(
+                WireError::BadMagic { .. }
+                | WireError::BadVersion { .. }
+                | WireError::BadChecksum { .. }
+                | WireError::TooLarge { .. }
+                | WireError::Truncated { .. },
+            ) => {}
+            other => prop_assert!(false, "flip {:#x} at byte {} gave {:?}", flip, pos, other),
+        }
+    }
+
+    /// A wrong version byte on an otherwise clean frame (checksum
+    /// recomputed) reports `BadVersion`, not a checksum failure.
+    #[test]
+    fn future_version_is_typed(msg in any_message(), version in wrong_version()) {
+        let mut frame = encode_frame(&msg);
+        frame[2] = version;
+        let body_end = frame.len() - TRAILER_LEN;
+        let crc = crc32(&frame[2..body_end]);
+        frame.truncate(body_end);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        match decode_frame(&frame) {
+            Err(WireError::BadVersion { found }) => prop_assert_eq!(found, version),
+            other => prop_assert!(false, "version {} gave {:?}", version, other),
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder: it either fails typed
+    /// or (when it happens to start with a valid header) decodes within
+    /// bounds.
+    #[test]
+    fn garbage_never_panics(garbage in bytes(256)) {
+        if let Ok((_, consumed)) = decode_frame(&garbage) {
+            prop_assert!(consumed <= garbage.len());
+        }
+    }
+
+    /// Garbage behind a valid header prefix exercises the deeper decode
+    /// paths (length, checksum, payload decoders) without panicking.
+    #[test]
+    fn framed_garbage_never_panics(tag in byte(), len in 0u32..128, body in bytes(160)) {
+        let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
+        frame.extend_from_slice(&MAGIC);
+        frame.push(VERSION);
+        frame.push(tag);
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&body);
+        let _ = decode_frame(&frame);
+
+        // Same bytes with a correct checksum drive the payload decoders
+        // themselves on arbitrary input.
+        let take = (len as usize).min(body.len());
+        let mut honest = Vec::new();
+        honest.extend_from_slice(&MAGIC);
+        honest.push(VERSION);
+        honest.push(tag);
+        let take_len = u32::try_from(take).expect("take fits in u32");
+        honest.extend_from_slice(&take_len.to_le_bytes());
+        honest.extend_from_slice(&body[..take]);
+        let crc = crc32(&honest[2..]);
+        honest.extend_from_slice(&crc.to_le_bytes());
+        let _ = decode_frame(&honest);
+    }
+
+    /// `write_frame`/`read_frame` round-trip a whole conversation over a
+    /// byte stream, then report a clean close at the frame boundary.
+    #[test]
+    fn stream_round_trip(msgs in proptest::collection::vec(any_message(), 0..6)) {
+        let mut buf: Vec<u8> = Vec::new();
+        for msg in &msgs {
+            write_frame(&mut buf, msg).expect("writing to a Vec cannot fail");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for msg in &msgs {
+            let got = read_frame(&mut cursor).expect("stream frame decodes");
+            prop_assert_eq!(&got, msg);
+        }
+        match read_frame(&mut cursor) {
+            Err(WireError::Closed) => {}
+            other => prop_assert!(false, "exhausted stream gave {:?}", other),
+        }
+    }
+
+    /// A stream cut mid-frame reports `Truncated`, not `Closed`.
+    #[test]
+    fn stream_cut_mid_frame_is_truncated(msg in any_message(), frac in 0.0f64..1.0) {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, &msg).expect("writing to a Vec cannot fail");
+        let cut = index_for(frac, buf.len()).max(1);
+        buf.truncate(cut);
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor) {
+            Err(WireError::Truncated { .. }) => {}
+            other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+        }
+    }
+}
+
+/// Special float values (negative zero, infinities, NaN payloads)
+/// round-trip bit-exactly because the codec moves raw `to_bits`.
+#[test]
+fn special_floats_round_trip_bit_exact() {
+    let specials =
+        vec![0.0f32, -0.0, f32::INFINITY, f32::NEG_INFINITY, f32::NAN, f32::MIN_POSITIVE, f32::MAX];
+    let msg = Message::ReduceChunk { epoch: 1, batch: 2, chunk: 3, data: specials.clone() };
+    let (decoded, _) = decode_frame(&encode_frame(&msg)).expect("specials decode");
+    match decoded {
+        Message::ReduceChunk { data, .. } => {
+            assert_eq!(data.len(), specials.len());
+            for (a, b) in data.iter().zip(specials.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+}
+
+/// A length prefix above `MAX_PAYLOAD` is rejected before any allocation.
+#[test]
+fn oversized_length_is_rejected() {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(0x01);
+    frame.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    match decode_frame(&frame) {
+        Err(WireError::TooLarge { len }) => assert_eq!(len, MAX_PAYLOAD + 1),
+        other => panic!("oversized length gave {other:?}"),
+    }
+}

@@ -504,7 +504,9 @@ impl Framework {
         }
         let mut plans = Vec::new();
         for (i, tuned) in tuned_layers {
-            let conv = net.layers_mut()[i].as_conv_mut().expect("verified pass saw a conv here");
+            // The first pass only pushed indices of conv layers, so the
+            // lookup cannot miss; skipping is the benign way to say so.
+            let Some(conv) = net.layers_mut()[i].as_conv_mut() else { continue };
             conv.set_forward_executor(forward_executor_for(
                 tuned.plan.forward,
                 tuned.fp_kernel,
@@ -541,7 +543,9 @@ impl Framework {
         }
         let mut plans = Vec::new();
         for (i, spec, forward, fp_kernel) in chosen {
-            let conv = net.layers_mut()[i].as_conv_mut().expect("verified pass saw a conv here");
+            // The first pass only pushed indices of conv layers, so the
+            // lookup cannot miss; skipping is the benign way to say so.
+            let Some(conv) = net.layers_mut()[i].as_conv_mut() else { continue };
             conv.set_forward_executor(forward_executor_for(forward, fp_kernel, self.cores));
             plans.push((
                 i,

@@ -51,6 +51,9 @@ pub enum ErrorKind {
     /// A training run failed (e.g. a worker crashed past its restart
     /// budget).
     Training,
+    /// A cluster operation failed (shard routing, the gradient
+    /// all-reduce, or the cluster wire protocol).
+    Cluster,
     /// An I/O operation failed (weight files, metrics documents).
     Io,
     /// Anything not covered by a more specific kind.
@@ -68,6 +71,7 @@ impl ErrorKind {
             ErrorKind::Tuning => "tuning",
             ErrorKind::Serving => "serving",
             ErrorKind::Training => "training",
+            ErrorKind::Cluster => "cluster",
             ErrorKind::Io => "io",
             ErrorKind::Other => "other",
         }

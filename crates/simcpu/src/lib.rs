@@ -23,6 +23,10 @@
 //!   transform cost — reproducing both the >=0.75-sparsity crossover and
 //!   the goodput roll-off past 90 % sparsity, where the bottleneck shifts
 //!   to the transforms (Sec. 4.2).
+//! * Scaling past one machine adds an interconnect bandwidth/latency
+//!   term: α–β cost models of `spg-cluster`'s chain-ring and
+//!   binomial-tree gradient all-reduce produce the 8/16/64-node
+//!   synchronous-SGD scaling curves (`BENCH_cluster.json`).
 //!
 //! Every constant lives in [`Machine`] with the calibration rationale in
 //! its docs. The model is validated against the paper's qualitative
@@ -33,6 +37,7 @@
 
 mod backend;
 mod endtoend;
+mod interconnect;
 mod machine;
 mod predict;
 mod sparse;
@@ -42,6 +47,7 @@ pub use endtoend::{
     cifar10_layers, cifar10_throughput, serving_throughput, training_throughput,
     Config as EndToEndConfig, LayerCost,
 };
+pub use interconnect::{cluster_scaling, ClusterPoint, Interconnect};
 pub use machine::Machine;
 pub use predict::{
     gemm_in_parallel_gflops_per_core, parallel_gemm_gflops_per_core, stencil_gflops_per_core,

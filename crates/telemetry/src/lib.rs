@@ -63,8 +63,12 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// runtime-parameterized loops; absent on backward decisions); minor 6
 /// added the optional per-decision `backend` and `algo` fields naming the
 /// execution backend (`"cpu"`, `"sim"`) and the backend algorithm
-/// identifier the decision chose or compiled.
-pub const SCHEMA_VERSION_MINOR: u64 = 6;
+/// identifier the decision chose or compiled; minor 7 added the cluster
+/// counters (`cluster.router.*` for shard routing/eviction/respawn,
+/// `cluster.ring.*` and `cluster.tree.*` for per-ring-step all-reduce
+/// traffic, `cluster.train.*` for distributed-training faults and
+/// replays, `cluster.shard.requests` for shard-process serving).
+pub const SCHEMA_VERSION_MINOR: u64 = 7;
 
 /// Identifies the JSON document family in the `schema` field.
 pub const SCHEMA_NAME: &str = "spgcnn-metrics";

@@ -13,19 +13,28 @@
 //! Training, evaluation, and serving are all routed through the unified
 //! [`Engine`] facade rather than hand-built workspace plumbing.
 
-use std::process::ExitCode;
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::process::{Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use spg_cnn::cluster::{
+    run_rank, serve_connection, train_in_proc, AllReduce, Cluster, ClusterError, Comm,
+    ConnectionEnd, InProcTrainOptions, KillDrill, RankOptions, RankState, TrainFault, Transport,
+};
 use spg_cnn::convnet::data::Dataset;
-use spg_cnn::convnet::{io, ConvSpec, Engine, TrainerConfig};
+use spg_cnn::convnet::{io, ConvSpec, Engine, Trainer, TrainerConfig};
 use spg_cnn::core::autotune::{Framework, TuningMode};
 use spg_cnn::core::compiled::CompiledConv;
 use spg_cnn::core::config::NetworkDescription;
 use spg_cnn::core::region::classify;
 use spg_cnn::core::schedule::recommended_plan;
 use spg_cnn::serve::{FaultPlan, ServeConfig, ServeError, Server};
-use spg_cnn::simcpu::{cifar10_layers, serving_throughput, EndToEndConfig, Machine};
+use spg_cnn::simcpu::{
+    cifar10_layers, cluster_scaling, serving_throughput, EndToEndConfig, Interconnect, Machine,
+};
 use spg_cnn::tensor::{Shape3, Tensor};
 
 const USAGE: &str = "\
@@ -80,6 +89,30 @@ usage:
       median-of-N with pinned iteration counts. With --json, write the
       spgcnn-bench-kernels document CI's bench gate diffs against the
       committed BENCH_kernels.json baseline.
+  spgcnn serve-cluster <net.cfg>|--smoke [--shards N] [--workers N] [--requests N]
+               [--transport uds|tcp|inproc] [--base-port P]
+               [--inject-fault SHARD:AFTER_N] [--metrics-json FILE]
+      Serve through the consistent-hash shard router over N model
+      replicas. The uds/tcp transports spawn one shard process per
+      replica and exercise the framed wire protocol end to end; every
+      response is checked bit-identical to the single-sample forward
+      path. --inject-fault kills shard SHARD after it served AFTER_N
+      requests and checks exactly one in-flight request fails with a
+      typed ShardFault while the router evicts and respawns the shard.
+  spgcnn train-cluster <net.cfg>|--smoke [--world N] [--epochs N] [--samples N]
+               [--batch N] [--in-proc] [--algo ring|tree]
+               [--inject-fault RANK:EPOCH:BATCH] [--metrics-json FILE]
+      Synchronous data-parallel SGD over N rank processes connected in
+      a Unix-socket ring (or in-process ranks with --in-proc), running
+      the from-scratch chunked gradient all-reduce; asserts every
+      rank's epoch losses are bit-identical to the single-process SGD
+      pool on the same seed. --inject-fault (in-proc ring only) drops a
+      rank mid-all-reduce and checks the replay still matches the pool.
+  spgcnn bench-cluster [--json FILE] [--gradient-mb MB] [--step-ms MS]
+      Print the analytical multi-node scaling curves (1..64 nodes) of
+      the ring and binomial-tree all-reduce on loopback and 10 GbE
+      fabrics; with --json, write the spgcnn-bench-cluster document
+      (the committed BENCH_cluster.json scaling baseline).
   spgcnn smoke [--metrics-json FILE]
       Train a tiny built-in network for two epochs with telemetry enabled
       and emit spgcnn-metrics JSON (to stdout, or FILE if given). Exits
@@ -102,6 +135,13 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("bench-serve") => bench_serve(&args[1..]),
         Some("bench-kernels") => bench_kernels(&args[1..]),
+        Some("serve-cluster") => serve_cluster(&args[1..]),
+        Some("train-cluster") => train_cluster(&args[1..]),
+        Some("bench-cluster") => bench_cluster(&args[1..]),
+        // Internal child entry points re-exec'd by serve-cluster /
+        // train-cluster; not part of the documented surface.
+        Some("cluster-shard") => cluster_shard(&args[1..]),
+        Some("cluster-rank") => cluster_rank(&args[1..]),
         Some("smoke") => smoke(&args[1..]),
         Some("validate-metrics") => validate_metrics(&args[1..]),
         _ => {
@@ -844,5 +884,706 @@ fn eval(args: &[String]) -> Result<(), String> {
         weights_path,
         correct as f64 / samples as f64
     );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Cluster commands: sharded serving, ring-SGD training, and the analytical
+// multi-node scaling curves. The multi-process modes re-exec this binary as
+// `cluster-shard` / `cluster-rank` children.
+// ---------------------------------------------------------------------------
+
+/// Network description for a cluster child process: `--net <file>` or the
+/// built-in smoke network.
+fn child_desc(args: &[String]) -> Result<NetworkDescription, String> {
+    match opt_flag(args, "--net")? {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            NetworkDescription::parse(&text).map_err(|e| e.to_string())
+        }
+        None => NetworkDescription::parse(SMOKE_NETWORK).map_err(|e| e.to_string()),
+    }
+}
+
+/// Retries a Unix-socket connect until the peer's listener is up.
+fn connect_uds_retry(path: &std::path::Path) -> Result<std::os::unix::net::UnixStream, String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("{}: {e}", path.display()));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// A supervised shard child process: spawned from our own binary
+/// (`cluster-shard`), polled for exit, and respawned when it dies — the
+/// process-level analogue of the worker supervision inside the serving
+/// pool. A `--die-after` kill drill rides only on the first incarnation,
+/// so a killed shard always comes back healthy.
+struct ShardProc {
+    shutdown: Arc<AtomicBool>,
+    child: Arc<Mutex<Option<std::process::Child>>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ShardProc {
+    fn spawn(child_args: Vec<String>, die_after: Option<u64>) -> ShardProc {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let child = Arc::new(Mutex::new(None));
+        let supervisor = {
+            let shutdown = Arc::clone(&shutdown);
+            let slot = Arc::clone(&child);
+            std::thread::spawn(move || {
+                let mut first = true;
+                while !shutdown.load(Ordering::Acquire) {
+                    let Ok(exe) = std::env::current_exe() else { return };
+                    let mut cmd = Command::new(exe);
+                    cmd.args(&child_args).stdout(Stdio::null());
+                    if first {
+                        if let Some(n) = die_after {
+                            cmd.args(["--die-after", &n.to_string()]);
+                        }
+                    }
+                    first = false;
+                    let spawned = match cmd.spawn() {
+                        Ok(c) => c,
+                        Err(_) => {
+                            std::thread::sleep(Duration::from_millis(100));
+                            continue;
+                        }
+                    };
+                    *slot.lock().expect("child slot") = Some(spawned);
+                    loop {
+                        if shutdown.load(Ordering::Acquire) {
+                            return; // stop() kills and reaps what's left
+                        }
+                        let exited = match slot.lock().expect("child slot").as_mut() {
+                            Some(c) => !matches!(c.try_wait(), Ok(None)),
+                            None => true,
+                        };
+                        if exited {
+                            slot.lock().expect("child slot").take();
+                            std::thread::sleep(Duration::from_millis(50));
+                            break; // respawn without the drill
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            })
+        };
+        ShardProc { shutdown, child, supervisor: Some(supervisor) }
+    }
+
+    fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        if let Some(mut c) = self.child.lock().expect("child slot").take() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// What the sequential request drive observed.
+struct DriveOutcome {
+    answered: usize,
+    divergent: usize,
+    faulted: usize,
+    shards_seen: HashSet<usize>,
+    elapsed: Duration,
+}
+
+/// Submits every input through the router (sequentially, so at most one
+/// request is in flight when a kill drill fires) and checks each reply
+/// against the single-sample forward path.
+fn drive_requests(
+    router: &spg_cnn::cluster::Router,
+    inputs: &[Vec<f32>],
+    expected: &[Vec<f32>],
+    drill_armed: bool,
+) -> Result<DriveOutcome, String> {
+    let started = Instant::now();
+    let mut out = DriveOutcome {
+        answered: 0,
+        divergent: 0,
+        faulted: 0,
+        shards_seen: HashSet::new(),
+        elapsed: Duration::ZERO,
+    };
+    for (i, x) in inputs.iter().enumerate() {
+        let key = format!("request-{i}");
+        let pending = router
+            .submit_timeout(key.as_bytes(), x.clone(), Duration::from_secs(30))
+            .map_err(|e| e.to_string())?;
+        match pending.wait() {
+            Ok(r) => {
+                out.answered += 1;
+                out.shards_seen.insert(r.shard);
+                if r.logits != expected[i] {
+                    out.divergent += 1;
+                }
+            }
+            // The kill drill fails exactly the request in flight on the
+            // dying shard; the router evicts, reroutes, and respawns.
+            Err(ClusterError::ShardFault { .. }) if drill_armed => out.faulted += 1,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    out.elapsed = started.elapsed();
+    Ok(out)
+}
+
+fn serve_cluster(args: &[String]) -> Result<(), String> {
+    let smoke_mode = args.iter().any(|a| a == "--smoke");
+    let net_path = if smoke_mode {
+        None
+    } else {
+        Some(args.first().ok_or("missing network file (or --smoke)")?.clone())
+    };
+    let desc = if smoke_mode {
+        NetworkDescription::parse(SMOKE_NETWORK).map_err(|e| e.to_string())?
+    } else {
+        load(args)?
+    };
+    let shards = flag(args, "--shards", 2usize)?.max(1);
+    let workers = flag(args, "--workers", 1usize)?.max(1);
+    let requests = flag(args, "--requests", 32usize)?.max(1);
+    let transport_name = opt_flag(args, "--transport")?.unwrap_or_else(|| "uds".to_string());
+    let metrics_path = opt_flag(args, "--metrics-json")?;
+    let drill: Option<(usize, u64)> = match opt_flag(args, "--inject-fault")? {
+        None => None,
+        Some(spec) => {
+            let parsed = spec
+                .split_once(':')
+                .and_then(|(s, n)| Some((s.parse::<usize>().ok()?, n.parse::<u64>().ok()?)));
+            let (shard, after) = parsed.ok_or("--inject-fault wants SHARD:AFTER_N")?;
+            if shard >= shards {
+                return Err(format!("--inject-fault shard {shard} out of range (0..{shards})"));
+            }
+            Some((shard, after))
+        }
+    };
+
+    spg_cnn::telemetry::reset();
+    spg_cnn::telemetry::set_enabled(true);
+
+    // Reference replica: planned exactly like the single-process serve
+    // path (heuristic cores = 1 forward plans), which every shard replica
+    // mirrors — responses must be bit-identical to this engine's forward.
+    let mut net = desc.build(42).map_err(|e| e.to_string())?;
+    let framework = Framework::new(1, TuningMode::Heuristic, 1);
+    let _plans = framework.plan_network_forward(&mut net);
+    let engine = Engine::builder().network(net).build().map_err(|e| e.to_string())?;
+    let shape = Shape3::new(desc.input.c, desc.input.h, desc.input.w);
+    let data = Dataset::synthetic(shape, engine.network().output_len(), requests, 0.15, 11);
+    let inputs: Vec<Vec<f32>> =
+        (0..data.len()).map(|i| data.image(i).as_slice().to_vec()).collect();
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|x| engine.forward(x).map(|t| t.as_slice().to_vec()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let net = engine.into_shared();
+
+    let mut shard_procs: Vec<ShardProc> = Vec::new();
+    let mut tmp_dir: Option<PathBuf> = None;
+    let transport = match transport_name.as_str() {
+        "inproc" => {
+            if drill.is_some() {
+                return Err(
+                    "--inject-fault kills a shard process; use --transport uds or tcp".into()
+                );
+            }
+            Transport::InProc
+        }
+        "uds" => {
+            let dir = std::env::temp_dir().join(format!("spgcnn-cluster-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            for shard in 0..shards {
+                let socket = dir.join(format!("shard_{shard}.sock"));
+                let mut child_args = vec![
+                    "cluster-shard".to_string(),
+                    "--socket".to_string(),
+                    socket.display().to_string(),
+                    "--workers".to_string(),
+                    workers.to_string(),
+                ];
+                if let Some(p) = &net_path {
+                    child_args.push("--net".to_string());
+                    child_args.push(p.clone());
+                }
+                let die = drill.and_then(|(s, n)| (s == shard).then_some(n));
+                shard_procs.push(ShardProc::spawn(child_args, die));
+            }
+            tmp_dir = Some(dir.clone());
+            Transport::Uds { dir }
+        }
+        "tcp" => {
+            let base_port = flag(args, "--base-port", 17870u16)?;
+            for shard in 0..shards {
+                let port = u16::try_from(shard)
+                    .ok()
+                    .and_then(|s| base_port.checked_add(s))
+                    .ok_or("--base-port too high for the shard count")?;
+                let mut child_args = vec![
+                    "cluster-shard".to_string(),
+                    "--tcp-port".to_string(),
+                    port.to_string(),
+                    "--workers".to_string(),
+                    workers.to_string(),
+                ];
+                if let Some(p) = &net_path {
+                    child_args.push("--net".to_string());
+                    child_args.push(p.clone());
+                }
+                let die = drill.and_then(|(s, n)| (s == shard).then_some(n));
+                shard_procs.push(ShardProc::spawn(child_args, die));
+            }
+            Transport::Tcp { host: "127.0.0.1".to_string(), base_port }
+        }
+        other => return Err(format!("unknown transport `{other}` (expected uds, tcp, or inproc)")),
+    };
+
+    let cluster = Cluster::builder()
+        .shards(shards)
+        .workers_per_shard(workers)
+        .queue_capacity(requests.max(8))
+        .transport(transport)
+        .network(Arc::clone(&net))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let router = cluster.serve().map_err(|e| e.to_string())?;
+
+    let outcome = drive_requests(&router, &inputs, &expected, drill.is_some());
+    if drill.is_some() && matches!(&outcome, Ok(o) if o.faulted > 0) {
+        // The forwarder evicts before it fails the request, but the
+        // respawn (child restart + reconnect) completes asynchronously.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while router.respawns() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let evictions = router.evictions();
+    let respawns = router.respawns();
+    router.shutdown();
+    for p in shard_procs {
+        p.stop();
+    }
+    if let Some(dir) = tmp_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    spg_cnn::telemetry::set_enabled(false);
+    let outcome = outcome?;
+
+    println!(
+        "routed {requests} request(s) across {shards} shard(s) over {transport_name}: \
+         {:.0} requests/s, {} shard(s) answered",
+        outcome.answered as f64 / outcome.elapsed.as_secs_f64().max(1e-9),
+        outcome.shards_seen.len()
+    );
+    if outcome.divergent > 0 {
+        return Err(format!(
+            "{}/{requests} responses diverged from the single-sample forward path",
+            outcome.divergent
+        ));
+    }
+    println!("all completed responses bit-identical to the single-sample forward path");
+    if shards >= 2 && outcome.answered >= 8 && outcome.shards_seen.len() < 2 {
+        return Err("consistent hashing sent every key to one shard".into());
+    }
+    if drill.is_some() {
+        if outcome.faulted != 1 || evictions == 0 || respawns == 0 {
+            return Err(format!(
+                "shard-kill drill expected exactly one typed ShardFault plus an eviction \
+                 and a respawn; saw {} fault(s), {evictions} eviction(s), {respawns} \
+                 respawn(s)",
+                outcome.faulted
+            ));
+        }
+        println!(
+            "shard-kill drill passed: one in-flight request failed typed, the shard was \
+             evicted and respawned, every other key was unaffected"
+        );
+    }
+    if smoke_mode || metrics_path.is_some() {
+        let meta = [
+            ("command", "serve-cluster".to_string()),
+            ("network", desc.name.clone()),
+            ("shards", shards.to_string()),
+            ("workers_per_shard", workers.to_string()),
+            ("requests", requests.to_string()),
+            ("transport", transport_name.clone()),
+        ];
+        emit_metrics(metrics_path.as_deref(), &meta)?;
+    }
+    Ok(())
+}
+
+/// Child entry point: one shard process serving framed inference requests
+/// on a Unix or TCP socket until killed (or until its `--die-after` drill
+/// fires and it aborts mid-request).
+fn cluster_shard(args: &[String]) -> Result<(), String> {
+    let workers = flag(args, "--workers", 1usize)?.max(1);
+    let die_after = match opt_flag(args, "--die-after")? {
+        None => None,
+        Some(v) => Some(v.parse::<u64>().map_err(|_| "invalid --die-after".to_string())?),
+    };
+    let desc = child_desc(args)?;
+    let mut net = desc.build(42).map_err(|e| e.to_string())?;
+    // Same deterministic seed and forward planning as the parent's
+    // reference engine, so this replica's replies are bit-identical to it.
+    let framework = Framework::new(1, TuningMode::Heuristic, 1);
+    let plans = framework.plan_network_forward(&mut net);
+    let server = Server::start(
+        Arc::new(net),
+        &plans,
+        ServeConfig { workers, queue_capacity: 64, ..ServeConfig::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    let drill = die_after.map(|after| KillDrill { after });
+
+    if let Some(path) = opt_flag(args, "--socket")? {
+        let path = PathBuf::from(path);
+        let _ = std::fs::remove_file(&path);
+        let listener = std::os::unix::net::UnixListener::bind(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        loop {
+            let (mut stream, _) = listener.accept().map_err(|e| e.to_string())?;
+            match serve_connection(&server, &mut stream, drill) {
+                Ok(ConnectionEnd::Killed) => std::process::abort(),
+                Ok(ConnectionEnd::Closed) | Err(_) => {}
+            }
+        }
+    } else if let Some(port) = opt_flag(args, "--tcp-port")? {
+        let port: u16 = port.parse().map_err(|_| "invalid --tcp-port".to_string())?;
+        let listener =
+            std::net::TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
+        loop {
+            let (mut stream, _) = listener.accept().map_err(|e| e.to_string())?;
+            stream.set_nodelay(true).ok();
+            match serve_connection(&server, &mut stream, drill) {
+                Ok(ConnectionEnd::Killed) => std::process::abort(),
+                Ok(ConnectionEnd::Closed) | Err(_) => {}
+            }
+        }
+    } else {
+        Err("cluster-shard needs --socket PATH or --tcp-port PORT".into())
+    }
+}
+
+/// Extracts the `loss_bits:` line a `cluster-rank` child prints.
+fn parse_loss_bits(stdout: &str) -> Option<Vec<u64>> {
+    let line = stdout.lines().find(|l| l.starts_with("loss_bits:"))?;
+    line["loss_bits:".len()..].split_whitespace().map(|t| t.parse().ok()).collect()
+}
+
+fn train_cluster(args: &[String]) -> Result<(), String> {
+    let smoke_mode = args.iter().any(|a| a == "--smoke");
+    let net_path = if smoke_mode {
+        None
+    } else {
+        Some(args.first().ok_or("missing network file (or --smoke)")?.clone())
+    };
+    let desc = if smoke_mode {
+        NetworkDescription::parse(SMOKE_NETWORK).map_err(|e| e.to_string())?
+    } else {
+        load(args)?
+    };
+    let world = flag(args, "--world", 2usize)?.max(1);
+    let epochs = flag(args, "--epochs", 2usize)?.max(1);
+    let samples = flag(args, "--samples", 24usize)?.max(world);
+    let batch = flag(args, "--batch", 8usize)?.max(1);
+    let in_proc = args.iter().any(|a| a == "--in-proc");
+    let metrics_path = opt_flag(args, "--metrics-json")?;
+    let algo = match opt_flag(args, "--algo")?.as_deref() {
+        None | Some("ring") => AllReduce::Ring,
+        Some("tree") => AllReduce::Tree,
+        Some(other) => return Err(format!("unknown all-reduce `{other}` (expected ring or tree)")),
+    };
+    let fault = match opt_flag(args, "--inject-fault")? {
+        None => None,
+        Some(spec) => {
+            Some(TrainFault::parse(&spec).ok_or("--inject-fault wants RANK:EPOCH:BATCH")?)
+        }
+    };
+    if fault.is_some() && !in_proc {
+        return Err("--inject-fault drills the in-proc ring; add --in-proc".into());
+    }
+    if fault.is_some() && matches!(algo, AllReduce::Tree) {
+        return Err("--inject-fault asserts pool bit-identity; use the default ring".into());
+    }
+    if matches!(algo, AllReduce::Tree) && !in_proc {
+        return Err("the multi-process smoke runs the ring; use --algo tree with --in-proc".into());
+    }
+
+    spg_cnn::telemetry::reset();
+    spg_cnn::telemetry::set_enabled(true);
+
+    let trainer =
+        TrainerConfig { epochs, batch_size: batch, momentum: 0.9, ..TrainerConfig::default() };
+    // The bit-identity oracle: the unmodified single-process SGD pool on
+    // the same seed, data, and schedule.
+    let mut ref_net = desc.build(42).map_err(|e| e.to_string())?;
+    let classes = ref_net.output_len();
+    let shape = Shape3::new(desc.input.c, desc.input.h, desc.input.w);
+    let mut ref_data = Dataset::synthetic(shape, classes, samples, 0.15, 77);
+    let reference = Trainer::new(trainer.clone()).train(&mut ref_net, &mut ref_data);
+    let ref_bits: Vec<u64> = reference.iter().map(|s| s.mean_loss.to_bits()).collect();
+
+    println!("single-process pool reference ({samples} samples, batch {batch}):");
+    println!("epoch  loss     accuracy");
+    for s in &reference {
+        println!("{:>5}  {:<7.4}  {:.3}", s.epoch, s.mean_loss, s.accuracy);
+    }
+
+    if in_proc {
+        let text = match &net_path {
+            None => SMOKE_NETWORK.to_string(),
+            Some(p) => std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?,
+        };
+        let factory = move || {
+            let bad = |m: String| spg_error::Error::new(spg_error::ErrorKind::InvalidNetwork, m);
+            let d = NetworkDescription::parse(&text).map_err(|e| bad(e.to_string()))?;
+            d.build(42).map_err(|e| bad(e.to_string()))
+        };
+        let data = Dataset::synthetic(shape, classes, samples, 0.15, 77);
+        let (stats, again_bits) = if fault.is_some() {
+            let opts = InProcTrainOptions {
+                world,
+                algo,
+                chunk_floats: 1024,
+                restart_budget: 2,
+                restart_backoff: Duration::from_millis(5),
+                fault,
+            };
+            (train_in_proc(&factory, &data, &trainer, &opts).map_err(|e| e.to_string())?, None)
+        } else {
+            let cluster = Cluster::builder()
+                .shards(world)
+                .allreduce(algo)
+                .chunk_floats(1024)
+                .factory(factory)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let stats = cluster.train(&data, &trainer).map_err(|e| e.to_string())?;
+            let again = if matches!(algo, AllReduce::Tree) {
+                let rerun = cluster.train(&data, &trainer).map_err(|e| e.to_string())?;
+                Some(rerun.iter().map(|s| s.mean_loss.to_bits()).collect::<Vec<u64>>())
+            } else {
+                None
+            };
+            (stats, again)
+        };
+        let bits: Vec<u64> = stats.iter().map(|s| s.mean_loss.to_bits()).collect();
+        match algo {
+            AllReduce::Ring => {
+                if bits != ref_bits {
+                    return Err("cluster epoch losses diverged from the single-process pool".into());
+                }
+                println!(
+                    "in-proc ring over {world} rank(s): epoch losses bit-identical to the \
+                     single-process pool"
+                );
+            }
+            AllReduce::Tree => {
+                if again_bits.as_deref() != Some(&bits[..]) {
+                    return Err("tree all-reduce was not deterministic across runs".into());
+                }
+                println!(
+                    "in-proc tree over {world} rank(s): deterministic across runs \
+                     (re-associated, so not pool-identical by design)"
+                );
+            }
+        }
+        if fault.is_some() {
+            let snap = spg_cnn::telemetry::snapshot();
+            if snap.counter("cluster.train.faults") == 0 {
+                return Err("fault injection requested but no ring fault was recorded".into());
+            }
+            println!(
+                "ring fault drill passed: the cluster replayed from committed rank state \
+                 and still matches the pool bit for bit"
+            );
+        }
+    } else {
+        let dir = std::env::temp_dir().join(format!("spgcnn-ring-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+        let mut children = Vec::new();
+        for rank in 0..world {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("cluster-rank")
+                .args(["--rank", &rank.to_string()])
+                .args(["--world", &world.to_string()])
+                .args(["--epochs", &epochs.to_string()])
+                .args(["--samples", &samples.to_string()])
+                .args(["--batch", &batch.to_string()])
+                .arg("--dir")
+                .arg(&dir)
+                .stdout(Stdio::piped());
+            if let Some(p) = &net_path {
+                cmd.args(["--net", p]);
+            }
+            children.push(cmd.spawn().map_err(|e| e.to_string())?);
+        }
+        let mut failure = None;
+        for (rank, child) in children.into_iter().enumerate() {
+            let out = child.wait_with_output().map_err(|e| e.to_string())?;
+            if failure.is_some() {
+                continue; // keep reaping the remaining children
+            }
+            if !out.status.success() {
+                failure = Some(format!("rank {rank} exited with {}", out.status));
+                continue;
+            }
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            match parse_loss_bits(&stdout) {
+                None => failure = Some(format!("rank {rank} printed no loss_bits line")),
+                Some(bits) if bits != ref_bits => {
+                    failure = Some(format!(
+                        "rank {rank} epoch losses diverged from the single-process pool"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        println!(
+            "ring all-reduce over {world} rank process(es) (Unix sockets): every rank's \
+             epoch losses bit-identical to the single-process pool"
+        );
+    }
+    spg_cnn::telemetry::set_enabled(false);
+    if smoke_mode || metrics_path.is_some() {
+        let meta = [
+            ("command", "train-cluster".to_string()),
+            ("network", desc.name.clone()),
+            ("world", world.to_string()),
+            ("epochs", epochs.to_string()),
+            ("samples", samples.to_string()),
+            ("mode", if in_proc { "in-proc".to_string() } else { "uds-ring".to_string() }),
+        ];
+        emit_metrics(metrics_path.as_deref(), &meta)?;
+    }
+    Ok(())
+}
+
+/// Child entry point: one training rank in the multi-process Unix-socket
+/// ring. Binds its own listener, dials the next rank, accepts the previous
+/// one, runs the synchronized epochs, and prints its epoch-loss bits for
+/// the parent to compare against the single-process pool.
+fn cluster_rank(args: &[String]) -> Result<(), String> {
+    let rank = flag(args, "--rank", 0usize)?;
+    let world = flag(args, "--world", 1usize)?.max(1);
+    let dir = PathBuf::from(opt_flag(args, "--dir")?.ok_or("cluster-rank needs --dir")?);
+    let epochs = flag(args, "--epochs", 2usize)?.max(1);
+    let samples = flag(args, "--samples", 24usize)?.max(1);
+    let batch = flag(args, "--batch", 8usize)?.max(1);
+    let desc = child_desc(args)?;
+    let mut net = desc.build(42).map_err(|e| e.to_string())?;
+    let shape = Shape3::new(desc.input.c, desc.input.h, desc.input.w);
+    let mut data = Dataset::synthetic(shape, net.output_len(), samples, 0.15, 77);
+    let trainer =
+        TrainerConfig { epochs, batch_size: batch, momentum: 0.9, ..TrainerConfig::default() };
+
+    let mut comm = if world == 1 {
+        Comm::Solo
+    } else {
+        // Ring rendezvous: every rank binds before dialing, so the dial
+        // to the next rank only needs to wait for its bind (the listen
+        // backlog holds the connection until it accepts).
+        let my_sock = dir.join(format!("rank_{rank}.sock"));
+        let _ = std::fs::remove_file(&my_sock);
+        let listener = std::os::unix::net::UnixListener::bind(&my_sock)
+            .map_err(|e| format!("{}: {e}", my_sock.display()))?;
+        let next = dir.join(format!("rank_{}.sock", (rank + 1) % world));
+        let tx = connect_uds_retry(&next)?;
+        let (rx, _) = listener.accept().map_err(|e| e.to_string())?;
+        Comm::Ring { rx_prev: Box::new(rx), tx_next: Box::new(tx) }
+    };
+    let opts = RankOptions { rank, world, algo: AllReduce::Ring, chunk_floats: 1024, fault: None };
+    let mut state = RankState::fresh(&net);
+    let stats = run_rank(&mut net, &mut data, &trainer, &opts, &mut comm, &mut state)
+        .map_err(|e| e.to_string())?;
+    let bits: Vec<String> = stats.iter().map(|s| s.mean_loss.to_bits().to_string()).collect();
+    println!("loss_bits: {}", bits.join(" "));
+    Ok(())
+}
+
+fn bench_cluster(args: &[String]) -> Result<(), String> {
+    let json_path = opt_flag(args, "--json")?;
+    let gradient_mb = flag(args, "--gradient-mb", 16usize)?.max(1);
+    let step_ms = flag(args, "--step-ms", 500u64)?.max(1);
+    let gradient_bytes = gradient_mb << 20;
+    let step_seconds = step_ms as f64 / 1e3;
+    let nodes = [1usize, 2, 4, 8, 16, 64];
+    let fabrics = [("loopback", Interconnect::loopback()), ("10gbe", Interconnect::ten_gbe())];
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"spgcnn-bench-cluster\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"gradient_bytes\": {gradient_bytes},\n"));
+    out.push_str(&format!("  \"single_node_step_seconds\": {step_seconds:.6},\n"));
+    out.push_str("  \"fabrics\": [\n");
+    for (fi, (name, ic)) in fabrics.iter().enumerate() {
+        println!(
+            "fabric {name}: {:.2} GB/s links, {:.0} us latency; gradient {gradient_mb} MiB, \
+             single-node step {step_ms} ms",
+            ic.link_bandwidth_gbs, ic.link_latency_us
+        );
+        println!("nodes  compute-ms  ring-ms   tree-ms   ring-eff  tree-eff");
+        let points = cluster_scaling(ic, step_seconds, gradient_bytes, &nodes);
+        for p in &points {
+            println!(
+                "{:>5}  {:>10.3}  {:>8.3}  {:>8.3}  {:>8.3}  {:>8.3}",
+                p.nodes,
+                p.compute_seconds * 1e3,
+                p.ring_seconds * 1e3,
+                p.tree_seconds * 1e3,
+                p.ring_efficiency,
+                p.tree_efficiency
+            );
+        }
+        println!();
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"fabric\": \"{name}\",\n"));
+        out.push_str(&format!("      \"link_bandwidth_gbs\": {:.3},\n", ic.link_bandwidth_gbs));
+        out.push_str(&format!("      \"link_latency_us\": {:.1},\n", ic.link_latency_us));
+        out.push_str("      \"points\": [\n");
+        for (pi, p) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"nodes\": {}, \"compute_seconds\": {:.9}, \
+                 \"ring_seconds\": {:.9}, \"tree_seconds\": {:.9}, \
+                 \"ring_efficiency\": {:.6}, \"tree_efficiency\": {:.6}}}{}\n",
+                p.nodes,
+                p.compute_seconds,
+                p.ring_seconds,
+                p.tree_seconds,
+                p.ring_efficiency,
+                p.tree_efficiency,
+                if pi + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(if fi + 1 < fabrics.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, &out).map_err(|e| format!("{path}: {e}"))?;
+            println!("scaling curves written to {path}");
+        }
+        None => print!("{out}"),
+    }
     Ok(())
 }

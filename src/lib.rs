@@ -22,6 +22,7 @@
 pub mod bench_kernels;
 
 pub use spg_check as check;
+pub use spg_cluster as cluster;
 pub use spg_codegen as codegen;
 pub use spg_convnet as convnet;
 pub use spg_core as core;
