@@ -20,6 +20,7 @@
 //!
 //! [`ConvScratch`]: spg_convnet::workspace::ConvScratch
 
+mod banded;
 pub mod capacity;
 pub mod error;
 pub mod gemm;
@@ -28,12 +29,13 @@ pub mod plan;
 mod sparse;
 mod stencil;
 
+pub use banded::band_sub_spec;
 pub use capacity::ScratchCapacity;
 pub use error::{Buf, CheckError};
 pub use interval::Span;
 pub use plan::{
-    BackwardPlan, ConvPlan, ForwardPlan, RegisterTile, ScheduleTile, XTile, ACCUMULATOR_BUDGET,
-    L1_BUDGET_ELEMS, PAGE_ELEMS, TLB_BUDGET_PAGES, VECTOR_WIDTH,
+    BackwardPlan, BandDim, BandPlan, ConvPlan, ForwardPlan, RegisterTile, ScheduleTile, XTile,
+    ACCUMULATOR_BUDGET, L1_BUDGET_ELEMS, PAGE_ELEMS, TLB_BUDGET_PAGES, VECTOR_WIDTH,
 };
 
 use spg_convnet::ConvSpec;
@@ -125,6 +127,9 @@ pub fn verify_forward(
             )?;
         }
         ForwardPlan::StencilNarrow => stencil::check_forward_narrow(&mut interp, spec, cap)?,
+        ForwardPlan::StencilBanded { dim, bands } => {
+            banded::check_forward_banded(&mut interp, spec, *dim, bands, cap)?;
+        }
         ForwardPlan::UnfoldGemm { threads } => {
             gemm::check_forward_gemm(&mut interp, spec, *threads, cap)?;
         }

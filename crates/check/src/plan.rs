@@ -55,6 +55,33 @@ pub struct ScheduleTile {
     pub x_tile: usize,
 }
 
+/// Which output dimension a banded (hybrid intra-layer) decomposition
+/// splits across workers. Sample parallelism needs no plan: each worker
+/// runs the whole unsplit plan on its own sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BandDim {
+    /// Contiguous bands of output rows (spatial-`y` partitioning).
+    YRows,
+    /// Contiguous bands of output columns (spatial-`x` partitioning).
+    XCols,
+    /// Contiguous slices of output features (channel partitioning).
+    OutChannels,
+}
+
+/// One worker's band of a [`ForwardPlan::StencilBanded`] decomposition: the
+/// half-open output range it owns along the split dimension, the sub-spec
+/// its kernel executes, and the (recursively verified) plan it runs on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandPlan {
+    /// Half-open `[lo, hi)` range along the split dimension, in output
+    /// rows / columns / features according to the parent's [`BandDim`].
+    pub range: (usize, usize),
+    /// The restricted convolution this band's worker executes.
+    pub spec: ConvSpec,
+    /// The forward plan the band runs on its sub-spec.
+    pub plan: ForwardPlan,
+}
+
 /// How the forward pass executes under the candidate plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ForwardPlan {
@@ -74,6 +101,15 @@ pub enum ForwardPlan {
     },
     /// Narrow-output stencil: per-tap gather into a patch block + small GEMM.
     StencilNarrow,
+    /// Hybrid intra-layer decomposition: disjoint contiguous worker bands
+    /// along one output dimension, each running the wide register-tiled
+    /// stencil on its restricted sub-spec.
+    StencilBanded {
+        /// The output dimension the bands split.
+        dim: BandDim,
+        /// Per-worker bands; must disjointly cover the split extent.
+        bands: Vec<BandPlan>,
+    },
     /// Unfold + GEMM with `threads` parallel row bands (Parallel-GEMM when
     /// `threads > 1`, GEMM-in-Parallel's per-core serial GEMM when 1).
     UnfoldGemm {

@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use spg_check::{
-    gemm, verify_forward, BackwardPlan, Buf, CheckError, ConvPlan, ForwardPlan, RegisterTile,
-    ScheduleTile, ScratchCapacity, XTile, VECTOR_WIDTH,
+    band_sub_spec, gemm, verify_forward, BackwardPlan, BandDim, BandPlan, Buf, CheckError,
+    ConvPlan, ForwardPlan, RegisterTile, ScheduleTile, ScratchCapacity, XTile, VECTOR_WIDTH,
 };
 use spg_convnet::ConvSpec;
 
@@ -71,6 +71,52 @@ fn good_tiles(spec: &ConvSpec) -> (RegisterTile, ScheduleTile) {
 fn verify(spec: &ConvSpec, fwd: &ForwardPlan, cap: &ScratchCapacity) -> Result<(), CheckError> {
     let (rt, st) = good_tiles(spec);
     verify_forward(spec, fwd, rt, st, cap).map(|_| ())
+}
+
+/// Specs whose output splits into two vector-wide bands along every
+/// dimension: spatial extents of at least 18 (two x-bands of >= 9
+/// columns) and at least 4 output features (two non-trivial slices).
+fn splittable_spec() -> impl Strategy<Value = ConvSpec> {
+    (1usize..3, 20usize..44, 4usize..8, 1usize..4, 1usize..3).prop_filter_map(
+        "two vector-wide bands per split dimension",
+        |(c, n, f, k, s)| {
+            let spec = ConvSpec::new(c, n, n, f, k, k, s, s).ok()?;
+            (spec.out_w() >= 18 && spec.out_h() >= 18).then_some(spec)
+        },
+    )
+}
+
+fn band_dims() -> impl Strategy<Value = BandDim> {
+    prop_oneof![Just(BandDim::YRows), Just(BandDim::XCols), Just(BandDim::OutChannels)]
+}
+
+/// The split extent of `spec` along `dim` (output rows / columns / features).
+fn extent_for(spec: &ConvSpec, dim: BandDim) -> usize {
+    match dim {
+        BandDim::YRows => spec.out_h(),
+        BandDim::XCols => spec.out_w(),
+        BandDim::OutChannels => spec.features(),
+    }
+}
+
+/// A banded plan over `ranges`, each band carrying its re-derived
+/// sub-spec and the mirrored tiled inner plan.
+fn banded_plan(spec: &ConvSpec, dim: BandDim, ranges: &[(usize, usize)]) -> ForwardPlan {
+    let bands = ranges
+        .iter()
+        .map(|&(lo, hi)| {
+            let sub = band_sub_spec(spec, dim, lo, hi).expect("band restriction is a valid spec");
+            let plan = ForwardPlan::StencilTiled {
+                lanes: VECTOR_WIDTH,
+                tile_rows: 2,
+                cache_rows: 2,
+                x_tiles: x_tiles(sub.out_w()),
+                phased: sub.sx() > 1,
+            };
+            BandPlan { range: (lo, hi), spec: sub, plan }
+        })
+        .collect();
+    ForwardPlan::StencilBanded { dim, bands }
 }
 
 proptest! {
@@ -235,6 +281,82 @@ proptest! {
         let zero = RegisterTile { rx: 0, ry: 1 };
         let err = verify_forward(&spec, &good_tiled(&spec), zero, st, &cap).unwrap_err();
         prop_assert!(matches!(err, CheckError::PlanShapeMismatch { .. }));
+    }
+
+    /// Baseline for the band mutations: a two-band split of any dimension
+    /// — y-rows, x-columns, or out-channel slices — verifies clean.
+    #[test]
+    fn good_band_split_verifies(spec in splittable_spec(), dim in band_dims()) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let e = extent_for(&spec, dim);
+        let plan = banded_plan(&spec, dim, &[(0, e / 2), (e / 2, e)]);
+        prop_assert!(verify(&spec, &plan, &cap).is_ok());
+    }
+
+    /// Overlapping bands: stretching worker 0 one unit into worker 1's
+    /// range is an OverlappingWorkers rejection on every split dimension.
+    #[test]
+    fn overlapping_bands_rejected(spec in splittable_spec(), dim in band_dims()) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let e = extent_for(&spec, dim);
+        let plan = banded_plan(&spec, dim, &[(0, e / 2 + 1), (e / 2, e)]);
+        let err = verify(&spec, &plan, &cap).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                CheckError::OverlappingWorkers { buffer: Buf::Output, worker_a: 0, worker_b: 1, .. }
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    /// Gapped bands: shrinking worker 0 leaves an uncovered unit of the
+    /// split extent — IncompleteCover on every split dimension.
+    #[test]
+    fn gapped_bands_rejected(spec in splittable_spec(), dim in band_dims()) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let e = extent_for(&spec, dim);
+        let plan = banded_plan(&spec, dim, &[(0, e / 2 - 1), (e / 2, e)]);
+        let err = verify(&spec, &plan, &cap).unwrap_err();
+        prop_assert!(
+            matches!(err, CheckError::IncompleteCover { buffer: Buf::Output, .. }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    /// Escaping bands: extending the last band past the split extent is an
+    /// OutOfBounds on the output operand for every split dimension.
+    #[test]
+    fn escaping_band_rejected(spec in splittable_spec(), dim in band_dims()) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let e = extent_for(&spec, dim);
+        let plan = banded_plan(&spec, dim, &[(0, e / 2), (e / 2, e + 1)]);
+        let err = verify(&spec, &plan, &cap).unwrap_err();
+        prop_assert!(
+            matches!(err, CheckError::OutOfBounds { buffer: Buf::Output, .. }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    /// A band claiming a sub-spec that is not the exact restriction of the
+    /// parent to its range is a PlanShapeMismatch naming a `band sub-spec`
+    /// field, on every split dimension.
+    #[test]
+    fn wrong_band_sub_spec_rejected(spec in splittable_spec(), dim in band_dims()) {
+        let cap = ScratchCapacity::reserved_for(&spec);
+        let e = extent_for(&spec, dim);
+        let mut plan = banded_plan(&spec, dim, &[(0, e / 2), (e / 2, e)]);
+        if let ForwardPlan::StencilBanded { bands, .. } = &mut plan {
+            // Claim the restriction of a one-unit-longer band instead.
+            bands[0].spec = band_sub_spec(&spec, dim, 0, e / 2 + 1).unwrap();
+        }
+        let err = verify(&spec, &plan, &cap).unwrap_err();
+        match err {
+            CheckError::PlanShapeMismatch { context, .. } => {
+                prop_assert!(context.starts_with("band sub-spec"), "context {context}");
+            }
+            other => prop_assert!(false, "unexpected error {other:?}"),
+        }
     }
 
     /// The full-plan entry point rejects a corrupted backward tile width.

@@ -519,13 +519,25 @@ pub fn write_frame<W: Write + ?Sized>(w: &mut W, msg: &Message) -> Result<(), Wi
     Ok(())
 }
 
+/// Upper bound on one allocation/read step while filling a frame body.
+/// The body buffer grows chunk by chunk as bytes actually arrive, so a
+/// hostile length prefix costs the sender real bandwidth instead of
+/// driving one up-front [`MAX_PAYLOAD`]-sized allocation on the receiver
+/// before the checksum is ever verified.
+const READ_CHUNK: usize = 64 * 1024;
+
 /// Reads exactly one frame from `r`.
+///
+/// The payload buffer is sized by the bytes received, not by the
+/// untrusted length prefix: a claimed-but-never-sent length allocates at
+/// most one 64 KiB chunk (`READ_CHUNK`) before the truncation surfaces.
 ///
 /// # Errors
 ///
 /// [`WireError::Closed`] when the peer hung up cleanly between frames;
-/// [`WireError::Truncated`] when it hung up mid-frame; the other
-/// variants for malformed bytes.
+/// [`WireError::Truncated`] when it hung up mid-frame;
+/// [`WireError::TooLarge`] for a length prefix over [`MAX_PAYLOAD`]; the
+/// other variants for malformed bytes.
 pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Message, WireError> {
     let mut header = [0u8; HEADER_LEN];
     read_exact_or(r, &mut header, true)?;
@@ -536,8 +548,25 @@ pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Message, WireError> {
     if len > MAX_PAYLOAD {
         return Err(WireError::TooLarge { len });
     }
-    let mut rest = vec![0u8; len as usize + TRAILER_LEN];
-    read_exact_or(r, &mut rest, false)?;
+    let total = len as usize + TRAILER_LEN;
+    let mut rest = vec![0u8; total.min(READ_CHUNK)];
+    let mut filled = 0;
+    while filled < total {
+        match r.read(&mut rest[filled..]) {
+            Ok(0) => {
+                return Err(WireError::Truncated { needed: HEADER_LEN + total, got: filled });
+            }
+            Ok(n) => {
+                filled += n;
+                if filled == rest.len() && filled < total {
+                    // Grow only after the previous chunk actually arrived.
+                    rest.resize((rest.len() + READ_CHUNK).min(total), 0);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
     let mut frame = Vec::with_capacity(HEADER_LEN + rest.len());
     frame.extend_from_slice(&header);
     frame.extend_from_slice(&rest);
@@ -682,6 +711,19 @@ mod tests {
         let mut frame = encode_frame(&Message::Shutdown);
         frame[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         assert_eq!(decode_frame(&frame), Err(WireError::TooLarge { len: MAX_PAYLOAD + 1 }));
+    }
+
+    /// A frame whose body is larger than one [`READ_CHUNK`] exercises the
+    /// grow-as-bytes-arrive path and still round-trips exactly.
+    #[test]
+    fn large_frame_crosses_chunked_read_boundary() {
+        let data = vec![1.5f32; READ_CHUNK / 4 + 123];
+        let msg = Message::ReduceChunk { epoch: 1, batch: 0, chunk: 0, data };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), msg);
+        assert_eq!(read_frame(&mut cursor), Err(WireError::Closed));
     }
 
     #[test]

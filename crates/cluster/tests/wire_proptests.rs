@@ -210,6 +210,35 @@ proptest! {
         }
     }
 
+    /// A hostile length prefix with an under-delivering peer is a typed
+    /// `Truncated` carrying the actually-received count. The claim may be
+    /// the full 64 MiB cap while only a handful of bytes ever arrive:
+    /// `read_frame` sizes its buffer by receipt, so the claim never
+    /// drives an up-front allocation (the old decoder allocated
+    /// `claim + 4` bytes here before reading anything).
+    #[test]
+    fn hostile_length_under_delivery_is_typed(
+        claim in 1u32..=MAX_PAYLOAD,
+        deliver in 0usize..512,
+    ) {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&MAGIC);
+        stream.push(VERSION);
+        stream.push(0x01);
+        stream.extend_from_slice(&claim.to_le_bytes());
+        // Strictly under-deliver the claimed payload + trailer.
+        let deliver = deliver.min(claim as usize + TRAILER_LEN - 1);
+        stream.resize(stream.len() + deliver, 0);
+        let mut cursor = std::io::Cursor::new(stream);
+        match read_frame(&mut cursor) {
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert_eq!(needed, HEADER_LEN + claim as usize + TRAILER_LEN);
+                prop_assert_eq!(got, deliver);
+            }
+            other => prop_assert!(false, "claim {} deliver {} gave {:?}", claim, deliver, other),
+        }
+    }
+
     /// A stream cut mid-frame reports `Truncated`, not `Closed`.
     #[test]
     fn stream_cut_mid_frame_is_truncated(msg in any_message(), frac in 0.0f64..1.0) {
@@ -256,4 +285,24 @@ fn oversized_length_is_rejected() {
         Err(WireError::TooLarge { len }) => assert_eq!(len, MAX_PAYLOAD + 1),
         other => panic!("oversized length gave {other:?}"),
     }
+}
+
+/// `read_frame` rejects an over-cap length prefix from the header alone:
+/// the typed error surfaces before a single payload byte is consumed
+/// from the stream (so nothing is allocated for the hostile claim).
+#[test]
+fn oversized_stream_length_rejected_at_the_header() {
+    let mut stream = Vec::new();
+    stream.extend_from_slice(&MAGIC);
+    stream.push(VERSION);
+    stream.push(0x01);
+    stream.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    // Payload bytes that must never be read.
+    stream.resize(stream.len() + 64, 0xAB);
+    let mut cursor = std::io::Cursor::new(stream);
+    match read_frame(&mut cursor) {
+        Err(WireError::TooLarge { len }) => assert_eq!(len, MAX_PAYLOAD + 1),
+        other => panic!("oversized stream length gave {other:?}"),
+    }
+    assert_eq!(cursor.position(), HEADER_LEN as u64, "no payload byte consumed");
 }

@@ -278,7 +278,16 @@ impl Trainer {
         F: FnMut(&mut Network, &EpochStats),
     {
         let conv_layers = conv_layer_indices(net);
-        let workers = self.config.sample_threads;
+        // Batch-starvation clamp: jobs round-robin as `j % workers`, so a
+        // pool wider than the batch leaves slots that never receive a
+        // sample — they would be spawned, idle for the whole run, and
+        // still charge scope/teardown cost. Spawn only as many workers as
+        // the batch can feed and count the declined slots.
+        let workers = self.config.sample_threads.min(self.config.batch_size).max(1);
+        let starved = self.config.sample_threads - workers;
+        if starved > 0 {
+            spg_telemetry::record_counter("train.starved_workers", starved as u64);
+        }
         let mut acc = BatchAcc::for_network(net, conv_layers.len());
         let mut velocity = zero_param_grads(net);
         // Enough result slots that a full batch can be in flight.
@@ -762,6 +771,39 @@ mod tests {
                 }
             });
         assert_eq!(calls, 2);
+    }
+
+    /// Regression: a pool configured wider than the batch (batch_size=1,
+    /// sample_threads=8) used to spawn all 8 workers, 7 of which could
+    /// never receive a job through the `j % workers` round-robin. The
+    /// clamp must keep training correct (bit-identical to one thread) and
+    /// count the declined slots in the starvation telemetry.
+    #[test]
+    fn starved_pool_clamps_workers_to_batch() {
+        spg_telemetry::set_enabled(true);
+        let starved_before = spg_telemetry::snapshot().counter("train.starved_workers");
+        let run = |threads: usize| -> Vec<u64> {
+            let mut net = make_net(21);
+            let mut data = make_data();
+            let cfg = TrainerConfig {
+                epochs: 2,
+                batch_size: 1,
+                sample_threads: threads,
+                ..Default::default()
+            };
+            Trainer::new(cfg)
+                .train(&mut net, &mut data)
+                .iter()
+                .map(|s| s.mean_loss.to_bits())
+                .collect()
+        };
+        let sequential = run(1);
+        let starved = run(8);
+        assert_eq!(sequential, starved, "starved pool must train identically");
+        let declined = spg_telemetry::snapshot().counter("train.starved_workers") - starved_before;
+        // The 8-thread run clamps to 1 worker per epoch-spanning pool:
+        // 7 declined slots recorded (the 1-thread run records none).
+        assert_eq!(declined, 7, "declined worker slots counted");
     }
 
     #[test]

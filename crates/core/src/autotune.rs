@@ -188,7 +188,8 @@ fn phase_candidates(
 
 /// Measures the backend-enumerated techniques for one phase and picks the
 /// fastest, recording the decision (with the forward stencil kernel
-/// choice and the chosen backend/algo ids) when telemetry is enabled.
+/// choice, the chosen backend/algo ids, and the winner's partition
+/// dimension) when telemetry is enabled.
 fn pick(
     spec: &ConvSpec,
     phase: Phase,
@@ -197,21 +198,59 @@ fn pick(
     cores: usize,
     reps: usize,
 ) -> (Technique, KernelChoice) {
+    // The deploy gate re-proves the winner through the plan-time verifier
+    // at the moment it is about to be installed, so a plan that was
+    // enumerable when the race started but is rejected by the time it
+    // would deploy is demoted, not installed.
+    pick_with_gate(spec, phase, algos, sparsity, cores, reps, &|t| {
+        crate::verify::verify_technique(spec, t, phase, cores).map(|_| ())
+    })
+}
+
+/// [`pick`] with an explicit deploy-time gate, the seam fault-injection
+/// tests use to reject a candidate mid-race. A gated-out winner is moved
+/// to the decision's `rejected` list and the race re-picks from the
+/// remaining timings; if the gate refuses every measured candidate the
+/// layer falls back to the GEMM-in-Parallel serial baseline rather than
+/// panicking or dropping the layer.
+fn pick_with_gate(
+    spec: &ConvSpec,
+    phase: Phase,
+    algos: &[AlgoChoice],
+    sparsity: f64,
+    cores: usize,
+    reps: usize,
+    gate: &dyn Fn(Technique) -> Result<(), crate::SpgError>,
+) -> (Technique, KernelChoice) {
     // Plan-time gate: the backend enumerates only verifier-approved
     // algorithms, so everything measured below is deployable; rejections
     // are logged, never run.
-    let (safe, rejected) = phase_candidates(spec, phase, algos, cores);
-    let timed: Vec<(Technique, Duration)> = safe
+    let (safe, mut rejected) = phase_candidates(spec, phase, algos, cores);
+    let mut timed: Vec<(Technique, Duration)> = safe
         .iter()
         .map(|&t| (t, measure_technique(spec, t, phase, sparsity, cores, reps)))
         .collect();
-    let chosen = timed
-        .iter()
-        .min_by_key(|&&(_, d)| d)
-        .map(|&(t, _)| t)
-        // GEMM-in-Parallel is the always-applicable serial baseline; it
-        // only backstops the (unreachable) all-candidates-rejected case.
-        .unwrap_or(Technique::GemmInParallel);
+    let chosen = loop {
+        let fastest =
+            timed.iter().enumerate().min_by_key(|&(_, &(_, d))| d).map(|(i, &(t, _))| (i, t));
+        let Some((idx, candidate)) = fastest else {
+            // GEMM-in-Parallel is the always-applicable serial baseline;
+            // it backstops the all-candidates-rejected case.
+            break Technique::GemmInParallel;
+        };
+        match gate(candidate) {
+            Ok(()) => break candidate,
+            Err(e) => {
+                // Rejected mid-race: record the refusal and re-pick from
+                // the remaining timings.
+                rejected.push(spg_telemetry::RejectedCandidate {
+                    technique: candidate.id().to_string(),
+                    reason: e.to_string(),
+                });
+                timed.remove(idx);
+            }
+        }
+    };
     // Generic-vs-specialized race for the stencil forward kernel — only
     // when the verifier admitted the stencil technique (a rejected plan
     // must never run, not even for measurement).
@@ -253,6 +292,12 @@ fn pick(
             kernel: kernel.map(|(_, name)| name.to_string()),
             backend: Some("cpu".to_string()),
             algo: Some(format!("{}/{algo_kernel}", chosen.id())),
+            // Minor-8 field: which dimension the winner splits the layer
+            // along. Backward techniques always split by sample.
+            partition: match phase {
+                Phase::Forward => Some(chosen.partition_dim().id().to_string()),
+                Phase::Backward => None,
+            },
         });
     }
     (chosen, kernel.map_or(KernelChoice::Auto, |(choice, _)| choice))
@@ -742,6 +787,108 @@ mod tests {
         assert_eq!(auto.name(), "stencil-fp");
         let gemm = forward_executor_for(Technique::GemmInParallel, KernelChoice::Generic, 1);
         assert_ne!(gemm.name(), "stencil-fp");
+    }
+
+    /// Fault injection for the deploy-time gate: when every measured
+    /// candidate is rejected mid-race, the layer falls back to the
+    /// GEMM-in-Parallel baseline, every refusal lands in the decision's
+    /// `rejected` list, and nothing panics or drops the layer.
+    #[test]
+    fn gate_rejecting_everything_falls_back_to_gip() {
+        spg_telemetry::set_enabled(true);
+        let spec = small_spec();
+        let desc = ConvDescriptor::new(spec, 1);
+        let algos: Vec<AlgoChoice> = CpuBackend::new().get_algos(&desc).collect();
+        let reject_all = |t: Technique| {
+            Err(crate::SpgError::PlanRejected {
+                technique: t.id(),
+                check: spg_check::CheckError::BudgetExceeded {
+                    budget: 0,
+                    used: 1,
+                    context: "injected deploy-time fault",
+                },
+            })
+        };
+        let chosen = {
+            let _scope = spg_telemetry::scope("gate-fault-layer", spg_telemetry::Phase::Tune);
+            pick_with_gate(&spec, Phase::Forward, &algos, 0.0, 1, 1, &reject_all).0
+        };
+        assert_eq!(chosen, Technique::GemmInParallel, "baseline fallback");
+        let snap = spg_telemetry::snapshot();
+        let decision = snap
+            .decisions
+            .iter()
+            .find(|d| d.label == "gate-fault-layer" && d.phase == spg_telemetry::Phase::Forward)
+            .expect("decision still logged under fault injection");
+        assert!(decision.candidates.is_empty(), "every timing was demoted");
+        let rejected: Vec<&str> = decision.rejected.iter().map(|r| r.technique.as_str()).collect();
+        for t in Technique::forward_candidates() {
+            assert!(rejected.contains(&t.id()), "{} recorded as rejected", t.id());
+        }
+        assert!(
+            decision.rejected.iter().any(|r| r.reason.contains("injected deploy-time fault")),
+            "gate refusals carry the verifier's reason"
+        );
+    }
+
+    /// A gate that refuses only the would-be winner re-picks the next
+    /// fastest surviving candidate instead of falling all the way back.
+    #[test]
+    fn gate_rejecting_the_winner_repicks_a_survivor() {
+        let spec = small_spec();
+        let desc = ConvDescriptor::new(spec, 1);
+        let algos: Vec<AlgoChoice> = CpuBackend::new().get_algos(&desc).collect();
+        use std::sync::Mutex;
+        let refused: Mutex<Option<Technique>> = Mutex::new(None);
+        let reject_first = |t: Technique| {
+            let mut slot = refused.lock().unwrap();
+            match *slot {
+                // First candidate the gate sees (the race winner): refuse.
+                None => {
+                    *slot = Some(t);
+                    Err(crate::SpgError::PlanRejected {
+                        technique: t.id(),
+                        check: spg_check::CheckError::BudgetExceeded {
+                            budget: 0,
+                            used: 1,
+                            context: "injected deploy-time fault",
+                        },
+                    })
+                }
+                Some(_) => Ok(()),
+            }
+        };
+        let (chosen, _) = pick_with_gate(&spec, Phase::Forward, &algos, 0.0, 1, 1, &reject_first);
+        let first = refused.lock().unwrap().expect("gate saw the race winner");
+        assert_ne!(chosen, first, "refused winner must not deploy");
+        assert!(Technique::forward_candidates().contains(&chosen));
+    }
+
+    /// Forward decisions record the minor-8 `partition` field naming the
+    /// winner's worker decomposition; backward decisions leave it absent.
+    #[test]
+    fn decisions_record_partition_dimension() {
+        spg_telemetry::set_enabled(true);
+        let spec = small_spec();
+        {
+            let _scope = spg_telemetry::scope("partition-layer", spg_telemetry::Phase::Tune);
+            tune_layer(&spec, 0.5, 1, 1);
+        }
+        let snap = spg_telemetry::snapshot();
+        let mine: Vec<_> = snap.decisions.iter().filter(|d| d.label == "partition-layer").collect();
+        assert!(!mine.is_empty());
+        for d in &mine {
+            match d.phase {
+                spg_telemetry::Phase::Forward => {
+                    let p = d.partition.as_deref().expect("forward decision names its partition");
+                    assert!(
+                        ["sample", "y-band", "x-band", "out-channel"].contains(&p),
+                        "partition = {p}"
+                    );
+                }
+                _ => assert!(d.partition.is_none(), "backward decisions carry no partition"),
+            }
+        }
     }
 
     #[test]

@@ -210,7 +210,11 @@ pub fn conv_workspace_bytes(desc: &ConvDescriptor, algo: AlgoChoice) -> usize {
         // Single-threaded backward-data runs the transposed multiply
         // E_U = E_O^T W through the scratch pack buffers: k = features,
         // m = patches, n = patch_len.
-        Technique::GemmInParallel | Technique::StencilFp => {
+        Technique::GemmInParallel
+        | Technique::StencilFp
+        | Technique::StencilYBand
+        | Technique::StencilXBand
+        | Technique::StencilOutChannel => {
             let (a, b) = spg_gemm::pack_high_water(patches, features, patch_len);
             a + b
         }

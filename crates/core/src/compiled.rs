@@ -5,7 +5,7 @@
 //! emits specialized kernels whose setup work — weight layout transforms,
 //! register-tile and cache-schedule planning — happens once per layer (or
 //! once per parameter update), not once per sample. The stateless
-//! [`ConvExecutor`](spg_convnet::exec::ConvExecutor) seam pays those costs
+//! [`ConvExecutor`] seam pays those costs
 //! on every call; [`CompiledConv`] is the amortized form: compile once,
 //! [`set_weights`](CompiledConv::set_weights) after each SGD step, and run
 //! every sample of the batch against the cached plan.
@@ -15,9 +15,11 @@ use std::fmt;
 use spg_codegen::{KernelChoice, SpecializedKernel};
 use spg_tensor::{layout, Tensor};
 
+use spg_convnet::exec::ConvExecutor;
 use spg_convnet::workspace::ConvScratch;
 use spg_convnet::{gemm_exec, ConvSpec};
 
+use crate::hybrid::HybridExecutor;
 use crate::schedule::{LayerPlan, Technique};
 use crate::sparse::{kernel as sparse_kernel, DEFAULT_TILE_WIDTH};
 use crate::specialized::select_kernel;
@@ -64,6 +66,9 @@ pub struct CompiledConv {
     /// Verified `spg-codegen` instance for the forward stencil, when one
     /// resolved (stencil plans compiled with [`KernelChoice::Auto`] only).
     specialized: Option<&'static SpecializedKernel>,
+    /// Banded intra-sample executor for hybrid forward plans; owns the
+    /// per-worker staging pool so repeated calls allocate nothing.
+    hybrid: Option<HybridExecutor>,
     register_tile: RegisterTilePlan,
     cache_schedule: CacheSchedule,
 }
@@ -137,6 +142,7 @@ impl CompiledConv {
             w_kkfc: None,
             w_kkcf: None,
             specialized,
+            hybrid: plan.forward.band_dim().map(|dim| HybridExecutor::new(dim, cores.max(1))),
             register_tile: plan_register_tile(&spec),
             cache_schedule: plan_cache_schedule(&spec),
         };
@@ -264,6 +270,16 @@ impl CompiledConv {
                     self.cores,
                     scratch,
                 );
+            }
+            Technique::StencilYBand | Technique::StencilXBand | Technique::StencilOutChannel => {
+                // The compile-time verifier proved the banded plan, so the
+                // executor (sharing its band source of truth) runs it.
+                self.hybrid
+                    .as_ref()
+                    .unwrap_or_else(|| {
+                        unreachable!("hybrid plan compiled with its banded executor")
+                    })
+                    .forward(&self.spec, input, self.weights.as_slice(), output, scratch);
             }
             Technique::GemmInParallel | Technique::SparseBp => {
                 gemm_exec::forward_scratch(
@@ -448,7 +464,15 @@ mod tests {
 
     fn check_all_phases(spec: ConvSpec, plan: LayerPlan) {
         let weights = pseudo(spec.weight_shape().len(), 1);
-        let kernel = CompiledConv::compile(spec, plan, &weights, 2).expect("valid weights");
+        let kernel = match CompiledConv::compile(spec, plan, &weights, 2) {
+            Ok(kernel) => kernel,
+            // Hybrid forwards are legitimately rejected on specs they
+            // cannot band; every other plan must compile.
+            Err(err) => {
+                assert!(plan.forward.band_dim().is_some(), "{spec} {plan}: {err}");
+                return;
+            }
+        };
         let input = pseudo(spec.input_shape().len(), 2);
         let grad_out = sparse_grad(spec.output_shape().len(), 4);
 
@@ -500,7 +524,13 @@ mod tests {
         for &fwd in Technique::forward_candidates() {
             for &bwd in Technique::backward_candidates() {
                 let plan = LayerPlan { forward: fwd, backward: bwd };
-                let kernel = CompiledConv::compile(spec, plan, &weights, 2).expect("valid");
+                let kernel = match CompiledConv::compile(spec, plan, &weights, 2) {
+                    Ok(kernel) => kernel,
+                    Err(err) => {
+                        assert!(plan.forward.band_dim().is_some(), "{plan}: {err}");
+                        continue;
+                    }
+                };
                 let olen = spec.output_shape().len();
                 let (ilen, wlen) = (spec.input_shape().len(), spec.weight_shape().len());
                 let mut a = vec![0f32; olen];

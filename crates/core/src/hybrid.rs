@@ -1,0 +1,395 @@
+//! Hybrid intra-layer parallelism: banded stencil execution of one sample.
+//!
+//! The paper's GEMM-in-Parallel scales by distributing whole samples, so
+//! strong scaling collapses when `batch < cores` — the regime Jia et al.
+//! (*Exploring Hidden Dimensions in Parallelizing CNNs*) and Dryden et al.
+//! (*Improving Strong-Scaling of CNN Training by Exploiting Finer-Grained
+//! Parallelism*) address by also splitting *within* a layer. This module
+//! implements the three intra-sample decompositions the plan IR can prove
+//! safe ([`spg_check::BandDim`]): contiguous output-row bands, output-column
+//! bands, and output-feature slices, each band running the same wide
+//! register-tiled stencil kernel as the sequential path.
+//!
+//! **Bit-identity.** Every output element's reduction is a single FMA chain
+//! ordered `(channel asc, ky asc, kx asc)` regardless of tile position or
+//! band offsets, and the banded executor is gated (by `band_ranges` and the
+//! `spg-check` banded proof) to the wide tiled path where that invariant
+//! holds. Banded outputs are therefore bit-identical to the sequential
+//! kernel — the golden suite asserts exact equality, not a tolerance.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use spg_check::band_sub_spec;
+pub use spg_check::BandDim;
+use spg_convnet::exec::ConvExecutor;
+use spg_convnet::workspace::{zeroed_slice, ConvScratch};
+use spg_convnet::{gemm_exec, ConvSpec};
+
+use crate::stencil::kernel::{self, LANES};
+
+/// The split extent of `spec` along `dim`.
+fn extent(spec: &ConvSpec, dim: BandDim) -> usize {
+    match dim {
+        BandDim::YRows => spec.out_h(),
+        BandDim::XCols => spec.out_w(),
+        BandDim::OutChannels => spec.features(),
+    }
+}
+
+/// The contiguous per-worker bands a hybrid decomposition of `spec` along
+/// `dim` uses at `workers` workers: the single source of truth shared by
+/// plan lowering (so the verifier proves the very bands that run) and the
+/// executor (so it runs the very bands that were proved).
+///
+/// Returns one band — i.e. "no decomposition available" — when the spec is
+/// too narrow for the wide tiled kernel (`out_w < LANES`, where the
+/// shifted-GEMM path's different accumulation order would break
+/// bit-identity), when `workers <= 1`, or when the extent cannot be split.
+/// X-bands additionally shed workers until every band is at least one
+/// vector wide, since each band must itself satisfy the wide-kernel gate.
+pub fn band_ranges(spec: &ConvSpec, dim: BandDim, workers: usize) -> Vec<(usize, usize)> {
+    let n = extent(spec, dim);
+    if spec.out_w() < LANES || workers <= 1 {
+        return vec![(0, n)];
+    }
+    match dim {
+        BandDim::YRows | BandDim::OutChannels => spg_check::gemm::row_bands(n, workers),
+        BandDim::XCols => {
+            let mut w = workers.min(n / LANES).max(1);
+            loop {
+                let bands = spg_check::gemm::row_bands(n, w);
+                let narrowest = bands.iter().map(|&(lo, hi)| hi - lo).min().unwrap_or(0);
+                if narrowest >= LANES || w == 1 {
+                    return bands;
+                }
+                w -= 1;
+            }
+        }
+    }
+}
+
+/// Per-worker staging buffers, pooled across calls so the per-sample hot
+/// path performs no heap allocation once warmed up to a geometry.
+#[derive(Default)]
+struct BandWorkspace {
+    input: Vec<f32>,
+    output: Vec<f32>,
+    scratch: ConvScratch,
+}
+
+/// [`ConvExecutor`] running the forward pass as disjoint per-worker bands
+/// of one sample along a fixed [`BandDim`], each band executing the wide
+/// register-tiled stencil on its restriction of the spec. Backward phases
+/// fall back to single-threaded Unfold+GEMM, exactly like
+/// [`StencilExecutor`](crate::stencil::StencilExecutor): the hybrid
+/// techniques are forward-phase candidates.
+///
+/// Specs the decomposition cannot split (see [`band_ranges`]) fall back to
+/// the sequential generic stencil kernel — same kernel, same bits.
+pub struct HybridExecutor {
+    dim: BandDim,
+    workers: usize,
+    pool: Mutex<Vec<BandWorkspace>>,
+}
+
+impl fmt::Debug for HybridExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HybridExecutor")
+            .field("dim", &self.dim)
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HybridExecutor {
+    /// Creates a banded executor splitting `dim` across `workers` workers.
+    pub fn new(dim: BandDim, workers: usize) -> Self {
+        HybridExecutor { dim, workers: workers.max(1), pool: Mutex::new(Vec::new()) }
+    }
+
+    /// The split dimension this executor bands.
+    pub fn dim(&self) -> BandDim {
+        self.dim
+    }
+
+    /// The worker count this executor decomposes for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn take_workspace(&self) -> BandWorkspace {
+        self.pool.lock().unwrap_or_else(|p| p.into_inner()).pop().unwrap_or_default()
+    }
+
+    fn put_workspace(&self, ws: BandWorkspace) {
+        self.pool.lock().unwrap_or_else(|p| p.into_inner()).push(ws);
+    }
+
+    /// Output-feature slices: no staging — workers write disjoint
+    /// `split_at_mut` plane slices of the parent output directly.
+    fn forward_out_channels(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+        ranges: &[(usize, usize)],
+    ) {
+        let plane = spec.out_h() * spec.out_w();
+        let per_feature = spec.weight_shape().per_feature();
+        let mut rest = output;
+        let mut slices = Vec::with_capacity(ranges.len());
+        for &(lo, hi) in ranges {
+            let (band, tail) = rest.split_at_mut((hi - lo) * plane);
+            slices.push((lo, hi, band));
+            rest = tail;
+        }
+        std::thread::scope(|s| {
+            for (lo, hi, band_out) in slices {
+                let sub = band_sub_spec(spec, BandDim::OutChannels, lo, hi)
+                    .unwrap_or_else(|_| unreachable!("band restriction is a valid convolution"));
+                let band_weights = &weights[lo * per_feature..hi * per_feature];
+                s.spawn(move || {
+                    let mut ws = self.take_workspace();
+                    kernel::forward_scratch(&sub, input, band_weights, band_out, &mut ws.scratch);
+                    self.put_workspace(ws);
+                });
+            }
+        });
+    }
+
+    /// Spatial bands: each worker stages its input band (rows or columns,
+    /// with the stencil halo), runs the kernel into a staged band output,
+    /// and the bands are scattered into the parent output after the join —
+    /// a deterministic gather, not a shared-write.
+    fn forward_spatial(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+        ranges: &[(usize, usize)],
+    ) {
+        let (nc, nf) = (spec.in_c(), spec.features());
+        let (in_h, in_w) = (spec.in_h(), spec.in_w());
+        let (out_h, out_w) = (spec.out_h(), spec.out_w());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    let sub = band_sub_spec(spec, self.dim, lo, hi).unwrap_or_else(|_| {
+                        unreachable!("band restriction is a valid convolution")
+                    });
+                    s.spawn(move || {
+                        let mut ws = self.take_workspace();
+                        let BandWorkspace { input: stage_in, output: stage_out, scratch } = &mut ws;
+                        let band_in = zeroed_slice(stage_in, sub.input_shape().len());
+                        match self.dim {
+                            BandDim::YRows => {
+                                // Rows [lo*sy, lo*sy + in_h') of each channel
+                                // are contiguous: one copy per channel.
+                                let rows = sub.in_h();
+                                let row_lo = lo * spec.sy();
+                                for c in 0..nc {
+                                    let src = (c * in_h + row_lo) * in_w;
+                                    band_in[c * rows * in_w..(c + 1) * rows * in_w]
+                                        .copy_from_slice(&input[src..src + rows * in_w]);
+                                }
+                            }
+                            BandDim::XCols => {
+                                // Columns [lo*sx, lo*sx + in_w') of every row.
+                                let cols = sub.in_w();
+                                let col_lo = lo * spec.sx();
+                                for c in 0..nc {
+                                    for r in 0..in_h {
+                                        let src = (c * in_h + r) * in_w + col_lo;
+                                        let dst = (c * in_h + r) * cols;
+                                        band_in[dst..dst + cols]
+                                            .copy_from_slice(&input[src..src + cols]);
+                                    }
+                                }
+                            }
+                            BandDim::OutChannels => {
+                                unreachable!("out-channel bands take the unstaged path")
+                            }
+                        }
+                        let band_out = zeroed_slice(stage_out, sub.output_shape().len());
+                        kernel::forward_scratch(&sub, band_in, weights, band_out, scratch);
+                        (lo, hi, ws)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (lo, hi, ws) = handle.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+                let len = hi - lo;
+                match self.dim {
+                    BandDim::YRows => {
+                        for f in 0..nf {
+                            let src = f * len * out_w;
+                            let dst = (f * out_h + lo) * out_w;
+                            output[dst..dst + len * out_w]
+                                .copy_from_slice(&ws.output[src..src + len * out_w]);
+                        }
+                    }
+                    BandDim::XCols => {
+                        for f in 0..nf {
+                            for r in 0..out_h {
+                                let src = (f * out_h + r) * len;
+                                let dst = (f * out_h + r) * out_w + lo;
+                                output[dst..dst + len].copy_from_slice(&ws.output[src..src + len]);
+                            }
+                        }
+                    }
+                    BandDim::OutChannels => {
+                        unreachable!("out-channel bands take the unstaged path")
+                    }
+                }
+                self.put_workspace(ws);
+            }
+        });
+    }
+}
+
+impl ConvExecutor for HybridExecutor {
+    fn name(&self) -> &str {
+        match self.dim {
+            BandDim::YRows => "stencil-yband",
+            BandDim::XCols => "stencil-xband",
+            BandDim::OutChannels => "stencil-ochannel",
+        }
+    }
+
+    fn forward(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        weights: &[f32],
+        output: &mut [f32],
+        scratch: &mut ConvScratch,
+    ) {
+        assert_eq!(input.len(), spec.input_shape().len(), "input length");
+        assert_eq!(weights.len(), spec.weight_shape().len(), "weights length");
+        assert_eq!(output.len(), spec.output_shape().len(), "output length");
+        let ranges = band_ranges(spec, self.dim, self.workers);
+        if ranges.len() <= 1 {
+            kernel::forward_scratch(spec, input, weights, output, scratch);
+            return;
+        }
+        match self.dim {
+            BandDim::OutChannels => {
+                self.forward_out_channels(spec, input, weights, output, &ranges);
+            }
+            BandDim::YRows | BandDim::XCols => {
+                self.forward_spatial(spec, input, weights, output, &ranges);
+            }
+        }
+    }
+
+    fn backward_data(
+        &self,
+        spec: &ConvSpec,
+        weights: &[f32],
+        grad_out: &[f32],
+        grad_in: &mut [f32],
+        scratch: &mut ConvScratch,
+    ) {
+        gemm_exec::backward_data_scratch(spec, weights, grad_out, grad_in, 1, scratch);
+    }
+
+    fn backward_weights(
+        &self,
+        spec: &ConvSpec,
+        input: &[f32],
+        grad_out: &[f32],
+        grad_weights: &mut [f32],
+        scratch: &mut ConvScratch,
+    ) {
+        gemm_exec::backward_weights_scratch(spec, input, grad_out, grad_weights, 1, scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, salt: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 31 + salt * 17) % 23) as f32 - 11.0) / 7.0).collect()
+    }
+
+    fn sequential(spec: &ConvSpec, input: &[f32], weights: &[f32]) -> Vec<f32> {
+        let mut out = vec![0f32; spec.output_shape().len()];
+        kernel::forward_scratch(spec, input, weights, &mut out, &mut ConvScratch::new());
+        out
+    }
+
+    fn check_bit_identical(spec: ConvSpec, dim: BandDim, workers: usize) {
+        let input = pseudo(spec.input_shape().len(), 1);
+        let weights = pseudo(spec.weight_shape().len(), 2);
+        let oracle = sequential(&spec, &input, &weights);
+        let exec = HybridExecutor::new(dim, workers);
+        let mut banded = vec![0f32; spec.output_shape().len()];
+        exec.forward(&spec, &input, &weights, &mut banded, &mut ConvScratch::new());
+        assert_eq!(oracle, banded, "{spec} {dim:?} x{workers} not bit-identical");
+    }
+
+    #[test]
+    fn bands_are_bit_identical_to_sequential_kernel() {
+        let unit = ConvSpec::square(34, 6, 3, 3, 1); // 32x32 output
+        let strided = ConvSpec::square(69, 4, 3, 7, 2); // 32x32 output, sx 2
+        for dim in [BandDim::YRows, BandDim::XCols, BandDim::OutChannels] {
+            for workers in [2, 3, 8] {
+                check_bit_identical(unit, dim, workers);
+                check_bit_identical(strided, dim, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_spec_falls_back_to_sequential() {
+        // 4x4 output: no wide tiles, so band_ranges refuses to split and
+        // the executor runs the plain kernel (here: shifted-GEMM path).
+        let spec = ConvSpec::square(8, 6, 4, 5, 1);
+        assert_eq!(band_ranges(&spec, BandDim::YRows, 8), vec![(0, spec.out_h())]);
+        let input = pseudo(spec.input_shape().len(), 3);
+        let weights = pseudo(spec.weight_shape().len(), 4);
+        let oracle = sequential(&spec, &input, &weights);
+        let mut out = vec![0f32; spec.output_shape().len()];
+        HybridExecutor::new(BandDim::YRows, 8).forward(
+            &spec,
+            &input,
+            &weights,
+            &mut out,
+            &mut ConvScratch::new(),
+        );
+        assert_eq!(oracle, out);
+    }
+
+    #[test]
+    fn x_bands_shed_workers_until_vector_wide() {
+        // 25-wide output at 8 workers: 25/8 = 3 bands of >= LANES, and the
+        // ragged split (9,9,7) must shed to 2 workers (13,12).
+        let spec = ConvSpec::new(1, 27, 27, 2, 3, 3, 1, 1).unwrap();
+        let ranges = band_ranges(&spec, BandDim::XCols, 8);
+        assert!(ranges.iter().all(|&(lo, hi)| hi - lo >= LANES), "{ranges:?}");
+        let covered: usize = ranges.iter().map(|&(lo, hi)| hi - lo).sum();
+        assert_eq!(covered, spec.out_w());
+    }
+
+    #[test]
+    fn workspace_pool_is_reused_across_calls() {
+        let spec = ConvSpec::square(34, 4, 2, 3, 1);
+        let input = pseudo(spec.input_shape().len(), 5);
+        let weights = pseudo(spec.weight_shape().len(), 6);
+        let exec = HybridExecutor::new(BandDim::YRows, 4);
+        let mut scratch = ConvScratch::new();
+        let mut a = vec![0f32; spec.output_shape().len()];
+        let mut b = vec![0f32; spec.output_shape().len()];
+        exec.forward(&spec, &input, &weights, &mut a, &mut scratch);
+        let pooled = exec.pool.lock().unwrap().len();
+        assert!(pooled >= 1, "workers should return workspaces to the pool");
+        exec.forward(&spec, &input, &weights, &mut b, &mut scratch);
+        assert_eq!(a, b);
+        assert!(exec.pool.lock().unwrap().len() >= pooled);
+    }
+}

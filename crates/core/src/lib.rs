@@ -41,6 +41,7 @@ pub mod backend;
 pub mod compiled;
 pub mod config;
 mod error;
+pub mod hybrid;
 pub mod region;
 pub mod schedule;
 pub mod sparse;

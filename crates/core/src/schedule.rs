@@ -7,6 +7,7 @@ use std::sync::Arc;
 use spg_convnet::exec::{SharedExecutor, UnfoldGemmExecutor};
 use spg_convnet::ConvSpec;
 
+use crate::hybrid::{band_ranges, HybridExecutor};
 use crate::region::{HIGH_FEATURE_THRESHOLD, LOW_FEATURE_THRESHOLD, SPARSE_THRESHOLD};
 use crate::sparse::SparseBpExecutor;
 use crate::stencil::StencilExecutor;
@@ -23,14 +24,57 @@ pub enum Technique {
     /// Generated direct-convolution stencil kernel, forward phase
     /// (Sec. 4.3).
     StencilFp,
+    /// Stencil kernel with contiguous output-row bands split across
+    /// workers within one sample (spatial-`y` hybrid parallelism).
+    StencilYBand,
+    /// Stencil kernel with contiguous output-column bands split across
+    /// workers within one sample (spatial-`x` hybrid parallelism).
+    StencilXBand,
+    /// Stencil kernel with output-feature slices split across workers
+    /// within one sample (output-channel hybrid parallelism).
+    StencilOutChannel,
     /// CT-CSR + pointer-shifting sparse kernel, backward phase (Sec. 4.2).
     SparseBp,
+}
+
+/// The worker-decomposition dimension a technique parallelizes over —
+/// the {sample, y-band, x-band, out-channel} split space of Jia et al.
+/// and Dryden et al., reported in the autotuner's decision log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionDim {
+    /// Whole samples distributed across workers (data parallelism).
+    Sample,
+    /// Output rows of one sample banded across workers.
+    YBand,
+    /// Output columns of one sample banded across workers.
+    XBand,
+    /// Output features of one sample sliced across workers.
+    OutChannel,
+}
+
+impl PartitionDim {
+    /// Stable machine-readable identifier used in metrics JSON.
+    pub fn id(self) -> &'static str {
+        match self {
+            PartitionDim::Sample => "sample",
+            PartitionDim::YBand => "y-band",
+            PartitionDim::XBand => "x-band",
+            PartitionDim::OutChannel => "out-channel",
+        }
+    }
 }
 
 impl Technique {
     /// All techniques applicable to the forward phase.
     pub fn forward_candidates() -> &'static [Technique] {
-        &[Technique::ParallelGemm, Technique::GemmInParallel, Technique::StencilFp]
+        &[
+            Technique::ParallelGemm,
+            Technique::GemmInParallel,
+            Technique::StencilFp,
+            Technique::StencilYBand,
+            Technique::StencilXBand,
+            Technique::StencilOutChannel,
+        ]
     }
 
     /// All techniques applicable to the backward phase.
@@ -45,20 +89,57 @@ impl Technique {
             Technique::ParallelGemm => "parallel-gemm",
             Technique::GemmInParallel => "gemm-in-parallel",
             Technique::StencilFp => "stencil-fp",
+            Technique::StencilYBand => "stencil-yband",
+            Technique::StencilXBand => "stencil-xband",
+            Technique::StencilOutChannel => "stencil-ochannel",
             Technique::SparseBp => "sparse-bp",
+        }
+    }
+
+    /// The worker-decomposition dimension this technique splits.
+    /// Parallel-GEMM row-bands each GEMM's output over features, so it
+    /// reports out-channel; the per-sample serial techniques scale by
+    /// running samples concurrently and report sample.
+    pub fn partition_dim(self) -> PartitionDim {
+        match self {
+            Technique::ParallelGemm => PartitionDim::OutChannel,
+            Technique::GemmInParallel | Technique::StencilFp | Technique::SparseBp => {
+                PartitionDim::Sample
+            }
+            Technique::StencilYBand => PartitionDim::YBand,
+            Technique::StencilXBand => PartitionDim::XBand,
+            Technique::StencilOutChannel => PartitionDim::OutChannel,
+        }
+    }
+
+    /// The banded-stencil split dimension, for the hybrid techniques only.
+    pub fn band_dim(self) -> Option<spg_check::BandDim> {
+        match self {
+            Technique::StencilYBand => Some(spg_check::BandDim::YRows),
+            Technique::StencilXBand => Some(spg_check::BandDim::XCols),
+            Technique::StencilOutChannel => Some(spg_check::BandDim::OutChannels),
+            _ => None,
         }
     }
 
     /// Builds the executor implementing this technique.
     ///
-    /// `cores` configures Parallel-GEMM's partitioning; the other
-    /// techniques are single-threaded per sample by design (their
-    /// parallelism comes from running samples concurrently).
+    /// `cores` configures Parallel-GEMM's partitioning and the hybrid
+    /// banded stencils' worker count; the other techniques are
+    /// single-threaded per sample by design (their parallelism comes from
+    /// running samples concurrently).
     pub fn executor(self, cores: usize) -> SharedExecutor {
         match self {
             Technique::ParallelGemm => Arc::new(UnfoldGemmExecutor::new(cores.max(1))),
             Technique::GemmInParallel => Arc::new(UnfoldGemmExecutor::new(1)),
             Technique::StencilFp => Arc::new(StencilExecutor::new()),
+            Technique::StencilYBand | Technique::StencilXBand | Technique::StencilOutChannel => {
+                // band_dim is Some for exactly these variants.
+                let dim = self
+                    .band_dim()
+                    .unwrap_or_else(|| unreachable!("band_dim is Some for hybrid variants"));
+                Arc::new(HybridExecutor::new(dim, cores.max(1)))
+            }
             Technique::SparseBp => Arc::new(SparseBpExecutor::new()),
         }
     }
@@ -70,6 +151,9 @@ impl fmt::Display for Technique {
             Technique::ParallelGemm => "Parallel-GEMM",
             Technique::GemmInParallel => "GEMM-in-Parallel",
             Technique::StencilFp => "Stencil-Kernel (FP)",
+            Technique::StencilYBand => "Stencil-Kernel (FP, y-band)",
+            Technique::StencilXBand => "Stencil-Kernel (FP, x-band)",
+            Technique::StencilOutChannel => "Stencil-Kernel (FP, out-channel)",
             Technique::SparseBp => "Sparse-Kernel (BP)",
         };
         f.write_str(name)
@@ -136,6 +220,38 @@ pub fn recommended_plan(spec: &ConvSpec, bp_sparsity: f64, cores: usize) -> Laye
     LayerPlan { forward, backward }
 }
 
+/// Batch-aware variant of [`recommended_plan`]: when the batch cannot keep
+/// every core busy with whole samples (`batch < cores`), sample-parallel
+/// forward techniques starve, so the heuristic prefers an intra-sample
+/// banded decomposition for layers wide enough to split (Jia et al.'s
+/// hybrid dimension choice, restricted to the plan shapes `spg-check` can
+/// prove). Falls back to [`recommended_plan`] whenever the batch saturates
+/// the machine or no banding is available.
+pub fn recommended_plan_for_batch(
+    spec: &ConvSpec,
+    bp_sparsity: f64,
+    cores: usize,
+    batch: usize,
+) -> LayerPlan {
+    let base = recommended_plan(spec, bp_sparsity, cores);
+    if cores <= 1 || batch >= cores {
+        return base;
+    }
+    // Sample parallelism covers only `batch` of the `cores` workers; spend
+    // the idle ones inside the sample. Prefer y-bands (contiguous staging,
+    // smallest halo), then x-bands, then out-channel slices.
+    let hybrids = [Technique::StencilYBand, Technique::StencilXBand, Technique::StencilOutChannel];
+    for technique in hybrids {
+        let dim = technique
+            .band_dim()
+            .unwrap_or_else(|| unreachable!("band_dim is Some for hybrid variants"));
+        if band_ranges(spec, dim, cores).len() > 1 {
+            return LayerPlan { forward: technique, backward: base.backward };
+        }
+    }
+    base
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +298,34 @@ mod tests {
         assert!(!Technique::forward_candidates().contains(&Technique::SparseBp));
         assert!(Technique::backward_candidates().contains(&Technique::SparseBp));
         assert!(!Technique::backward_candidates().contains(&Technique::StencilFp));
+    }
+
+    #[test]
+    fn starved_batch_prefers_intra_sample_bands() {
+        // ImageNet-22K L0 geometry (Table 2) at batch 1 on 8 cores: whole
+        // samples cover one worker, so the y-band decomposition wins.
+        let spec = ConvSpec::square(262, 120, 3, 7, 2);
+        let plan = recommended_plan_for_batch(&spec, 0.5, 8, 1);
+        assert_eq!(plan.forward, Technique::StencilYBand);
+        // A saturating batch falls back to the sample-parallel heuristic.
+        assert_eq!(recommended_plan_for_batch(&spec, 0.5, 8, 8), recommended_plan(&spec, 0.5, 8));
+        // Narrow outputs cannot band: fall back even when starved.
+        let narrow = ConvSpec::square(8, 64, 64, 5, 1); // 4x4 output
+        assert_eq!(
+            recommended_plan_for_batch(&narrow, 0.5, 8, 1),
+            recommended_plan(&narrow, 0.5, 8)
+        );
+    }
+
+    #[test]
+    fn partition_dims_cover_the_split_space() {
+        assert_eq!(Technique::GemmInParallel.partition_dim().id(), "sample");
+        assert_eq!(Technique::StencilFp.partition_dim().id(), "sample");
+        assert_eq!(Technique::StencilYBand.partition_dim().id(), "y-band");
+        assert_eq!(Technique::StencilXBand.partition_dim().id(), "x-band");
+        assert_eq!(Technique::StencilOutChannel.partition_dim().id(), "out-channel");
+        // Parallel-GEMM row-bands the GEMM over output features.
+        assert_eq!(Technique::ParallelGemm.partition_dim().id(), "out-channel");
     }
 
     #[test]

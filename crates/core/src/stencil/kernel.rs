@@ -166,7 +166,7 @@ fn forward_shifted_gemm(
 /// Permutes weights into the `[ky][kx]` blocks of `(Nc x Nf)` matrices
 /// (features fastest) that the narrow-output shifted-GEMM path multiplies
 /// against. Pre-compute once per parameter update and pass to
-/// [`forward_narrow_pretransformed`] to amortize the transform across a
+/// [`forward_narrow_pretransformed_scratch`] to amortize the transform across a
 /// batch of samples.
 ///
 /// # Panics

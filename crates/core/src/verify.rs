@@ -10,12 +10,13 @@
 //! access instead of executing.
 
 use spg_check::{
-    BackwardPlan, CheckReport, ConvPlan, ForwardPlan, RegisterTile, ScheduleTile, ScratchCapacity,
-    XTile,
+    band_sub_spec, BackwardPlan, BandDim, BandPlan, CheckReport, ConvPlan, ForwardPlan,
+    RegisterTile, ScheduleTile, ScratchCapacity, XTile,
 };
 use spg_convnet::ConvSpec;
 
 use crate::autotune::Phase;
+use crate::hybrid::band_ranges;
 use crate::schedule::{LayerPlan, Technique};
 use crate::sparse::DEFAULT_TILE_WIDTH;
 use crate::stencil::kernel::{x_plan, LANES, TILE_ROWS};
@@ -44,11 +45,44 @@ pub fn lower_forward(spec: &ConvSpec, technique: Technique, cores: usize) -> For
                 }
             }
         }
+        Technique::StencilYBand | Technique::StencilXBand | Technique::StencilOutChannel => {
+            let dim = technique
+                .band_dim()
+                .unwrap_or_else(|| unreachable!("band_dim is Some for hybrid variants"));
+            lower_banded(spec, dim, cores)
+        }
         Technique::ParallelGemm => ForwardPlan::UnfoldGemm { threads: cores.max(1) },
         // GEMM-in-Parallel runs one serial GEMM per training input; the
         // sparse technique has no forward kernel and falls back likewise.
         Technique::GemmInParallel | Technique::SparseBp => ForwardPlan::UnfoldGemm { threads: 1 },
     }
+}
+
+/// Lowers a banded hybrid decomposition: the very band ranges the
+/// [`HybridExecutor`](crate::hybrid::HybridExecutor) will run (from the
+/// shared [`band_ranges`] source of truth), each band carrying the
+/// checker's own restriction of the spec and a recursively lowered wide
+/// tiled plan. Unsplittable specs lower to a single band, which the
+/// verifier rejects — exactly the candidates the executor could not
+/// decompose.
+fn lower_banded(spec: &ConvSpec, dim: BandDim, cores: usize) -> ForwardPlan {
+    let bands = band_ranges(spec, dim, cores)
+        .into_iter()
+        .map(|(lo, hi)| {
+            let sub = match band_sub_spec(spec, dim, lo, hi) {
+                Ok(sub) => sub,
+                // Degenerate restriction: carry the parent spec so the
+                // verifier's sub-spec re-derivation names the mismatch.
+                Err(_) => *spec,
+            };
+            BandPlan {
+                range: (lo, hi),
+                spec: sub,
+                plan: lower_forward(&sub, Technique::StencilFp, 1),
+            }
+        })
+        .collect();
+    ForwardPlan::StencilBanded { dim, bands }
 }
 
 /// Lowers a backward technique to the verifier's IR.
@@ -57,7 +91,13 @@ pub fn lower_backward(spec: &ConvSpec, technique: Technique, cores: usize) -> Ba
     match technique {
         Technique::SparseBp => BackwardPlan::SparsePointerShift { tile_width: DEFAULT_TILE_WIDTH },
         Technique::ParallelGemm => BackwardPlan::UnfoldGemm { threads: cores.max(1) },
-        Technique::GemmInParallel | Technique::StencilFp => BackwardPlan::UnfoldGemm { threads: 1 },
+        // The stencil-family techniques (sequential and banded) are
+        // forward-phase kernels; backward falls back to a serial GEMM.
+        Technique::GemmInParallel
+        | Technique::StencilFp
+        | Technique::StencilYBand
+        | Technique::StencilXBand
+        | Technique::StencilOutChannel => BackwardPlan::UnfoldGemm { threads: 1 },
     }
 }
 
@@ -208,8 +248,21 @@ mod tests {
             for &fwd in Technique::forward_candidates() {
                 for &bwd in Technique::backward_candidates() {
                     let plan = LayerPlan { forward: fwd, backward: bwd };
-                    let report = verify_plan(&spec, plan, 4).unwrap();
-                    assert!(report.accesses_proved > 0, "{spec} {plan}");
+                    match verify_plan(&spec, plan, 4) {
+                        Ok(report) => assert!(report.accesses_proved > 0, "{spec} {plan}"),
+                        // Hybrid candidates are legitimately rejected on
+                        // specs the decomposition cannot split at this
+                        // worker count; everything else must verify.
+                        Err(err) => {
+                            let dim = fwd.band_dim().unwrap_or_else(|| {
+                                panic!("{spec} {plan} rejected: {err}");
+                            });
+                            assert!(
+                                band_ranges(&spec, dim, 4).len() <= 1,
+                                "{spec} {plan} rejected despite available bands: {err}"
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -286,10 +339,36 @@ mod tests {
     fn per_phase_candidates_verify() {
         let spec = ConvSpec::square(12, 16, 4, 3, 1);
         for &t in Technique::forward_candidates() {
-            verify_technique(&spec, t, Phase::Forward, 8).unwrap();
+            match verify_technique(&spec, t, Phase::Forward, 8) {
+                Ok(_) => {}
+                Err(err) => {
+                    // Only hybrids without an available decomposition may
+                    // be rejected (here: x-bands on a 10-wide output).
+                    let dim = t.band_dim().unwrap_or_else(|| panic!("{spec} {t} rejected: {err}"));
+                    assert!(band_ranges(&spec, dim, 8).len() <= 1, "{spec} {t}: {err}");
+                }
+            }
         }
         for &t in Technique::backward_candidates() {
             verify_technique(&spec, t, Phase::Backward, 8).unwrap();
+        }
+    }
+
+    /// Hybrid lowering emits the executor's own band ranges and verifies
+    /// clean on a splittable spec; unsplittable specs lower to a single
+    /// band that the verifier rejects.
+    #[test]
+    fn hybrid_lowering_verifies_when_splittable() {
+        // ImageNet-22K L0 (Table 2): 128x128 output, stride 2.
+        let spec = ConvSpec::square(262, 120, 3, 7, 2);
+        for t in [Technique::StencilYBand, Technique::StencilXBand, Technique::StencilOutChannel] {
+            let report = verify_technique(&spec, t, Phase::Forward, 8).unwrap();
+            assert!(report.worker_regions >= 8, "{t}: {report:?}");
+        }
+        // Narrow output: single band, rejected at verification.
+        let narrow = ConvSpec::square(7, 6, 4, 3, 1);
+        for t in [Technique::StencilYBand, Technique::StencilXBand, Technique::StencilOutChannel] {
+            verify_technique(&narrow, t, Phase::Forward, 8).unwrap_err();
         }
     }
 }

@@ -142,11 +142,16 @@ fn tune_layer_logs_decisions_with_candidate_timings() {
     for (decision, candidates) in
         [(ours[0], Technique::forward_candidates()), (ours[1], Technique::backward_candidates())]
     {
-        assert_eq!(decision.candidates.len(), candidates.len());
+        // Every candidate is accounted for: timed in the race or recorded
+        // as rejected (hybrid decompositions on unsplittable specs).
+        assert_eq!(decision.candidates.len() + decision.rejected.len(), candidates.len());
         let ids: Vec<&str> = candidates.iter().map(|t| t.id()).collect();
         assert!(ids.contains(&decision.chosen.as_str()), "winner is a candidate");
         for timing in &decision.candidates {
             assert!(ids.contains(&timing.technique.as_str()));
+        }
+        for rejected in &decision.rejected {
+            assert!(ids.contains(&rejected.technique.as_str()));
         }
         assert_eq!((decision.sparsity, decision.cores), (0.9, 1));
     }

@@ -242,7 +242,17 @@ impl Server {
         let input_len = net.input_len();
         let stats = Arc::new(PoolStats::default());
         let injector = FaultInjector::new(config.fault_plan);
-        let workers = (0..config.workers)
+        // Batch-starvation clamp: the bounded queue can hold at most
+        // `queue_capacity` requests, so a pool wider than the queue keeps
+        // slots that can never all find work — each one still compiles a
+        // full set of per-layer kernels at startup. Spawn only as many
+        // workers as the queue can feed and count the declined slots.
+        let effective_workers = config.workers.min(config.queue_capacity).max(1);
+        let starved = config.workers - effective_workers;
+        if starved > 0 {
+            spg_telemetry::record_counter("serve.starved_workers", starved as u64);
+        }
+        let workers = (0..effective_workers)
             .map(|w| {
                 let net = Arc::clone(&net);
                 let queue = Arc::clone(&queue);
@@ -398,6 +408,7 @@ fn record_compile_decisions(net: &Network, plan_by_layer: &HashMap<usize, LayerP
             kernel: None,
             backend: Some(backend.name().to_string()),
             algo: Some(algo.id()),
+            partition: Some(plan.forward.partition_dim().id().to_string()),
         });
     }
 }

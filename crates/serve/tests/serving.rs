@@ -145,6 +145,45 @@ fn full_queue_rejects_rather_than_blocking() {
     server.shutdown();
 }
 
+/// Regression: a pool wider than the request queue (workers=8,
+/// queue_capacity=1) used to spawn all 8 workers even though the queue
+/// can never feed them simultaneously. The clamp must keep serving
+/// correct and record the declined slots in the starvation telemetry.
+#[test]
+fn starved_pool_clamps_workers_to_queue_capacity() {
+    spg_telemetry::set_enabled(true);
+    let before = spg_telemetry::snapshot().counter("serve.starved_workers");
+    let mut net = build_network(9);
+    let framework = Framework::new(1, TuningMode::Heuristic, 1);
+    let plans = framework.plan_network_forward(&mut net);
+    let net = Arc::new(net);
+    let config = ServeConfig {
+        workers: 8,
+        max_batch: 1,
+        max_delay: Duration::from_millis(1),
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Arc::clone(&net), &plans, config).unwrap();
+    let declined = spg_telemetry::snapshot().counter("serve.starved_workers") - before;
+    assert_eq!(declined, 7, "7 of 8 worker slots declined for a 1-slot queue");
+    // The clamped pool still serves correctly.
+    let mut ws = Workspace::for_network(&net);
+    for s in 0..4 {
+        let input = sample_input(net.input_len(), s);
+        net.forward_into(&input, &mut ws);
+        let expected = ws.trace.logits().as_slice().to_vec();
+        let response = server
+            .submit_timeout(input, Duration::from_secs(10))
+            .expect("clamped pool accepts work")
+            .wait()
+            .expect("clamped pool serves work");
+        assert_eq!(response.logits, expected, "request {s}");
+        assert!(response.worker < 1, "only the fed worker slot exists");
+    }
+    server.shutdown();
+}
+
 /// Bad inputs fail fast with a typed error instead of reaching a worker.
 #[test]
 fn wrong_length_input_is_rejected_up_front() {

@@ -33,7 +33,7 @@ use spg_core::SpgError;
 
 use crate::{
     gemm_in_parallel_gflops_per_core, parallel_gemm_gflops_per_core, sparse_bp_prediction,
-    stencil_gflops_per_core, Machine,
+    stencil_banded_gflops_per_core, stencil_gflops_per_core, Machine,
 };
 
 /// What the analytical backend "compiles": the model's predictions for
@@ -97,6 +97,10 @@ impl SimBackend {
                 gemm_in_parallel_gflops_per_core(&self.machine, &desc.spec, desc.cores)
             }
             Technique::StencilFp => stencil_gflops_per_core(&self.machine, &desc.spec, desc.cores),
+            Technique::StencilYBand | Technique::StencilXBand | Technique::StencilOutChannel => {
+                let dim = technique.band_dim().expect("hybrid technique carries a band dim");
+                stencil_banded_gflops_per_core(&self.machine, &desc.spec, dim, desc.cores)
+            }
         }
     }
 

@@ -396,6 +396,17 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
         if let Some(algo) = decision.get("algo") {
             algo.as_str().ok_or_else(|| format!("{owner}: field `algo` is not a string"))?;
         }
+        // Added in schema minor 8; older documents legitimately omit it.
+        // Unlike `backend`/`algo`, the partition vocabulary is closed: a
+        // decision can only split work along one of the four dimensions.
+        if let Some(partition) = decision.get("partition") {
+            let partition = partition
+                .as_str()
+                .ok_or_else(|| format!("{owner}: field `partition` is not a string"))?;
+            if !["sample", "y-band", "x-band", "out-channel"].contains(&partition) {
+                return Err(format!("{owner}: unknown partition `{partition}`"));
+            }
+        }
     }
 
     // Added in schema minor 2; older documents legitimately omit it.
@@ -563,5 +574,27 @@ mod tests {
             .expect("minor-6 fields accepted");
         assert!(validate_metrics(&decision(r#", "backend": 7"#)).is_err());
         assert!(validate_metrics(&decision(r#", "algo": ["x"]"#)).is_err());
+    }
+
+    /// Minor-8 `partition` decision field: the four split dimensions
+    /// validate, unknown names and non-strings are rejected, and minor-7
+    /// documents (field absent) are still accepted.
+    #[test]
+    fn validator_handles_minor_eight_partition_field() {
+        let decision = |extra: &str| {
+            format!(
+                r#"{{"schema": "spgcnn-metrics", "schema_version": 1, "meta": {{}},
+                    "scopes": [], "decisions": [{{"label": "conv0", "phase": "forward",
+                    "chosen": "stencil-yband", "sparsity": 0.0, "cores": 8,
+                    "candidates": []{extra}}}]}}"#
+            )
+        };
+        validate_metrics(&decision("")).expect("minor-7 document still accepted");
+        for dim in ["sample", "y-band", "x-band", "out-channel"] {
+            validate_metrics(&decision(&format!(r#", "partition": "{dim}""#)))
+                .unwrap_or_else(|e| panic!("partition {dim} accepted: {e}"));
+        }
+        assert!(validate_metrics(&decision(r#", "partition": "diagonal""#)).is_err());
+        assert!(validate_metrics(&decision(r#", "partition": 3"#)).is_err());
     }
 }

@@ -67,8 +67,14 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// counters (`cluster.router.*` for shard routing/eviction/respawn,
 /// `cluster.ring.*` and `cluster.tree.*` for per-ring-step all-reduce
 /// traffic, `cluster.train.*` for distributed-training faults and
-/// replays, `cluster.shard.requests` for shard-process serving).
-pub const SCHEMA_VERSION_MINOR: u64 = 7;
+/// replays, `cluster.shard.requests` for shard-process serving); minor 8
+/// added the optional per-decision `partition` field naming the worker
+/// decomposition the chosen forward technique splits the layer along
+/// (`"sample"`, `"y-band"`, `"x-band"`, `"out-channel"`), plus the
+/// starved-pool counters (`serve.starved_workers`,
+/// `train.starved_workers`) counting workers a pool declined to spawn
+/// because the batch had fewer items than the configured pool width.
+pub const SCHEMA_VERSION_MINOR: u64 = 8;
 
 /// Identifies the JSON document family in the `schema` field.
 pub const SCHEMA_NAME: &str = "spgcnn-metrics";
@@ -168,6 +174,11 @@ pub struct Decision {
     /// `"stencil-fp+sparse-bp/avx2"` from a serve kernel compile). Schema
     /// minor 6; `None` in documents from older writers.
     pub algo: Option<String>,
+    /// Worker decomposition the chosen forward technique splits the layer
+    /// along: `"sample"`, `"y-band"`, `"x-band"`, or `"out-channel"`.
+    /// Schema minor 8; `None` on backward decisions and in documents from
+    /// older writers.
+    pub partition: Option<String>,
 }
 
 /// Number of power-of-two histogram buckets kept per latency label.
@@ -630,9 +641,15 @@ impl MetricsSnapshot {
                 Some(a) => format!(", \"algo\": {}", json::string(a)),
                 None => String::new(),
             };
+            // `partition` is the minor-8 optional field, emitted the same
+            // way so minor-7 documents stay byte-identical.
+            let partition = match &decision.partition {
+                Some(p) => format!(", \"partition\": {}", json::string(p)),
+                None => String::new(),
+            };
             out.push_str(&format!(
                 "\n    {{\"label\": {}, \"phase\": {}, \"chosen\": {}, \"sparsity\": {}, \
-                 \"cores\": {}, \"candidates\": [{}], \"rejected\": [{}]{}{}{}}}",
+                 \"cores\": {}, \"candidates\": [{}], \"rejected\": [{}]{}{}{}{}}}",
                 json::string(&decision.label),
                 json::string(decision.phase.as_str()),
                 json::string(&decision.chosen),
@@ -643,6 +660,7 @@ impl MetricsSnapshot {
                 kernel,
                 backend,
                 algo,
+                partition,
             ));
         }
         if !self.decisions.is_empty() {
@@ -908,6 +926,7 @@ mod tests {
             kernel: None,
             backend: None,
             algo: None,
+            partition: None,
         });
         record_decision(Decision {
             label: "conv0".to_string(),
@@ -920,6 +939,7 @@ mod tests {
             kernel: Some("specialized".to_string()),
             backend: Some("cpu".to_string()),
             algo: Some("stencil-fp/specialized".to_string()),
+            partition: Some("y-band".to_string()),
         });
         set_enabled(false);
         let text = snapshot().to_json(&[("command", "test".to_string())]);
@@ -930,6 +950,7 @@ mod tests {
             text.contains("\"algo\": \"stencil-fp/specialized\""),
             "minor-6 algo field emitted"
         );
+        assert!(text.contains("\"partition\": \"y-band\""), "minor-8 partition field emitted");
     }
 
     #[test]

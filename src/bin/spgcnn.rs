@@ -47,10 +47,13 @@ usage:
   spgcnn render <net.cfg> [--cores N] [--sparsity S]
       Print the generated kernel listings for every conv layer.
   spgcnn train <net.cfg> [--epochs N] [--classes N] [--samples N] [--threads N]
-               [--save weights.spgw] [--metrics-json FILE] [--inject-fault SPEC]
+               [--batch N] [--save weights.spgw] [--metrics-json FILE]
+               [--inject-fault SPEC]
       Train the network on a seeded synthetic dataset and report per-epoch
       loss, accuracy, and gradient sparsity; optionally save the weights
-      and/or write goodput telemetry as spgcnn-metrics JSON.
+      and/or write goodput telemetry as spgcnn-metrics JSON. When --batch
+      is smaller than --threads the SGD pool clamps itself to the
+      available work and counts the idled workers in train.starved_workers.
   spgcnn eval <net.cfg> <weights.spgw> [--samples N]
       Load trained weights and report accuracy on a fresh synthetic set.
   spgcnn tune <net.cfg> [--cores N] [--sparsity S] [--reps N] [--json]
@@ -89,6 +92,14 @@ usage:
       median-of-N with pinned iteration counts. With --json, write the
       spgcnn-bench-kernels document CI's bench gate diffs against the
       committed BENCH_kernels.json baseline.
+  spgcnn bench-hybrid [--json FILE] [--reps N] [--smoke]
+      Strong-scaling sweep at batch = 1 (the regime where sample
+      parallelism starves): time the sequential kernel against the
+      y-band / x-band / out-channel hybrid decompositions at 1/2/4/8
+      workers on the small-batch/large-image Table 2 layers, proving
+      every banded output bit-identical before trusting its timing.
+      With --json, write the spgcnn-bench-hybrid document (the committed
+      BENCH_hybrid.json baseline); --smoke sweeps one tiny layer instead.
   spgcnn serve-cluster <net.cfg>|--smoke [--shards N] [--workers N] [--requests N]
                [--transport uds|tcp|inproc] [--base-port P]
                [--inject-fault SHARD:AFTER_N] [--metrics-json FILE]
@@ -135,6 +146,7 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("bench-serve") => bench_serve(&args[1..]),
         Some("bench-kernels") => bench_kernels(&args[1..]),
+        Some("bench-hybrid") => bench_hybrid(&args[1..]),
         Some("serve-cluster") => serve_cluster(&args[1..]),
         Some("train-cluster") => train_cluster(&args[1..]),
         Some("bench-cluster") => bench_cluster(&args[1..]),
@@ -270,6 +282,7 @@ fn train(args: &[String]) -> Result<(), String> {
     let classes = flag(args, "--classes", 0usize)?;
     let samples = flag(args, "--samples", 64usize)?;
     let threads = flag(args, "--threads", 1usize)?.max(1);
+    let batch = flag(args, "--batch", TrainerConfig::default().batch_size)?.max(1);
     let metrics_path = opt_flag(args, "--metrics-json")?;
     let fault_plan = fault_flag(args)?;
     if metrics_path.is_some() {
@@ -292,6 +305,7 @@ fn train(args: &[String]) -> Result<(), String> {
         .workers(threads)
         .trainer(TrainerConfig {
             epochs,
+            batch_size: batch,
             sample_threads: threads,
             fault_plan,
             ..TrainerConfig::default()
@@ -809,6 +823,28 @@ fn bench_kernels(args: &[String]) -> Result<(), String> {
             specialized.iter().filter(|l| l.hot && l.speedup.is_some_and(|s| s >= 1.15)).count();
         println!("\nhot layers at >= 1.15x specialized speedup: {hot_wins}");
     }
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}
+
+fn bench_hybrid(args: &[String]) -> Result<(), String> {
+    let reps = flag(args, "--reps", spg_cnn::bench_hybrid::DEFAULT_REPS)?.max(1);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = opt_flag(args, "--json")?;
+    let report = spg_cnn::bench_hybrid::run(reps, smoke);
+    print!("{}", report.render_table());
+    if report.layers.iter().any(|l| !l.bit_identical) {
+        return Err("a banded output diverged from the sequential kernel".into());
+    }
+    println!(
+        "\nhybrid beats starved sample parallelism at {} workers on {}/{} layer(s)",
+        spg_cnn::bench_hybrid::WORKER_SWEEP[spg_cnn::bench_hybrid::WORKER_SWEEP.len() - 1],
+        report.hybrid_wins_at_top(),
+        report.layers.len()
+    );
     if let Some(path) = json_path {
         std::fs::write(&path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
         println!("report written to {path}");

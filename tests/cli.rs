@@ -165,6 +165,49 @@ fn train_survives_injected_fault() {
     assert!(stdout.contains("fault drill passed"), "stdout: {stdout}");
 }
 
+/// The batch = 1 strong-scaling sweep: the smoke layer must split on
+/// every dimension, stay bit-identical, and emit the bench-hybrid JSON
+/// document.
+#[test]
+fn bench_hybrid_smoke_sweeps_and_writes_json() {
+    let json = std::env::temp_dir().join("spgcnn_bench_hybrid_test.json");
+    let (stdout, stderr, ok) = spgcnn(&[
+        "bench-hybrid",
+        "--smoke",
+        "--reps",
+        "1",
+        "--json",
+        json.to_str().expect("utf-8 path"),
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("banded outputs bit-identical"), "stdout: {stdout}");
+    assert!(stdout.contains("y-band"), "stdout: {stdout}");
+    let text = std::fs::read_to_string(&json).expect("report written");
+    assert!(text.contains("\"schema\": \"spgcnn-bench-hybrid\""));
+    assert!(text.contains("\"bit_identical\": true"));
+}
+
+/// Training with more workers than samples per batch must clamp the pool
+/// instead of starving: batch = 1 on 8 threads still trains and reports.
+#[test]
+fn train_with_batch_below_threads_clamps_and_completes() {
+    let path = write_net("spgcnn_starved_train_test.cfg");
+    let (stdout, stderr, ok) = spgcnn(&[
+        "train",
+        path.to_str().expect("utf-8 path"),
+        "--epochs",
+        "2",
+        "--samples",
+        "12",
+        "--threads",
+        "8",
+        "--batch",
+        "1",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("epoch"));
+}
+
 #[test]
 fn tune_measures_all_techniques() {
     let path = write_net("spgcnn_tune_test.cfg");
