@@ -19,7 +19,6 @@
 //! `ShardFault`-class error and every other key's result is unchanged.
 
 use std::io::{Read, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -238,8 +237,8 @@ struct ShardSlot {
 pub struct Router {
     ring: Arc<Mutex<HashRing>>,
     slots: Vec<ShardSlot>,
-    evictions: Arc<AtomicU64>,
-    respawns: Arc<AtomicU64>,
+    evictions: Arc<spg_sync::ProgressCounter>,
+    respawns: Arc<spg_sync::ProgressCounter>,
 }
 
 impl Router {
@@ -260,8 +259,8 @@ impl Router {
         assert!(config.shards > 0, "router needs at least one shard");
         let ring =
             Arc::new(Mutex::new(HashRing::new(config.shards, config.vnodes, config.hash_seed)));
-        let evictions = Arc::new(AtomicU64::new(0));
-        let respawns = Arc::new(AtomicU64::new(0));
+        let evictions = Arc::new(spg_sync::ProgressCounter::new());
+        let respawns = Arc::new(spg_sync::ProgressCounter::new());
         let mut slots = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let backend = spawner.spawn(shard)?;
@@ -286,7 +285,7 @@ impl Router {
 
     /// Routes `key` on the ring.
     fn route(&self, key: &[u8]) -> Result<usize, ClusterError> {
-        self.ring.lock().expect("ring lock").route(key).ok_or(ClusterError::NoShards)
+        spg_sync::lock(&self.ring).route(key).ok_or(ClusterError::NoShards)
     }
 
     /// Non-blocking submission: the owning shard's full queue rejects
@@ -350,17 +349,32 @@ impl Router {
 
     /// Number of currently live (non-evicted) shards.
     pub fn live_shards(&self) -> usize {
-        self.ring.lock().expect("ring lock").live_count()
+        spg_sync::lock(&self.ring).live_count()
     }
 
     /// Total health-based shard evictions so far.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
+    }
+
+    /// Block until at least `n` evictions have been observed, or
+    /// `timeout` expires; `true` when the count was reached. Kill
+    /// drills wait on this instead of sleep-polling [`evictions`].
+    ///
+    /// [`evictions`]: Self::evictions
+    pub fn wait_evictions(&self, n: u64, timeout: Duration) -> bool {
+        self.evictions.wait_until_timeout(n, timeout)
+    }
+
+    /// Block until at least `n` successful respawns have been observed,
+    /// or `timeout` expires; `true` when the count was reached.
+    pub fn wait_respawns(&self, n: u64, timeout: Duration) -> bool {
+        self.respawns.wait_until_timeout(n, timeout)
     }
 
     /// Total successful shard respawns so far.
     pub fn respawns(&self) -> u64 {
-        self.respawns.load(Ordering::Relaxed)
+        self.respawns.get()
     }
 
     /// Graceful shutdown: closes every shard queue, drains queued
@@ -397,8 +411,8 @@ fn forward_loop(
     ring: &Mutex<HashRing>,
     spawner: &dyn ShardSpawner,
     config: &RouterConfig,
-    evictions: &AtomicU64,
-    respawns: &AtomicU64,
+    evictions: &spg_sync::ProgressCounter,
+    respawns: &spg_sync::ProgressCounter,
 ) {
     let mut restarts = 0usize;
     while let Some(req) = queue.pop() {
@@ -413,8 +427,8 @@ fn forward_loop(
                 // Evict first (so new submissions re-route), then fail
                 // exactly the in-flight request; queued requests wait
                 // for the respawned backend.
-                ring.lock().expect("ring lock").evict(shard);
-                evictions.fetch_add(1, Ordering::Relaxed);
+                spg_sync::lock(ring).evict(shard);
+                evictions.bump();
                 spg_telemetry::record_counter("cluster.router.evictions", 1);
                 let _ = req.reply.send(Err(e));
                 loop {
@@ -434,8 +448,8 @@ fn forward_loop(
                     std::thread::sleep(spg_sync::backoff_delay(config.restart_backoff, restarts));
                     if let Ok(fresh) = spawner.spawn(shard) {
                         backend = fresh;
-                        ring.lock().expect("ring lock").insert(shard);
-                        respawns.fetch_add(1, Ordering::Relaxed);
+                        spg_sync::lock(ring).insert(shard);
+                        respawns.bump();
                         spg_telemetry::record_counter("cluster.router.respawns", 1);
                         break;
                     }
@@ -448,7 +462,7 @@ fn forward_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// A scripted backend: answers with its shard id as the class, dies
     /// on request `die_on` (once per incarnation).
@@ -542,10 +556,10 @@ mod tests {
                     faults += 1;
                     // Let the respawn land before submitting the next
                     // key, so it routes back to the revived shard 0.
-                    let deadline = Instant::now() + Duration::from_secs(5);
-                    while router.live_shards() < 2 && Instant::now() < deadline {
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
+                    assert!(
+                        router.wait_respawns(1, Duration::from_secs(5)),
+                        "respawn after eviction"
+                    );
                 }
                 Err(other) => panic!("unexpected error {other:?}"),
             }
@@ -577,20 +591,15 @@ mod tests {
             .map(|i| format!("key-{i}"))
             .find(|k| ring.route(k.as_bytes()) == Some(0))
             .unwrap();
-        let wait_for_live = |want: usize| {
-            let deadline = Instant::now() + Duration::from_secs(5);
-            while router.live_shards() != want && Instant::now() < deadline {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            assert_eq!(router.live_shards(), want);
-        };
         // First request dies, evicting shard 0; one respawn remains.
         let _ = router.try_submit(key0.as_bytes(), vec![1.0]).unwrap().wait();
-        wait_for_live(2);
+        assert!(router.wait_respawns(1, Duration::from_secs(5)));
+        assert_eq!(router.live_shards(), 2);
         // The respawned backend dies again, spending the budget: shard 0
         // retires for good.
         let _ = router.try_submit(key0.as_bytes(), vec![1.0]).unwrap().wait();
-        wait_for_live(1);
+        assert!(router.wait_evictions(2, Duration::from_secs(5)));
+        assert_eq!(router.live_shards(), 1);
         // Shard 0's keys re-route to the survivor; other shards serve on.
         let reply = router.try_submit(key0.as_bytes(), vec![1.0]).unwrap().wait().unwrap();
         assert_eq!(reply.shard, 1, "evicted shard's keys moved to the survivor");

@@ -1,0 +1,222 @@
+//! Chain-in-ring all-reduce under a mid-reduce rank fault: recovery
+//! must always replay from the most-committed `RankState`.
+//!
+//! Distills `spg-cluster`'s data-parallel loop: W ranks hold a scalar
+//! weight each (kept bit-identical across ranks), gradients flow down
+//! a chain (`rank 0 → 1 → … → W-1`) so the f32 fold order is fixed,
+//! the last rank broadcasts the total back, and each rank *commits*
+//! (weight update + `committed` bump) only when it holds the full
+//! reduction — the commit-at-batch-boundary rule. The last rank
+//! commits before its broadcast sends, so a fault there leaves the
+//! world with *staggered* commit counts; the survivors detect the
+//! dead rank via channel disconnection, ship their `RankState` to the
+//! coordinator, and recovery must pick the **most-committed** state —
+//! over every interleaving of state arrival. The `ReplayFromStale`
+//! mutation takes the first state to arrive instead, which is only
+//! right on lucky schedules.
+
+use crate::sync::{channel, Sender};
+use crate::{explore, invariant, thread, Config, RaceError, Report};
+
+/// Seeded bug classes for the ring scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Recovery replays from whichever `RankState` reached the
+    /// coordinator first, instead of the most-committed one.
+    ReplayFromStale,
+}
+
+const WORLD: usize = 3;
+const BATCHES: u64 = 2;
+/// The batch whose all-reduce the last rank dies in.
+const FAULT_BATCH: u64 = 1;
+
+#[derive(Clone, Copy, Debug)]
+struct RankState {
+    rank: usize,
+    committed: u64,
+    weight: f32,
+}
+
+/// Association-sensitive per-rank gradients, distinct per batch.
+fn grad(rank: usize, batch: u64) -> f32 {
+    match (rank + usize::try_from(batch).unwrap_or(0)) % 3 {
+        0 => 1.0e8,
+        1 => 1.0,
+        _ => -1.0e8,
+    }
+}
+
+/// The chain fold for one batch: fixed order regardless of schedule.
+fn reduced(batch: u64) -> f32 {
+    let mut acc = 0.0f32;
+    for r in 0..WORLD {
+        acc += grad(r, batch);
+    }
+    acc
+}
+
+/// Weight after applying batches `0..n` to the initial weight.
+fn reference_weight(n: u64) -> f32 {
+    let mut w = 0.0f32;
+    for b in 0..n {
+        w -= reduced(b);
+    }
+    w
+}
+
+/// Runs the ring with a fault on the last rank mid-broadcast of batch
+/// `FAULT_BATCH`, then recovers. Invariants, on every interleaving:
+/// recovery selects the maximum committed count in the world, and the
+/// post-recovery weight is bit-identical to the fault-free reference.
+pub fn fault_replay(mutation: Option<Mutation>) -> Result<Report, RaceError> {
+    let name = match mutation {
+        None => "ring.fault_replay[most-committed]",
+        Some(Mutation::ReplayFromStale) => "ring.fault_replay[first-arrived]",
+    };
+    let cfg = Config::new(name);
+    let first_arrived = mutation == Some(Mutation::ReplayFromStale);
+    explore(&cfg, move || {
+        // chain[r]: rank r-1's partial sums flowing to rank r.
+        // bcast[r]: the full reduction flowing from the last rank to r.
+        let mut chain_tx: Vec<Option<Sender<f32>>> = Vec::new();
+        let mut chain_rx = Vec::new();
+        let mut bcast_tx: Vec<Option<Sender<f32>>> = Vec::new();
+        let mut bcast_rx = Vec::new();
+        for _ in 0..WORLD {
+            let (tx, rx) = channel::<f32>();
+            chain_tx.push(Some(tx));
+            chain_rx.push(Some(rx));
+            let (tx, rx) = channel::<f32>();
+            bcast_tx.push(Some(tx));
+            bcast_rx.push(Some(rx));
+        }
+        let (state_tx, state_rx) = channel::<RankState>();
+
+        let mut ranks = Vec::new();
+        for r in 0..WORLD {
+            let my_chain_rx = if r == 0 { None } else { chain_rx[r].take() };
+            let next_chain_tx = if r + 1 < WORLD { chain_tx[r + 1].take() } else { None };
+            let my_bcast_rx = if r + 1 < WORLD { bcast_rx[r].take() } else { None };
+            let all_bcast_tx: Vec<Sender<f32>> = if r + 1 == WORLD {
+                (0..WORLD - 1).map(|t| bcast_tx[t].take().expect("bcast sender")).collect()
+            } else {
+                Vec::new()
+            };
+            let state_tx = state_tx.clone();
+            ranks.push(thread::spawn_named(format!("rank-{r}"), move || {
+                let mut st = RankState { rank: r, committed: 0, weight: 0.0 };
+                for batch in 0..BATCHES {
+                    // Reduce leg: fold own grad onto the incoming
+                    // partial, in chain order.
+                    let incoming = match &my_chain_rx {
+                        None => 0.0,
+                        Some(rx) => match rx.recv() {
+                            Ok(v) => v,
+                            // Upstream died: abort without committing.
+                            Err(_) => break,
+                        },
+                    };
+                    let partial = incoming + grad(r, batch);
+                    if let Some(tx) = &next_chain_tx {
+                        if tx.send(partial).is_err() {
+                            break; // downstream died
+                        }
+                    }
+                    // Broadcast leg + commit point.
+                    if r + 1 == WORLD {
+                        // Last rank holds the full reduction: commit
+                        // first, then broadcast — and die mid-batch
+                        // before broadcasting on the fault batch.
+                        st.weight -= partial;
+                        st.committed = batch + 1;
+                        if batch == FAULT_BATCH {
+                            break; // fault: broadcast never sent
+                        }
+                        for tx in &all_bcast_tx {
+                            let _ = tx.send(partial);
+                        }
+                    } else {
+                        match my_bcast_rx.as_ref().expect("non-last rank has bcast").recv() {
+                            Ok(total) => {
+                                st.weight -= total;
+                                st.committed = batch + 1;
+                            }
+                            Err(_) => break, // broadcaster died mid-batch
+                        }
+                    }
+                }
+                // Fault path or completion: hang up the ring first
+                // (this is what lets survivors detect the fault), then
+                // ship state to the coordinator — so survivor reports
+                // and the faulted rank's report race, and recovery must
+                // be right for every arrival order.
+                drop(my_chain_rx);
+                drop(next_chain_tx);
+                drop(my_bcast_rx);
+                drop(all_bcast_tx);
+                let _ = state_tx.send(st);
+            }));
+        }
+        drop(state_tx);
+        drop(chain_tx);
+        drop(bcast_tx);
+
+        // Coordinator: collect every rank's state (arrival order is
+        // schedule-dependent), pick the replay point, resume.
+        let mut states = Vec::new();
+        for _ in 0..WORLD {
+            states.push(state_rx.recv().expect("every rank reports a state"));
+        }
+        for h in ranks {
+            h.join();
+        }
+        let best = if first_arrived {
+            // Mutation: "the first report is as good as any".
+            states[0]
+        } else {
+            // Production rule: most-committed wins; rank breaks ties
+            // deterministically.
+            *states
+                .iter()
+                .max_by_key(|s| (s.committed, std::cmp::Reverse(s.rank)))
+                .expect("non-empty world")
+        };
+        let max_committed = states.iter().map(|s| s.committed).max().expect("non-empty");
+        invariant(best.committed == max_committed, "ring.replay-most-committed", || {
+            format!(
+                "recovery chose rank {} at {} committed batches; world max is {} (states {states:?})",
+                best.rank, best.committed, max_committed
+            )
+        });
+        invariant(
+            best.weight.to_bits() == reference_weight(best.committed).to_bits(),
+            "ring.committed-state-bit-identical",
+            || {
+                format!(
+                    "rank {}'s weight {:?} diverges from the reference {:?} at {} committed",
+                    best.rank,
+                    best.weight,
+                    reference_weight(best.committed),
+                    best.committed
+                )
+            },
+        );
+        // Resume single-threaded from the chosen state: the world is
+        // overwritten with `best`, remaining batches replay in order.
+        let mut weight = best.weight;
+        for b in best.committed..BATCHES {
+            weight -= reduced(b);
+        }
+        invariant(
+            weight.to_bits() == reference_weight(BATCHES).to_bits(),
+            "ring.recovered-weight-bit-identical",
+            || {
+                format!(
+                    "post-recovery weight {weight:?} != fault-free reference {:?}",
+                    reference_weight(BATCHES)
+                )
+            },
+        );
+    })
+}

@@ -1,0 +1,129 @@
+//! Cluster router supervision: a fatal shard error is evicted and
+//! respawned exactly once, and routing resumes.
+//!
+//! Distills `spg-cluster`'s `Router::forward_loop`: shard liveness
+//! lives in a ring behind one lock, two forwarder threads race to
+//! observe the same shard failure, and the first to match its failed
+//! request's shard *generation* under the lock evicts and respawns;
+//! the loser's report is stale (the fault was already supervised) so
+//! it waits for the respawn and retries instead of evicting again.
+//! Proved on every interleaving: exactly one eviction and one respawn
+//! per fault, the ring ends fully live, and no forwarder wedges. The
+//! `DoubleEvict` mutation drops the generation check, reintroducing
+//! the double-supervision bug class — including the nasty variant
+//! where a stale report evicts a shard that was already respawned
+//! healthy.
+
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+use crate::{explore, invariant, thread, Config, RaceError, Report};
+
+/// Seeded bug classes for the router scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Forwarders evict without checking the shard is still in the
+    /// ring, so one failure can be evicted (and respawned) twice.
+    DoubleEvict,
+}
+
+const SHARDS: usize = 2;
+
+struct RingState {
+    live: [bool; SHARDS],
+    /// Bumped on every eviction: a fatal report is only actionable if
+    /// the shard generation still matches the one the request was sent
+    /// to, otherwise the fault was already supervised (possibly the
+    /// shard is respawned and live again) and the report is stale.
+    generation: u32,
+    evictions: u32,
+    respawns: u32,
+}
+
+struct Ring {
+    state: Mutex<RingState>,
+    changed: Condvar,
+}
+
+/// Two forwarders both route to shard 0, which reports a fatal error
+/// to each of them. First observer evicts + respawns; the other waits
+/// for liveness to return, then retries successfully.
+pub fn evict_respawn(mutation: Option<Mutation>) -> Result<Report, RaceError> {
+    let name = match mutation {
+        None => "router.evict_respawn",
+        Some(Mutation::DoubleEvict) => "router.evict_respawn[double-evict]",
+    };
+    let cfg = Config::new(name).spurious(1);
+    let double_evict = mutation == Some(Mutation::DoubleEvict);
+    explore(&cfg, move || {
+        let ring = Arc::new(Ring {
+            state: Mutex::new(RingState {
+                live: [true; SHARDS],
+                generation: 0,
+                evictions: 0,
+                respawns: 0,
+            }),
+            changed: Condvar::new(),
+        });
+        let forwarders: Vec<_> = (0..2)
+            .map(|f| {
+                let ring = Arc::clone(&ring);
+                thread::spawn_named(format!("forwarder-{f}"), move || {
+                    // Both forwarders' in-flight request to shard 0,
+                    // sent at generation 0, comes back Fatal (the
+                    // shard died once).
+                    let observed_gen = 0;
+                    let mut st = ring.state.lock();
+                    let evict_now = if double_evict {
+                        // Mutation: no generation test-and-set — a
+                        // stale fatal report evicts a healthy respawn.
+                        true
+                    } else {
+                        // Production shape: only the observer whose
+                        // failed request targeted the *current*
+                        // generation evicts; a stale report means the
+                        // fault was already supervised.
+                        st.generation == observed_gen
+                    };
+                    if evict_now {
+                        st.live[0] = false;
+                        st.generation += 1;
+                        st.evictions += 1;
+                        invariant(st.evictions <= 1, "router.single-eviction", || {
+                            format!("shard 0 evicted {} times for one fault", st.evictions)
+                        });
+                        // The ring lock is *not* held across the spawn
+                        // (in production this forks a process); the
+                        // evicted-but-not-yet-respawned window is where
+                        // the second observer must not re-evict.
+                        drop(st);
+                        let mut st = ring.state.lock();
+                        st.respawns += 1;
+                        invariant(st.respawns <= 1, "router.single-respawn", || {
+                            format!("shard 0 respawned {} times for one fault", st.respawns)
+                        });
+                        st.live[0] = true;
+                        drop(st);
+                        ring.changed.notify_all();
+                    } else {
+                        // Loser: wait out the respawn, then retry.
+                        while !st.live[0] {
+                            st = ring.changed.wait(st);
+                        }
+                        drop(st);
+                    }
+                })
+            })
+            .collect();
+        for h in forwarders {
+            h.join();
+        }
+        let st = ring.state.lock();
+        invariant(st.live.iter().all(|&l| l), "router.ring-fully-live-after-respawn", || {
+            format!("live = {:?} after supervision settled", st.live)
+        });
+        invariant(st.evictions == 1 && st.respawns == 1, "router.respawn-exactly-once", || {
+            format!("{} evictions / {} respawns for one fault", st.evictions, st.respawns)
+        });
+    })
+}

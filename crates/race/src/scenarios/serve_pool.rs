@@ -1,0 +1,146 @@
+//! Serve-pool supervision: a faulted worker's slot is respawned by
+//! exactly one supervisor.
+//!
+//! Distills `spg-serve`'s `supervise_worker` to its synchronization
+//! skeleton: worker slots are claimed/released under one lock, a fault
+//! is announced on a condvar, and *two* supervision threads (the
+//! per-slot supervisor plus a pool watchdog — the shape the production
+//! code would grow into) race to observe it. The single-claim
+//! invariant — a slot is never claimed twice concurrently, so a
+//! respawn never double-spawns a worker — must hold on every
+//! interleaving. The `DoubleClaim` mutation removes the
+//! take-under-lock step that makes observation exclusive, which the
+//! checker must catch.
+
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+use crate::{explore, invariant, thread, Config, RaceError, Report};
+
+/// Seeded bug classes for the supervision scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Supervisors observe the fault without taking it under the lock,
+    /// so two of them can both decide to respawn the same slot.
+    DoubleClaim,
+}
+
+const SLOTS: usize = 2;
+
+struct PoolState {
+    claimed: [bool; SLOTS],
+    /// A faulted slot awaiting respawn, set by the dying worker.
+    fault_pending: Option<usize>,
+    /// Set once a supervisor has taken responsibility for the fault.
+    handled: bool,
+    respawns: u32,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    fault_cv: Condvar,
+}
+
+impl Pool {
+    fn claim(&self, slot: usize, who: &str) {
+        let mut st = self.state.lock();
+        invariant(!st.claimed[slot], "serve.single-claim-respawn", || {
+            format!("{who} claimed slot {slot} while it was already claimed")
+        });
+        st.claimed[slot] = true;
+    }
+
+    fn release(&self, slot: usize) {
+        let mut st = self.state.lock();
+        invariant(st.claimed[slot], "serve.release-owned-slot", || {
+            format!("slot {slot} released while unclaimed")
+        });
+        st.claimed[slot] = false;
+    }
+}
+
+/// One worker faults; the supervisor and the watchdog race to respawn
+/// it. Clean: the fault is *taken* (`Option::take`) under the lock, so
+/// exactly one supervisor respawns and the other parks back until
+/// `handled`. Mutated: both read the fault and both respawn.
+pub fn supervised_respawn(mutation: Option<Mutation>) -> Result<Report, RaceError> {
+    let name = match mutation {
+        None => "serve.supervised_respawn",
+        Some(Mutation::DoubleClaim) => "serve.supervised_respawn[double-claim]",
+    };
+    let cfg = Config::new(name).spurious(1);
+    let double_claim = mutation == Some(Mutation::DoubleClaim);
+    explore(&cfg, move || {
+        let pool = Arc::new(Pool {
+            state: Mutex::new(PoolState {
+                claimed: [false; SLOTS],
+                fault_pending: None,
+                handled: false,
+                respawns: 0,
+            }),
+            fault_cv: Condvar::new(),
+        });
+
+        // Generation-0 worker in slot 0: runs, faults, announces.
+        pool.claim(0, "spawner");
+        let worker = {
+            let pool = Arc::clone(&pool);
+            thread::spawn_named("worker-0.gen0", move || {
+                pool.release(0);
+                let mut st = pool.state.lock();
+                st.fault_pending = Some(0);
+                drop(st);
+                pool.fault_cv.notify_all();
+            })
+        };
+
+        // A healthy worker occupies slot 1 for the whole run: respawn
+        // must target the faulted slot, never a busy one.
+        pool.claim(1, "spawner");
+
+        let supervisors: Vec<_> = ["supervisor", "watchdog"]
+            .into_iter()
+            .map(|role| {
+                let pool = Arc::clone(&pool);
+                thread::spawn_named(role, move || {
+                    let mut st = pool.state.lock();
+                    loop {
+                        let slot = if double_claim {
+                            // Mutation: observe without taking — both
+                            // supervisors can see the same fault.
+                            st.fault_pending
+                        } else {
+                            st.fault_pending.take()
+                        };
+                        if let Some(slot) = slot {
+                            st.handled = true;
+                            drop(st);
+                            pool.fault_cv.notify_all();
+                            // Respawn: re-claim the slot for gen 1.
+                            pool.claim(slot, role);
+                            let mut st = pool.state.lock();
+                            st.respawns += 1;
+                            drop(st);
+                            pool.release(slot);
+                            return true;
+                        }
+                        if st.handled {
+                            return false;
+                        }
+                        st = pool.fault_cv.wait(st);
+                    }
+                })
+            })
+            .collect();
+
+        worker.join();
+        let outcomes: Vec<bool> = supervisors.into_iter().map(thread::JoinHandle::join).collect();
+        let st = pool.state.lock();
+        invariant(st.respawns == 1, "serve.respawn-exactly-once", || {
+            format!("{} respawns for one fault (outcomes {outcomes:?})", st.respawns)
+        });
+        invariant(!st.claimed[0] && st.claimed[1], "serve.slots-consistent-after-respawn", || {
+            format!("claimed = {:?} after supervision settled", st.claimed)
+        });
+    })
+}

@@ -55,6 +55,7 @@
 
 pub mod queue;
 mod server;
+pub(crate) mod sync_prims;
 
 pub use queue::{BoundedQueue, PushError};
 pub use server::{PendingResponse, Response, ServeConfig, ServeError, Server};

@@ -6,17 +6,25 @@
 //! work, which is what turns overload into fast, typed feedback rather
 //! than silently growing latency.
 //!
-//! All lock acquisition goes through [`spg_sync`]'s poison-recovering
+//! All lock acquisition goes through `spg-sync`'s poison-recovering
 //! helpers: a worker that panics mid-batch (the supervisor catches it at
 //! the batch boundary) must not take the queue — and with it every other
 //! worker and submitter — down via `Mutex` poisoning. Queue state is
 //! updated atomically under the guard (a `VecDeque` push/pop either
 //! happened or it didn't), so a recovered guard always sees a consistent
 //! queue.
+//!
+//! This file is compiled twice: here against std + `spg-sync`, and via
+//! `#[path]` inclusion inside `spg-race` against that crate's model
+//! primitives, which is how the model checker explores every schedule
+//! of the *production* queue source. All synchronization imports must
+//! therefore go through `crate::sync_prims` (which resolves per
+//! including crate), and unit tests live in `tests/queue.rs` rather
+//! than an in-file module.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+
+use crate::sync_prims::{lock, wait, wait_timeout, Condvar, Instant, Mutex};
 
 /// Outcome of a non-blocking or deadline-bounded push.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,12 +76,12 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        spg_sync::lock(&self.state).items.len()
+        lock(&self.state).items.len()
     }
 
     /// Whether the queue is currently empty (single lock acquisition).
     pub fn is_empty(&self) -> bool {
-        spg_sync::lock(&self.state).items.is_empty()
+        lock(&self.state).items.is_empty()
     }
 
     /// Non-blocking push: errors immediately when full or closed.
@@ -83,7 +91,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`close`](Self::close).
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut state = spg_sync::lock(&self.state);
+        let mut state = lock(&self.state);
         if state.closed {
             return Err(PushError::Closed);
         }
@@ -103,7 +111,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::TimedOut`] when the deadline passes while the queue
     /// is still full, [`PushError::Closed`] if it closes while waiting.
     pub fn push_deadline(&self, item: T, deadline: Instant) -> Result<(), PushError> {
-        let mut state = spg_sync::lock(&self.state);
+        let mut state = lock(&self.state);
         loop {
             if state.closed {
                 return Err(PushError::Closed);
@@ -119,7 +127,7 @@ impl<T> BoundedQueue<T> {
             else {
                 return Err(PushError::TimedOut);
             };
-            let (guard, timed_out) = spg_sync::wait_timeout(&self.not_full, state, remaining);
+            let (guard, timed_out) = wait_timeout(&self.not_full, state, remaining);
             state = guard;
             if timed_out && state.items.len() >= self.capacity {
                 return Err(PushError::TimedOut);
@@ -130,7 +138,7 @@ impl<T> BoundedQueue<T> {
     /// Blocking pop. Returns `None` only once the queue is closed *and*
     /// drained — in-flight work is always completed before shutdown.
     pub fn pop(&self) -> Option<T> {
-        let mut state = spg_sync::lock(&self.state);
+        let mut state = lock(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -140,13 +148,13 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = spg_sync::wait(&self.not_empty, state);
+            state = wait(&self.not_empty, state);
         }
     }
 
     /// Non-blocking pop of one item, if any is immediately available.
     pub fn try_pop(&self) -> Option<T> {
-        let mut state = spg_sync::lock(&self.state);
+        let mut state = lock(&self.state);
         let item = state.items.pop_front();
         if item.is_some() {
             drop(state);
@@ -158,7 +166,7 @@ impl<T> BoundedQueue<T> {
     /// Pops one item, waiting at most until `deadline`. Returns `None` on
     /// deadline expiry or on closed-and-drained.
     pub fn pop_deadline(&self, deadline: Instant) -> Option<T> {
-        let mut state = spg_sync::lock(&self.state);
+        let mut state = lock(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -170,7 +178,7 @@ impl<T> BoundedQueue<T> {
             }
             let now = Instant::now();
             let remaining = deadline.checked_duration_since(now).filter(|d| !d.is_zero())?;
-            let (guard, _) = spg_sync::wait_timeout(&self.not_empty, state, remaining);
+            let (guard, _) = wait_timeout(&self.not_empty, state, remaining);
             state = guard;
         }
     }
@@ -178,104 +186,13 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: new pushes fail, pops drain what remains and
     /// then return `None`.
     pub fn close(&self) {
-        spg_sync::lock(&self.state).closed = true;
+        lock(&self.state).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     /// Whether [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
-        spg_sync::lock(&self.state).closed
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::Arc;
-    use std::time::Duration;
-
-    #[test]
-    fn fifo_order_preserved() {
-        let q = BoundedQueue::new(4);
-        q.try_push(1).unwrap();
-        q.try_push(2).unwrap();
-        q.try_push(3).unwrap();
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.try_pop(), Some(3));
-        assert!(q.try_pop().is_none());
-    }
-
-    #[test]
-    fn full_queue_rejects_not_blocks() {
-        let q = BoundedQueue::new(2);
-        q.try_push(1).unwrap();
-        q.try_push(2).unwrap();
-        assert_eq!(q.try_push(3), Err(PushError::Full));
-        let start = Instant::now();
-        let deadline = start + Duration::from_millis(20);
-        assert_eq!(q.push_deadline(3, deadline), Err(PushError::TimedOut));
-        assert!(start.elapsed() >= Duration::from_millis(20));
-        assert!(start.elapsed() < Duration::from_secs(5), "push must not block indefinitely");
-    }
-
-    #[test]
-    fn closed_queue_drains_then_ends() {
-        let q = BoundedQueue::new(4);
-        q.try_push(7).unwrap();
-        q.close();
-        assert_eq!(q.try_push(8), Err(PushError::Closed));
-        assert_eq!(q.pop(), Some(7)); // in-flight item still served
-        assert_eq!(q.pop(), None);
-    }
-
-    #[test]
-    fn pop_deadline_times_out_when_empty() {
-        let q: BoundedQueue<u32> = BoundedQueue::new(1);
-        assert_eq!(q.pop_deadline(Instant::now() + Duration::from_millis(10)), None);
-    }
-
-    #[test]
-    fn concurrent_producers_and_consumers_deliver_everything() {
-        let q = Arc::new(BoundedQueue::new(8));
-        let producers: Vec<_> = (0..4)
-            .map(|p| {
-                let q = Arc::clone(&q);
-                std::thread::spawn(move || {
-                    for i in 0..50 {
-                        let item = p * 1000 + i;
-                        loop {
-                            if q.push_deadline(item, Instant::now() + Duration::from_secs(5))
-                                .is_ok()
-                            {
-                                break;
-                            }
-                        }
-                    }
-                })
-            })
-            .collect();
-        let consumers: Vec<_> = (0..2)
-            .map(|_| {
-                let q = Arc::clone(&q);
-                std::thread::spawn(move || {
-                    let mut got = Vec::new();
-                    while let Some(item) = q.pop() {
-                        got.push(item);
-                    }
-                    got
-                })
-            })
-            .collect();
-        for p in producers {
-            p.join().unwrap();
-        }
-        q.close();
-        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
-        all.sort_unstable();
-        assert_eq!(all.len(), 200);
-        all.dedup();
-        assert_eq!(all.len(), 200, "no item delivered twice");
+        lock(&self.state).closed
     }
 }

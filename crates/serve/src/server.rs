@@ -185,7 +185,7 @@ impl PendingResponse {
 /// Shared restart/fault counters for one server's worker pool.
 #[derive(Debug, Default)]
 struct PoolStats {
-    restarts: AtomicU64,
+    restarts: spg_sync::ProgressCounter,
     faulted_batches: AtomicU64,
 }
 
@@ -322,7 +322,15 @@ impl Server {
 
     /// How many worker respawns the supervisor has performed so far.
     pub fn restarts(&self) -> u64 {
-        self.stats.restarts.load(Ordering::Relaxed)
+        self.stats.restarts.get()
+    }
+
+    /// Block until the supervisor has performed at least `n` respawns,
+    /// or `timeout` expires; `true` when the count was reached. The
+    /// event-based alternative to sleep-polling in fault drills: a
+    /// drill submits, waits for the respawn it induced, then asserts.
+    pub fn wait_restarts(&self, n: u64, timeout: Duration) -> bool {
+        self.stats.restarts.wait_until_timeout(n, timeout)
     }
 
     /// How many micro-batches have failed with a worker panic so far.
@@ -454,7 +462,7 @@ fn supervise_worker(
                     return;
                 }
                 restarts_used += 1;
-                stats.restarts.fetch_add(1, Ordering::Relaxed);
+                stats.restarts.bump();
                 spg_telemetry::record_counter("serve.worker_restarts", 1);
                 let backoff = spg_sync::backoff_delay(config.restart_backoff, restarts_used);
                 if !backoff.is_zero() {

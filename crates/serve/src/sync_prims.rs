@@ -1,0 +1,17 @@
+//! Primitive indirection for sources shared with the `spg-race` model
+//! checker.
+//!
+//! `queue.rs` is compiled twice: in this crate against the real
+//! primitives below, and inside `spg-race` (via `#[path]` inclusion)
+//! against that crate's deterministic model types. Because an included
+//! file's `crate::` resolves to the *including* crate, routing every
+//! synchronization import through `crate::sync_prims` is what lets the
+//! identical production source run under the model scheduler.
+//!
+//! Keep this module a pure re-export list: any helper logic added here
+//! would run only in production and not under the model, silently
+//! weakening the proofs.
+
+pub(crate) use spg_sync::{lock, wait, wait_timeout};
+pub(crate) use std::sync::{Condvar, Mutex};
+pub(crate) use std::time::Instant;

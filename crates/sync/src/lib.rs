@@ -84,9 +84,86 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Supervisor backoff schedule: `base * 2^(n-1)` before the `n`-th
 /// restart of the same worker, capped at one second.
+///
+/// Saturates instead of overflowing at every stage: the exponent is
+/// clamped (a restart count in the billions shifts by at most 10), the
+/// multiply is saturating, and the cap bounds the result — so extreme
+/// `base` or `restart` values degrade to the one-second cap, never to a
+/// panic or a wrapped-around near-zero delay.
 pub fn backoff_delay(base: Duration, restart: usize) -> Duration {
     let factor = 1u32 << restart.saturating_sub(1).min(10);
     base.saturating_mul(factor).min(Duration::from_secs(1))
+}
+
+/// A monotone event counter that threads can park on: the supervision
+/// paths `bump()` it when an externally observable event happens (a
+/// worker restart, a shard eviction), and tests `wait_until(n)` instead
+/// of sleep-polling — turning "sleep 200ms and hope the respawn
+/// happened" into "block until the nth respawn is observed", which is
+/// both faster and immune to slow-CI flakiness.
+///
+/// The wait sits in a predicate loop (spurious wakeups re-check), and
+/// all lock traffic goes through the poison-recovering helpers: a
+/// panicking bumper cannot wedge the waiters.
+#[derive(Debug, Default)]
+pub struct ProgressCounter {
+    count: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl ProgressCounter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        ProgressCounter::default()
+    }
+
+    /// Increment and wake every waiter. Returns the new value.
+    pub fn bump(&self) -> u64 {
+        let mut count = lock(&self.count);
+        *count += 1;
+        let now = *count;
+        drop(count);
+        self.changed.notify_all();
+        now
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        *lock(&self.count)
+    }
+
+    /// Block until the counter reaches at least `target`.
+    pub fn wait_until(&self, target: u64) -> u64 {
+        let mut count = lock(&self.count);
+        while *count < target {
+            count = wait(&self.changed, count);
+        }
+        *count
+    }
+
+    /// Block until the counter reaches `target` or `dur` elapses.
+    /// Returns `true` when the target was reached. The deadline is
+    /// computed up front so spurious wakeups cannot extend it.
+    pub fn wait_until_timeout(&self, target: u64, dur: Duration) -> bool {
+        let Some(deadline) = std::time::Instant::now().checked_add(dur) else {
+            // A duration too large to represent as a deadline is an
+            // infinite timeout, not an overflow panic.
+            self.wait_until(target);
+            return true;
+        };
+        let mut count = lock(&self.count);
+        while *count < target {
+            let Some(left) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return false;
+            };
+            let (guard, timed_out) = wait_timeout(&self.changed, count, left);
+            count = guard;
+            if timed_out && *count < target {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 /// Sentinel for [`FaultPlan::worker`]: the fault fires on whichever worker
@@ -281,6 +358,101 @@ mod tests {
         assert_eq!(backoff_delay(base, 3), Duration::from_millis(20));
         assert_eq!(backoff_delay(Duration::from_millis(400), 9), Duration::from_secs(1));
         assert_eq!(backoff_delay(Duration::ZERO, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_saturates_at_extremes() {
+        // Regression: each of these once risked a shift/mul overflow.
+        // The schedule must clamp, never panic or wrap to near-zero.
+        let base = Duration::from_millis(5);
+        assert_eq!(backoff_delay(base, usize::MAX), Duration::from_secs(1));
+        assert_eq!(backoff_delay(Duration::MAX, 1), Duration::from_secs(1));
+        assert_eq!(backoff_delay(Duration::MAX, usize::MAX), Duration::from_secs(1));
+        assert_eq!(backoff_delay(Duration::from_nanos(1), 64), Duration::from_nanos(1024));
+        assert_eq!(backoff_delay(Duration::ZERO, usize::MAX), Duration::ZERO);
+    }
+
+    #[test]
+    fn progress_counter_bumps_and_waits() {
+        let counter = Arc::new(ProgressCounter::new());
+        assert_eq!(counter.get(), 0);
+        let waiter = {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || counter.wait_until(3))
+        };
+        for expect in 1..=3 {
+            assert_eq!(counter.bump(), expect);
+        }
+        assert!(waiter.join().unwrap() >= 3);
+        assert!(counter.wait_until_timeout(3, Duration::ZERO), "already reached");
+        assert!(!counter.wait_until_timeout(4, Duration::from_millis(5)), "4 never happens");
+        assert!(counter.wait_until_timeout(1, Duration::MAX), "unrepresentable deadline waits");
+    }
+
+    #[test]
+    fn progress_counter_survives_a_panicking_bumper() {
+        let counter = Arc::new(ProgressCounter::new());
+        let bumper = Arc::clone(&counter);
+        let _ = std::thread::spawn(move || {
+            bumper.bump();
+            panic!("die after bumping");
+        })
+        .join();
+        // The panicking thread held the lock only inside bump(); the
+        // counter stays usable and the count it published stays visible.
+        assert_eq!(counter.get(), 1);
+        assert_eq!(counter.bump(), 2);
+        assert_eq!(counter.wait_until(2), 2);
+    }
+
+    /// Many threads repeatedly panic *while holding* the helpers' locks;
+    /// the poison-recovering helpers must keep every surviving thread
+    /// making progress and the protected data consistent. This is the
+    /// stress-level complement to the single-poisoner unit tests.
+    #[test]
+    fn helpers_survive_concurrent_panics() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 25;
+        let mutex = Arc::new(Mutex::new(0u64));
+        let rw = Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let mutex = Arc::clone(&mutex);
+                let rw = Arc::clone(&rw);
+                std::thread::spawn(move || {
+                    for round in 0..ROUNDS {
+                        // Half the acquisitions panic under the guard,
+                        // poisoning the locks for everyone else.
+                        let poison = (t + round) % 2 == 0;
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let mut guard = lock(&mutex);
+                            *guard += 1;
+                            if poison {
+                                panic!("poison the mutex");
+                            }
+                        }));
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let mut guard = write(&rw);
+                            *guard += 1;
+                            if poison {
+                                panic!("poison the rwlock");
+                            }
+                        }));
+                        // Readers interleave with the poisoners.
+                        let _ = *lock(&mutex);
+                        let _ = *read(&rw);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker threads themselves never die");
+        }
+        // Every increment ran under a recovered guard exactly once:
+        // the panics happened *after* the +1, so totals are exact.
+        assert_eq!(*lock(&mutex), (THREADS * ROUNDS) as u64);
+        assert_eq!(*read(&rw), (THREADS * ROUNDS) as u64);
     }
 
     #[test]

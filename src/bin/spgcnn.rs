@@ -124,6 +124,14 @@ usage:
       the ring and binomial-tree all-reduce on loopback and 10 GbE
       fabrics; with --json, write the spgcnn-bench-cluster document
       (the committed BENCH_cluster.json scaling baseline).
+  spgcnn race [--smoke]
+      Run the spg-race deterministic-interleaving model checker over the
+      concurrency proof scenarios (bounded queue, lock order, serve
+      supervisor, SGD merge, shard router, all-reduce ring), exploring
+      every schedule up to the preemption bound and printing one line
+      per scenario. --smoke runs the small configs only; without it the
+      larger full-proof configs run too. Exits non-zero on any finding
+      (deadlock, lost wakeup, invariant violation, data race).
   spgcnn smoke [--metrics-json FILE]
       Train a tiny built-in network for two epochs with telemetry enabled
       and emit spgcnn-metrics JSON (to stdout, or FILE if given). Exits
@@ -154,6 +162,7 @@ fn main() -> ExitCode {
         // train-cluster; not part of the documented surface.
         Some("cluster-shard") => cluster_shard(&args[1..]),
         Some("cluster-rank") => cluster_rank(&args[1..]),
+        Some("race") => race(&args[1..]),
         Some("smoke") => smoke(&args[1..]),
         Some("validate-metrics") => validate_metrics(&args[1..]),
         _ => {
@@ -657,11 +666,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     let elapsed = started.elapsed();
     if fault_plan.is_some() && faulted > 0 {
         // The supervisor bumps the restart counter just after failing the
-        // batch, so the replies can race a step ahead of it.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while server.restarts() == 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        // batch, so the replies can race a step ahead of it: block on the
+        // respawn event itself rather than sleep-polling the counter.
+        let _ = server.wait_restarts(1, Duration::from_secs(5));
     }
     let restarts = server.restarts();
     let faulted_batches = server.faulted_batches();
@@ -852,6 +859,27 @@ fn bench_hybrid(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn race(args: &[String]) -> Result<(), String> {
+    let smoke_only = args.iter().any(|a| a == "--smoke");
+    for a in args {
+        if a != "--smoke" {
+            return Err(format!("race: unknown argument `{a}`"));
+        }
+    }
+    let start = Instant::now();
+    let reports = if smoke_only {
+        spg_cnn::race::scenarios::run_smoke()
+    } else {
+        spg_cnn::race::scenarios::run_full()
+    }
+    .map_err(|e| e.to_string())?;
+    for r in &reports {
+        println!("{r}");
+    }
+    eprintln!("race: {} scenarios clean in {:.1}s", reports.len(), start.elapsed().as_secs_f64());
+    Ok(())
+}
+
 fn smoke(args: &[String]) -> Result<(), String> {
     let metrics_path = opt_flag(args, "--metrics-json")?;
     let desc = NetworkDescription::parse(SMOKE_NETWORK).map_err(|e| e.to_string())?;
@@ -992,17 +1020,17 @@ impl ShardProc {
                             continue;
                         }
                     };
-                    *slot.lock().expect("child slot") = Some(spawned);
+                    *spg_sync::lock(&slot) = Some(spawned);
                     loop {
                         if shutdown.load(Ordering::Acquire) {
                             return; // stop() kills and reaps what's left
                         }
-                        let exited = match slot.lock().expect("child slot").as_mut() {
+                        let exited = match spg_sync::lock(&slot).as_mut() {
                             Some(c) => !matches!(c.try_wait(), Ok(None)),
                             None => true,
                         };
                         if exited {
-                            slot.lock().expect("child slot").take();
+                            spg_sync::lock(&slot).take();
                             std::thread::sleep(Duration::from_millis(50));
                             break; // respawn without the drill
                         }
@@ -1019,7 +1047,7 @@ impl ShardProc {
         if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
-        if let Some(mut c) = self.child.lock().expect("child slot").take() {
+        if let Some(mut c) = spg_sync::lock(&self.child).take() {
             let _ = c.kill();
             let _ = c.wait();
         }
@@ -1199,11 +1227,9 @@ fn serve_cluster(args: &[String]) -> Result<(), String> {
     let outcome = drive_requests(&router, &inputs, &expected, drill.is_some());
     if drill.is_some() && matches!(&outcome, Ok(o) if o.faulted > 0) {
         // The forwarder evicts before it fails the request, but the
-        // respawn (child restart + reconnect) completes asynchronously.
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while router.respawns() == 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        // respawn (child restart + reconnect) completes asynchronously:
+        // block on the respawn event instead of sleep-polling.
+        let _ = router.wait_respawns(1, Duration::from_secs(10));
     }
     let evictions = router.evictions();
     let respawns = router.respawns();

@@ -29,6 +29,7 @@ pub use spg_convnet as convnet;
 pub use spg_core as core;
 pub use spg_error as error;
 pub use spg_gemm as gemm;
+pub use spg_race as race;
 pub use spg_serve as serve;
 pub use spg_simcpu as simcpu;
 pub use spg_sync as sync;

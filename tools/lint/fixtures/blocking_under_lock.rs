@@ -1,0 +1,17 @@
+//! Seeded lint fixture: blocking call while a lock guard is live.
+//! Never compiled — exists so `spg-lint --self-test` can prove the
+//! blocking-under-lock pass still catches this bug class.
+
+use spg_sync::lock;
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(state: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    let mut st = lock(state);
+    // Parked here, the lock is held across another thread's progress:
+    // if the sender needs `state` to produce, this deadlocks.
+    let v = rx.recv();
+    if let Ok(v) = v {
+        st.push(v);
+    }
+}

@@ -1,0 +1,37 @@
+//! Lint fixture that must stay finding-free: consistent lock order,
+//! condvar waits with the guard (sanctioned), blocking only after the
+//! guard is dropped. Never compiled — `spg-lint --self-test` fails on
+//! any finding against this file (false-positive canary).
+
+use spg_sync::{lock, wait};
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex};
+
+pub fn ordered(first: &Mutex<u64>, second: &Mutex<u64>) {
+    let mut a = lock(first);
+    let mut b = lock(second);
+    *a += 1;
+    *b += 1;
+}
+
+pub fn ordered_again(first: &Mutex<u64>, second: &Mutex<u64>) {
+    let a = lock(first);
+    let b = lock(second);
+    drop(b);
+    drop(a);
+}
+
+pub fn parked(state: &Mutex<bool>, cv: &Condvar) {
+    let mut ready = lock(state);
+    while !*ready {
+        ready = wait(cv, ready);
+    }
+}
+
+pub fn drained(state: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    {
+        let st = lock(state);
+        let _ = st.len();
+    }
+    let _ = rx.recv();
+}

@@ -1,0 +1,20 @@
+//! Seeded lint fixture: ABBA lock-order cycle. Never compiled — this
+//! file exists so `spg-lint --self-test` can prove the lock-order pass
+//! still catches the bug class it was built for.
+
+use spg_sync::lock;
+use std::sync::Mutex;
+
+pub fn transfer(accounts: &Mutex<u64>, audit: &Mutex<u64>) {
+    let mut a = lock(accounts);
+    let mut b = lock(audit);
+    *a += 1;
+    *b += 1;
+}
+
+pub fn reconcile(accounts: &Mutex<u64>, audit: &Mutex<u64>) {
+    let mut b = lock(audit);
+    let mut a = lock(accounts);
+    *b += 1;
+    *a += 1;
+}

@@ -12,13 +12,25 @@
 //!    crates (`spg-core`, `spg-gemm`, `spg-codegen`): plan problems must
 //!    surface as typed errors through the verifier, not as panics inside
 //!    a worker.
+//! 3. **Lock-order cycles** (see [`concurrency`]) — acquiring `spg_sync`
+//!    locks in inconsistent order across a file is the ABBA deadlock
+//!    shape; reported with both acquisition sites.
+//! 4. **Blocking under a lock** (see [`concurrency`]) — channel
+//!    `recv`/`send`, `join` or `sleep` while a lock guard is live.
 //!
 //! Test code is exempt: files under `tests/` or `benches/`, and everything
 //! from a line containing `#[cfg(test)]` to the end of the file (the
 //! workspace convention keeps test modules trailing).
+//!
+//! `spg-lint --self-test` runs the concurrency passes over the seeded
+//! fixtures in `tools/lint/fixtures/` and fails unless each planted bug
+//! is found and the clean fixture stays clean — a liveness check for
+//! the linter itself, run by CI next to the real pass.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+mod concurrency;
 
 /// Crates whose non-test code must be free of raw `.unwrap()` / `.expect(`.
 const KERNEL_CRATES: &[&str] = &["crates/codegen/src", "crates/core/src", "crates/gemm/src"];
@@ -32,6 +44,9 @@ const LOOKBACK: usize = 25;
 
 fn main() -> ExitCode {
     let root = workspace_root();
+    if std::env::args().any(|a| a == "--self-test") {
+        return self_test(&root);
+    }
     let mut findings = Vec::new();
     for rel in UNSAFE_ROOTS {
         for file in rust_files(&root.join(rel)) {
@@ -43,6 +58,10 @@ fn main() -> ExitCode {
             scan_unwrap(&root, &file, &mut findings);
         }
     }
+    for rel in UNSAFE_ROOTS {
+        let files = rust_files(&root.join(rel));
+        concurrency::scan(&root, &files, &mut findings);
+    }
     if findings.is_empty() {
         println!("spg-lint: ok");
         return ExitCode::SUCCESS;
@@ -51,6 +70,38 @@ fn main() -> ExitCode {
         eprintln!("{f}");
     }
     eprintln!("spg-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}
+
+/// Prove the concurrency passes still catch their seeded fixture bugs.
+fn self_test(root: &Path) -> ExitCode {
+    let fixtures = root.join("tools/lint/fixtures");
+    let files = rust_files(&fixtures);
+    if files.is_empty() {
+        eprintln!("spg-lint --self-test: no fixtures under {}", fixtures.display());
+        return ExitCode::FAILURE;
+    }
+    let mut findings = Vec::new();
+    concurrency::scan(root, &files, &mut findings);
+    let mut failures = Vec::new();
+    for (fixture, needle) in [
+        ("lock_cycle.rs", "lock-order cycle"),
+        ("blocking_under_lock.rs", "blocking on another thread"),
+    ] {
+        if !findings.iter().any(|f| f.contains(fixture) && f.contains(needle)) {
+            failures.push(format!("seeded bug in {fixture} not caught (wanted: {needle})"));
+        }
+    }
+    for f in findings.iter().filter(|f| f.contains("clean.rs")) {
+        failures.push(format!("false positive on the clean fixture: {f}"));
+    }
+    if failures.is_empty() {
+        println!("spg-lint --self-test: ok ({} fixture finding(s) as expected)", findings.len());
+        return ExitCode::SUCCESS;
+    }
+    for f in &failures {
+        eprintln!("spg-lint --self-test: {f}");
+    }
     ExitCode::FAILURE
 }
 
